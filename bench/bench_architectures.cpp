@@ -1,0 +1,99 @@
+// Experiment A1 — the §2.1 architecture comparison the paper argues
+// qualitatively: centralized server vs broadcast vs multi-stage overlay on
+// the same workload.
+//
+// Expected shape: the centralized server concentrates ALL filtering load
+// in one node (RLC = 1); broadcast pushes the full event stream to every
+// subscriber (max messages, subscriber load grows with the event rate);
+// the multi-stage overlay keeps every node's RLC far below 1 and total
+// traffic between the two extremes.
+#include "cake/baseline/baseline.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace cake;
+
+  bench::SimConfig config;
+  config.stage_counts = {1, 10, 100};
+  config.subscribers = 150;
+  config.events = 10'000;
+
+  std::cout << "=== A1: Architecture comparison (paper §2.1) ===\n"
+            << config.subscribers << " subscribers, " << config.events
+            << " bibliographic events\n\n";
+
+  // Shared workload.
+  workload::ensure_types_registered();
+  workload::BiblioGenerator gen{config.biblio, config.seed};
+  std::vector<filter::ConjunctiveFilter> filters;
+  for (std::size_t i = 0; i < config.subscribers; ++i)
+    filters.push_back(gen.next_subscription());
+  std::vector<event::EventImage> events;
+  events.reserve(config.events);
+  for (std::size_t e = 0; e < config.events; ++e)
+    events.push_back(gen.next_event());
+
+  // Centralized server.
+  baseline::CentralizedServer central;
+  for (std::size_t i = 0; i < filters.size(); ++i)
+    central.subscribe(filters[i], static_cast<baseline::SubscriberId>(i));
+  for (const auto& image : events) central.publish(image);
+  const double central_rlc =
+      static_cast<double>(central.stats().load_complexity) /
+      (static_cast<double>(config.events) *
+       static_cast<double>(config.subscribers));
+
+  // Broadcast.
+  baseline::BroadcastSystem broadcast;
+  for (std::size_t i = 0; i < filters.size(); ++i)
+    broadcast.subscribe(filters[i], broadcast.add_subscriber());
+  for (const auto& image : events) broadcast.publish(image);
+  double broadcast_max_rlc = 0.0, broadcast_sum_rlc = 0.0;
+  for (std::size_t i = 0; i < config.subscribers; ++i) {
+    const auto& s =
+        broadcast.subscriber_stats(static_cast<baseline::SubscriberId>(i));
+    const double rlc = static_cast<double>(s.load_complexity) /
+                       (static_cast<double>(config.events) *
+                        static_cast<double>(config.subscribers));
+    broadcast_max_rlc = std::max(broadcast_max_rlc, rlc);
+    broadcast_sum_rlc += rlc;
+  }
+
+  // Multi-stage overlay (same generator seed → same filters/events).
+  const bench::SimResult overlay = bench::run_biblio_sim(config);
+  double overlay_max_rlc = 0.0, overlay_sum_rlc = 0.0;
+  for (const auto& load : overlay.all_loads()) {
+    const double rlc = load.rlc(config.events, config.subscribers);
+    overlay_max_rlc = std::max(overlay_max_rlc, rlc);
+    overlay_sum_rlc += rlc;
+  }
+
+  util::TextTable table{{"Architecture", "Max node RLC", "Sum of RLCs",
+                         "Messages", "Delivered"}};
+  table.add_row({"Centralized server", util::format_number(central_rlc),
+                 util::format_number(central_rlc),
+                 std::to_string(config.events + central.stats().deliveries),
+                 std::to_string(central.stats().deliveries)});
+  table.add_row(
+      {"Broadcast", util::format_number(broadcast_max_rlc),
+       util::format_number(broadcast_sum_rlc),
+       std::to_string(broadcast.stats().messages_sent),
+       std::to_string([&] {
+         std::uint64_t d = 0;
+         for (std::size_t i = 0; i < config.subscribers; ++i)
+           d += broadcast
+                    .subscriber_stats(static_cast<baseline::SubscriberId>(i))
+                    .events_delivered;
+         return d;
+       }())});
+  table.add_row({"Multi-stage overlay", util::format_number(overlay_max_rlc),
+                 util::format_number(overlay_sum_rlc),
+                 std::to_string(overlay.network_messages),
+                 std::to_string(overlay.deliveries)});
+  table.print(std::cout);
+
+  std::cout << "\nShape check: centralized max-node RLC is 1 by definition; "
+               "multi-stage max-node RLC should be well below it, with the "
+               "summed work of the same order (≈1).\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Experiment A7 — matching-engine ablation inside the live overlay: the
+// paper defers "efficient indexing and matching techniques" to related
+// work and ships the naive Fig. 6 loop; this measures what the counting
+// index buys end to end (wall-clock for the same simulation, identical
+// deliveries).
+#include <chrono>
+
+#include "harness.hpp"
+
+int main() {
+  using namespace cake;
+
+  std::cout << "=== A7: Matching-engine ablation (Fig. 6 naive loop vs "
+               "counting index) ===\n\n";
+
+  util::TextTable table{{"Engine", "Subscribers", "Wall-clock (ms)",
+                         "Deliveries"}};
+
+  for (const std::size_t subscribers : {150u, 600u}) {
+    std::uint64_t reference_deliveries = 0;
+    for (const index::Engine engine :
+         {index::Engine::Naive, index::Engine::Counting}) {
+      bench::SimConfig config;
+      config.stage_counts = {1, 10, 100};
+      config.subscribers = subscribers;
+      config.events = 10'000;
+      config.engine = engine;
+
+      const auto start = std::chrono::steady_clock::now();
+      const bench::SimResult result = bench::run_biblio_sim(config);
+      const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start);
+
+      if (engine == index::Engine::Naive)
+        reference_deliveries = result.deliveries;
+      else if (result.deliveries != reference_deliveries)
+        std::cout << "WARNING: engines disagree on deliveries!\n";
+
+      table.add_row({engine == index::Engine::Naive ? "naive (Fig. 6)"
+                                                    : "counting index",
+                     std::to_string(subscribers),
+                     std::to_string(elapsed.count()),
+                     std::to_string(result.deliveries)});
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nShape check: identical deliveries; the counting index "
+               "matters more as tables grow (per-node tables here are small "
+               "by design, so the end-to-end gap is modest — the per-call "
+               "gap is in bench_matching_micro).\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Experiment A11 — the §4.3 soft-state claim, quantified: "the scheme ...
+// handles process failure and network partitions well".
+//
+// Sweep of uniform message-loss rates. Each run: install subscriptions,
+// publish through a lossy phase, heal, let renewals/Expired-rejoin repair
+// the control plane, then publish a verification burst and compare against
+// the oracle.
+//
+// Expected shape: events published *during* loss are partially lost (no
+// event retransmission — the paper's design), but after healing the
+// post-heal delivery ratio returns to 100% at every loss rate, with the
+// repair visible as rejoin counts.
+#include "harness.hpp"
+
+int main() {
+  using namespace cake;
+
+  std::cout << "=== A11: Soft-state recovery under message loss (paper "
+               "§4.3) ===\n"
+            << "60 subscribers, TTL 2s, renew 0.9s; 20s lossy phase, then "
+               "heal + verification burst\n\n";
+
+  util::TextTable table{{"Loss rate", "Dropped msgs", "Rejoins",
+                         "Lossy-phase delivery", "Post-heal delivery"}};
+
+  for (const double loss : {0.0, 0.1, 0.3, 0.5, 0.8}) {
+    workload::ensure_types_registered();
+    routing::OverlayConfig config;
+    config.stage_counts = {1, 3, 9};
+    config.broker.ttl = 2'000'000;
+    config.broker.renew_interval = 900'000;
+    config.broker.reap_interval = 1'000'000;
+    config.subscriber.renew_interval = 900'000;
+    routing::Overlay overlay{config};
+    auto& pub = overlay.add_publisher();
+    pub.advertise(workload::BiblioGenerator::schema());
+    overlay.run();
+
+    workload::BiblioConfig dense;
+    dense.years = 3;
+    dense.conferences = 4;
+    dense.authors = 10;
+    workload::BiblioGenerator gen{dense, 7};
+
+    constexpr int kSubs = 60;
+    std::vector<filter::ConjunctiveFilter> filters;
+    std::vector<std::uint64_t> received(kSubs, 0);
+    for (int i = 0; i < kSubs; ++i) {
+      filters.push_back(gen.next_subscription(i % 3));
+      overlay.add_subscriber().subscribe(
+          filters[i],
+          [&received, i](const event::EventImage&) { ++received[i]; });
+      overlay.run();
+    }
+
+    auto burst = [&](int events, std::uint64_t& oracle) {
+      for (int e = 0; e < events; ++e) {
+        const event::EventImage image = gen.next_event();
+        for (int i = 0; i < kSubs; ++i)
+          if (filters[i].matches(image, overlay.registry())) ++oracle;
+        pub.publish(image);
+        overlay.run();
+        overlay.scheduler().run_until(overlay.scheduler().now() + 50'000);
+      }
+    };
+    auto total_received = [&] {
+      std::uint64_t sum = 0;
+      for (const auto count : received) sum += count;
+      return sum;
+    };
+
+    // Lossy phase: 20 virtual seconds of traffic under uniform loss.
+    overlay.network().set_loss_rate(loss, 99);
+    std::uint64_t lossy_oracle = 0;
+    burst(400, lossy_oracle);
+    const std::uint64_t lossy_received = total_received();
+    const std::uint64_t dropped = overlay.network().dropped();
+
+    // Heal, give the soft state a few renewal rounds to repair itself.
+    overlay.network().set_loss_rate(0.0);
+    overlay.scheduler().run_until(overlay.scheduler().now() + 6'000'000);
+    overlay.run();
+
+    // Verification burst.
+    std::uint64_t heal_oracle = 0;
+    burst(200, heal_oracle);
+    const std::uint64_t heal_received = total_received() - lossy_received;
+
+    std::uint64_t rejoins = 0;
+    for (const auto& sub : overlay.subscribers())
+      rejoins += sub->stats().rejoins;
+
+    auto percent = [](std::uint64_t got, std::uint64_t want) {
+      return want == 0 ? std::string{"-"}
+                       : util::format_number(100.0 * double(got) / double(want)) + "%";
+    };
+    table.add_row({util::format_number(loss * 100.0) + "%",
+                   std::to_string(dropped), std::to_string(rejoins),
+                   percent(lossy_received, lossy_oracle),
+                   percent(heal_received, heal_oracle)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nShape check: lossy-phase delivery degrades with the loss "
+               "rate (events are not retransmitted, by design); post-heal "
+               "delivery returns to 100% everywhere — the soft state repairs "
+               "itself via renewals and Expired-triggered rejoins.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Experiment T1 — reproduces the §5.3 RLC table.
+//
+// Paper setup: bibliographic events (author, conference, year, title), a
+// four-level hierarchy (1 stage-3 root, 10 stage-2, 100 stage-1 brokers,
+// user-level stage 0), equality filters weakened one attribute per stage.
+//
+// Paper's reported table (shape to reproduce, not absolute values):
+//
+//   Stage  Node avg. of RLC   Total node avg. of RLC
+//   0      2e-7               2e-4
+//   1      2e-4               2e-1
+//   2      0.1                1
+//   3      0.02               0.02
+//
+// Expected shape: per-node RLC orders of magnitude below the centralized
+// server's 1.0 at the user level, growing toward the middle stages, small
+// again at the root; the global sum of stage totals ≈ 1 (the work of one
+// centralized server, spread out).
+#include "harness.hpp"
+
+int main() {
+  using namespace cake;
+
+  bench::SimConfig config;
+  config.stage_counts = {1, 10, 100};
+  config.subscribers = 150;
+  config.events = 10'000;
+
+  std::cout << "=== T1: Relative Load Complexity per stage (paper §5.3) ===\n"
+            << "topology: 1 stage-3 root, 10 stage-2, 100 stage-1 brokers, "
+            << config.subscribers << " subscribers\n"
+            << "workload: " << config.events
+            << " bibliographic events, equality subscriptions\n\n";
+
+  const bench::SimResult result = bench::run_biblio_sim(config);
+  const auto summaries = result.summaries();
+
+  metrics::rlc_table(summaries).print(std::cout);
+  std::cout << "\nGlobal total of RLCs (paper: ~1): "
+            << util::format_number(metrics::global_rlc(summaries)) << "\n";
+
+  std::cout << "\nDiagnostics:\n";
+  metrics::stage_table(summaries).print(std::cout);
+  std::cout << "\nnetwork: " << result.network_messages << " messages, "
+            << result.network_bytes << " bytes, " << result.deliveries
+            << " end-to-end deliveries\n";
+  return 0;
+}

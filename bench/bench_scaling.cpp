@@ -1,0 +1,107 @@
+// Experiment A6 — the paper's scaling claims (§5.3 discussion):
+//
+//   "The system scales better also with the number of subscriptions since
+//    by adding a few intermediate nodes, the number of subscribers can be
+//    increased significantly without increasing the required computational
+//    power at any node"  and  "the event system hence scales in terms of
+//    message rate".
+//
+// Two sweeps on the paper topology:
+//   (a) subscribers 50→1200 at a fixed event count — max per-node RLC must
+//       stay flat or fall (more subscribers amortize the same weakened
+//       filters);
+//   (b) events 1k→32k at fixed subscribers — per-node LC grows linearly
+//       with rate, but RLC (work relative to a centralized server doing
+//       the same job) stays constant.
+#include "harness.hpp"
+
+int main() {
+  using namespace cake;
+
+  std::cout << "=== A6: Scaling sweeps (paper §5.3 discussion) ===\n\n";
+
+  std::cout << "(a) subscriber sweep, 5000 events:\n";
+  util::TextTable subs_table{{"Subscribers", "Max node RLC", "Max broker LC",
+                              "Stage-1 filters (avg)", "Messages/event"}};
+  for (const std::size_t subscribers : {50u, 150u, 400u, 1200u}) {
+    bench::SimConfig config;
+    config.stage_counts = {1, 10, 100};
+    config.subscribers = subscribers;
+    config.events = 5'000;
+    const bench::SimResult result = bench::run_biblio_sim(config);
+
+    double max_rlc = 0.0, max_lc = 0.0;
+    double stage1_filters = 0.0;
+    std::size_t stage1_nodes = 0;
+    for (const auto& load : result.broker_loads) {
+      max_rlc = std::max(max_rlc, load.rlc(config.events, subscribers));
+      max_lc = std::max(max_lc, load.lc());
+      if (load.stage == 1) {
+        stage1_filters += static_cast<double>(load.filters);
+        ++stage1_nodes;
+      }
+    }
+    subs_table.add_row(
+        {std::to_string(subscribers), util::format_number(max_rlc),
+         util::format_number(max_lc),
+         util::format_number(stage1_filters / double(stage1_nodes)),
+         util::format_number(static_cast<double>(result.network_messages) /
+                             static_cast<double>(config.events))});
+  }
+  subs_table.print(std::cout);
+
+  std::cout << "\n(b) event-rate sweep, 150 subscribers:\n";
+  util::TextTable events_table{{"Events", "Max broker LC", "Max node RLC",
+                                "Global RLC", "Deliveries"}};
+  for (const std::size_t events : {1'000u, 4'000u, 16'000u, 32'000u}) {
+    bench::SimConfig config;
+    config.stage_counts = {1, 10, 100};
+    config.subscribers = 150;
+    config.events = events;
+    const bench::SimResult result = bench::run_biblio_sim(config);
+
+    double max_rlc = 0.0, max_lc = 0.0;
+    for (const auto& load : result.broker_loads) {
+      max_rlc = std::max(max_rlc, load.rlc(events, config.subscribers));
+      max_lc = std::max(max_lc, load.lc());
+    }
+    events_table.add_row({std::to_string(events), util::format_number(max_lc),
+                          util::format_number(max_rlc),
+                          util::format_number(metrics::global_rlc(result.summaries())),
+                          std::to_string(result.deliveries)});
+  }
+  events_table.print(std::cout);
+
+  std::cout << "\n(c) subscriptions-per-subscriber sweep, 150 subscribers, "
+               "5000 events (paper: millions of subscriptions over hundreds "
+               "of thousands of subscribers):\n";
+  util::TextTable density_table{{"Subs/subscriber", "Total subscriptions",
+                                 "Stage-1 filters", "Max broker LC",
+                                 "Messages"}};
+  for (const std::size_t density : {1u, 2u, 4u, 8u}) {
+    bench::SimConfig config;
+    config.stage_counts = {1, 10, 100};
+    config.subscribers = 150;
+    config.events = 5'000;
+    config.subscriptions_per_subscriber = density;
+    const bench::SimResult result = bench::run_biblio_sim(config);
+    std::size_t stage1_filters = 0;
+    double max_lc = 0.0;
+    for (const auto& load : result.broker_loads) {
+      if (load.stage == 1) stage1_filters += load.filters;
+      max_lc = std::max(max_lc, load.lc());
+    }
+    density_table.add_row({std::to_string(density),
+                           std::to_string(150 * density),
+                           std::to_string(stage1_filters),
+                           util::format_number(max_lc),
+                           std::to_string(result.network_messages)});
+  }
+  density_table.print(std::cout);
+
+  std::cout << "\nShape check: (a) max RLC flat-or-falling as subscribers "
+               "grow; (b) LC linear in the event rate while RLC stays "
+               "constant; (c) broker filter tables grow sublinearly in the "
+               "subscription count (clustering + weakened-form dedup).\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Experiment A3 — the §4.4 wildcard-handling claim: attaching a wildcard
+// subscription naively to a stage-1 node floods that node (and the path
+// above it) with the whole event class's traffic; the paper's scheme
+// attaches it at stage j+1 instead.
+//
+// Sweep: share of wildcard subscribers from 0% to 50% (wildcarding the two
+// least-general attributes, author and title), with wildcard-aware
+// placement on and off.
+//
+// Expected shape: with naive placement, the hottest stage-1 node's load
+// (LC) grows sharply with the wildcard share; wildcard-aware placement
+// keeps stage-1 hotspots flat by absorbing those subscriptions higher up.
+#include "harness.hpp"
+
+int main() {
+  using namespace cake;
+
+  std::cout << "=== A3: Wildcard subscription placement (paper §4.4) ===\n"
+            << "wildcards: author+title → subscriptions like the paper's "
+               "f_x/f_y; sweep of wildcard share\n\n";
+
+  util::TextTable table{{"Wildcard share", "Placement", "Max stage-1 LC",
+                         "Avg stage-1 LC", "Max stage-1 events", "Messages"}};
+
+  for (const std::size_t every : {0u, 8u, 4u, 2u}) {
+    for (const bool aware : {true, false}) {
+      bench::SimConfig config;
+      config.stage_counts = {1, 10, 100};
+      config.subscribers = 150;
+      config.events = 5'000;
+      config.wildcard_every = every;
+      config.wildcard_count = 2;  // author and title → attach at stage 3
+      config.wildcard_aware = aware;
+
+      const bench::SimResult result = bench::run_biblio_sim(config);
+
+      double max_lc = 0.0, sum_lc = 0.0;
+      std::uint64_t max_events = 0;
+      std::size_t stage1_nodes = 0;
+      for (const auto& load : result.broker_loads) {
+        if (load.stage != 1) continue;
+        ++stage1_nodes;
+        max_lc = std::max(max_lc, load.lc());
+        sum_lc += load.lc();
+        max_events = std::max(max_events, load.events_received);
+      }
+
+      const int share = every == 0 ? 0 : static_cast<int>(100 / every);
+      table.add_row({std::to_string(share) + "%",
+                     aware ? "stage j+1 (paper)" : "naive stage-1",
+                     util::format_number(max_lc),
+                     util::format_number(sum_lc / double(stage1_nodes)),
+                     std::to_string(max_events),
+                     std::to_string(result.network_messages)});
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nShape check: with naive placement the stage-1 hotspot "
+               "stays saturated (the wildcard filters degenerate to broad "
+               "(year, conference) filters pinned at stage 1); the paper's "
+               "stage-(j+1) placement pulls that traffic up the tree, so "
+               "stage-1 max and average load fall as the share grows.\n";
+  return 0;
+}

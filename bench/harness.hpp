@@ -1,0 +1,110 @@
+// Shared benchmark harness: builds the paper's §5.2 simulation — a
+// hierarchy of brokers, bibliographic events and Zipf-skewed subscriptions
+// — runs it to quiescence and returns the per-node loads that the
+// experiment binaries aggregate into the paper's tables and figures.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "cake/metrics/metrics.hpp"
+#include "cake/routing/overlay.hpp"
+#include "cake/workload/generators.hpp"
+
+namespace cake::bench {
+
+struct SimConfig {
+  /// Brokers per stage, root first (paper: 1 stage-3, 10 stage-2, 100
+  /// stage-1 nodes).
+  std::vector<std::size_t> stage_counts{1, 10, 100};
+  std::size_t subscribers = 150;  ///< paper Fig. 7: 150 level-0 processes
+  std::size_t events = 10'000;
+  std::size_t publishers = 1;     ///< events split round-robin among them
+  std::size_t subscriptions_per_subscriber = 1;  ///< paper: millions vs 100k
+  std::size_t wildcard_every = 0;  ///< every n-th subscriber wildcards title
+  std::size_t wildcard_count = 1;  ///< attributes wildcarded when triggered
+  bool wildcard_aware = true;      ///< §4.4 placement vs naive attachment
+  routing::Placement placement = routing::Placement::CoveringSearch;
+  index::Engine engine = index::Engine::Naive;
+  workload::BiblioConfig biblio{};
+  std::uint64_t seed = 2002;
+};
+
+struct SimResult {
+  std::unique_ptr<routing::Overlay> overlay;
+  std::vector<metrics::NodeLoad> broker_loads;
+  std::vector<metrics::NodeLoad> subscriber_loads;
+  std::uint64_t total_events = 0;
+  std::uint64_t total_subscriptions = 0;
+  std::uint64_t network_messages = 0;
+  std::uint64_t network_bytes = 0;
+  std::uint64_t deliveries = 0;  ///< events matched end-to-end, summed
+
+  [[nodiscard]] std::vector<metrics::NodeLoad> all_loads() const {
+    std::vector<metrics::NodeLoad> all = broker_loads;
+    all.insert(all.end(), subscriber_loads.begin(), subscriber_loads.end());
+    return all;
+  }
+
+  [[nodiscard]] std::vector<metrics::StageSummary> summaries() const {
+    return metrics::summarize_by_stage(all_loads(), total_events,
+                                       total_subscriptions);
+  }
+};
+
+/// Runs one full simulation: advertise, join all subscribers (letting each
+/// handshake settle so the covering search clusters them), publish the
+/// event stream, drain, and collect per-node loads.
+inline SimResult run_biblio_sim(const SimConfig& config) {
+  workload::ensure_types_registered();
+
+  routing::OverlayConfig overlay_config;
+  overlay_config.stage_counts = config.stage_counts;
+  overlay_config.broker.placement = config.placement;
+  overlay_config.broker.engine = config.engine;
+  overlay_config.broker.wildcard_aware = config.wildcard_aware;
+  overlay_config.seed = config.seed;
+
+  SimResult result;
+  result.overlay = std::make_unique<routing::Overlay>(overlay_config);
+  routing::Overlay& overlay = *result.overlay;
+
+  std::vector<routing::PublisherNode*> publishers;
+  for (std::size_t p = 0; p < std::max<std::size_t>(config.publishers, 1); ++p)
+    publishers.push_back(&overlay.add_publisher());
+  publishers.front()->advertise(
+      workload::BiblioGenerator::schema(config.stage_counts.size() + 1));
+  overlay.run();
+
+  workload::BiblioGenerator gen{config.biblio, config.seed};
+  for (std::size_t i = 0; i < config.subscribers; ++i) {
+    const bool wildcard =
+        config.wildcard_every != 0 && i % config.wildcard_every == 0;
+    auto& sub = overlay.add_subscriber();
+    for (std::size_t s = 0; s < std::max<std::size_t>(
+                                    config.subscriptions_per_subscriber, 1);
+         ++s) {
+      sub.subscribe(gen.next_subscription(wildcard ? config.wildcard_count : 0),
+                    {});
+    }
+    overlay.run();
+  }
+
+  for (std::size_t e = 0; e < config.events; ++e)
+    publishers[e % publishers.size()]->publish(gen.next_event());
+  overlay.run();
+
+  result.broker_loads = metrics::broker_loads(overlay);
+  result.subscriber_loads = metrics::subscriber_loads(overlay);
+  result.total_events = config.events;
+  result.total_subscriptions = config.subscribers;
+  result.network_messages = overlay.network().total_messages();
+  result.network_bytes = overlay.network().total_bytes();
+  for (const auto& load : result.subscriber_loads)
+    result.deliveries += load.events_matched;
+  return result;
+}
+
+}  // namespace cake::bench

@@ -1,0 +1,69 @@
+#include "cake/baseline/baseline.hpp"
+
+#include <stdexcept>
+
+namespace cake::baseline {
+
+CentralizedServer::CentralizedServer(const reflect::TypeRegistry& registry,
+                                     index::Engine engine)
+    : registry_(registry), index_(index::make_index(engine, registry)) {}
+
+void CentralizedServer::subscribe(filter::ConjunctiveFilter filter,
+                                  SubscriberId subscriber) {
+  const index::FilterId fid = index_->add(std::move(filter));
+  if (owners_.size() <= fid) owners_.resize(fid + 1);
+  owners_[fid] = subscriber;
+  stats_.filters = index_->size();
+}
+
+void CentralizedServer::publish(const event::EventImage& image) {
+  ++stats_.events_received;
+  stats_.load_complexity += index_->size();
+  index_->match(image, scratch_);
+  if (!scratch_.empty()) ++stats_.events_matched;
+  for (const index::FilterId fid : scratch_) {
+    ++stats_.deliveries;
+    if (handler_) handler_(owners_[fid], image);
+  }
+}
+
+BroadcastSystem::BroadcastSystem(const reflect::TypeRegistry& registry)
+    : registry_(registry) {}
+
+SubscriberId BroadcastSystem::add_subscriber() {
+  subs_.emplace_back();
+  return static_cast<SubscriberId>(subs_.size() - 1);
+}
+
+void BroadcastSystem::subscribe(filter::ConjunctiveFilter filter,
+                                SubscriberId subscriber) {
+  if (subscriber >= subs_.size())
+    throw std::out_of_range{"BroadcastSystem: unknown subscriber"};
+  Sub& sub = subs_[subscriber];
+  sub.filters.push_back(std::move(filter));
+  sub.stats.filters = sub.filters.size();
+}
+
+void BroadcastSystem::publish(const event::EventImage& image) {
+  ++stats_.events_published;
+  for (Sub& sub : subs_) {
+    ++stats_.messages_sent;
+    ++sub.stats.events_received;
+    sub.stats.load_complexity += sub.filters.size();
+    for (const auto& filter : sub.filters) {
+      if (filter.matches(image, registry_)) {
+        ++sub.stats.events_delivered;
+        break;
+      }
+    }
+  }
+}
+
+const BroadcastSubscriberStats& BroadcastSystem::subscriber_stats(
+    SubscriberId subscriber) const {
+  if (subscriber >= subs_.size())
+    throw std::out_of_range{"BroadcastSystem: unknown subscriber"};
+  return subs_[subscriber].stats;
+}
+
+}  // namespace cake::baseline

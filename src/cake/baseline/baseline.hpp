@@ -1,0 +1,107 @@
+// The two §2.1 comparison architectures.
+//
+// `CentralizedServer` keeps every subscription in one node (Elvin-style):
+// each published event is matched against the complete filter set and
+// delivered from there, so the server's relative load complexity is 1 by
+// construction — the yardstick RLC is normalized against.
+//
+// `BroadcastSystem` (group-communication style) delivers every event to
+// every subscriber and filters at the edge: perfectly distributed, but
+// each subscriber's inbound event rate equals the global publication rate.
+//
+// Both reuse the same filters, images and matching engines as the
+// multi-stage system so the comparison isolates the architecture.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "cake/index/index.hpp"
+
+namespace cake::baseline {
+
+/// Identity of a subscriber process in a baseline system.
+using SubscriberId = std::uint32_t;
+
+struct CentralizedStats {
+  std::uint64_t events_received = 0;
+  std::uint64_t events_matched = 0;   ///< matched ≥ 1 subscription
+  std::uint64_t deliveries = 0;       ///< messages sent to subscribers
+  std::size_t filters = 0;            ///< live subscriptions at the server
+  /// LC = events × filters (§5.1), accumulated per event as the table grows.
+  std::uint64_t load_complexity = 0;
+};
+
+class CentralizedServer {
+public:
+  using DeliveryHandler =
+      std::function<void(SubscriberId subscriber, const event::EventImage& image)>;
+
+  explicit CentralizedServer(const reflect::TypeRegistry& registry =
+                                 reflect::TypeRegistry::global(),
+                             index::Engine engine = index::Engine::Naive);
+
+  /// Installs an exact subscription for `subscriber`.
+  void subscribe(filter::ConjunctiveFilter filter, SubscriberId subscriber);
+
+  void set_delivery_handler(DeliveryHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  /// Matches against all subscriptions and delivers to each matching one.
+  void publish(const event::EventImage& image);
+
+  [[nodiscard]] const CentralizedStats& stats() const noexcept { return stats_; }
+
+private:
+  const reflect::TypeRegistry& registry_;
+  std::unique_ptr<index::MatchIndex> index_;
+  std::vector<SubscriberId> owners_;  // indexed by FilterId
+  DeliveryHandler handler_;
+  CentralizedStats stats_;
+  std::vector<index::FilterId> scratch_;
+};
+
+struct BroadcastStats {
+  std::uint64_t events_published = 0;
+  std::uint64_t messages_sent = 0;  ///< events × subscribers
+};
+
+struct BroadcastSubscriberStats {
+  std::uint64_t events_received = 0;
+  std::uint64_t events_delivered = 0;  ///< matched locally
+  std::size_t filters = 0;
+  std::uint64_t load_complexity = 0;
+};
+
+class BroadcastSystem {
+public:
+  explicit BroadcastSystem(const reflect::TypeRegistry& registry =
+                               reflect::TypeRegistry::global());
+
+  /// Registers a subscriber process; returns its id.
+  SubscriberId add_subscriber();
+
+  /// Adds a local filter at `subscriber`.
+  void subscribe(filter::ConjunctiveFilter filter, SubscriberId subscriber);
+
+  /// Floods the event to every subscriber; each filters locally.
+  void publish(const event::EventImage& image);
+
+  [[nodiscard]] const BroadcastStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const BroadcastSubscriberStats& subscriber_stats(
+      SubscriberId subscriber) const;
+  [[nodiscard]] std::size_t subscribers() const noexcept { return subs_.size(); }
+
+private:
+  struct Sub {
+    std::vector<filter::ConjunctiveFilter> filters;
+    BroadcastSubscriberStats stats;
+  };
+
+  const reflect::TypeRegistry& registry_;
+  std::vector<Sub> subs_;
+  BroadcastStats stats_;
+};
+
+}  // namespace cake::baseline

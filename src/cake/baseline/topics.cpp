@@ -1,0 +1,38 @@
+#include "cake/baseline/topics.hpp"
+
+#include <algorithm>
+
+namespace cake::baseline {
+
+void TopicBus::subscribe(const std::string& topic, SubscriberId subscriber) {
+  std::vector<SubscriberId>& group = groups_[topic];
+  if (std::find(group.begin(), group.end(), subscriber) == group.end())
+    group.push_back(subscriber);
+  stats_.topics = groups_.size();
+}
+
+void TopicBus::unsubscribe(const std::string& topic, SubscriberId subscriber) {
+  const auto it = groups_.find(topic);
+  if (it == groups_.end()) return;
+  std::erase(it->second, subscriber);
+  if (it->second.empty()) groups_.erase(it);
+  stats_.topics = groups_.size();
+}
+
+void TopicBus::publish(const event::EventImage& image) {
+  ++stats_.events_published;
+  ++stats_.group_lookups;
+  const auto it = groups_.find(image.type_name());
+  if (it == groups_.end()) return;
+  for (const SubscriberId subscriber : it->second) {
+    ++stats_.deliveries;
+    if (handler_) handler_(subscriber, image);
+  }
+}
+
+std::size_t TopicBus::group_size(const std::string& topic) const {
+  const auto it = groups_.find(topic);
+  return it == groups_.end() ? 0 : it->second.size();
+}
+
+}  // namespace cake::baseline

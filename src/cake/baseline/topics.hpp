@@ -1,0 +1,60 @@
+// Topic-based publish/subscribe, the degenerate case.
+//
+// The paper closes §3.4 by weakening a content filter all the way down to
+// g3 = (class, "Stock", =) and observes: "Since g3 only compares a single
+// attribute for equality, one can use the same efficient mechanisms than
+// with topic-based publish/subscribe, e.g., group communication, and
+// define one topic per attribute value. This illustrates the actual fact
+// that topic-based addressing is a degenerated form of content-based
+// addressing."
+//
+// `TopicBus` is that mechanism: one multicast group per topic (type
+// name), O(1) group lookup per event, no per-filter evaluation at all.
+// Bench A10 checks the equivalence — type-only content subscriptions and
+// topic subscriptions deliver identical sets — and contrasts the costs.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cake/event/event.hpp"
+
+namespace cake::baseline {
+
+struct TopicStats {
+  std::uint64_t events_published = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t group_lookups = 0;  ///< the entire per-event filtering cost
+  std::size_t topics = 0;
+};
+
+/// Group-communication model: one multicast group per topic.
+class TopicBus {
+public:
+  using SubscriberId = std::uint32_t;
+  using Handler = std::function<void(SubscriberId, const event::EventImage&)>;
+
+  void set_delivery_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Joins `subscriber` to the group of `topic` (idempotent).
+  void subscribe(const std::string& topic, SubscriberId subscriber);
+
+  /// Leaves the group; unknown memberships are ignored.
+  void unsubscribe(const std::string& topic, SubscriberId subscriber);
+
+  /// Multicasts the image to its type's group — one hash lookup, no
+  /// filter evaluation anywhere.
+  void publish(const event::EventImage& image);
+
+  [[nodiscard]] const TopicStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t group_size(const std::string& topic) const;
+
+private:
+  std::unordered_map<std::string, std::vector<SubscriberId>> groups_;
+  Handler handler_;
+  TopicStats stats_;
+};
+
+}  // namespace cake::baseline

@@ -1,0 +1,39 @@
+#include "cake/core/event_system.hpp"
+
+namespace cake::core {
+
+EventSystem::EventSystem(Config config, const reflect::TypeRegistry& registry,
+                         const event::EventCodec& codec)
+    : registry_(registry),
+      codec_(codec),
+      overlay_(config.overlay, registry),
+      config_(std::move(config)),
+      default_publisher_(&overlay_.add_publisher()) {}
+
+std::size_t EventSystem::schema_stages() const noexcept {
+  return config_.schema_stages != 0 ? config_.schema_stages
+                                    : overlay_.stages() + 1;
+}
+
+void EventSystem::advertise(weaken::StageSchema schema) {
+  default_publisher_->advertise(std::move(schema));
+  // Control traffic (schema flooding) settles before user traffic starts.
+  overlay_.run();
+}
+
+void EventSystem::publish(const event::Event& event) {
+  default_publisher_->publish(event);
+}
+
+TypedSubscriber& EventSystem::make_subscriber() {
+  routing::SubscriberNode& node = overlay_.add_subscriber();
+  typed_subscribers_.push_back(
+      std::make_unique<TypedSubscriber>(node, registry_, codec_));
+  return *typed_subscribers_.back();
+}
+
+void EventSystem::run_for(sim::Time duration) {
+  overlay_.scheduler().run_until(overlay_.scheduler().now() + duration);
+}
+
+}  // namespace cake::core

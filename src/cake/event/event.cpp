@@ -1,0 +1,122 @@
+#include "cake/event/event.hpp"
+
+#include <sstream>
+
+namespace cake::event {
+
+EventImage::EventImage(std::string type_name,
+                       std::vector<ImageAttribute> attributes,
+                       std::vector<std::byte> opaque)
+    : type_name_(std::move(type_name)),
+      attributes_(std::move(attributes)),
+      opaque_(std::move(opaque)) {}
+
+const value::Value* EventImage::find(std::string_view name) const noexcept {
+  for (const auto& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+EventImage EventImage::project(const std::vector<std::string>& keep) const {
+  std::vector<ImageAttribute> kept;
+  kept.reserve(keep.size());
+  for (const auto& attr : attributes_) {
+    for (const auto& name : keep) {
+      if (attr.name == name) {
+        kept.push_back(attr);
+        break;
+      }
+    }
+  }
+  // Projection is routing meta-data only; opaque state stays with the full
+  // event, not the weakened copies.
+  return EventImage{type_name_, std::move(kept)};
+}
+
+void EventImage::encode(wire::Writer& w) const {
+  w.string(type_name_);
+  w.varint(attributes_.size());
+  for (const auto& attr : attributes_) {
+    w.string(attr.name);
+    w.value(attr.value);
+  }
+  w.varint(opaque_.size());
+  w.raw(opaque_);
+}
+
+EventImage EventImage::decode(wire::Reader& r) {
+  EventImage image;
+  image.type_name_ = r.string();
+  const std::uint64_t n = r.count(2);  // name length byte + value tag
+  image.attributes_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name = r.string();
+    image.attributes_.push_back({std::move(name), r.value()});
+  }
+  const std::uint64_t extra = r.count(1);
+  image.opaque_.reserve(extra);
+  for (std::uint64_t i = 0; i < extra; ++i)
+    image.opaque_.push_back(static_cast<std::byte>(r.u8()));
+  return image;
+}
+
+std::string EventImage::to_string() const {
+  std::ostringstream os;
+  os << '(' << "class, \"" << type_name_ << "\")";
+  for (const auto& attr : attributes_)
+    os << " (" << attr.name << ", " << attr.value.to_string() << ')';
+  return os.str();
+}
+
+EventImage image_of(const Event& event) {
+  const reflect::TypeInfo& info = event.type();
+  std::vector<ImageAttribute> attrs;
+  attrs.reserve(info.attributes().size());
+  for (const auto* attr : info.attributes())
+    attrs.push_back({attr->name, attr->get(event)});
+  wire::Writer extra;
+  event.save_extra(extra);
+  return EventImage{info.name(), std::move(attrs), extra.take()};
+}
+
+EventCodec& EventCodec::global() {
+  static EventCodec instance;
+  return instance;
+}
+
+void EventCodec::add(std::string type_name, Factory factory) {
+  if (!factories_.emplace(std::move(type_name), std::move(factory)).second)
+    throw reflect::ReflectError{"EventCodec: duplicate factory"};
+}
+
+bool EventCodec::can_decode(std::string_view type_name) const noexcept {
+  return factories_.contains(std::string{type_name});
+}
+
+std::unique_ptr<Event> EventCodec::decode(const EventImage& image) const {
+  const auto it = factories_.find(image.type_name());
+  if (it == factories_.end())
+    throw reflect::ReflectError{"EventCodec: no factory for type '" +
+                                image.type_name() + "'"};
+  return it->second(image);
+}
+
+std::vector<std::byte> to_wire(const Event& event) {
+  wire::Writer w;
+  image_of(event).encode(w);
+  return wire::frame(w.bytes());
+}
+
+EventImage image_from_wire(std::span<const std::byte> bytes) {
+  const std::vector<std::byte> payload = wire::unframe(bytes);
+  wire::Reader r{payload};
+  return EventImage::decode(r);
+}
+
+std::unique_ptr<Event> from_wire(std::span<const std::byte> bytes,
+                                 const EventCodec& codec) {
+  return codec.decode(image_from_wire(bytes));
+}
+
+}  // namespace cake::event

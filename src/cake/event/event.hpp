@@ -1,0 +1,147 @@
+// Typed events and their low-level images.
+//
+// Two representations coexist by design (paper §3.4 "Ensuring Event
+// Encapsulation on an End-to-End Base"):
+//
+//   * `Event` — the high-level, encapsulated application object. This is
+//     what publishers construct and what subscriber callbacks receive; its
+//     state is only reachable through the accessors the application chose
+//     to expose.
+//   * `EventImage` — the low-level, routable meta-data: the event's class
+//     name plus ordered name-value pairs extracted through reflection
+//     (`image_of`). Brokers match *images* against weakened filters, never
+//     touching application code. An optional opaque byte payload carries
+//     non-attribute state across the wire without the brokers seeing it.
+//
+// `EventCodec` reconstructs typed events from images at the subscriber edge
+// so local closures run against the real object — the user never marshals.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cake/reflect/reflect.hpp"
+#include "cake/wire/wire.hpp"
+
+namespace cake::event {
+
+/// Base class of all application event types.
+class Event : public reflect::Reflectable {
+public:
+  /// Hook for serializing state that is not exposed as attributes; the
+  /// matching factory must read it back in the same order. Default: none.
+  virtual void save_extra(wire::Writer&) const {}
+};
+
+/// Shared immutable handle used when fanning one event out to many nodes.
+using EventPtr = std::shared_ptr<const Event>;
+
+/// CRTP helper wiring `type()` to the global registry:
+///
+///   class Stock : public EventOf<Stock> { ... };
+///   class CarAuction : public EventOf<CarAuction, Auction> { ... };
+///
+/// The `Derived` type must be registered (TypeBuilder) before the first
+/// `type()` call.
+template <class Derived, class Base = Event>
+class EventOf : public Base {
+  static_assert(std::is_base_of_v<Event, Base>, "Base must derive from Event");
+
+public:
+  using Base::Base;  // expose the base type's constructors to subclasses
+
+  [[nodiscard]] const reflect::TypeInfo& type() const noexcept override;
+};
+
+template <class Derived, class Base>
+const reflect::TypeInfo& EventOf<Derived, Base>::type() const noexcept {
+  // get() throws on unregistered types; surfacing that early is preferable
+  // to routing an anonymous event, so we let it terminate via noexcept.
+  return reflect::TypeRegistry::global().get<Derived>();
+}
+
+/// One extracted name-value pair.
+struct ImageAttribute {
+  std::string name;
+  value::Value value;
+
+  [[nodiscard]] bool operator==(const ImageAttribute&) const = default;
+};
+
+/// The low-level event representation used for routing and matching.
+class EventImage {
+public:
+  EventImage() = default;
+  EventImage(std::string type_name, std::vector<ImageAttribute> attributes,
+             std::vector<std::byte> opaque = {});
+
+  [[nodiscard]] const std::string& type_name() const noexcept { return type_name_; }
+  [[nodiscard]] const std::vector<ImageAttribute>& attributes() const noexcept {
+    return attributes_;
+  }
+  [[nodiscard]] const std::vector<std::byte>& opaque() const noexcept {
+    return opaque_;
+  }
+
+  /// Value of the named attribute, or null if absent.
+  [[nodiscard]] const value::Value* find(std::string_view name) const noexcept;
+  [[nodiscard]] bool has(std::string_view name) const noexcept {
+    return find(name) != nullptr;
+  }
+
+  /// Returns a copy containing only the named attributes (present ones, in
+  /// this image's order) — the paper's *weakened event* projection.
+  [[nodiscard]] EventImage project(const std::vector<std::string>& keep) const;
+
+  void encode(wire::Writer& w) const;
+  [[nodiscard]] static EventImage decode(wire::Reader& r);
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool operator==(const EventImage&) const = default;
+
+private:
+  std::string type_name_;
+  std::vector<ImageAttribute> attributes_;
+  std::vector<std::byte> opaque_;
+};
+
+/// Extracts the image of `event` through its registered attributes
+/// (reflection). The attribute order is the declaration order, i.e.
+/// most-general first (inherited attributes leftmost).
+[[nodiscard]] EventImage image_of(const Event& event);
+
+/// Registry of per-type factories reconstructing typed events from images.
+class EventCodec {
+public:
+  using Factory = std::function<std::unique_ptr<Event>(const EventImage&)>;
+
+  /// Process-wide codec used by the high-level API.
+  [[nodiscard]] static EventCodec& global();
+
+  /// Registers the factory for `type_name`; throws ReflectError on duplicates.
+  void add(std::string type_name, Factory factory);
+
+  [[nodiscard]] bool can_decode(std::string_view type_name) const noexcept;
+
+  /// Rebuilds a typed event; throws ReflectError for unknown types.
+  [[nodiscard]] std::unique_ptr<Event> decode(const EventImage& image) const;
+
+private:
+  std::unordered_map<std::string, Factory> factories_;
+};
+
+/// Serializes `event` for link transfer: reflective image + checksum frame.
+[[nodiscard]] std::vector<std::byte> to_wire(const Event& event);
+
+/// Parses wire bytes back into an image (broker side; no app code involved).
+[[nodiscard]] EventImage image_from_wire(std::span<const std::byte> bytes);
+
+/// Full round trip: wire bytes -> typed event (subscriber side).
+[[nodiscard]] std::unique_ptr<Event> from_wire(std::span<const std::byte> bytes,
+                                               const EventCodec& codec);
+
+}  // namespace cake::event

@@ -1,0 +1,40 @@
+// Constraint operators of the subscription language.
+//
+// The paper's filters are name-value-operator tuples using "common equality
+// and ordering relations (=, !=, <, >, etc.)" plus existence predicates
+// ("(volume, ∃)") and the wildcard form "(Attr, ALL, =)" produced by the
+// standard-subscription-filter conversion of §4.4. `Any` is that wildcard:
+// it matches regardless of the attribute's value or presence.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "cake/value/value.hpp"
+
+namespace cake::filter {
+
+enum class Op : std::uint8_t {
+  Eq,      ///< attribute == value
+  Ne,      ///< attribute != value
+  Lt,      ///< attribute <  value
+  Le,      ///< attribute <= value
+  Gt,      ///< attribute >  value
+  Ge,      ///< attribute >= value
+  Prefix,  ///< string attribute starts with value
+  Exists,  ///< attribute is present (paper's ∃; value ignored)
+  Any,     ///< wildcard: always true (paper's (Attr, "ALL", =))
+  Regex,   ///< string attribute fully matches the operand pattern (§2.1)
+};
+
+/// Symbolic rendering ("=", "!=", "<", ..., "exists", "ALL").
+[[nodiscard]] std::string_view to_string(Op op) noexcept;
+
+/// Applies `op` to an event value and a filter operand.
+/// Incomparable kind pairs evaluate to false (approximate-matching
+/// stance); so do invalid Regex patterns (reject at subscription time via
+/// util::Regex if you need loud failures).
+[[nodiscard]] bool applies(Op op, const value::Value& event_value,
+                           const value::Value& operand) noexcept;
+
+}  // namespace cake::filter

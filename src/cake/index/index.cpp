@@ -1,0 +1,193 @@
+#include "cake/index/index.hpp"
+
+#include <algorithm>
+
+namespace cake::index {
+
+std::unique_ptr<MatchIndex> make_index(Engine engine,
+                                       const reflect::TypeRegistry& registry) {
+  switch (engine) {
+    case Engine::Naive: return std::make_unique<NaiveTable>(registry);
+    case Engine::Counting: return std::make_unique<CountingIndex>(registry);
+    case Engine::Trie: return std::make_unique<TrieIndex>(registry);
+  }
+  return std::make_unique<NaiveTable>(registry);
+}
+
+FilterId NaiveTable::add(filter::ConjunctiveFilter filter) {
+  slots_.emplace_back(std::move(filter));
+  ++live_;
+  return slots_.size() - 1;
+}
+
+void NaiveTable::remove(FilterId id) {
+  if (id < slots_.size() && slots_[id].has_value()) {
+    slots_[id].reset();
+    --live_;
+  }
+}
+
+void NaiveTable::match(const event::EventImage& image,
+                       std::vector<FilterId>& out) const {
+  out.clear();
+  for (FilterId id = 0; id < slots_.size(); ++id) {
+    if (slots_[id].has_value() && slots_[id]->matches(image, registry_))
+      out.push_back(id);
+  }
+}
+
+const filter::ConjunctiveFilter* NaiveTable::find(FilterId id) const noexcept {
+  if (id >= slots_.size() || !slots_[id].has_value()) return nullptr;
+  return &*slots_[id];
+}
+
+FilterId CountingIndex::add(filter::ConjunctiveFilter filter) {
+  const FilterId id = entries_.size();
+  std::size_t required = 0;
+
+  const auto& type = filter.type();
+  if (!type.accepts_all()) {
+    ++required;
+    auto& bucket = type.include_subtypes ? subtree_type_[type.name]
+                                         : exact_type_[type.name];
+    bucket.push_back(id);
+  }
+  for (const auto& constraint : filter.constraints()) {
+    if (constraint.is_wildcard()) continue;  // trivially satisfied
+    ++required;
+    AttrIndex& attr_index = by_attribute_[constraint.name];
+    if (constraint.op == filter::Op::Eq)
+      attr_index.equals[constraint.operand].push_back(id);
+    else
+      attr_index.other.emplace_back(constraint, id);
+  }
+
+  entries_.push_back(Entry{std::move(filter), required, true});
+  counts_.push_back(0);
+  stamps_.push_back(0);
+  ++live_;
+  return id;
+}
+
+void CountingIndex::remove(FilterId id) {
+  if (id < entries_.size() && entries_[id].alive) {
+    entries_[id].alive = false;
+    --live_;
+  }
+}
+
+void CountingIndex::bump(FilterId id, std::vector<FilterId>& out) const {
+  if (!entries_[id].alive) return;
+  if (stamps_[id] != epoch_) {
+    stamps_[id] = epoch_;
+    counts_[id] = 0;
+  }
+  if (++counts_[id] == entries_[id].required) out.push_back(id);
+}
+
+void CountingIndex::match(const event::EventImage& image,
+                          std::vector<FilterId>& out) const {
+  out.clear();
+  ++epoch_;
+
+  // Filters with no non-trivial predicate match everything.
+  for (FilterId id = 0; id < entries_.size(); ++id) {
+    if (entries_[id].alive && entries_[id].required == 0) out.push_back(id);
+  }
+
+  // Type predicates: exact name, then every registered ancestor's subtree.
+  if (const auto exact = exact_type_.find(image.type_name());
+      exact != exact_type_.end()) {
+    for (const FilterId id : exact->second) bump(id, out);
+  }
+  const reflect::TypeInfo* type = registry_.find(image.type_name());
+  if (type != nullptr) {
+    for (const reflect::TypeInfo* anc = type; anc != nullptr; anc = anc->parent()) {
+      if (const auto it = subtree_type_.find(anc->name()); it != subtree_type_.end())
+        for (const FilterId id : it->second) bump(id, out);
+    }
+  } else if (const auto it = subtree_type_.find(image.type_name());
+             it != subtree_type_.end()) {
+    // Unregistered event type: a subtree rooted at exactly this name still
+    // matches (conformance is reflexive).
+    for (const FilterId id : it->second) bump(id, out);
+  }
+
+  // Attribute predicates.
+  for (const auto& attr : image.attributes()) {
+    const auto it = by_attribute_.find(attr.name);
+    if (it == by_attribute_.end()) continue;
+    const AttrIndex& attr_index = it->second;
+    if (const auto eq = attr_index.equals.find(attr.value);
+        eq != attr_index.equals.end()) {
+      for (const FilterId id : eq->second) bump(id, out);
+    }
+    for (const auto& [constraint, id] : attr_index.other) {
+      if (applies(constraint.op, attr.value, constraint.operand)) bump(id, out);
+    }
+  }
+}
+
+const filter::ConjunctiveFilter* CountingIndex::find(FilterId id) const noexcept {
+  if (id >= entries_.size() || !entries_[id].alive) return nullptr;
+  return &entries_[id].filter;
+}
+
+FilterId TrieIndex::add(filter::ConjunctiveFilter filter) {
+  const FilterId id = entries_.size();
+  std::size_t node = 0;  // root
+  for (const auto& constraint : filter.constraints()) {
+    if (constraint.op != filter::Op::Eq) continue;  // residual-checked later
+    EdgeKey key{constraint.name, constraint.operand};
+    const auto it = nodes_[node].edges.find(key);
+    if (it != nodes_[node].edges.end()) {
+      node = it->second;
+    } else {
+      nodes_.emplace_back();
+      const std::size_t child = nodes_.size() - 1;
+      nodes_[node].edges.emplace(std::move(key), child);
+      node = child;
+    }
+  }
+  nodes_[node].terminal.push_back(id);
+  entries_.push_back(Entry{std::move(filter), true});
+  ++live_;
+  return id;
+}
+
+void TrieIndex::remove(FilterId id) {
+  if (id < entries_.size() && entries_[id].alive) {
+    entries_[id].alive = false;  // terminal lists are filtered lazily
+    --live_;
+  }
+}
+
+void TrieIndex::match_node(std::size_t node_index, const event::EventImage& image,
+                           std::vector<FilterId>& out) const {
+  const Node& node = nodes_[node_index];
+  for (const FilterId id : node.terminal) {
+    // The trie guarantees every Eq constraint holds; verify the type test
+    // and residual (non-Eq) constraints on the full filter. Re-checking
+    // the Eq constraints costs little and keeps this obviously correct.
+    if (entries_[id].alive && entries_[id].filter.matches(image, registry_))
+      out.push_back(id);
+  }
+  if (node.edges.empty()) return;
+  for (const auto& attr : image.attributes()) {
+    const auto it = node.edges.find(EdgeKey{attr.name, attr.value});
+    if (it != node.edges.end()) match_node(it->second, image, out);
+  }
+}
+
+void TrieIndex::match(const event::EventImage& image,
+                      std::vector<FilterId>& out) const {
+  out.clear();
+  match_node(0, image, out);
+}
+
+const filter::ConjunctiveFilter* TrieIndex::find(FilterId id) const noexcept {
+  if (id >= entries_.size() || !entries_[id].alive) return nullptr;
+  return &entries_[id].filter;
+}
+
+}  // namespace cake::index

@@ -1,0 +1,172 @@
+// Filter matching engines.
+//
+// The paper's Fig. 6 evaluates every event against every filter in a
+// node's table — kept here as `NaiveTable`, the reference implementation
+// and the oracle the tests validate everything against. The paper defers
+// "efficient indexing and matching techniques" to related work;
+// `CountingIndex` is that technique: filters are decomposed into
+// predicates, per-attribute hash/scan indexes find the satisfied
+// predicates for an incoming event, and a counting pass reports the
+// filters whose predicate count is fully satisfied. Both implement
+// `MatchIndex`, so brokers and baselines can switch engines (A4 ablation).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cake/filter/filter.hpp"
+
+namespace cake::index {
+
+/// Stable handle for a filter inside one index.
+using FilterId = std::size_t;
+
+/// Incremental many-filters-to-one-event matcher.
+class MatchIndex {
+public:
+  virtual ~MatchIndex() = default;
+
+  /// Inserts a filter and returns its handle.
+  virtual FilterId add(filter::ConjunctiveFilter filter) = 0;
+
+  /// Removes a filter; removing an unknown id is a no-op.
+  virtual void remove(FilterId id) = 0;
+
+  /// Appends the ids of all filters matching `image` to `out` (cleared
+  /// first). Must agree exactly with ConjunctiveFilter::matches.
+  virtual void match(const event::EventImage& image,
+                     std::vector<FilterId>& out) const = 0;
+
+  /// Number of live filters.
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+
+  /// The filter stored under `id` (null if removed/unknown).
+  [[nodiscard]] virtual const filter::ConjunctiveFilter* find(FilterId id) const noexcept = 0;
+};
+
+/// Which engine a broker should use.
+enum class Engine { Naive, Counting, Trie };
+
+/// Factory: builds an engine bound to `registry` for subtype tests.
+[[nodiscard]] std::unique_ptr<MatchIndex> make_index(
+    Engine engine,
+    const reflect::TypeRegistry& registry = reflect::TypeRegistry::global());
+
+/// Fig. 6: linear scan over the filter table.
+class NaiveTable final : public MatchIndex {
+public:
+  explicit NaiveTable(const reflect::TypeRegistry& registry) : registry_(registry) {}
+
+  FilterId add(filter::ConjunctiveFilter filter) override;
+  void remove(FilterId id) override;
+  void match(const event::EventImage& image, std::vector<FilterId>& out) const override;
+  [[nodiscard]] std::size_t size() const noexcept override { return live_; }
+  [[nodiscard]] const filter::ConjunctiveFilter* find(FilterId id) const noexcept override;
+
+private:
+  const reflect::TypeRegistry& registry_;
+  std::vector<std::optional<filter::ConjunctiveFilter>> slots_;
+  std::size_t live_ = 0;
+};
+
+/// Predicate-counting matcher with per-attribute hash indexes for equality
+/// constraints and per-attribute scan lists for the rest.
+class CountingIndex final : public MatchIndex {
+public:
+  explicit CountingIndex(const reflect::TypeRegistry& registry) : registry_(registry) {}
+
+  FilterId add(filter::ConjunctiveFilter filter) override;
+  void remove(FilterId id) override;
+  void match(const event::EventImage& image, std::vector<FilterId>& out) const override;
+  [[nodiscard]] std::size_t size() const noexcept override { return live_; }
+  [[nodiscard]] const filter::ConjunctiveFilter* find(FilterId id) const noexcept override;
+
+private:
+  struct Entry {
+    filter::ConjunctiveFilter filter;
+    std::size_t required = 0;  // non-trivial predicates incl. type test
+    bool alive = true;
+  };
+  struct AttrIndex {
+    // value -> filter ids with (attr == value)
+    std::unordered_map<value::Value, std::vector<FilterId>> equals;
+    // all other presence-requiring constraints on this attribute
+    std::vector<std::pair<filter::AttributeConstraint, FilterId>> other;
+  };
+
+  void bump(FilterId id, std::vector<FilterId>& out) const;
+
+  const reflect::TypeRegistry& registry_;
+  std::vector<Entry> entries_;
+  std::size_t live_ = 0;
+  std::unordered_map<std::string, AttrIndex> by_attribute_;
+  // type name -> ids of filters with an exact type test on it
+  std::unordered_map<std::string, std::vector<FilterId>> exact_type_;
+  // type name -> ids of subtype-inclusive filters rooted at it
+  std::unordered_map<std::string, std::vector<FilterId>> subtree_type_;
+  // scratch for counting, indexed by FilterId (epoch-stamped)
+  mutable std::vector<std::size_t> counts_;
+  mutable std::vector<std::uint64_t> stamps_;
+  mutable std::uint64_t epoch_ = 0;
+};
+
+/// Discrimination-tree matcher specialized for the equality-heavy,
+/// standard-form filters the weakening pipeline produces.
+///
+/// Each filter's equality constraints (in filter order) form a path of
+/// (attribute, value) edges; filters sharing prefixes — e.g. thousands of
+/// (year, conference, author, title) subscriptions over a skewed universe
+/// — share tree structure, so matching cost tracks the number of
+/// *distinct matching prefixes*, not the number of filters. Non-equality
+/// constraints and the type test are verified on the terminal candidates
+/// (the tree is a sound, complete candidate pre-filter: an equality
+/// constraint on an attribute the event lacks or differs on can never
+/// match, so pruned subtrees contain no matching filters).
+class TrieIndex final : public MatchIndex {
+public:
+  explicit TrieIndex(const reflect::TypeRegistry& registry) : registry_(registry) {}
+
+  FilterId add(filter::ConjunctiveFilter filter) override;
+  void remove(FilterId id) override;
+  void match(const event::EventImage& image, std::vector<FilterId>& out) const override;
+  [[nodiscard]] std::size_t size() const noexcept override { return live_; }
+  [[nodiscard]] const filter::ConjunctiveFilter* find(FilterId id) const noexcept override;
+
+  /// Number of tree nodes (diagnostics: structure sharing across filters).
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+private:
+  struct EdgeKey {
+    std::string attribute;
+    value::Value operand;
+    [[nodiscard]] bool operator==(const EdgeKey&) const = default;
+  };
+  struct EdgeKeyHash {
+    std::size_t operator()(const EdgeKey& key) const noexcept {
+      return std::hash<std::string>{}(key.attribute) * 1315423911u ^
+             key.operand.hash();
+    }
+  };
+  struct Node {
+    std::unordered_map<EdgeKey, std::size_t, EdgeKeyHash> edges;  // -> node idx
+    std::vector<FilterId> terminal;  // filters whose Eq-path ends here
+  };
+  struct Entry {
+    filter::ConjunctiveFilter filter;
+    bool alive = true;
+  };
+
+  void match_node(std::size_t node_index, const event::EventImage& image,
+                  std::vector<FilterId>& out) const;
+
+  const reflect::TypeRegistry& registry_;
+  std::vector<Node> nodes_{1};  // nodes_[0] is the root
+  std::vector<Entry> entries_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace cake::index

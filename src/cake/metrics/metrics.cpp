@@ -1,0 +1,112 @@
+#include "cake/metrics/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace cake::metrics {
+
+double NodeLoad::rlc(std::uint64_t total_events,
+                     std::uint64_t total_subscriptions) const noexcept {
+  const double denom = static_cast<double>(total_events) *
+                       static_cast<double>(total_subscriptions);
+  return denom == 0.0 ? 0.0 : lc() / denom;
+}
+
+double NodeLoad::mr() const noexcept {
+  return events_received == 0
+             ? 0.0
+             : static_cast<double>(events_matched) /
+                   static_cast<double>(events_received);
+}
+
+std::vector<NodeLoad> broker_loads(const routing::Overlay& overlay) {
+  std::vector<NodeLoad> loads;
+  loads.reserve(overlay.brokers().size());
+  for (const auto& broker : overlay.brokers()) {
+    const routing::BrokerStats s = broker->stats();
+    loads.push_back(NodeLoad{broker->id(), broker->stage(), s.events_received,
+                             s.events_matched, s.filters});
+  }
+  return loads;
+}
+
+std::vector<NodeLoad> subscriber_loads(const routing::Overlay& overlay) {
+  std::vector<NodeLoad> loads;
+  loads.reserve(overlay.subscribers().size());
+  for (const auto& sub : overlay.subscribers()) {
+    const routing::SubscriberStats& s = sub->stats();
+    loads.push_back(NodeLoad{sub->id(), 0, s.events_received,
+                             s.events_delivered, sub->subscriptions()});
+  }
+  return loads;
+}
+
+std::vector<StageSummary> summarize_by_stage(const std::vector<NodeLoad>& loads,
+                                             std::uint64_t total_events,
+                                             std::uint64_t total_subscriptions) {
+  std::map<std::size_t, std::vector<const NodeLoad*>> by_stage;
+  for (const NodeLoad& load : loads) by_stage[load.stage].push_back(&load);
+
+  std::vector<StageSummary> summaries;
+  summaries.reserve(by_stage.size());
+  for (const auto& [stage, nodes] : by_stage) {
+    StageSummary summary;
+    summary.stage = stage;
+    summary.nodes = nodes.size();
+    for (const NodeLoad* node : nodes) {
+      summary.node_avg_rlc += node->rlc(total_events, total_subscriptions);
+      summary.node_avg_mr += node->mr();
+      summary.node_avg_lc += node->lc();
+      summary.events_received += node->events_received;
+    }
+    const auto n = static_cast<double>(nodes.size());
+    summary.total_node_rlc = summary.node_avg_rlc;  // sum over the stage
+    summary.node_avg_rlc /= n;
+    summary.node_avg_mr /= n;
+    summary.node_avg_lc /= n;
+    summaries.push_back(summary);
+  }
+  return summaries;
+}
+
+double global_rlc(const std::vector<StageSummary>& summaries) {
+  double total = 0.0;
+  for (const StageSummary& s : summaries) total += s.total_node_rlc;
+  return total;
+}
+
+util::RunningStats delivery_latency(const routing::Overlay& overlay) {
+  util::RunningStats merged;
+  for (const auto& sub : overlay.subscribers())
+    merged.merge(sub->delivery_latency());
+  return merged;
+}
+
+util::TextTable rlc_table(const std::vector<StageSummary>& summaries) {
+  util::TextTable table{{"Stage", "Node avg. of RLC", "Total node avg. of RLC"}};
+  for (const StageSummary& s : summaries) {
+    table.add_row({std::to_string(s.stage), util::format_number(s.node_avg_rlc),
+                   util::format_number(s.total_node_rlc)});
+  }
+  return table;
+}
+
+util::TextTable stage_table(const std::vector<StageSummary>& summaries) {
+  util::TextTable table{{"Stage", "Nodes", "Events recv (avg)", "Avg MR",
+                         "Avg LC", "Avg RLC", "Stage RLC"}};
+  for (const StageSummary& s : summaries) {
+    const double avg_events =
+        s.nodes == 0 ? 0.0
+                     : static_cast<double>(s.events_received) /
+                           static_cast<double>(s.nodes);
+    table.add_row({std::to_string(s.stage), std::to_string(s.nodes),
+                   util::format_number(avg_events),
+                   util::format_number(s.node_avg_mr),
+                   util::format_number(s.node_avg_lc),
+                   util::format_number(s.node_avg_rlc),
+                   util::format_number(s.total_node_rlc)});
+  }
+  return table;
+}
+
+}  // namespace cake::metrics

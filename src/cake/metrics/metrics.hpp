@@ -1,0 +1,75 @@
+// Evaluation metrics of §5.1: Load Complexity (LC), Relative Load
+// Complexity (RLC) and Matching Rate (MR), collected per node and
+// aggregated per stage exactly as the paper's table and Figure 7 report
+// them.
+//
+//   LC  = events_received × filters            (per node)
+//   RLC = LC / (total_events × total_subs)     (normalized vs. the
+//                                               centralized server, whose
+//                                               RLC is 1 by definition)
+//   MR  = matched_events / received_events     (per node)
+#pragma once
+
+#include <vector>
+
+#include "cake/routing/overlay.hpp"
+#include "cake/util/stats.hpp"
+#include "cake/util/table.hpp"
+
+namespace cake::metrics {
+
+/// One node's filtering-load sample.
+struct NodeLoad {
+  sim::NodeId id = sim::kNoNode;
+  std::size_t stage = 0;  ///< 0 = subscriber process
+  std::uint64_t events_received = 0;
+  std::uint64_t events_matched = 0;
+  std::size_t filters = 0;
+
+  [[nodiscard]] double lc() const noexcept {
+    return static_cast<double>(events_received) * static_cast<double>(filters);
+  }
+  [[nodiscard]] double rlc(std::uint64_t total_events,
+                           std::uint64_t total_subscriptions) const noexcept;
+  /// MR of a node that received nothing is reported as 0.
+  [[nodiscard]] double mr() const noexcept;
+};
+
+/// Per-stage aggregation (one row of the paper's §5.3 table).
+struct StageSummary {
+  std::size_t stage = 0;
+  std::size_t nodes = 0;
+  double node_avg_rlc = 0.0;    ///< column 2 of the paper's table
+  double total_node_rlc = 0.0;  ///< column 3: node-average × node count
+  double node_avg_mr = 0.0;
+  double node_avg_lc = 0.0;
+  std::uint64_t events_received = 0;
+};
+
+/// Broker loads (stages 1..n) of an overlay.
+[[nodiscard]] std::vector<NodeLoad> broker_loads(const routing::Overlay& overlay);
+
+/// Subscriber (stage-0) loads: filters = live exact subscriptions,
+/// matched = events delivered after perfect filtering.
+[[nodiscard]] std::vector<NodeLoad> subscriber_loads(const routing::Overlay& overlay);
+
+/// Groups loads by stage (ascending) and computes the summary rows.
+[[nodiscard]] std::vector<StageSummary> summarize_by_stage(
+    const std::vector<NodeLoad>& loads, std::uint64_t total_events,
+    std::uint64_t total_subscriptions);
+
+/// Sum of total_node_rlc over all stages — the paper's "global total of
+/// RLCs", expected ≈ 1 for the multi-stage system.
+[[nodiscard]] double global_rlc(const std::vector<StageSummary>& summaries);
+
+/// Renders the §5.3 table: Stage | Node avg. of RLC | Total node avg. of RLC.
+[[nodiscard]] util::TextTable rlc_table(const std::vector<StageSummary>& summaries);
+
+/// Renders a wider diagnostic table (nodes, events, MR, LC per stage).
+[[nodiscard]] util::TextTable stage_table(const std::vector<StageSummary>& summaries);
+
+/// Publish-to-delivery virtual latency merged across every subscriber
+/// (count = delivered events; in virtual microseconds).
+[[nodiscard]] util::RunningStats delivery_latency(const routing::Overlay& overlay);
+
+}  // namespace cake::metrics

@@ -1,0 +1,63 @@
+#include "cake/metrics/sampler.hpp"
+
+#include <stdexcept>
+
+namespace cake::metrics {
+
+std::uint64_t Window::total_events() const noexcept {
+  std::uint64_t total = 0;
+  for (const NodeLoad& load : loads) total += load.events_received;
+  return total;
+}
+
+LoadSampler::LoadSampler(routing::Overlay& overlay, sim::Time interval)
+    : overlay_(overlay), interval_(interval) {
+  if (interval_ == 0)
+    throw std::invalid_argument{"LoadSampler: interval must be positive"};
+}
+
+LoadSampler::Snapshot LoadSampler::snapshot() const {
+  Snapshot snap;
+  snap.at = overlay_.scheduler().now();
+  snap.loads = broker_loads(overlay_);
+  const auto subs = subscriber_loads(overlay_);
+  snap.loads.insert(snap.loads.end(), subs.begin(), subs.end());
+  return snap;
+}
+
+void LoadSampler::start() {
+  if (started_) return;
+  started_ = true;
+  previous_ = snapshot();
+  overlay_.scheduler().schedule_background_after(interval_, [this] { tick(); });
+}
+
+void LoadSampler::flush() {
+  if (!started_) return;
+  const Snapshot current = snapshot();
+  if (current.at == previous_.at) return;  // nothing elapsed
+
+  Window window;
+  window.start = previous_.at;
+  window.end = current.at;
+  // Diff by node id; nodes added mid-window appear with their full counts.
+  for (const NodeLoad& now : current.loads) {
+    NodeLoad delta = now;
+    for (const NodeLoad& before : previous_.loads) {
+      if (before.id != now.id) continue;
+      delta.events_received -= before.events_received;
+      delta.events_matched -= before.events_matched;
+      break;
+    }
+    window.loads.push_back(delta);
+  }
+  windows_.push_back(std::move(window));
+  previous_ = current;
+}
+
+void LoadSampler::tick() {
+  flush();
+  overlay_.scheduler().schedule_background_after(interval_, [this] { tick(); });
+}
+
+}  // namespace cake::metrics

@@ -1,0 +1,59 @@
+// Windowed load sampling.
+//
+// §5.1 defines LC, RLC and MR "for any time unit, at any node which
+// performs filtering". The aggregate collectors in metrics.hpp use
+// whole-run totals (equivalent under steady load); `LoadSampler` makes
+// the definition literal: a background task snapshots every node's
+// counters each `interval` of virtual time and reports per-window deltas,
+// so bursty workloads can be examined window by window.
+#pragma once
+
+#include "cake/metrics/metrics.hpp"
+
+namespace cake::metrics {
+
+/// One sampling window's per-node deltas.
+struct Window {
+  sim::Time start = 0;
+  sim::Time end = 0;
+  std::vector<NodeLoad> loads;  ///< events/matches *within* the window
+
+  /// Events received by all sampled nodes in this window.
+  [[nodiscard]] std::uint64_t total_events() const noexcept;
+};
+
+class LoadSampler {
+public:
+  /// Samples `overlay` every `interval` of virtual time once started.
+  LoadSampler(routing::Overlay& overlay, sim::Time interval);
+
+  /// Takes the baseline snapshot and schedules the periodic (background)
+  /// sampling task. Call once, before the traffic of interest.
+  void start();
+
+  /// Closes the currently accumulating window immediately (e.g. at the
+  /// end of a run, when the next scheduled tick would be beyond the last
+  /// foreground event).
+  void flush();
+
+  [[nodiscard]] const std::vector<Window>& windows() const noexcept {
+    return windows_;
+  }
+
+private:
+  struct Snapshot {
+    std::vector<NodeLoad> loads;  // cumulative counters per node
+    sim::Time at = 0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  void tick();
+
+  routing::Overlay& overlay_;
+  sim::Time interval_;
+  Snapshot previous_;
+  std::vector<Window> windows_;
+  bool started_ = false;
+};
+
+}  // namespace cake::metrics

@@ -1,0 +1,81 @@
+#include "cake/reflect/reflect.hpp"
+
+namespace cake::reflect {
+
+TypeInfo::TypeInfo(std::string name, const TypeInfo* parent,
+                   std::type_index cpp_type,
+                   std::vector<AttributeInfo> own_attributes)
+    : name_(std::move(name)),
+      parent_(parent),
+      cpp_type_(cpp_type),
+      own_attributes_(std::move(own_attributes)) {
+  if (parent_ != nullptr) {
+    all_attributes_ = parent_->all_attributes_;
+    for (const auto* inherited : all_attributes_) {
+      for (const auto& own : own_attributes_) {
+        if (own.name == inherited->name)
+          throw ReflectError{"type '" + name_ + "' redeclares inherited attribute '" +
+                             own.name + "'"};
+      }
+    }
+  }
+  for (const auto& own : own_attributes_) all_attributes_.push_back(&own);
+}
+
+bool TypeInfo::conforms_to(const TypeInfo& ancestor) const noexcept {
+  for (const TypeInfo* t = this; t != nullptr; t = t->parent_) {
+    if (t == &ancestor) return true;
+  }
+  return false;
+}
+
+const AttributeInfo* TypeInfo::find_attribute(std::string_view name) const noexcept {
+  for (const auto* attr : all_attributes_) {
+    if (attr->name == name) return attr;
+  }
+  return nullptr;
+}
+
+TypeRegistry& TypeRegistry::global() {
+  static TypeRegistry instance;
+  return instance;
+}
+
+const TypeInfo& TypeRegistry::add(std::string name, const TypeInfo* parent,
+                                  std::type_index cpp_type,
+                                  std::vector<AttributeInfo> attributes) {
+  if (by_name_.contains(name))
+    throw ReflectError{"duplicate type name '" + name + "'"};
+  if (by_cpp_type_.contains(cpp_type))
+    throw ReflectError{"C++ type already registered as '" +
+                       by_cpp_type_.at(cpp_type)->name() + "'"};
+  auto info = std::make_unique<TypeInfo>(std::move(name), parent, cpp_type,
+                                         std::move(attributes));
+  const TypeInfo& ref = *info;
+  types_.push_back(std::move(info));
+  by_name_.emplace(ref.name(), &ref);
+  by_cpp_type_.emplace(cpp_type, &ref);
+  return ref;
+}
+
+const TypeInfo* TypeRegistry::find(std::string_view name) const noexcept {
+  const auto it = by_name_.find(std::string{name});
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const TypeInfo* TypeRegistry::find(std::type_index cpp_type) const noexcept {
+  const auto it = by_cpp_type_.find(cpp_type);
+  return it == by_cpp_type_.end() ? nullptr : it->second;
+}
+
+const TypeInfo& TypeRegistry::get(std::string_view name) const {
+  if (const auto* info = find(name)) return *info;
+  throw ReflectError{"unknown type '" + std::string{name} + "'"};
+}
+
+const TypeInfo& TypeRegistry::get(std::type_index cpp_type) const {
+  if (const auto* info = find(cpp_type)) return *info;
+  throw ReflectError{std::string{"unregistered C++ type "} + cpp_type.name()};
+}
+
+}  // namespace cake::reflect

@@ -1,0 +1,277 @@
+// Reflection substrate.
+//
+// The paper relies on runtime reflection ("reflection techniques of modern
+// object-oriented languages are then used to extract information from
+// objects and types", §3.4) to derive a low-level filtering representation
+// from encapsulated event objects. C++ has no runtime reflection, so this
+// module supplies the equivalent capability as an explicit-but-terse
+// registry:
+//
+//   * `TypeInfo` — one node per event type: name, single-inheritance parent,
+//     and the list of *attributes* (the paper's get-prefixed accessors).
+//   * `AttributeInfo` — attribute name, value kind, and a type-erased getter
+//     that reads the attribute through the object's public accessor.
+//   * `TypeRegistry` — lookup by type name (wire) or C++ type (code), plus
+//     the subtype-conformance test used by type-based filtering.
+//   * `TypeBuilder<T>` — fluent registration:
+//
+//       TypeBuilder<Stock>{registry, "Stock"}
+//           .attr("symbol", &Stock::symbol)
+//           .attr("price", &Stock::price)
+//           .finalize();
+//
+// This preserves the paper's design point exactly: application code only
+// exposes accessors; the event system (not the user) extracts name-value
+// meta-data for routing, so encapsulation and type safety hold end-to-end.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "cake/value/value.hpp"
+
+namespace cake::reflect {
+
+class TypeInfo;
+
+/// Root of every reflectable object hierarchy (the event base derives from
+/// this). Carries the dynamic-type hook the filtering engine dispatches on.
+class Reflectable {
+public:
+  virtual ~Reflectable() = default;
+
+  /// Runtime type descriptor of the most-derived type.
+  [[nodiscard]] virtual const TypeInfo& type() const noexcept = 0;
+
+protected:
+  Reflectable() = default;
+  Reflectable(const Reflectable&) = default;
+  Reflectable& operator=(const Reflectable&) = default;
+};
+
+/// Raised on registry misuse: duplicate registration, unknown type/attribute.
+class ReflectError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One named, readable attribute of a registered type.
+struct AttributeInfo {
+  std::string name;
+  value::Kind kind = value::Kind::Null;
+  /// Reads the attribute from an object whose dynamic type conforms to the
+  /// attribute's declaring type.
+  std::function<value::Value(const Reflectable&)> get;
+};
+
+/// Immutable descriptor of one registered type.
+class TypeInfo {
+public:
+  TypeInfo(std::string name, const TypeInfo* parent, std::type_index cpp_type,
+           std::vector<AttributeInfo> own_attributes);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const TypeInfo* parent() const noexcept { return parent_; }
+  [[nodiscard]] std::type_index cpp_type() const noexcept { return cpp_type_; }
+
+  /// True iff `this` equals `ancestor` or derives (transitively) from it.
+  [[nodiscard]] bool conforms_to(const TypeInfo& ancestor) const noexcept;
+
+  /// Attributes declared by this type only, in declaration order.
+  [[nodiscard]] const std::vector<AttributeInfo>& own_attributes() const noexcept {
+    return own_attributes_;
+  }
+
+  /// All attributes, inherited first (most-general leftmost), then own.
+  [[nodiscard]] const std::vector<const AttributeInfo*>& attributes() const noexcept {
+    return all_attributes_;
+  }
+
+  /// Finds an attribute (searching the inheritance chain); null if absent.
+  [[nodiscard]] const AttributeInfo* find_attribute(std::string_view name) const noexcept;
+
+private:
+  std::string name_;
+  const TypeInfo* parent_;
+  std::type_index cpp_type_;
+  std::vector<AttributeInfo> own_attributes_;
+  std::vector<const AttributeInfo*> all_attributes_;  // inherited + own
+};
+
+/// Owning collection of `TypeInfo`s with name- and C++-type-based lookup.
+///
+/// Registration happens during program initialisation (single-threaded);
+/// lookups afterwards are read-only and safe to share.
+class TypeRegistry {
+public:
+  TypeRegistry() = default;
+  TypeRegistry(const TypeRegistry&) = delete;
+  TypeRegistry& operator=(const TypeRegistry&) = delete;
+
+  /// Process-wide registry used by the high-level API.
+  [[nodiscard]] static TypeRegistry& global();
+
+  /// Registers a new type; throws ReflectError on duplicate name or type.
+  const TypeInfo& add(std::string name, const TypeInfo* parent,
+                      std::type_index cpp_type,
+                      std::vector<AttributeInfo> attributes);
+
+  [[nodiscard]] const TypeInfo* find(std::string_view name) const noexcept;
+  [[nodiscard]] const TypeInfo* find(std::type_index cpp_type) const noexcept;
+
+  /// Like find but throws ReflectError when missing.
+  [[nodiscard]] const TypeInfo& get(std::string_view name) const;
+  [[nodiscard]] const TypeInfo& get(std::type_index cpp_type) const;
+
+  template <class T>
+  [[nodiscard]] const TypeInfo* find() const noexcept {
+    return find(std::type_index{typeid(T)});
+  }
+  template <class T>
+  [[nodiscard]] const TypeInfo& get() const {
+    return get(std::type_index{typeid(T)});
+  }
+  template <class T>
+  [[nodiscard]] bool contains() const noexcept {
+    return find<T>() != nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return by_name_.size(); }
+
+private:
+  std::vector<std::unique_ptr<TypeInfo>> types_;
+  std::unordered_map<std::string, const TypeInfo*> by_name_;
+  std::unordered_map<std::type_index, const TypeInfo*> by_cpp_type_;
+};
+
+namespace detail {
+
+template <class R>
+constexpr value::Kind kind_of() {
+  using D = std::decay_t<R>;
+  if constexpr (std::is_same_v<D, bool>) return value::Kind::Bool;
+  else if constexpr (std::is_integral_v<D>) return value::Kind::Int;
+  else if constexpr (std::is_floating_point_v<D>) return value::Kind::Double;
+  else if constexpr (std::is_convertible_v<D, std::string_view>) return value::Kind::String;
+  else static_assert(!sizeof(D*), "unsupported attribute type");
+}
+
+template <class R>
+value::Value to_value(R&& raw) {
+  using D = std::decay_t<R>;
+  if constexpr (std::is_same_v<D, bool>) return value::Value{raw};
+  else if constexpr (std::is_integral_v<D>) return value::Value{static_cast<std::int64_t>(raw)};
+  else if constexpr (std::is_floating_point_v<D>) return value::Value{static_cast<double>(raw)};
+  else return value::Value{std::string{std::forward<R>(raw)}};
+}
+
+template <class M>
+struct member_class;
+template <class R, class D>
+struct member_class<R (D::*)() const> {
+  using type = D;
+};
+template <class R, class D>
+struct member_class<R (D::*)() const noexcept> {
+  using type = D;
+};
+template <class M>
+using member_class_t = typename member_class<M>::type;
+
+}  // namespace detail
+
+/// Fluent registration of type `T` (must derive from `Reflectable`).
+///
+/// Attributes are declared most-general first — the order drives the
+/// stage-association defaults of the weakening engine (paper §4.1).
+template <class T>
+class TypeBuilder {
+  static_assert(std::is_base_of_v<Reflectable, T>,
+                "reflected types must derive from Reflectable");
+
+public:
+  TypeBuilder(TypeRegistry& registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {}
+
+  /// Declares the (already registered) base type `B`.
+  template <class B>
+  TypeBuilder& base() {
+    static_assert(std::is_base_of_v<B, T>, "B must be a base of T");
+    static_assert(!std::is_same_v<B, T>, "a type cannot be its own base");
+    parent_ = &registry_.get<B>();
+    return *this;
+  }
+
+  /// Attribute read through a const accessor method (the paper's getX()).
+  template <class R, class D>
+  TypeBuilder& attr(std::string name, R (D::*accessor)() const) {
+    return attr_accessor(std::move(name), accessor);
+  }
+  template <class R, class D>
+  TypeBuilder& attr(std::string name, R (D::*accessor)() const noexcept) {
+    return attr_accessor(std::move(name), accessor);
+  }
+
+  /// Attribute read straight from a (public) data member.
+  template <class R, class D>
+    requires(!std::is_function_v<R>)
+  TypeBuilder& attr(std::string name, R D::*member) {
+    static_assert(std::is_base_of_v<D, T>, "member must belong to T or a base");
+    attributes_.push_back(AttributeInfo{
+        std::move(name), detail::kind_of<R>(),
+        [member](const Reflectable& obj) {
+          return detail::to_value(static_cast<const D&>(obj).*member);
+        }});
+    return *this;
+  }
+
+  /// Computed attribute via an arbitrary projection of the object.
+  template <class F>
+  TypeBuilder& attr_fn(std::string name, F projection) {
+    using R = std::invoke_result_t<F, const T&>;
+    attributes_.push_back(AttributeInfo{
+        std::move(name), detail::kind_of<R>(),
+        [projection = std::move(projection)](const Reflectable& obj) {
+          return detail::to_value(projection(static_cast<const T&>(obj)));
+        }});
+    return *this;
+  }
+
+  /// Registers and returns the immutable descriptor.
+  const TypeInfo& finalize() {
+    return finalize_impl();
+  }
+
+private:
+  template <class Accessor>
+  TypeBuilder& attr_accessor(std::string name, Accessor accessor) {
+    using D = detail::member_class_t<Accessor>;
+    using R = std::invoke_result_t<Accessor, const D&>;
+    static_assert(std::is_base_of_v<D, T>, "accessor must belong to T or a base");
+    attributes_.push_back(AttributeInfo{
+        std::move(name), detail::kind_of<R>(),
+        [accessor](const Reflectable& obj) {
+          return detail::to_value((static_cast<const D&>(obj).*accessor)());
+        }});
+    return *this;
+  }
+
+  const TypeInfo& finalize_impl() {
+    return registry_.add(std::move(name_), parent_, std::type_index{typeid(T)},
+                         std::move(attributes_));
+  }
+
+  TypeRegistry& registry_;
+  std::string name_;
+  const TypeInfo* parent_ = nullptr;
+  std::vector<AttributeInfo> attributes_;
+};
+
+}  // namespace cake::reflect

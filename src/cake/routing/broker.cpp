@@ -1,0 +1,366 @@
+#include "cake/routing/broker.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cake::routing {
+
+Broker::Broker(sim::NodeId id, std::size_t stage, sim::Network& network,
+               sim::Scheduler& scheduler, const reflect::TypeRegistry& registry,
+               BrokerConfig config, util::Rng rng)
+    : id_(id),
+      stage_(stage),
+      network_(network),
+      scheduler_(scheduler),
+      registry_(registry),
+      config_(config),
+      rng_(rng),
+      index_(index::make_index(config.engine, registry)) {
+  if (stage_ == 0)
+    throw std::invalid_argument{"Broker: stage 0 is the subscriber level"};
+}
+
+void Broker::start() {
+  network_.attach(id_, [this](sim::NodeId from, const sim::Network::Payload& p) {
+    on_packet(from, p);
+  });
+  if (config_.auto_renew) {
+    scheduler_.schedule_background_after(config_.renew_interval,
+                                         [this] { renew_task(); });
+    scheduler_.schedule_background_after(config_.reap_interval,
+                                         [this] { reap_task(); });
+  }
+}
+
+BrokerStats Broker::stats() const noexcept {
+  BrokerStats s = stats_;
+  s.filters = entries_.size();
+  s.associations = 0;
+  for (const auto& [fid, entry] : entries_) s.associations += entry.leases.size();
+  return s;
+}
+
+const weaken::StageSchema* Broker::schema_for(std::string_view type_name) const {
+  const auto it = schemas_.find(std::string{type_name});
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<filter::ConjunctiveFilter, std::vector<sim::NodeId>>>
+Broker::table() const {
+  std::vector<std::pair<filter::ConjunctiveFilter, std::vector<sim::NodeId>>> rows;
+  rows.reserve(entries_.size());
+  for (const auto& [fid, entry] : entries_) {
+    std::vector<sim::NodeId> ids;
+    ids.reserve(entry.leases.size());
+    for (const auto& lease : entry.leases) ids.push_back(lease.child);
+    rows.emplace_back(entry.filter, std::move(ids));
+  }
+  return rows;
+}
+
+filter::ConjunctiveFilter Broker::weaken_for(const filter::ConjunctiveFilter& f,
+                                             std::size_t stage) const {
+  const weaken::StageSchema* schema = schema_for(f.type().name);
+  if (schema == nullptr) return f;  // no advertisement yet: sound identity
+  return weaken::weaken_filter(f, *schema, stage);
+}
+
+void Broker::on_packet(sim::NodeId from, const sim::Network::Payload& payload) {
+  (void)from;
+  Packet packet;
+  try {
+    packet = decode(payload);
+  } catch (const wire::WireError&) {
+    ++stats_.malformed_packets;  // corrupt frame: drop, never crash a node
+    return;
+  }
+  if (!std::holds_alternative<EventMsg>(packet)) ++stats_.control_received;
+  std::visit([this](auto&& msg) { handle(std::move(msg)); }, std::move(packet));
+}
+
+void Broker::handle(Advertise&& msg) {
+  // Flood the schema down so every broker can weaken mechanically (§4.1).
+  for (const sim::NodeId child : children_)
+    send(child, Advertise{msg.schema});
+  schemas_.insert_or_assign(msg.schema.type_name(), std::move(msg.schema));
+}
+
+void Broker::handle(Subscribe&& msg) {
+  if (config_.placement == Placement::Random) {
+    // §4.2 locality baseline: no covering search, walk a random path down.
+    if (stage_ == 1 || children_.empty()) {
+      insert_subscriber(msg);
+    } else {
+      send_join_at(msg.subscriber, random_child(), msg.token);
+    }
+    return;
+  }
+
+  if (stage_ == 1 || children_.empty()) {
+    insert_subscriber(msg);
+    return;
+  }
+
+  // Covering search (Fig. 5b): redirect toward the child already hosting a
+  // covering filter, so similar subscriptions share a path.
+  for (const auto& [fid, entry] : entries_) {
+    if (!covers(entry.filter, msg.filter, registry_)) continue;
+    // Redirect only toward broker children; a subscriber lease on this
+    // entry means the similar subscription lives right here.
+    for (const auto& lease : entry.leases) {
+      if (std::find(children_.begin(), children_.end(), lease.child) !=
+          children_.end()) {
+        send_join_at(msg.subscriber, lease.child, msg.token);
+        return;
+      }
+    }
+    insert_subscriber(msg);
+    return;
+  }
+
+  if (config_.wildcard_aware && msg.filter.has_wildcard()) {
+    handle_wildcard(msg);
+    return;
+  }
+
+  send_join_at(msg.subscriber, random_child(), msg.token);
+}
+
+void Broker::handle_wildcard(const Subscribe& msg) {
+  // §4.4: find the most general wildcard attribute (first in standard-form
+  // order), then the topmost stage j still using it; attach at stage j+1.
+  const std::vector<std::string> wildcards = msg.filter.wildcard_attributes();
+  const weaken::StageSchema* schema = schema_for(msg.filter.type().name);
+  std::size_t topmost = 0;
+  if (schema != nullptr && !wildcards.empty()) {
+    const std::string& most_general = wildcards.front();
+    for (std::size_t s = 0; s < schema->stages(); ++s) {
+      const auto& attrs = schema->attributes_at(s);
+      if (std::find(attrs.begin(), attrs.end(), most_general) != attrs.end())
+        topmost = s;
+    }
+  }
+  if (stage_ <= topmost + 1) {
+    insert_subscriber(msg);  // we are at (or capped above) stage j+1
+  } else {
+    send_join_at(msg.subscriber, random_child(), msg.token);
+  }
+}
+
+void Broker::insert_subscriber(const Subscribe& msg) {
+  filter::ConjunctiveFilter stored = weaken_for(msg.filter, stage_);
+  insert_filter(stored, msg.subscriber, msg.durable);
+  send(msg.subscriber, AcceptedAt{id_, msg.token, std::move(stored)});
+}
+
+void Broker::insert_filter(filter::ConjunctiveFilter stored, sim::NodeId child,
+                           bool durable) {
+  const sim::Time expires = scheduler_.now() + 3 * config_.ttl;
+  if (const auto it = by_filter_.find(stored); it != by_filter_.end()) {
+    Entry& entry = entries_.at(it->second);
+    for (auto& lease : entry.leases) {
+      if (lease.child == child) {
+        lease.expires = expires;  // renewal-by-reinsertion
+        lease.durable = lease.durable || durable;
+        return;
+      }
+    }
+    entry.leases.push_back({child, expires, durable});
+    return;
+  }
+
+  Entry entry;
+  entry.filter = stored;
+  entry.parent_form = weaken_for(stored, stage_ + 1);
+  entry.leases.push_back({child, expires, durable});
+
+  const index::FilterId fid = index_->add(stored);
+  by_filter_.emplace(std::move(stored), fid);
+
+  submit_need(entry.parent_form);
+  entries_.emplace(fid, std::move(entry));
+}
+
+void Broker::handle(ReqInsert&& msg) {
+  insert_filter(std::move(msg.filter), msg.child);
+}
+
+void Broker::handle(Renew&& msg) {
+  const auto it = by_filter_.find(msg.filter);
+  if (it == by_filter_.end()) {
+    // The lease was reaped (lost renewals, partition): tell the child so it
+    // can re-run the join protocol instead of renewing into the void.
+    send(msg.child, Expired{std::move(msg.filter)});
+    return;
+  }
+  Entry& entry = entries_.at(it->second);
+  bool found = false;
+  for (auto& lease : entry.leases) {
+    if (lease.child == msg.child) {
+      lease.expires = scheduler_.now() + 3 * config_.ttl;
+      found = true;
+    }
+  }
+  if (!found) send(msg.child, Expired{std::move(msg.filter)});
+}
+
+void Broker::handle(Unsub&& msg) {
+  const auto it = by_filter_.find(msg.filter);
+  if (it == by_filter_.end()) return;
+  Entry& entry = entries_.at(it->second);
+  std::erase_if(entry.leases,
+                [&](const Lease& lease) { return lease.child == msg.child; });
+  if (entry.leases.empty()) remove_entry(it->second);
+}
+
+void Broker::handle(Detach&& msg) {
+  if (!has_durable_lease(msg.child)) return;  // nothing durable: ignore
+  detached_.try_emplace(msg.child);
+  // Freeze the durable leases: a detached durable subscriber must survive
+  // missing its renewals.
+  for (auto& [fid, entry] : entries_) {
+    for (auto& lease : entry.leases) {
+      if (lease.child == msg.child && lease.durable)
+        lease.expires = std::numeric_limits<sim::Time>::max();
+    }
+  }
+}
+
+void Broker::handle(Resume&& msg) {
+  const auto it = detached_.find(msg.child);
+  if (it == detached_.end()) return;
+  for (event::EventImage& image : it->second) {
+    send(msg.child, EventMsg{std::move(image)});
+    ++stats_.events_replayed;
+  }
+  detached_.erase(it);
+  const sim::Time expires = scheduler_.now() + 3 * config_.ttl;
+  for (auto& [fid, entry] : entries_) {
+    for (auto& lease : entry.leases) {
+      if (lease.child == msg.child &&
+          lease.expires == std::numeric_limits<sim::Time>::max())
+        lease.expires = expires;
+    }
+  }
+}
+
+bool Broker::has_durable_lease(sim::NodeId child) const {
+  for (const auto& [fid, entry] : entries_) {
+    for (const auto& lease : entry.leases) {
+      if (lease.child == child && lease.durable) return true;
+    }
+  }
+  return false;
+}
+
+void Broker::handle(EventMsg&& msg) {
+  ++stats_.events_received;
+  index_->match(msg.image, match_scratch_);
+  target_scratch_.clear();
+  for (const index::FilterId fid : match_scratch_) {
+    const Entry& entry = entries_.at(fid);
+    for (const auto& lease : entry.leases) target_scratch_.push_back(lease.child);
+  }
+  std::sort(target_scratch_.begin(), target_scratch_.end());
+  target_scratch_.erase(
+      std::unique(target_scratch_.begin(), target_scratch_.end()),
+      target_scratch_.end());
+  if (target_scratch_.empty()) return;
+  ++stats_.events_matched;
+  for (const sim::NodeId target : target_scratch_) {
+    if (const auto buffer = detached_.find(target); buffer != detached_.end()) {
+      if (buffer->second.size() >= config_.durable_buffer_limit) {
+        buffer->second.pop_front();  // bound memory: drop the oldest
+        ++stats_.buffer_overflows;
+      }
+      buffer->second.push_back(msg.image);
+      ++stats_.events_buffered;
+      continue;
+    }
+    send(target, msg);
+    ++stats_.events_forwarded;
+  }
+}
+
+void Broker::remove_entry(index::FilterId fid) {
+  const auto it = entries_.find(fid);
+  if (it == entries_.end()) return;
+  index_->remove(fid);
+  by_filter_.erase(it->second.filter);
+  drop_need(it->second.parent_form);
+  entries_.erase(it);
+}
+
+void Broker::submit_need(const filter::ConjunctiveFilter& parent_form) {
+  if (parent_ == sim::kNoNode) return;
+  if (++needed_[parent_form] > 1) return;  // demand already registered
+  resync_active();
+}
+
+void Broker::drop_need(const filter::ConjunctiveFilter& parent_form) {
+  if (parent_ == sim::kNoNode) return;
+  const auto it = needed_.find(parent_form);
+  if (it == needed_.end()) return;
+  if (--it->second > 0) return;
+  needed_.erase(it);
+  resync_active();
+}
+
+void Broker::resync_active() {
+  std::vector<filter::ConjunctiveFilter> keys;
+  keys.reserve(needed_.size());
+  for (const auto& [form, count] : needed_) keys.push_back(form);
+
+  std::vector<filter::ConjunctiveFilter> target_list =
+      config_.covering_collapse ? weaken::collapse(std::move(keys), registry_)
+                                : std::move(keys);
+  std::unordered_set<filter::ConjunctiveFilter> target(
+      std::make_move_iterator(target_list.begin()),
+      std::make_move_iterator(target_list.end()));
+
+  for (const auto& form : active_) {
+    if (!target.contains(form) && config_.propagate_unsub)
+      send(parent_, Unsub{form, id_});
+  }
+  for (const auto& form : target) {
+    if (!active_.contains(form)) send(parent_, ReqInsert{form, id_});
+  }
+  active_ = std::move(target);
+}
+
+void Broker::send(sim::NodeId to, const Packet& packet) {
+  network_.send(id_, to, encode(packet));
+}
+
+void Broker::send_join_at(sim::NodeId subscriber, sim::NodeId target,
+                          std::uint64_t token) {
+  send(subscriber, JoinAt{target, token});
+}
+
+sim::NodeId Broker::random_child() {
+  if (children_.empty()) return id_;  // degenerate: keep it local
+  return children_[rng_.below(children_.size())];
+}
+
+void Broker::renew_task() {
+  if (parent_ != sim::kNoNode) {
+    for (const auto& form : active_) send(parent_, ReqInsert{form, id_});
+  }
+  scheduler_.schedule_background_after(config_.renew_interval,
+                                       [this] { renew_task(); });
+}
+
+void Broker::reap_task() {
+  const sim::Time now = scheduler_.now();
+  std::vector<index::FilterId> dead;
+  for (auto& [fid, entry] : entries_) {
+    std::erase_if(entry.leases,
+                  [now](const Lease& lease) { return lease.expires <= now; });
+    if (entry.leases.empty()) dead.push_back(fid);
+  }
+  for (const index::FilterId fid : dead) remove_entry(fid);
+  scheduler_.schedule_background_after(config_.reap_interval,
+                                       [this] { reap_task(); });
+}
+
+}  // namespace cake::routing

@@ -1,0 +1,189 @@
+// Broker node of the multi-stage filtering hierarchy (paper §4).
+//
+// A broker sits at stage s ≥ 1 (subscribers are stage 0) and keeps a
+// filtering table of <weakened filter, child ids, lease> entries. It
+// implements, faithfully to Fig. 5(b) and Fig. 6:
+//
+//   * the subscription covering search: redirect a joining subscriber
+//     toward the child already hosting a covering filter, clustering
+//     similar subscriptions under one subtree (§4.2);
+//   * wildcard placement: subscriptions whose most-general wildcard
+//     attribute is used up to stage j attach at stage j+1 instead of
+//     overloading a stage-1 node (§4.4, HANDLE-WILDCARD-SUBS);
+//   * INSERT-SUBSCRIBER and req-Insert: store the stage-s weakened form,
+//     propagate the stage-(s+1) form to the parent;
+//   * event filtering and forwarding through a pluggable MatchIndex;
+//   * soft-state leases: entries expire 3×TTL after the last renewal;
+//     renewal-by-reinsertion runs upward automatically (§4.3), and
+//     explicit unsubscription is layered on top as the optional
+//     optimization the paper mentions.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cake/index/index.hpp"
+#include "cake/routing/protocol.hpp"
+#include "cake/sim/sim.hpp"
+#include "cake/util/rng.hpp"
+#include "cake/weaken/weaken.hpp"
+
+namespace cake::routing {
+
+/// How a broker routes joining subscribers downward.
+enum class Placement {
+  CoveringSearch,  ///< Fig. 5: follow covering filters; cluster similar subs
+  Random,          ///< locality baseline of §4.2: random descent, no search
+};
+
+struct BrokerConfig {
+  /// Lease bookkeeping (virtual microseconds). An entry lives for
+  /// 3 × `ttl` past its last renewal; renewals run every `renew_interval`;
+  /// expired entries are reaped every `reap_interval`.
+  sim::Time ttl = 10'000'000;
+  sim::Time renew_interval = 5'000'000;
+  sim::Time reap_interval = 10'000'000;
+  /// Run periodic renewal/reaping tasks (off = static workloads).
+  bool auto_renew = true;
+  /// Send Unsub upward when an entry loses its last child.
+  bool propagate_unsub = true;
+  /// §4.4 wildcard placement: attach wildcard subscriptions at stage j+1.
+  /// Off = the naive scheme the paper warns about (everything lands at a
+  /// stage-1 node, which then receives the whole class's traffic).
+  bool wildcard_aware = true;
+  /// §3.4's "collapsing subscriptions": submit upward only the antichain
+  /// of weakened forms under covering (g1 covers f1 ⇒ only g1 travels).
+  /// Sound either way; on = fewer filters and renewals above this node.
+  bool covering_collapse = false;
+  /// Events buffered per detached durable subscriber before the oldest are
+  /// dropped (§2.1 storing events for temporarily disconnected subscribers).
+  std::size_t durable_buffer_limit = 1024;
+  index::Engine engine = index::Engine::Naive;
+  Placement placement = Placement::CoveringSearch;
+};
+
+/// Counters for LC / RLC / MR (§5.1).
+struct BrokerStats {
+  std::uint64_t events_received = 0;
+  std::uint64_t events_matched = 0;    ///< matched at least one filter
+  std::uint64_t events_forwarded = 0;  ///< copies sent to children
+  std::uint64_t control_received = 0;  ///< subscription/renewal traffic
+  std::uint64_t events_buffered = 0;   ///< held for detached durable subs
+  std::uint64_t events_replayed = 0;   ///< flushed on Resume
+  std::uint64_t buffer_overflows = 0;  ///< oldest events dropped
+  std::uint64_t malformed_packets = 0; ///< corrupt frames dropped
+  std::size_t filters = 0;             ///< live distinct filters
+  std::size_t associations = 0;        ///< live (filter, child) pairs
+};
+
+class Broker {
+public:
+  Broker(sim::NodeId id, std::size_t stage, sim::Network& network,
+         sim::Scheduler& scheduler, const reflect::TypeRegistry& registry,
+         BrokerConfig config, util::Rng rng);
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  /// Topology wiring; call before start().
+  void set_parent(sim::NodeId parent) { parent_ = parent; }
+  void add_child(sim::NodeId child) { children_.push_back(child); }
+
+  /// Attaches to the network and schedules the soft-state tasks.
+  void start();
+
+  [[nodiscard]] sim::NodeId id() const noexcept { return id_; }
+  [[nodiscard]] std::size_t stage() const noexcept { return stage_; }
+  [[nodiscard]] bool is_root() const noexcept { return parent_ == sim::kNoNode; }
+  [[nodiscard]] const std::vector<sim::NodeId>& children() const noexcept {
+    return children_;
+  }
+  [[nodiscard]] BrokerStats stats() const noexcept;
+
+  /// Advertised schema for `type_name`, if any reached this broker.
+  [[nodiscard]] const weaken::StageSchema* schema_for(std::string_view type_name) const;
+
+  /// Snapshot of the filtering table (filter, live child ids) for tests.
+  [[nodiscard]] std::vector<std::pair<filter::ConjunctiveFilter, std::vector<sim::NodeId>>>
+  table() const;
+
+  /// Weakens `f` for stage `stage` per the advertised schema of its type;
+  /// identity when no schema is known (sound fallback).
+  [[nodiscard]] filter::ConjunctiveFilter weaken_for(
+      const filter::ConjunctiveFilter& f, std::size_t stage) const;
+
+private:
+  struct Lease {
+    sim::NodeId child = sim::kNoNode;
+    sim::Time expires = 0;
+    bool durable = false;
+  };
+  struct Entry {
+    filter::ConjunctiveFilter filter;
+    filter::ConjunctiveFilter parent_form;  // what we submitted upward
+    std::vector<Lease> leases;
+  };
+
+  void on_packet(sim::NodeId from, const sim::Network::Payload& payload);
+  void handle(Advertise&& msg);
+  void handle(Subscribe&& msg);
+  void handle(ReqInsert&& msg);
+  void handle(Renew&& msg);
+  void handle(Unsub&& msg);
+  void handle(Expired&&) {}  // subscriber-bound; ignored at brokers
+  void handle(Detach&& msg);
+  void handle(Resume&& msg);
+  void handle(EventMsg&& msg);
+  // Subscriber-bound messages are ignored if misrouted to a broker.
+  void handle(JoinAt&&) {}
+  void handle(AcceptedAt&&) {}
+
+  void handle_wildcard(const Subscribe& msg);
+  void insert_subscriber(const Subscribe& msg);
+  /// Installs/refreshes <filter, child>; propagates upward on new filters.
+  void insert_filter(filter::ConjunctiveFilter stored, sim::NodeId child,
+                     bool durable = false);
+  /// True when `child` holds at least one durable lease here.
+  [[nodiscard]] bool has_durable_lease(sim::NodeId child) const;
+  void remove_entry(index::FilterId fid);
+  /// Registers/releases demand for a parent-stage form and reconciles the
+  /// set actually submitted upward (the covering antichain when
+  /// covering_collapse is on, every needed form otherwise).
+  void submit_need(const filter::ConjunctiveFilter& parent_form);
+  void drop_need(const filter::ConjunctiveFilter& parent_form);
+  void resync_active();
+  void send(sim::NodeId to, const Packet& packet);
+  void send_join_at(sim::NodeId subscriber, sim::NodeId target, std::uint64_t token);
+  [[nodiscard]] sim::NodeId random_child();
+  void renew_task();
+  void reap_task();
+
+  sim::NodeId id_;
+  std::size_t stage_;
+  sim::Network& network_;
+  sim::Scheduler& scheduler_;
+  const reflect::TypeRegistry& registry_;
+  BrokerConfig config_;
+  util::Rng rng_;
+
+  sim::NodeId parent_ = sim::kNoNode;
+  std::vector<sim::NodeId> children_;
+
+  std::unique_ptr<index::MatchIndex> index_;
+  std::unordered_map<index::FilterId, Entry> entries_;
+  std::unordered_map<filter::ConjunctiveFilter, index::FilterId> by_filter_;
+  std::unordered_map<filter::ConjunctiveFilter, std::size_t> needed_;  // refcounts
+  std::unordered_set<filter::ConjunctiveFilter> active_;  // submitted upward
+  std::unordered_map<std::string, weaken::StageSchema> schemas_;
+  // Buffered events per detached durable subscriber, oldest first.
+  std::unordered_map<sim::NodeId, std::deque<event::EventImage>> detached_;
+
+  BrokerStats stats_;
+  std::vector<index::FilterId> match_scratch_;
+  std::vector<sim::NodeId> target_scratch_;
+};
+
+}  // namespace cake::routing

@@ -1,0 +1,228 @@
+#include "cake/routing/endpoints.hpp"
+
+#include <algorithm>
+
+#include "cake/event/event.hpp"
+
+namespace cake::routing {
+
+SubscriberNode::SubscriberNode(sim::NodeId id, sim::NodeId root,
+                               sim::Network& network, sim::Scheduler& scheduler,
+                               const reflect::TypeRegistry& registry,
+                               SubscriberConfig config)
+    : id_(id),
+      root_(root),
+      network_(network),
+      scheduler_(scheduler),
+      registry_(registry),
+      config_(config) {}
+
+void SubscriberNode::start() {
+  attach_to_network();
+  if (config_.auto_renew)
+    scheduler_.schedule_background_after(config_.renew_interval,
+                                         [this] { renew_task(); });
+}
+
+void SubscriberNode::attach_to_network() {
+  network_.attach(id_, [this](sim::NodeId from, const sim::Network::Payload& p) {
+    on_packet(from, p);
+  });
+}
+
+std::uint64_t SubscriberNode::subscribe(filter::ConjunctiveFilter exact,
+                                        Handler handler, LocalPredicate local,
+                                        bool durable) {
+  // §4.4: convert to standard form so wildcard attributes are explicit and
+  // constraints follow the most-general-first attribute order.
+  if (const reflect::TypeInfo* type = registry_.find(exact.type().name))
+    exact = exact.standard_form(*type);
+
+  const std::uint64_t token = next_token_++;
+  subs_.emplace(token, Sub{exact, std::move(handler), std::move(local),
+                           durable, /*group=*/0, std::nullopt, {}});
+  send(root_, Subscribe{std::move(exact), id_, token, durable});
+  return token;
+}
+
+std::vector<std::uint64_t> SubscriberNode::subscribe_any(
+    std::vector<filter::ConjunctiveFilter> disjuncts, Handler handler,
+    LocalPredicate local, bool durable) {
+  const std::uint64_t group = next_group_++;
+  std::vector<std::uint64_t> tokens;
+  tokens.reserve(disjuncts.size());
+  for (auto& disjunct : disjuncts) {
+    if (const reflect::TypeInfo* type = registry_.find(disjunct.type().name))
+      disjunct = disjunct.standard_form(*type);
+    const std::uint64_t token = next_token_++;
+    subs_.emplace(token, Sub{disjunct, handler, local, durable, group,
+                             std::nullopt, {}});
+    send(root_, Subscribe{std::move(disjunct), id_, token, durable});
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+std::vector<sim::NodeId> SubscriberNode::hosting_nodes() const {
+  std::vector<sim::NodeId> nodes;
+  for (const auto& [token, sub] : subs_) {
+    if (sub.parent.has_value() &&
+        std::find(nodes.begin(), nodes.end(), *sub.parent) == nodes.end())
+      nodes.push_back(*sub.parent);
+  }
+  return nodes;
+}
+
+void SubscriberNode::halt() {
+  halted_ = true;
+  network_.detach(id_);
+}
+
+void SubscriberNode::detach() {
+  if (detached_) return;
+  detached_ = true;
+  // Announce first, then actually go offline: in-flight events are lost
+  // (or buffered, for durable leases), exactly like a real disconnection.
+  for (const sim::NodeId node : hosting_nodes()) send(node, Detach{id_});
+  network_.detach(id_);
+}
+
+void SubscriberNode::resume() {
+  if (!detached_) return;
+  detached_ = false;
+  attach_to_network();
+  for (const sim::NodeId node : hosting_nodes()) send(node, Resume{id_});
+}
+
+void SubscriberNode::unsubscribe(std::uint64_t token) {
+  const auto it = subs_.find(token);
+  if (it == subs_.end()) return;
+  if (it->second.parent.has_value())
+    send(*it->second.parent, Unsub{it->second.stored_at_parent, id_});
+  subs_.erase(it);
+}
+
+std::optional<sim::NodeId> SubscriberNode::accepted_at(std::uint64_t token) const {
+  const auto it = subs_.find(token);
+  if (it == subs_.end()) return std::nullopt;
+  return it->second.parent;
+}
+
+void SubscriberNode::on_packet(sim::NodeId from,
+                               const sim::Network::Payload& payload) {
+  (void)from;
+  Packet packet;
+  try {
+    packet = decode(payload);
+  } catch (const wire::WireError&) {
+    ++stats_.malformed_packets;
+    return;
+  }
+
+  if (auto* join = std::get_if<JoinAt>(&packet)) {
+    const auto it = subs_.find(join->token);
+    if (it == subs_.end()) return;  // unsubscribed mid-handshake
+    ++stats_.join_redirects;
+    send(join->target, Subscribe{it->second.exact, id_, join->token,
+                                 it->second.durable});
+    return;
+  }
+
+  if (auto* accepted = std::get_if<AcceptedAt>(&packet)) {
+    const auto it = subs_.find(accepted->token);
+    if (it == subs_.end()) return;
+    // A retried join can be accepted twice (the first AcceptedAt or JoinAt
+    // was lost in transit, the retry raced it): keep the newest home and
+    // retract the older lease so events are not delivered twice.
+    if (it->second.parent.has_value() &&
+        (*it->second.parent != accepted->node ||
+         it->second.stored_at_parent != accepted->stored)) {
+      send(*it->second.parent, Unsub{it->second.stored_at_parent, id_});
+    }
+    it->second.parent = accepted->node;
+    it->second.stored_at_parent = std::move(accepted->stored);
+    return;
+  }
+
+  if (auto* expired = std::get_if<Expired>(&packet)) {
+    // A hosting broker reaped our lease (lost renewals, partition healed):
+    // re-run the join protocol for the affected subscriptions.
+    for (auto& [token, sub] : subs_) {
+      if (!sub.parent.has_value() || sub.stored_at_parent != expired->filter)
+        continue;
+      sub.parent.reset();
+      ++stats_.rejoins;
+      send(root_, Subscribe{sub.exact, id_, token, sub.durable});
+    }
+    return;
+  }
+
+  if (auto* ev = std::get_if<EventMsg>(&packet)) {
+    ++stats_.events_received;
+    bool delivered = false;
+    for (auto& [token, sub] : subs_) {
+      if (!sub.exact.matches(ev->image, registry_)) continue;
+      if (sub.local && !sub.local(ev->image)) continue;
+      delivered = true;
+      if (sub.group != 0) {
+        // Composite subscription: fire at most once per published event,
+        // whether the disjuncts matched in one packet or the event arrived
+        // again over another disjunct's path.
+        if (!group_seen_[sub.group].insert(ev->event_id).second) continue;
+      }
+      if (sub.handler) sub.handler(ev->image);
+    }
+    if (delivered) {
+      ++stats_.events_delivered;
+      latency_.add(static_cast<double>(scheduler_.now() - ev->published_at));
+    }
+    return;
+  }
+}
+
+void SubscriberNode::renew_task() {
+  if (halted_) return;  // crashed: no renewals, no rescheduling
+  if (!detached_) {
+    for (const auto& [token, sub] : subs_) {
+      if (sub.parent.has_value()) {
+        send(*sub.parent, Renew{sub.stored_at_parent, id_});
+      } else {
+        // Join still pending: the original Subscribe, a JoinAt redirect or
+        // the AcceptedAt may have been lost. Retry from the root — the
+        // covering search is idempotent, and a duplicate accept is
+        // reconciled above.
+        ++stats_.rejoins;
+        send(root_, Subscribe{sub.exact, id_, token, sub.durable});
+      }
+    }
+  }
+  scheduler_.schedule_background_after(config_.renew_interval,
+                                       [this] { renew_task(); });
+}
+
+void SubscriberNode::send(sim::NodeId to, const Packet& packet) {
+  network_.send(id_, to, encode(packet));
+}
+
+PublisherNode::PublisherNode(sim::NodeId id, sim::NodeId root,
+                             sim::Network& network,
+                             const sim::Scheduler& scheduler)
+    : id_(id), root_(root), network_(network), scheduler_(scheduler) {}
+
+void PublisherNode::advertise(weaken::StageSchema schema) {
+  network_.send(id_, root_, encode(Advertise{std::move(schema)}));
+}
+
+void PublisherNode::publish(const event::Event& event) {
+  publish(event::image_of(event));
+}
+
+void PublisherNode::publish(event::EventImage image) {
+  ++stats_.events_published;
+  const std::uint64_t event_id =
+      (static_cast<std::uint64_t>(id_) << 32) | next_seq_++;
+  network_.send(id_, root_,
+                encode(EventMsg{std::move(image), scheduler_.now(), event_id}));
+}
+
+}  // namespace cake::routing

@@ -1,0 +1,175 @@
+// User-level endpoints of the overlay: subscribers and publishers
+// (paper Fig. 5a and §4.6).
+//
+// A `SubscriberNode` is a stage-0 process. It runs the join protocol
+// (Subscribe → JoinAt* → AcceptedAt), applies its *exact* filters to every
+// delivered event — perfect end-to-end filtering, including an optional
+// opaque predicate standing in for the paper's stateful closure filters —
+// and renews its leases. A `PublisherNode` advertises event classes with
+// their G_c schemas and publishes event images to the root.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cake/routing/protocol.hpp"
+#include "cake/util/rng.hpp"
+#include "cake/util/stats.hpp"
+
+namespace cake::routing {
+
+/// Counters behind the Matching Rate metric (§5.1).
+struct SubscriberStats {
+  std::uint64_t events_received = 0;   ///< events reaching this process
+  std::uint64_t events_delivered = 0;  ///< events matching ≥ 1 exact filter
+  std::uint64_t join_redirects = 0;    ///< JoinAt hops during subscriptions
+  std::uint64_t rejoins = 0;           ///< re-subscriptions after Expired
+  std::uint64_t malformed_packets = 0; ///< corrupt frames dropped
+};
+
+struct SubscriberConfig {
+  sim::Time renew_interval = 5'000'000;
+  bool auto_renew = true;
+};
+
+class SubscriberNode {
+public:
+  /// Called for each event that passed the subscription's exact filter.
+  using Handler = std::function<void(const event::EventImage&)>;
+  /// Arbitrary end-to-end predicate (the paper's closure filters); may keep
+  /// state between calls. Applied after the declarative filter.
+  using LocalPredicate = std::function<bool(const event::EventImage&)>;
+
+  SubscriberNode(sim::NodeId id, sim::NodeId root, sim::Network& network,
+                 sim::Scheduler& scheduler, const reflect::TypeRegistry& registry,
+                 SubscriberConfig config = {});
+
+  SubscriberNode(const SubscriberNode&) = delete;
+  SubscriberNode& operator=(const SubscriberNode&) = delete;
+
+  /// Attaches to the network and schedules renewal.
+  void start();
+
+  /// Starts the join protocol for `exact` (converted to standard form when
+  /// its event type is registered, §4.4). Returns a token identifying the
+  /// subscription. The handler fires only for events matching the exact
+  /// filter and, when given, the local predicate. With `durable`, the
+  /// hosting broker buffers matching events across detach()/resume().
+  std::uint64_t subscribe(filter::ConjunctiveFilter exact, Handler handler,
+                          LocalPredicate local = {}, bool durable = false);
+
+  /// Disjunctive (composite) subscription: one logical subscription whose
+  /// interest is the OR of `disjuncts`. Each disjunct is routed through the
+  /// overlay independently (joining wherever its covering search leads),
+  /// but the handler fires at most once per event, however many disjuncts
+  /// match. Returns the tokens of the member subscriptions (unsubscribe
+  /// each to drop the composite).
+  std::vector<std::uint64_t> subscribe_any(
+      std::vector<filter::ConjunctiveFilter> disjuncts, Handler handler,
+      LocalPredicate local = {}, bool durable = false);
+
+  /// Announces a planned disconnection to every hosting broker (durable
+  /// subscriptions keep accumulating events there), goes offline (the
+  /// network drops anything sent here) and pauses renewals.
+  void detach();
+
+  /// Reconnects: re-attaches to the network, hosting brokers replay
+  /// buffered events, renewals resume.
+  void resume();
+
+  [[nodiscard]] bool detached() const noexcept { return detached_; }
+
+  /// Simulates a process failure: detaches from the network and silences
+  /// every periodic task. No goodbye messages — exactly the case the
+  /// soft-state design (§4.3) must clean up after.
+  void halt();
+
+  [[nodiscard]] bool halted() const noexcept { return halted_; }
+
+  /// Explicit unsubscription (§4.3 optimization); stops renewals either way.
+  void unsubscribe(std::uint64_t token);
+
+  [[nodiscard]] sim::NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const SubscriberStats& stats() const noexcept { return stats_; }
+  /// Publish-to-delivery virtual latency of events this process accepted.
+  [[nodiscard]] const util::RunningStats& delivery_latency() const noexcept {
+    return latency_;
+  }
+  /// Node the subscription was accepted at, if the handshake completed.
+  [[nodiscard]] std::optional<sim::NodeId> accepted_at(std::uint64_t token) const;
+  [[nodiscard]] std::size_t subscriptions() const noexcept { return subs_.size(); }
+
+private:
+  struct Sub {
+    filter::ConjunctiveFilter exact;
+    Handler handler;
+    LocalPredicate local;
+    bool durable = false;
+    std::uint64_t group = 0;  // non-zero: member of a composite subscription
+    std::optional<sim::NodeId> parent;           // set by AcceptedAt
+    filter::ConjunctiveFilter stored_at_parent;  // weakened form, for renewals
+  };
+
+  /// Distinct nodes currently hosting at least one accepted subscription.
+  [[nodiscard]] std::vector<sim::NodeId> hosting_nodes() const;
+
+  void on_packet(sim::NodeId from, const sim::Network::Payload& payload);
+  void attach_to_network();
+  void renew_task();
+  void send(sim::NodeId to, const Packet& packet);
+
+  sim::NodeId id_;
+  sim::NodeId root_;
+  sim::Network& network_;
+  sim::Scheduler& scheduler_;
+  const reflect::TypeRegistry& registry_;
+  SubscriberConfig config_;
+  std::unordered_map<std::uint64_t, Sub> subs_;
+  // Event ids already handled per composite group (multi-path dedup).
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
+      group_seen_;
+  std::uint64_t next_token_ = 1;
+  std::uint64_t next_group_ = 1;
+  bool detached_ = false;
+  bool halted_ = false;
+  SubscriberStats stats_;
+  util::RunningStats latency_;
+};
+
+struct PublisherStats {
+  std::uint64_t events_published = 0;
+};
+
+class PublisherNode {
+public:
+  PublisherNode(sim::NodeId id, sim::NodeId root, sim::Network& network,
+                const sim::Scheduler& scheduler);
+
+  PublisherNode(const PublisherNode&) = delete;
+  PublisherNode& operator=(const PublisherNode&) = delete;
+
+  /// Announces an event class and its attribute-stage association G_c.
+  void advertise(weaken::StageSchema schema);
+
+  /// Publishes a typed event (image extracted via reflection — the user
+  /// never marshals).
+  void publish(const event::Event& event);
+
+  /// Publishes a pre-built image (workload generators).
+  void publish(event::EventImage image);
+
+  [[nodiscard]] sim::NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const PublisherStats& stats() const noexcept { return stats_; }
+
+private:
+  sim::NodeId id_;
+  sim::NodeId root_;
+  sim::Network& network_;
+  const sim::Scheduler& scheduler_;
+  std::uint64_t next_seq_ = 0;
+  PublisherStats stats_;
+};
+
+}  // namespace cake::routing

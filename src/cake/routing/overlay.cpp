@@ -1,0 +1,67 @@
+#include "cake/routing/overlay.hpp"
+
+#include <stdexcept>
+
+namespace cake::routing {
+
+Overlay::Overlay(OverlayConfig config, const reflect::TypeRegistry& registry)
+    : config_(std::move(config)),
+      registry_(registry),
+      rng_(config_.seed),
+      network_(scheduler_, config_.link_latency) {
+  if (config_.stage_counts.empty() || config_.stage_counts.front() != 1)
+    throw std::invalid_argument{
+        "Overlay: stage_counts must start with a single root"};
+
+  const std::size_t levels = config_.stage_counts.size();
+  for (std::size_t level = 0; level < levels; ++level) {
+    stage_offsets_.push_back(brokers_.size());
+    const std::size_t stage = levels - level;  // root has the highest stage
+    for (std::size_t i = 0; i < config_.stage_counts[level]; ++i) {
+      brokers_.push_back(std::make_unique<Broker>(next_id_++, stage, network_,
+                                                  scheduler_, registry_,
+                                                  config_.broker, rng_.split()));
+    }
+  }
+
+  // Wire children to parents, distributing each level evenly.
+  for (std::size_t level = 1; level < levels; ++level) {
+    const std::size_t parents = config_.stage_counts[level - 1];
+    const std::size_t kids = config_.stage_counts[level];
+    for (std::size_t i = 0; i < kids; ++i) {
+      Broker& child = *brokers_[stage_offsets_[level] + i];
+      Broker& parent = *brokers_[stage_offsets_[level - 1] + i * parents / kids];
+      child.set_parent(parent.id());
+      parent.add_child(child.id());
+    }
+  }
+
+  for (const auto& broker : brokers_) broker->start();
+}
+
+std::vector<Broker*> Overlay::brokers_at(std::size_t stage) {
+  if (stage == 0 || stage > stages())
+    throw std::out_of_range{"Overlay: stage out of range"};
+  const std::size_t level = stages() - stage;
+  std::vector<Broker*> result;
+  result.reserve(config_.stage_counts[level]);
+  for (std::size_t i = 0; i < config_.stage_counts[level]; ++i)
+    result.push_back(brokers_[stage_offsets_[level] + i].get());
+  return result;
+}
+
+SubscriberNode& Overlay::add_subscriber() {
+  subscribers_.push_back(std::make_unique<SubscriberNode>(
+      next_id_++, root().id(), network_, scheduler_, registry_,
+      config_.subscriber));
+  subscribers_.back()->start();
+  return *subscribers_.back();
+}
+
+PublisherNode& Overlay::add_publisher() {
+  publishers_.push_back(std::make_unique<PublisherNode>(
+      next_id_++, root().id(), network_, scheduler_));
+  return *publishers_.back();
+}
+
+}  // namespace cake::routing

@@ -1,0 +1,79 @@
+// Overlay construction: an arbitrarily-deep broker hierarchy plus the
+// user-level endpoints, all sharing one virtual-time scheduler and one
+// counted network (paper §4, Fig. 4).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cake/routing/broker.hpp"
+#include "cake/routing/endpoints.hpp"
+
+namespace cake::routing {
+
+struct OverlayConfig {
+  /// Broker counts per stage, root first: {1, 10, 100} builds the paper's
+  /// stage-3 root, 10 stage-2 nodes, 100 stage-1 nodes. Front must be 1.
+  std::vector<std::size_t> stage_counts{1, 10, 100};
+  BrokerConfig broker;
+  SubscriberConfig subscriber;
+  sim::Time link_latency = 1000;  // 1 virtual ms per hop
+  std::uint64_t seed = 42;
+};
+
+/// Owns the simulation and every node in it.
+class Overlay {
+public:
+  explicit Overlay(OverlayConfig config,
+                   const reflect::TypeRegistry& registry =
+                       reflect::TypeRegistry::global());
+
+  Overlay(const Overlay&) = delete;
+  Overlay& operator=(const Overlay&) = delete;
+
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] sim::Network& network() noexcept { return network_; }
+  [[nodiscard]] const reflect::TypeRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+  /// Number of broker stages (root is stage `stages()`, leaves stage 1).
+  [[nodiscard]] std::size_t stages() const noexcept { return config_.stage_counts.size(); }
+  [[nodiscard]] Broker& root() noexcept { return *brokers_.front(); }
+  /// Brokers at `stage` ∈ [1, stages()].
+  [[nodiscard]] std::vector<Broker*> brokers_at(std::size_t stage);
+  [[nodiscard]] const std::vector<std::unique_ptr<Broker>>& brokers() const noexcept {
+    return brokers_;
+  }
+
+  /// Creates and starts a new stage-0 subscriber process.
+  SubscriberNode& add_subscriber();
+  /// Creates a new publisher connected to the root.
+  PublisherNode& add_publisher();
+
+  [[nodiscard]] const std::vector<std::unique_ptr<SubscriberNode>>& subscribers()
+      const noexcept {
+    return subscribers_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<PublisherNode>>& publishers()
+      const noexcept {
+    return publishers_;
+  }
+
+  /// Drains the scheduler (runs the simulation to quiescence).
+  std::size_t run() { return scheduler_.run(); }
+
+private:
+  OverlayConfig config_;
+  const reflect::TypeRegistry& registry_;
+  util::Rng rng_;
+  sim::Scheduler scheduler_;
+  sim::Network network_;
+  sim::NodeId next_id_ = 0;
+  std::vector<std::unique_ptr<Broker>> brokers_;  // breadth-first, root first
+  std::vector<std::size_t> stage_offsets_;        // index of first broker per level
+  std::vector<std::unique_ptr<SubscriberNode>> subscribers_;
+  std::vector<std::unique_ptr<PublisherNode>> publishers_;
+};
+
+}  // namespace cake::routing

@@ -1,0 +1,150 @@
+#include "cake/routing/protocol.hpp"
+
+namespace cake::routing {
+namespace {
+
+enum class Tag : std::uint8_t {
+  Advertise,
+  Subscribe,
+  JoinAt,
+  AcceptedAt,
+  ReqInsert,
+  Renew,
+  Unsub,
+  Event,
+  Expired,
+  Detach,
+  Resume,
+};
+
+struct Encoder {
+  wire::Writer& w;
+
+  void operator()(const Advertise& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::Advertise));
+    m.schema.encode(w);
+  }
+  void operator()(const Subscribe& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::Subscribe));
+    m.filter.encode(w);
+    w.varint(m.subscriber);
+    w.varint(m.token);
+    w.u8(m.durable ? 1 : 0);
+  }
+  void operator()(const JoinAt& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::JoinAt));
+    w.varint(m.target);
+    w.varint(m.token);
+  }
+  void operator()(const AcceptedAt& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::AcceptedAt));
+    w.varint(m.node);
+    w.varint(m.token);
+    m.stored.encode(w);
+  }
+  void operator()(const ReqInsert& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::ReqInsert));
+    m.filter.encode(w);
+    w.varint(m.child);
+  }
+  void operator()(const Renew& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::Renew));
+    m.filter.encode(w);
+    w.varint(m.child);
+  }
+  void operator()(const Unsub& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::Unsub));
+    m.filter.encode(w);
+    w.varint(m.child);
+  }
+  void operator()(const Expired& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::Expired));
+    m.filter.encode(w);
+  }
+  void operator()(const Detach& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::Detach));
+    w.varint(m.child);
+  }
+  void operator()(const Resume& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::Resume));
+    w.varint(m.child);
+  }
+  void operator()(const EventMsg& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::Event));
+    w.varint(m.published_at);
+    w.varint(m.event_id);
+    m.image.encode(w);
+  }
+};
+
+}  // namespace
+
+sim::Network::Payload encode(const Packet& packet) {
+  wire::Writer w;
+  std::visit(Encoder{w}, packet);
+  return wire::frame(w.bytes());
+}
+
+Packet decode(std::span<const std::byte> payload) {
+  const std::vector<std::byte> body = wire::unframe(payload);
+  wire::Reader r{body};
+  switch (static_cast<Tag>(r.u8())) {
+    case Tag::Advertise:
+      return Advertise{weaken::StageSchema::decode(r)};
+    case Tag::Subscribe: {
+      Subscribe m;
+      m.filter = filter::ConjunctiveFilter::decode(r);
+      m.subscriber = static_cast<sim::NodeId>(r.varint());
+      m.token = r.varint();
+      m.durable = r.u8() != 0;
+      return m;
+    }
+    case Tag::JoinAt: {
+      JoinAt m;
+      m.target = static_cast<sim::NodeId>(r.varint());
+      m.token = r.varint();
+      return m;
+    }
+    case Tag::AcceptedAt: {
+      AcceptedAt m;
+      m.node = static_cast<sim::NodeId>(r.varint());
+      m.token = r.varint();
+      m.stored = filter::ConjunctiveFilter::decode(r);
+      return m;
+    }
+    case Tag::ReqInsert: {
+      ReqInsert m;
+      m.filter = filter::ConjunctiveFilter::decode(r);
+      m.child = static_cast<sim::NodeId>(r.varint());
+      return m;
+    }
+    case Tag::Renew: {
+      Renew m;
+      m.filter = filter::ConjunctiveFilter::decode(r);
+      m.child = static_cast<sim::NodeId>(r.varint());
+      return m;
+    }
+    case Tag::Unsub: {
+      Unsub m;
+      m.filter = filter::ConjunctiveFilter::decode(r);
+      m.child = static_cast<sim::NodeId>(r.varint());
+      return m;
+    }
+    case Tag::Expired:
+      return Expired{filter::ConjunctiveFilter::decode(r)};
+    case Tag::Detach:
+      return Detach{static_cast<sim::NodeId>(r.varint())};
+    case Tag::Resume:
+      return Resume{static_cast<sim::NodeId>(r.varint())};
+    case Tag::Event: {
+      EventMsg m;
+      m.published_at = r.varint();
+      m.event_id = r.varint();
+      m.image = event::EventImage::decode(r);
+      return m;
+    }
+  }
+  throw wire::WireError{"protocol: unknown message tag"};
+}
+
+}  // namespace cake::routing

@@ -1,0 +1,101 @@
+// Overlay protocol messages (paper Fig. 5 plus event and advertisement
+// traffic).
+//
+// Every message crossing a simulated link is one of these structs, encoded
+// through the wire substrate into a checksummed frame. The variants map
+// one-to-one onto the paper's algorithm:
+//
+//   Advertise   — publisher announces an event class and its G_c schema
+//   Subscribe   — "Send Subscription(fsub)" from a subscriber to a node
+//   JoinAt      — "join-At(id)" redirect during the covering search
+//   AcceptedAt  — "accepted-At(node)"; carries the stored (weakened) filter
+//                 back so the subscriber can renew/unsubscribe it precisely
+//   ReqInsert   — "req-Insert(fc, idc)" child -> parent filter installation;
+//                 re-sending refreshes the TTL (renewal-by-reinsertion)
+//   Renew       — subscriber-side lease renewal of one stored filter
+//   Unsub       — explicit unsubscription (the §4.3 optional optimization)
+//   Expired     — broker tells a renewing child its lease is gone (lost
+//                 renewals, reapings during partitions); the child re-joins
+//   Detach      — a durable subscriber announces a planned disconnection;
+//                 its hosting broker buffers matching events (§2.1 "storing
+//                 events for temporarily disconnected subscribers")
+//   Resume      — the durable subscriber is back; buffered events replay
+//   EventMsg    — a published event image travelling down the hierarchy
+#pragma once
+
+#include <variant>
+
+#include "cake/filter/filter.hpp"
+#include "cake/sim/sim.hpp"
+#include "cake/weaken/schema.hpp"
+
+namespace cake::routing {
+
+struct Advertise {
+  weaken::StageSchema schema;
+};
+
+struct Subscribe {
+  filter::ConjunctiveFilter filter;  // exact, standard form
+  sim::NodeId subscriber = sim::kNoNode;
+  std::uint64_t token = 0;  // correlates the join conversation
+  bool durable = false;     // buffer events while the subscriber is detached
+};
+
+struct JoinAt {
+  sim::NodeId target = sim::kNoNode;
+  std::uint64_t token = 0;
+};
+
+struct AcceptedAt {
+  sim::NodeId node = sim::kNoNode;
+  std::uint64_t token = 0;
+  filter::ConjunctiveFilter stored;  // weakened form kept at `node`
+};
+
+struct ReqInsert {
+  filter::ConjunctiveFilter filter;  // weakened for the receiver's stage
+  sim::NodeId child = sim::kNoNode;
+};
+
+struct Renew {
+  filter::ConjunctiveFilter filter;
+  sim::NodeId child = sim::kNoNode;
+};
+
+struct Unsub {
+  filter::ConjunctiveFilter filter;
+  sim::NodeId child = sim::kNoNode;
+};
+
+struct Expired {
+  filter::ConjunctiveFilter filter;  // the lease the broker no longer holds
+};
+
+struct Detach {
+  sim::NodeId child = sim::kNoNode;
+};
+
+struct Resume {
+  sim::NodeId child = sim::kNoNode;
+};
+
+struct EventMsg {
+  event::EventImage image;
+  sim::Time published_at = 0;  ///< publisher's virtual clock at publish()
+  /// Unique per published event (publisher id in the high bits, sequence
+  /// in the low bits); lets subscribers deduplicate multi-path deliveries
+  /// of composite subscriptions.
+  std::uint64_t event_id = 0;
+};
+
+using Packet = std::variant<Advertise, Subscribe, JoinAt, AcceptedAt, ReqInsert,
+                            Renew, Unsub, Expired, Detach, Resume, EventMsg>;
+
+/// Serializes a packet into a checksummed frame ready for Network::send.
+[[nodiscard]] sim::Network::Payload encode(const Packet& packet);
+
+/// Parses a frame; throws wire::WireError on corruption or unknown tags.
+[[nodiscard]] Packet decode(std::span<const std::byte> payload);
+
+}  // namespace cake::routing

@@ -1,0 +1,90 @@
+#include "cake/runtime/local_bus.hpp"
+
+#include <vector>
+
+namespace cake::runtime {
+
+LocalBus::LocalBus(index::Engine engine, const reflect::TypeRegistry& registry)
+    : registry_(registry), index_(index::make_index(engine, registry)) {}
+
+LocalBus::Token LocalBus::subscribe(filter::ConjunctiveFilter filter,
+                                    Handler handler, Predicate predicate) {
+  if (const reflect::TypeInfo* type = registry_.find(filter.type().name))
+    filter = filter.standard_form(*type);
+
+  auto subscription = std::make_shared<Subscription>();
+  subscription->handler = std::move(handler);
+  subscription->predicate = std::move(predicate);
+
+  std::unique_lock table_lock{table_mutex_};
+  // The matching engines mutate internal scratch; adding also requires the
+  // match lock so no publish is walking the index concurrently.
+  std::lock_guard match_lock{match_mutex_};
+  const index::FilterId fid = index_->add(std::move(filter));
+  subs_.emplace(fid, std::move(subscription));
+  const Token token = next_token_++;
+  by_token_.emplace(token, fid);
+  {
+    std::lock_guard stats_lock{stats_mutex_};
+    stats_.subscriptions = subs_.size();
+  }
+  return token;
+}
+
+void LocalBus::unsubscribe(Token token) {
+  std::unique_lock table_lock{table_mutex_};
+  const auto it = by_token_.find(token);
+  if (it == by_token_.end()) return;
+  const index::FilterId fid = it->second;
+  by_token_.erase(it);
+  if (const auto sub = subs_.find(fid); sub != subs_.end()) {
+    sub->second->active.store(false, std::memory_order_release);
+    subs_.erase(sub);
+  }
+  std::lock_guard match_lock{match_mutex_};
+  index_->remove(fid);
+  std::lock_guard stats_lock{stats_mutex_};
+  stats_.subscriptions = subs_.size();
+}
+
+std::size_t LocalBus::publish(const event::Event& event) {
+  const event::EventImage image = event::image_of(event);
+
+  // Match under the engine lock, copy the live subscriptions out, then
+  // dispatch lock-free so handlers may re-enter the bus.
+  std::vector<std::shared_ptr<Subscription>> targets;
+  {
+    std::shared_lock table_lock{table_mutex_};
+    std::lock_guard match_lock{match_mutex_};
+    static thread_local std::vector<index::FilterId> scratch;
+    index_->match(image, scratch);
+    targets.reserve(scratch.size());
+    for (const index::FilterId fid : scratch) {
+      const auto it = subs_.find(fid);
+      if (it != subs_.end()) targets.push_back(it->second);
+    }
+  }
+
+  std::size_t invoked = 0;
+  for (const auto& subscription : targets) {
+    if (!subscription->active.load(std::memory_order_acquire)) continue;
+    if (subscription->predicate && !subscription->predicate(event)) continue;
+    if (subscription->handler) {
+      subscription->handler(event);
+      ++invoked;
+    }
+  }
+
+  std::lock_guard stats_lock{stats_mutex_};
+  ++stats_.events_published;
+  if (!targets.empty()) ++stats_.events_matched;
+  stats_.deliveries += invoked;
+  return invoked;
+}
+
+BusStats LocalBus::stats() const {
+  std::lock_guard stats_lock{stats_mutex_};
+  return stats_;
+}
+
+}  // namespace cake::runtime

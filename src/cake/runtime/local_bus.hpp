@@ -1,0 +1,113 @@
+// In-process, thread-safe publish/subscribe.
+//
+// The simulator modules reproduce the paper's *distributed* system; this
+// is the embeddable flavour a host application links directly: the same
+// typed events, the same filter language (including closures evaluated
+// with full type safety), the same matching engines — but dispatching
+// within one process, with no serialization at all. Events are handed to
+// handlers as `const Event&`; the image is extracted once per publish for
+// matching only, so the paper's encapsulation story holds trivially.
+//
+// Concurrency contract:
+//   * subscribe / unsubscribe / publish may be called from any thread;
+//   * handlers run on the publishing thread, outside the bus's locks, so
+//     they may publish or (un)subscribe reentrantly;
+//   * after unsubscribe() returns, the handler will not be *started*
+//     again, but an invocation already in flight on another thread may
+//     still complete (the usual in-proc bus semantics).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "cake/index/index.hpp"
+
+namespace cake::runtime {
+
+/// Counters; snapshot via stats().
+struct BusStats {
+  std::uint64_t events_published = 0;
+  std::uint64_t events_matched = 0;  ///< matched ≥ 1 subscription
+  std::uint64_t deliveries = 0;      ///< handler invocations
+  std::size_t subscriptions = 0;
+};
+
+class LocalBus {
+public:
+  using Token = std::uint64_t;
+  using Handler = std::function<void(const event::Event&)>;
+  /// Arbitrary stateful predicate — the paper's closure filter. Runs on
+  /// the publishing thread; guard your own state if you publish from
+  /// several threads.
+  using Predicate = std::function<bool(const event::Event&)>;
+
+  explicit LocalBus(index::Engine engine = index::Engine::Counting,
+                    const reflect::TypeRegistry& registry =
+                        reflect::TypeRegistry::global());
+
+  LocalBus(const LocalBus&) = delete;
+  LocalBus& operator=(const LocalBus&) = delete;
+
+  /// Registers a subscription; the handler fires for events matching the
+  /// declarative filter and, when given, the predicate.
+  Token subscribe(filter::ConjunctiveFilter filter, Handler handler,
+                  Predicate predicate = {});
+
+  /// Typed sugar: subscribes to events conforming to `T` (subtypes
+  /// included when the filter names no type) and hands handlers the
+  /// concrete object — no reconstruction, it is the published instance.
+  template <class T>
+  Token subscribe(filter::ConjunctiveFilter f,
+                  std::function<void(const T&)> handler,
+                  std::function<bool(const T&)> predicate = {}) {
+    if (f.type().accepts_all()) {
+      f = filter::ConjunctiveFilter{
+          filter::TypeConstraint{registry_.get<T>().name(), true},
+          f.constraints()};
+    }
+    Handler wrapped;
+    if (handler) {
+      wrapped = [handler = std::move(handler)](const event::Event& e) {
+        if (const auto* typed = dynamic_cast<const T*>(&e)) handler(*typed);
+      };
+    }
+    Predicate wrapped_pred;
+    if (predicate) {
+      wrapped_pred = [predicate = std::move(predicate)](const event::Event& e) {
+        const auto* typed = dynamic_cast<const T*>(&e);
+        return typed != nullptr && predicate(*typed);
+      };
+    }
+    return subscribe(std::move(f), std::move(wrapped), std::move(wrapped_pred));
+  }
+
+  /// Stops the subscription (see the concurrency contract above).
+  void unsubscribe(Token token);
+
+  /// Matches and dispatches synchronously; returns handler invocations.
+  std::size_t publish(const event::Event& event);
+
+  [[nodiscard]] BusStats stats() const;
+
+private:
+  struct Subscription {
+    Handler handler;
+    Predicate predicate;
+    std::atomic<bool> active{true};
+  };
+
+  const reflect::TypeRegistry& registry_;
+  mutable std::shared_mutex table_mutex_;  // protects subs_ and token maps
+  std::mutex match_mutex_;                 // matching engines use scratch state
+  std::unique_ptr<index::MatchIndex> index_;
+  std::unordered_map<index::FilterId, std::shared_ptr<Subscription>> subs_;
+  Token next_token_ = 1;
+  std::unordered_map<Token, index::FilterId> by_token_;
+
+  mutable std::mutex stats_mutex_;
+  BusStats stats_;
+};
+
+}  // namespace cake::runtime

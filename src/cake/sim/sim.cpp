@@ -1,0 +1,101 @@
+#include "cake/sim/sim.hpp"
+
+#include <algorithm>
+
+namespace cake::sim {
+
+void Scheduler::schedule_at(Time at, std::function<void()> fn) {
+  queue_.push(Item{std::max(at, now_), next_seq_++, std::move(fn), false});
+  ++foreground_pending_;
+}
+
+void Scheduler::schedule_after(Time delay, std::function<void()> fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Scheduler::schedule_background_at(Time at, std::function<void()> fn) {
+  queue_.push(Item{std::max(at, now_), next_seq_++, std::move(fn), true});
+}
+
+void Scheduler::schedule_background_after(Time delay, std::function<void()> fn) {
+  schedule_background_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // Move out before running: the closure may schedule more work.
+  Item item = std::move(const_cast<Item&>(queue_.top()));
+  queue_.pop();
+  if (!item.background) --foreground_pending_;
+  now_ = item.at;
+  item.fn();
+  return true;
+}
+
+std::size_t Scheduler::run(std::size_t max_steps) {
+  std::size_t steps = 0;
+  while (steps < max_steps && foreground_pending_ > 0 && step()) ++steps;
+  return steps;
+}
+
+void Scheduler::run_until(Time deadline) {
+  while (!queue_.empty() && queue_.top().at < deadline) step();
+  now_ = std::max(now_, deadline);
+}
+
+void Network::attach(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void Network::detach(NodeId node) {
+  handlers_.erase(node);
+}
+
+bool Network::attached(NodeId node) const noexcept {
+  return handlers_.contains(node);
+}
+
+void Network::set_loss_rate(double rate, std::uint64_t seed) {
+  loss_rate_ = rate;
+  loss_rng_ = util::Rng{seed};
+}
+
+void Network::set_latency(NodeId from, NodeId to, Time latency) {
+  latency_[key(from, to)] = latency;
+}
+
+void Network::send(NodeId from, NodeId to, Payload payload) {
+  const std::uint64_t k = key(from, to);
+  LinkStats& stats = links_[k];
+  ++stats.messages;
+  stats.bytes += payload.size();
+  ++total_.messages;
+  total_.bytes += payload.size();
+
+  if (loss_rate_ > 0.0 && loss_rng_.chance(loss_rate_)) {
+    ++dropped_;
+    return;
+  }
+
+  const auto lat = latency_.find(k);
+  const Time delay = lat == latency_.end() ? default_latency_ : lat->second;
+  scheduler_.schedule_after(
+      delay, [this, from, to, payload = std::move(payload)]() {
+        const auto handler = handlers_.find(to);
+        if (handler == handlers_.end()) return;  // crashed / detached peer
+        ++received_[to];
+        handler->second(from, payload);
+      });
+}
+
+LinkStats Network::link(NodeId from, NodeId to) const noexcept {
+  const auto it = links_.find(key(from, to));
+  return it == links_.end() ? LinkStats{} : it->second;
+}
+
+std::uint64_t Network::received_by(NodeId node) const noexcept {
+  const auto it = received_.find(node);
+  return it == received_.end() ? 0 : it->second;
+}
+
+}  // namespace cake::sim

@@ -1,0 +1,77 @@
+#include "cake/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cake::util {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * n2 / (n1 + n2);
+  m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+double percentile(const std::vector<double>& sorted, double pct) {
+  if (sorted.empty()) throw std::invalid_argument{"percentile: empty sample"};
+  if (pct <= 0.0) return sorted.front();
+  if (pct >= 100.0) return sorted.back();
+  const double pos = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary summarize(std::vector<double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  RunningStats rs;
+  for (double x : sample) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = sample.front();
+  s.max = sample.back();
+  s.sum = rs.sum();
+  s.p50 = percentile(sample, 50.0);
+  s.p90 = percentile(sample, 90.0);
+  s.p99 = percentile(sample, 99.0);
+  return s;
+}
+
+}  // namespace cake::util

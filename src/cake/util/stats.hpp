@@ -1,0 +1,57 @@
+// Small numerically-stable descriptive statistics used by the metrics and
+// benchmark reporters: running mean/variance (Welford) and order statistics
+// over a captured sample.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cake::util {
+
+/// Streaming mean / variance accumulator (Welford's algorithm).
+class RunningStats {
+public:
+  void add(double x) noexcept;
+
+  /// Folds another accumulator into this one (Chan's parallel update);
+  /// the result is as if every sample had been added to one accumulator.
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Population variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Summary of a full sample, including percentiles (linear interpolation).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes a `Summary` of `sample` (copied and sorted internally).
+[[nodiscard]] Summary summarize(std::vector<double> sample);
+
+/// Percentile in [0,100] of a *sorted* sample, linearly interpolated.
+[[nodiscard]] double percentile(const std::vector<double>& sorted, double pct);
+
+}  // namespace cake::util

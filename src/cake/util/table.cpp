@@ -1,0 +1,58 @@
+#include "cake/util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cake::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument{"TextTable: empty header"};
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument{"TextTable: row arity mismatch"};
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c];
+      if (c + 1 < row.size())
+        os << std::string(widths[c] - row[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string format_number(double value) {
+  char buf[48];
+  const double mag = std::fabs(value);
+  if (value != 0.0 && (mag < 1e-3 || mag >= 1e7)) {
+    std::snprintf(buf, sizeof buf, "%.3g", value);
+  } else if (mag >= 100.0 || value == std::floor(value)) {
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f", value);
+  }
+  return buf;
+}
+
+}  // namespace cake::util

@@ -1,0 +1,33 @@
+// Minimal fixed-layout text table writer used by the benchmark harnesses to
+// print paper-style result tables (e.g. the per-stage RLC table of §5.3).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cake::util {
+
+/// Accumulates rows of strings and renders them column-aligned.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with single-space-padded columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly for tables: scientific for tiny/huge
+/// magnitudes, fixed otherwise (e.g. "2.1e-07", "0.87", "123.4").
+[[nodiscard]] std::string format_number(double value);
+
+}  // namespace cake::util

@@ -1,0 +1,33 @@
+#include "cake/util/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cake::util {
+
+Zipf::Zipf(std::size_t n, double skew) : skew_(skew) {
+  if (n == 0) throw std::invalid_argument{"Zipf: universe must be non-empty"};
+  if (skew < 0.0) throw std::invalid_argument{"Zipf: skew must be >= 0"};
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+    cdf_[r] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding drift at the tail
+}
+
+std::size_t Zipf::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double Zipf::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) throw std::out_of_range{"Zipf::pmf: rank out of range"};
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace cake::util

@@ -1,0 +1,110 @@
+#include "cake/weaken/schema.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cake::weaken {
+
+StageSchema::StageSchema(std::string type_name,
+                         std::vector<std::vector<std::string>> stage_attributes)
+    : type_name_(std::move(type_name)),
+      stage_attributes_(std::move(stage_attributes)) {
+  if (stage_attributes_.empty())
+    throw std::invalid_argument{"StageSchema: at least one stage required"};
+  for (std::size_t s = 1; s < stage_attributes_.size(); ++s) {
+    const auto& prev = stage_attributes_[s - 1];
+    for (const auto& name : stage_attributes_[s]) {
+      if (std::find(prev.begin(), prev.end(), name) == prev.end())
+        throw std::invalid_argument{
+            "StageSchema: stage " + std::to_string(s) + " attribute '" + name +
+            "' not present at stage " + std::to_string(s - 1)};
+    }
+  }
+}
+
+StageSchema StageSchema::drop_one_per_stage(const reflect::TypeInfo& type,
+                                            std::size_t stages) {
+  std::vector<std::string> names;
+  names.reserve(type.attributes().size());
+  for (const auto* attr : type.attributes()) names.push_back(attr->name);
+  return drop_one_per_stage(type.name(), std::move(names), stages);
+}
+
+StageSchema StageSchema::drop_one_per_stage(std::string type_name,
+                                            std::vector<std::string> ordered_attributes,
+                                            std::size_t stages) {
+  if (stages == 0) throw std::invalid_argument{"StageSchema: zero stages"};
+  std::vector<std::vector<std::string>> per_stage;
+  per_stage.reserve(stages);
+  for (std::size_t s = 0; s < stages; ++s) {
+    const std::size_t keep =
+        ordered_attributes.size() > s ? ordered_attributes.size() - s : 0;
+    per_stage.emplace_back(ordered_attributes.begin(),
+                           ordered_attributes.begin() + static_cast<std::ptrdiff_t>(keep));
+  }
+  return StageSchema{std::move(type_name), std::move(per_stage)};
+}
+
+const std::vector<std::string>& StageSchema::attributes_at(std::size_t stage) const {
+  if (stage_attributes_.empty())
+    throw std::logic_error{"StageSchema: empty schema"};
+  return stage_attributes_[std::min(stage, stage_attributes_.size() - 1)];
+}
+
+void StageSchema::encode(wire::Writer& w) const {
+  w.string(type_name_);
+  w.varint(stage_attributes_.size());
+  for (const auto& stage : stage_attributes_) {
+    w.varint(stage.size());
+    for (const auto& name : stage) w.string(name);
+  }
+}
+
+StageSchema StageSchema::decode(wire::Reader& r) {
+  StageSchema schema;
+  schema.type_name_ = r.string();
+  const std::uint64_t stages = r.count(1);
+  schema.stage_attributes_.reserve(stages);
+  for (std::uint64_t s = 0; s < stages; ++s) {
+    const std::uint64_t n = r.count(1);
+    std::vector<std::string> names;
+    names.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) names.push_back(r.string());
+    schema.stage_attributes_.push_back(std::move(names));
+  }
+  return schema;
+}
+
+StageSchema auto_schema(const reflect::TypeInfo& type,
+                        const std::vector<event::EventImage>& sample,
+                        std::size_t stages) {
+  std::vector<std::string> names;
+  names.reserve(type.attributes().size());
+  for (const auto* attr : type.attributes()) names.push_back(attr->name);
+  return StageSchema::drop_one_per_stage(
+      type.name(), rank_by_generality(sample, names), stages);
+}
+
+std::vector<std::string> rank_by_generality(
+    const std::vector<event::EventImage>& sample,
+    const std::vector<std::string>& attributes) {
+  std::vector<std::pair<std::size_t, std::string>> ranked;  // (cardinality, name)
+  ranked.reserve(attributes.size());
+  for (const auto& name : attributes) {
+    std::unordered_set<value::Value> distinct;
+    for (const auto& image : sample) {
+      if (const auto* v = image.find(name)) distinct.insert(*v);
+    }
+    ranked.emplace_back(distinct.size(), name);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::string> names;
+  names.reserve(ranked.size());
+  for (auto& [cardinality, name] : ranked) names.push_back(std::move(name));
+  return names;
+}
+
+}  // namespace cake::weaken

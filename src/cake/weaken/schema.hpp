@@ -1,0 +1,78 @@
+// Attribute-stage association (the paper's G_c, §4.1).
+//
+// For each event class, the publisher declares which attributes remain in
+// the weakened filters at every stage of the hierarchy: A_0 ⊇ A_1 ⊇ ... ⊇
+// A_n, with A_0 the full attribute set (perfect filtering at subscribers)
+// and the top stage often empty (filtering on type only, §3.4's g3). The
+// schema travels inside advertisements so that any broker can weaken any
+// subscriber filter mechanically for its own stage — no global knowledge.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cake/event/event.hpp"
+#include "cake/reflect/reflect.hpp"
+#include "cake/wire/wire.hpp"
+
+namespace cake::weaken {
+
+class StageSchema {
+public:
+  StageSchema() = default;
+
+  /// Explicit per-stage attribute lists. `stage_attributes[0]` is stage 0
+  /// (subscriber level, strongest). Throws std::invalid_argument unless
+  /// every stage's set is a subset of the previous stage's (monotone
+  /// weakening is what makes Proposition 1 hold by construction).
+  StageSchema(std::string type_name,
+              std::vector<std::vector<std::string>> stage_attributes);
+
+  /// The paper's default: attributes ordered most-general-first, one
+  /// least-general attribute dropped per stage (§4 Example 5: f→g→h→i).
+  /// With `stages` stages and k attributes, stage i keeps the first
+  /// max(k - i, 0) attributes.
+  [[nodiscard]] static StageSchema drop_one_per_stage(const reflect::TypeInfo& type,
+                                                      std::size_t stages);
+
+  /// Like drop_one_per_stage but with an explicit most-general-first
+  /// attribute order (e.g. produced by `rank_by_generality`).
+  [[nodiscard]] static StageSchema drop_one_per_stage(
+      std::string type_name, std::vector<std::string> ordered_attributes,
+      std::size_t stages);
+
+  [[nodiscard]] const std::string& type_name() const noexcept { return type_name_; }
+  [[nodiscard]] std::size_t stages() const noexcept { return stage_attributes_.size(); }
+
+  /// Attributes kept at `stage`; stages beyond the schema clamp to the
+  /// weakest (topmost) set so deeper hierarchies than schemas still work.
+  [[nodiscard]] const std::vector<std::string>& attributes_at(std::size_t stage) const;
+
+  void encode(wire::Writer& w) const;
+  [[nodiscard]] static StageSchema decode(wire::Reader& r);
+
+  [[nodiscard]] bool operator==(const StageSchema&) const = default;
+
+private:
+  std::string type_name_;
+  std::vector<std::vector<std::string>> stage_attributes_;
+};
+
+/// Ranks attribute names from most to least general by the number of
+/// distinct values observed in `sample` (§4.1 "Grouping the attributes":
+/// the most general attribute splits the event space into few large
+/// sub-categories, i.e. has the lowest cardinality). Ties break by first
+/// appearance order in `attributes`.
+[[nodiscard]] std::vector<std::string> rank_by_generality(
+    const std::vector<event::EventImage>& sample,
+    const std::vector<std::string>& attributes);
+
+/// Full §4.1 automation: a publisher samples its own event stream, ranks
+/// the registered attributes of `type` by observed generality and derives
+/// the drop-one-per-stage association — ready to be advertised.
+[[nodiscard]] StageSchema auto_schema(const reflect::TypeInfo& type,
+                                      const std::vector<event::EventImage>& sample,
+                                      std::size_t stages);
+
+}  // namespace cake::weaken

@@ -1,0 +1,54 @@
+// Filter and event weakening (paper §3.3 Transformations, §4 Example 5).
+//
+// `weaken_filter` realises Proposition 1: the stage-s transform of a filter
+// keeps only the constraints on attributes in A_s and drops the rest —
+// dropping a conjunct can only make a conjunction weaker, so the result
+// covers the original by construction. `weaken_image` realises Proposition
+// 2: the stage-s event image keeps exactly the A_s attributes, so for every
+// stage-s weakened filter the weakened event covers the original.
+//
+// `collapse` removes filters covered by other filters in a set (the paper's
+// "on the common path ... we can now ignore filter f1 and keep only g1"),
+// and `join_filters` computes a single covering filter of two filters by
+// attribute-wise least-upper-bound relaxation (price<10 ⊔ price<11 →
+// price<11, §4 Example 5 g1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cake/filter/filter.hpp"
+#include "cake/weaken/schema.hpp"
+
+namespace cake::weaken {
+
+/// Stage-`stage` weakened form of `filter` under `schema` (Proposition 1).
+/// Constraints on attributes outside A_stage are dropped; wildcards are
+/// dropped too (Any ≡ absent; the paper removes attributes outright to
+/// speed up matching). The type constraint always survives.
+[[nodiscard]] filter::ConjunctiveFilter weaken_filter(
+    const filter::ConjunctiveFilter& filter, const StageSchema& schema,
+    std::size_t stage);
+
+/// Stage-`stage` weakened event image under `schema` (Proposition 2): the
+/// projection of `image` onto A_stage.
+[[nodiscard]] event::EventImage weaken_image(const event::EventImage& image,
+                                             const StageSchema& schema,
+                                             std::size_t stage);
+
+/// Removes every filter covered by another filter of the set (keeps the
+/// first of exact duplicates). The result matches exactly the same events:
+/// it is the minimal antichain under the sound covering test.
+[[nodiscard]] std::vector<filter::ConjunctiveFilter> collapse(
+    std::vector<filter::ConjunctiveFilter> filters,
+    const reflect::TypeRegistry& registry = reflect::TypeRegistry::global());
+
+/// A single filter covering both `a` and `b`: type constraints join to the
+/// nearest common ancestor (or accept-all), and constraints join per
+/// attribute via relax_join; attributes constrained in only one input are
+/// dropped (a missing conjunct covers any constraint on that attribute).
+[[nodiscard]] filter::ConjunctiveFilter join_filters(
+    const filter::ConjunctiveFilter& a, const filter::ConjunctiveFilter& b,
+    const reflect::TypeRegistry& registry = reflect::TypeRegistry::global());
+
+}  // namespace cake::weaken

@@ -1,0 +1,146 @@
+#include "cake/wire/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace cake::wire {
+
+using value::Kind;
+using value::Value;
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void Writer::zigzag(std::int64_t v) {
+  varint((static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63));
+}
+
+void Writer::f64(double v) {
+  auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+void Writer::string(std::string_view s) {
+  varint(s.size());
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  buf_.insert(buf_.end(), p, p + s.size());
+}
+
+void Writer::value(const Value& v) {
+  u8(static_cast<std::uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case Kind::Null: break;
+    case Kind::Bool: u8(v.as_bool() ? 1 : 0); break;
+    case Kind::Int: zigzag(v.as_int()); break;
+    case Kind::Double: f64(v.as_double()); break;
+    case Kind::String: string(v.as_string()); break;
+  }
+}
+
+void Writer::raw(std::span<const std::byte> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n) throw WireError{"wire: truncated input"};
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(buf_[pos_++]);
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    const std::uint8_t b = u8();
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  throw WireError{"wire: varint too long"};
+}
+
+std::uint64_t Reader::count(std::size_t min_bytes_each) {
+  const std::uint64_t n = varint();
+  if (min_bytes_each != 0 && n > remaining() / min_bytes_each)
+    throw WireError{"wire: element count exceeds available bytes"};
+  return n;
+}
+
+std::int64_t Reader::zigzag() {
+  const std::uint64_t v = varint();
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+double Reader::f64() {
+  need(8);
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i)
+    bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(buf_[pos_++]))
+            << (8 * i);
+  return std::bit_cast<double>(bits);
+}
+
+std::string Reader::string() {
+  const std::uint64_t len = varint();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Value Reader::value() {
+  const auto kind = static_cast<Kind>(u8());
+  switch (kind) {
+    case Kind::Null: return {};
+    case Kind::Bool: return Value{u8() != 0};
+    case Kind::Int: return Value{zigzag()};
+    case Kind::Double: return Value{f64()};
+    case Kind::String: return Value{string()};
+  }
+  throw WireError{"wire: unknown value kind"};
+}
+
+std::uint64_t fnv1a(std::span<const std::byte> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<std::byte> frame(std::span<const std::byte> payload) {
+  Writer w;
+  w.varint(payload.size());
+  w.raw(payload);
+  const std::uint64_t sum = fnv1a(payload);
+  for (int i = 0; i < 8; ++i)
+    w.u8(static_cast<std::uint8_t>(sum >> (8 * i)));
+  return w.take();
+}
+
+std::vector<std::byte> unframe(std::span<const std::byte> framed) {
+  Reader r{framed};
+  const std::uint64_t len = r.varint();
+  if (r.remaining() < len + 8) throw WireError{"wire: truncated frame"};
+  std::vector<std::byte> payload;
+  payload.reserve(len);
+  for (std::uint64_t i = 0; i < len; ++i)
+    payload.push_back(static_cast<std::byte>(r.u8()));
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 8; ++i)
+    sum |= static_cast<std::uint64_t>(r.u8()) << (8 * i);
+  if (sum != fnv1a(payload)) throw WireError{"wire: checksum mismatch"};
+  return payload;
+}
+
+}  // namespace cake::wire

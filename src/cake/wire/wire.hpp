@@ -1,0 +1,91 @@
+// Binary wire format substrate.
+//
+// Events crossing broker links are serialized; the paper's end-to-end
+// type-safety claim is that *users* never marshal — the runtime does, via
+// reflection. This module provides the byte-level half: a bounds-checked
+// little-endian Writer/Reader pair with varint integers, length-prefixed
+// strings, and checksummed frames for link transfer. Value encoding for the
+// `Value` variant lives here too, since every higher layer (event images,
+// filters, protocol messages) is built out of Values and primitives.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cake/value/value.hpp"
+
+namespace cake::wire {
+
+/// Raised by `Reader` on truncated, corrupt or malformed input.
+class WireError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only byte sink.
+class Writer {
+public:
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+  void u8(std::uint8_t v);
+  /// Unsigned LEB128 varint (1-10 bytes).
+  void varint(std::uint64_t v);
+  /// Signed integer, zigzag-encoded then varint.
+  void zigzag(std::int64_t v);
+  /// IEEE-754 double, little-endian fixed 8 bytes.
+  void f64(double v);
+  /// Length-prefixed UTF-8 bytes.
+  void string(std::string_view s);
+  /// Tagged `Value` (kind byte + payload).
+  void value(const value::Value& v);
+  /// Raw bytes, no length prefix.
+  void raw(std::span<const std::byte> bytes);
+
+private:
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked byte source over a borrowed buffer.
+class Reader {
+public:
+  explicit Reader(std::span<const std::byte> bytes) noexcept : buf_(bytes) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+  [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint64_t varint();
+  /// Reads a varint element count and validates it against the bytes left
+  /// (each element needs at least `min_bytes_each`); throws WireError on
+  /// impossible counts. Prevents attacker-controlled pre-allocations.
+  [[nodiscard]] std::uint64_t count(std::size_t min_bytes_each = 1);
+  [[nodiscard]] std::int64_t zigzag();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string string();
+  [[nodiscard]] value::Value value();
+
+private:
+  std::span<const std::byte> buf_;
+  std::size_t pos_ = 0;
+
+  void need(std::size_t n) const;
+};
+
+/// FNV-1a 64-bit checksum of a byte range.
+[[nodiscard]] std::uint64_t fnv1a(std::span<const std::byte> bytes) noexcept;
+
+/// Wraps a payload into a checksummed frame: varint length + payload + sum.
+[[nodiscard]] std::vector<std::byte> frame(std::span<const std::byte> payload);
+
+/// Validates and strips a frame produced by `frame`; throws WireError on
+/// truncation or checksum mismatch.
+[[nodiscard]] std::vector<std::byte> unframe(std::span<const std::byte> framed);
+
+}  // namespace cake::wire

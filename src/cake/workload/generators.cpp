@@ -1,0 +1,126 @@
+#include "cake/workload/generators.hpp"
+
+#include <algorithm>
+
+namespace cake::workload {
+
+using filter::FilterBuilder;
+using filter::Op;
+
+BiblioGenerator::BiblioGenerator(BiblioConfig config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      year_dist_(config.years, config.year_skew),
+      conference_dist_(config.conferences, config.conference_skew),
+      author_dist_(config.authors, config.author_skew),
+      title_dist_(config.titles_per_combo, config.title_skew) {
+  ensure_types_registered();
+}
+
+BiblioGenerator::Draw BiblioGenerator::draw() {
+  const std::size_t y = year_dist_.sample(rng_);
+  const std::size_t c = conference_dist_.sample(rng_);
+  const std::size_t a = author_dist_.sample(rng_);
+  const std::size_t t = title_dist_.sample(rng_);
+  Draw d;
+  d.year = 1995 + static_cast<std::int64_t>(y);
+  d.conference = "conf-" + std::to_string(c);
+  d.author = "author-" + std::to_string(a);
+  // Titles live inside their (year, conference, author) combination; the
+  // per-combo index t is what stage-0 filtering discriminates on.
+  d.title = "title-" + std::to_string(y) + '-' + std::to_string(c) + '-' +
+            std::to_string(a) + '-' + std::to_string(t);
+  return d;
+}
+
+event::EventImage BiblioGenerator::next_event() {
+  const Draw d = draw();
+  return event::EventImage{"Publication",
+                           {{"year", value::Value{d.year}},
+                            {"conference", value::Value{d.conference}},
+                            {"author", value::Value{d.author}},
+                            {"title", value::Value{d.title}}}};
+}
+
+filter::ConjunctiveFilter BiblioGenerator::next_subscription() {
+  return next_subscription(0);
+}
+
+filter::ConjunctiveFilter BiblioGenerator::next_subscription(std::size_t wildcards) {
+  const Draw d = draw();
+  FilterBuilder builder{"Publication"};
+  builder.where("year", wildcards >= 4 ? Op::Any : Op::Eq, value::Value{d.year});
+  builder.where("conference", wildcards >= 3 ? Op::Any : Op::Eq,
+                value::Value{d.conference});
+  builder.where("author", wildcards >= 2 ? Op::Any : Op::Eq,
+                value::Value{d.author});
+  builder.where("title", wildcards >= 1 ? Op::Any : Op::Eq, value::Value{d.title});
+  return builder.build();
+}
+
+weaken::StageSchema BiblioGenerator::schema(std::size_t stages) {
+  return weaken::StageSchema::drop_one_per_stage(
+      "Publication", {"year", "conference", "author", "title"}, stages);
+}
+
+StockGenerator::StockGenerator(StockConfig config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      symbol_dist_(config.symbols, config.symbol_skew),
+      prices_(config.symbols, config.initial_price) {
+  ensure_types_registered();
+}
+
+std::string StockGenerator::symbol_name(std::size_t rank) const {
+  std::string name = "SYM";
+  name += static_cast<char>('A' + rank % 26);
+  name += std::to_string(rank);
+  return name;
+}
+
+Stock StockGenerator::next() {
+  const std::size_t rank = symbol_dist_.sample(rng_);
+  double& price = prices_[rank];
+  const double step = (rng_.uniform() * 2.0 - 1.0) * config_.volatility;
+  price = std::max(1.0, price * (1.0 + step));
+  const auto volume = rng_.between(100, 100'000);
+  return Stock{symbol_name(rank), price, volume};
+}
+
+filter::ConjunctiveFilter StockGenerator::next_subscription() {
+  const std::size_t rank = symbol_dist_.sample(rng_);
+  // A limit slightly around the symbol's current price keeps match rates
+  // realistic (some subscriptions fire often, others rarely).
+  const double limit = prices_[rank] * (0.9 + rng_.uniform() * 0.2);
+  return FilterBuilder{"Stock"}
+      .where("symbol", Op::Eq, value::Value{symbol_name(rank)})
+      .where("price", Op::Lt, value::Value{limit})
+      .build();
+}
+
+weaken::StageSchema StockGenerator::schema(std::size_t stages) {
+  return weaken::StageSchema::drop_one_per_stage(
+      "Stock", {"symbol", "price", "volume"}, stages);
+}
+
+AuctionGenerator::AuctionGenerator(AuctionConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  ensure_types_registered();
+}
+
+std::unique_ptr<event::Event> AuctionGenerator::next() {
+  const double price = 1000.0 + rng_.uniform() * 49'000.0;
+  if (!rng_.chance(config_.vehicle_fraction)) {
+    const char* products[] = {"Antique", "Painting", "Estate"};
+    return std::make_unique<Auction>(products[rng_.below(3)], price);
+  }
+  if (!rng_.chance(config_.car_fraction)) {
+    const char* kinds[] = {"Truck", "Motorbike", "Van"};
+    return std::make_unique<VehicleAuction>(price, kinds[rng_.below(3)],
+                                            rng_.between(2, 40));
+  }
+  return std::make_unique<CarAuction>(price, rng_.between(2, 9),
+                                      rng_.between(2, 5));
+}
+
+}  // namespace cake::workload

@@ -1,0 +1,104 @@
+#include "cake/workload/types.hpp"
+
+namespace cake::workload {
+namespace {
+
+using event::EventImage;
+
+const value::Value& required(const EventImage& image, std::string_view name) {
+  if (const auto* v = image.find(name)) return *v;
+  throw reflect::ReflectError{"image of '" + image.type_name() +
+                              "' lacks attribute '" + std::string{name} + "'"};
+}
+
+double number(const EventImage& image, std::string_view name) {
+  if (const auto n = required(image, name).as_number()) return *n;
+  throw reflect::ReflectError{"attribute '" + std::string{name} +
+                              "' is not numeric"};
+}
+
+std::int64_t integer(const EventImage& image, std::string_view name) {
+  return static_cast<std::int64_t>(number(image, name));
+}
+
+std::string text(const EventImage& image, std::string_view name) {
+  return required(image, name).as_string();
+}
+
+}  // namespace
+
+Stock::Stock(const EventImage& image)
+    : symbol_(text(image, "symbol")),
+      price_(number(image, "price")),
+      volume_(integer(image, "volume")) {}
+
+Auction::Auction(const EventImage& image)
+    : product_(text(image, "product")), price_(number(image, "price")) {}
+
+VehicleAuction::VehicleAuction(const EventImage& image)
+    : EventOf(image),
+      kind_(text(image, "kind")),
+      capacity_(integer(image, "capacity")) {}
+
+CarAuction::CarAuction(const EventImage& image)
+    : EventOf(image), doors_(integer(image, "doors")) {}
+
+Publication::Publication(const EventImage& image)
+    : year_(integer(image, "year")),
+      conference_(text(image, "conference")),
+      author_(text(image, "author")),
+      title_(text(image, "title")) {}
+
+void ensure_types_registered() {
+  auto& registry = reflect::TypeRegistry::global();
+  if (registry.contains<Stock>()) return;
+  auto& codec = event::EventCodec::global();
+
+  // Attributes are declared most-general first (paper §4.1): the weakening
+  // engine drops from the right.
+  reflect::TypeBuilder<Stock>{registry, "Stock"}
+      .attr("symbol", &Stock::symbol)
+      .attr("price", &Stock::price)
+      .attr("volume", &Stock::volume)
+      .finalize();
+  codec.add("Stock", [](const EventImage& image) {
+    return std::make_unique<Stock>(image);
+  });
+
+  reflect::TypeBuilder<Auction>{registry, "Auction"}
+      .attr("product", &Auction::product)
+      .attr("price", &Auction::price)
+      .finalize();
+  codec.add("Auction", [](const EventImage& image) {
+    return std::make_unique<Auction>(image);
+  });
+
+  reflect::TypeBuilder<VehicleAuction>{registry, "VehicleAuction"}
+      .base<Auction>()
+      .attr("kind", &VehicleAuction::kind)
+      .attr("capacity", &VehicleAuction::capacity)
+      .finalize();
+  codec.add("VehicleAuction", [](const EventImage& image) {
+    return std::make_unique<VehicleAuction>(image);
+  });
+
+  reflect::TypeBuilder<CarAuction>{registry, "CarAuction"}
+      .base<VehicleAuction>()
+      .attr("doors", &CarAuction::doors)
+      .finalize();
+  codec.add("CarAuction", [](const EventImage& image) {
+    return std::make_unique<CarAuction>(image);
+  });
+
+  reflect::TypeBuilder<Publication>{registry, "Publication"}
+      .attr("year", &Publication::year)
+      .attr("conference", &Publication::conference)
+      .attr("author", &Publication::author)
+      .attr("title", &Publication::title)
+      .finalize();
+  codec.add("Publication", [](const EventImage& image) {
+    return std::make_unique<Publication>(image);
+  });
+}
+
+}  // namespace cake::workload

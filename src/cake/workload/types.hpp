@@ -1,0 +1,106 @@
+// Application-defined event types used throughout the paper's examples and
+// evaluation: stock quotes (§3 Example 1), an auction hierarchy (§4
+// Example 5 — extended into a real subtype chain to exercise type-based
+// filtering), and bibliographic publications (§5.2 simulation workload).
+//
+// Each type follows the paper's convention: private state, public
+// accessors, registration of those accessors as filterable attributes
+// (most-general first), and a factory so the subscriber runtime can
+// rebuild typed instances from wire images.
+#pragma once
+
+#include <string>
+
+#include "cake/event/event.hpp"
+
+namespace cake::workload {
+
+/// §3 Example 1 / §3.4 Example 4.
+class Stock final : public event::EventOf<Stock> {
+public:
+  Stock(std::string symbol, double price, std::int64_t volume)
+      : symbol_(std::move(symbol)), price_(price), volume_(volume) {}
+  explicit Stock(const event::EventImage& image);
+
+  [[nodiscard]] const std::string& symbol() const noexcept { return symbol_; }
+  [[nodiscard]] double price() const noexcept { return price_; }
+  [[nodiscard]] std::int64_t volume() const noexcept { return volume_; }
+
+private:
+  std::string symbol_;
+  double price_;
+  std::int64_t volume_;
+};
+
+/// Root of the auction hierarchy (§4 Example 5's "Auction" class).
+class Auction : public event::EventOf<Auction> {
+public:
+  Auction(std::string product, double price)
+      : product_(std::move(product)), price_(price) {}
+  explicit Auction(const event::EventImage& image);
+
+  [[nodiscard]] const std::string& product() const noexcept { return product_; }
+  [[nodiscard]] double price() const noexcept { return price_; }
+
+private:
+  std::string product_;
+  double price_;
+};
+
+/// Vehicles add a kind ("Car", "Truck", ...) and a capacity.
+class VehicleAuction : public event::EventOf<VehicleAuction, Auction> {
+public:
+  VehicleAuction(double price, std::string kind, std::int64_t capacity)
+      : EventOf("Vehicle", price), kind_(std::move(kind)), capacity_(capacity) {}
+  explicit VehicleAuction(const event::EventImage& image);
+
+  [[nodiscard]] const std::string& kind() const noexcept { return kind_; }
+  [[nodiscard]] std::int64_t capacity() const noexcept { return capacity_; }
+
+private:
+  std::string kind_;
+  std::int64_t capacity_;
+};
+
+/// Leaf subtype demonstrating multi-level conformance.
+class CarAuction final : public event::EventOf<CarAuction, VehicleAuction> {
+public:
+  CarAuction(double price, std::int64_t capacity, std::int64_t doors)
+      : EventOf(price, "Car", capacity), doors_(doors) {}
+  explicit CarAuction(const event::EventImage& image);
+
+  [[nodiscard]] std::int64_t doors() const noexcept { return doors_; }
+
+private:
+  std::int64_t doors_;
+};
+
+/// §5.2 bibliographic event: author, conference, year, title.
+class Publication final : public event::EventOf<Publication> {
+public:
+  Publication(std::int64_t year, std::string conference, std::string author,
+              std::string title)
+      : year_(year),
+        conference_(std::move(conference)),
+        author_(std::move(author)),
+        title_(std::move(title)) {}
+  explicit Publication(const event::EventImage& image);
+
+  [[nodiscard]] std::int64_t year() const noexcept { return year_; }
+  [[nodiscard]] const std::string& conference() const noexcept { return conference_; }
+  [[nodiscard]] const std::string& author() const noexcept { return author_; }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+private:
+  std::int64_t year_;
+  std::string conference_;
+  std::string author_;
+  std::string title_;
+};
+
+/// Registers all workload types (attributes + codec factories) in the
+/// global registry and codec. Idempotent; call from any test, example or
+/// bench before using these types.
+void ensure_types_registered();
+
+}  // namespace cake::workload

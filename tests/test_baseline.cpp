@@ -1,0 +1,173 @@
+// Unit tests for the §2.1 baseline architectures.
+#include "cake/baseline/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cake/routing/overlay.hpp"
+#include "cake/workload/generators.hpp"
+
+namespace cake::baseline {
+namespace {
+
+using event::EventImage;
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+
+EventImage pub_event(int year, const std::string& author) {
+  return EventImage{
+      "Publication",
+      {{"year", Value{year}}, {"author", Value{author}}}};
+}
+
+TEST(Centralized, DeliversToMatchingSubscribersOnly) {
+  workload::ensure_types_registered();
+  CentralizedServer server;
+  std::vector<std::pair<SubscriberId, std::string>> deliveries;
+  server.set_delivery_handler([&](SubscriberId s, const EventImage& e) {
+    deliveries.emplace_back(s, e.find("author")->as_string());
+  });
+  server.subscribe(FilterBuilder{"Publication"}
+                       .where("author", Op::Eq, Value{"Eugster"})
+                       .build(),
+                   1);
+  server.subscribe(FilterBuilder{"Publication"}
+                       .where("year", Op::Eq, Value{2002})
+                       .build(),
+                   2);
+  server.publish(pub_event(2002, "Eugster"));  // both
+  server.publish(pub_event(1999, "Lamport"));  // neither
+  server.publish(pub_event(2002, "Felber"));   // only 2
+
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(server.stats().events_received, 3u);
+  EXPECT_EQ(server.stats().events_matched, 2u);
+  EXPECT_EQ(server.stats().deliveries, 3u);
+  EXPECT_EQ(server.stats().filters, 2u);
+}
+
+TEST(Centralized, LoadComplexityIsEventsTimesFilters) {
+  CentralizedServer server;
+  for (int i = 0; i < 10; ++i)
+    server.subscribe(FilterBuilder{"Publication"}
+                         .where("year", Op::Eq, Value{1990 + i})
+                         .build(),
+                     static_cast<SubscriberId>(i));
+  for (int e = 0; e < 7; ++e) server.publish(pub_event(2002, "X"));
+  EXPECT_EQ(server.stats().load_complexity, 70u);
+  // By definition the centralized server's RLC is 1.
+  const double rlc = static_cast<double>(server.stats().load_complexity) /
+                     (7.0 * 10.0);
+  EXPECT_DOUBLE_EQ(rlc, 1.0);
+}
+
+TEST(Centralized, WorksWithCountingEngine) {
+  CentralizedServer server{reflect::TypeRegistry::global(),
+                           index::Engine::Counting};
+  int hits = 0;
+  server.set_delivery_handler([&](SubscriberId, const EventImage&) { ++hits; });
+  server.subscribe(FilterBuilder{"Publication"}
+                       .where("author", Op::Eq, Value{"Eugster"})
+                       .build(),
+                   0);
+  server.publish(pub_event(2002, "Eugster"));
+  server.publish(pub_event(2002, "Other"));
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Broadcast, EverySubscriberReceivesEveryEvent) {
+  BroadcastSystem system;
+  const SubscriberId a = system.add_subscriber();
+  const SubscriberId b = system.add_subscriber();
+  system.subscribe(FilterBuilder{"Publication"}
+                       .where("author", Op::Eq, Value{"Eugster"})
+                       .build(),
+                   a);
+  system.subscribe(FilterBuilder{"Publication"}
+                       .where("year", Op::Eq, Value{1999})
+                       .build(),
+                   b);
+  system.publish(pub_event(2002, "Eugster"));
+  system.publish(pub_event(1999, "Lamport"));
+
+  EXPECT_EQ(system.stats().events_published, 2u);
+  EXPECT_EQ(system.stats().messages_sent, 4u);  // flooding: 2 events × 2 subs
+  EXPECT_EQ(system.subscriber_stats(a).events_received, 2u);
+  EXPECT_EQ(system.subscriber_stats(a).events_delivered, 1u);
+  EXPECT_EQ(system.subscriber_stats(b).events_received, 2u);
+  EXPECT_EQ(system.subscriber_stats(b).events_delivered, 1u);
+}
+
+TEST(Broadcast, LocalLoadGrowsWithOwnFiltersOnly) {
+  BroadcastSystem system;
+  const SubscriberId light = system.add_subscriber();
+  const SubscriberId heavy = system.add_subscriber();
+  system.subscribe(FilterBuilder{"Publication"}.build(), light);
+  for (int i = 0; i < 10; ++i)
+    system.subscribe(FilterBuilder{"Publication"}
+                         .where("year", Op::Eq, Value{1990 + i})
+                         .build(),
+                     heavy);
+  system.publish(pub_event(2002, "X"));
+  EXPECT_EQ(system.subscriber_stats(light).load_complexity, 1u);
+  EXPECT_EQ(system.subscriber_stats(heavy).load_complexity, 10u);
+}
+
+TEST(Broadcast, UnknownSubscriberThrows) {
+  BroadcastSystem system;
+  EXPECT_THROW(system.subscribe(FilterBuilder{}.build(), 5), std::out_of_range);
+  EXPECT_THROW((void)system.subscriber_stats(5), std::out_of_range);
+}
+
+// Equivalence: all three architectures deliver identical event sets.
+TEST(Architectures, AgreeOnDeliveredSets) {
+  workload::BiblioGenerator gen{{}, 2024};
+  constexpr int kSubs = 20;
+  constexpr int kEvents = 300;
+
+  std::vector<filter::ConjunctiveFilter> filters;
+  for (int i = 0; i < kSubs; ++i) filters.push_back(gen.next_subscription(i % 3));
+
+  CentralizedServer central;
+  BroadcastSystem broadcast;
+  std::vector<int> central_counts(kSubs, 0);
+  central.set_delivery_handler(
+      [&](SubscriberId s, const EventImage&) { ++central_counts[s]; });
+  for (int i = 0; i < kSubs; ++i) {
+    central.subscribe(filters[i], static_cast<SubscriberId>(i));
+    const SubscriberId b = broadcast.add_subscriber();
+    broadcast.subscribe(filters[i], b);
+  }
+
+  routing::OverlayConfig config;
+  config.stage_counts = {1, 3, 9};
+  routing::Overlay overlay{config};
+  auto& pub = overlay.add_publisher();
+  pub.advertise(workload::BiblioGenerator::schema());
+  overlay.run();
+  std::vector<int> overlay_counts(kSubs, 0);
+  for (int i = 0; i < kSubs; ++i) {
+    overlay.add_subscriber().subscribe(
+        filters[i], [&overlay_counts, i](const EventImage&) { ++overlay_counts[i]; });
+  }
+  overlay.run();
+
+  for (int e = 0; e < kEvents; ++e) {
+    const EventImage image = gen.next_event();
+    central.publish(image);
+    broadcast.publish(image);
+    pub.publish(image);
+  }
+  overlay.run();
+
+  for (int i = 0; i < kSubs; ++i) {
+    EXPECT_EQ(central_counts[i], overlay_counts[i]) << "subscriber " << i;
+    EXPECT_EQ(static_cast<std::uint64_t>(central_counts[i]),
+              broadcast.subscriber_stats(static_cast<SubscriberId>(i))
+                  .events_delivered)
+        << "subscriber " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cake::baseline

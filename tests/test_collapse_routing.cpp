@@ -1,0 +1,186 @@
+// Tests for covering-collapse of upward submissions (§3.4: "we can now
+// ignore filter f1 (and its derivative) and keep only g1" on shared
+// paths): only the antichain of weakened forms under covering travels to
+// the parent, demand re-exposes suppressed forms when the covering form
+// goes away, and end-to-end delivery is unaffected.
+#include <gtest/gtest.h>
+
+#include "cake/routing/overlay.hpp"
+#include "cake/workload/generators.hpp"
+
+namespace cake::routing {
+namespace {
+
+using filter::ConjunctiveFilter;
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+
+/// Captures packets delivered to a node id (local copy of the broker-test
+/// helper, kept small on purpose).
+class Probe {
+public:
+  Probe(sim::Network& net, sim::NodeId id) {
+    net.attach(id, [this](sim::NodeId, const sim::Network::Payload& p) {
+      packets_.push_back(decode(p));
+    });
+  }
+  template <class T>
+  [[nodiscard]] std::vector<T> of() const {
+    std::vector<T> out;
+    for (const Packet& p : packets_)
+      if (const T* msg = std::get_if<T>(&p)) out.push_back(*msg);
+    return out;
+  }
+
+private:
+  std::vector<Packet> packets_;
+};
+
+ConjunctiveFilter price_below(double limit) {
+  return FilterBuilder{"Stock"}
+      .where("symbol", Op::Eq, Value{"Foo"})
+      .where("price", Op::Lt, Value{limit})
+      .build();
+}
+
+class CollapseTest : public ::testing::Test {
+protected:
+  static constexpr sim::NodeId kParent = 100;
+  static constexpr sim::NodeId kSubA = 200;
+  static constexpr sim::NodeId kSubB = 201;
+
+  CollapseTest() { workload::ensure_types_registered(); }
+
+  // A stage-1 broker with covering_collapse on and NO advertised schema:
+  // weakening is the identity, so upward forms are the exact filters and
+  // covering relations between them are visible.
+  void make_broker() {
+    BrokerConfig config;
+    config.covering_collapse = true;
+    broker_ = std::make_unique<Broker>(1, 1, net_, sched_,
+                                       reflect::TypeRegistry::global(), config,
+                                       util::Rng{3});
+    broker_->set_parent(kParent);
+    parent_ = std::make_unique<Probe>(net_, kParent);
+    subA_ = std::make_unique<Probe>(net_, kSubA);
+    subB_ = std::make_unique<Probe>(net_, kSubB);
+    broker_->start();
+  }
+
+  void send(sim::NodeId from, const Packet& packet) {
+    net_.send(from, broker_->id(), encode(packet));
+    sched_.run();
+  }
+
+  sim::Scheduler sched_;
+  sim::Network net_{sched_};
+  std::unique_ptr<Broker> broker_;
+  std::unique_ptr<Probe> parent_;
+  std::unique_ptr<Probe> subA_;
+  std::unique_ptr<Probe> subB_;
+};
+
+TEST_F(CollapseTest, CoveredFormIsNeverSubmitted) {
+  make_broker();
+  // The wide filter arrives first; the narrow one is covered by it.
+  send(kSubA, Subscribe{price_below(11.0), kSubA, 1});
+  send(kSubB, Subscribe{price_below(10.0), kSubB, 1});
+
+  const auto inserts = parent_->of<ReqInsert>();
+  ASSERT_EQ(inserts.size(), 1u);
+  EXPECT_EQ(inserts[0].filter, price_below(11.0));
+  EXPECT_TRUE(parent_->of<Unsub>().empty());
+  EXPECT_EQ(broker_->table().size(), 2u);  // both stored locally
+}
+
+TEST_F(CollapseTest, WiderArrivalRetractsTheCoveredSubmission) {
+  make_broker();
+  send(kSubA, Subscribe{price_below(10.0), kSubA, 1});
+  send(kSubB, Subscribe{price_below(11.0), kSubB, 1});  // covers the first
+
+  const auto inserts = parent_->of<ReqInsert>();
+  ASSERT_EQ(inserts.size(), 2u);  // 10 first, then the covering 11
+  EXPECT_EQ(inserts[1].filter, price_below(11.0));
+  const auto unsubs = parent_->of<Unsub>();
+  ASSERT_EQ(unsubs.size(), 1u);  // the now-covered 10 was retracted
+  EXPECT_EQ(unsubs[0].filter, price_below(10.0));
+}
+
+TEST_F(CollapseTest, RemovingTheCoverReExposesSuppressedForms) {
+  make_broker();
+  send(kSubA, Subscribe{price_below(11.0), kSubA, 1});
+  send(kSubB, Subscribe{price_below(10.0), kSubB, 1});  // suppressed
+
+  // The wide subscriber leaves: its form goes, the narrow one must now be
+  // submitted or events would be lost.
+  send(kSubA, Unsub{price_below(11.0), kSubA});
+  const auto inserts = parent_->of<ReqInsert>();
+  ASSERT_EQ(inserts.size(), 2u);
+  EXPECT_EQ(inserts[1].filter, price_below(10.0));
+  const auto unsubs = parent_->of<Unsub>();
+  ASSERT_EQ(unsubs.size(), 1u);
+  EXPECT_EQ(unsubs[0].filter, price_below(11.0));
+}
+
+TEST_F(CollapseTest, ChainCollapsesToWeakestOnly) {
+  make_broker();
+  send(kSubA, Subscribe{price_below(10.0), kSubA, 1});
+  send(kSubA, Subscribe{price_below(12.0), kSubA, 2});
+  send(kSubB, Subscribe{price_below(11.0), kSubB, 1});
+  send(kSubB, Subscribe{price_below(14.0), kSubB, 2});
+
+  // Whatever the arrival order did, the last word upstream is 14 alone.
+  const auto inserts = parent_->of<ReqInsert>();
+  ASSERT_FALSE(inserts.empty());
+  EXPECT_EQ(inserts.back().filter, price_below(14.0));
+  // Every submitted form except 14 was retracted again.
+  const auto unsubs = parent_->of<Unsub>();
+  std::size_t live = inserts.size();
+  for (const auto& i : inserts) {
+    for (const auto& u : unsubs) {
+      if (u.filter == i.filter) {
+        --live;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(live, 1u);
+}
+
+TEST(CollapseEndToEnd, SafetyHoldsWithCollapseEnabled) {
+  workload::ensure_types_registered();
+  OverlayConfig config;
+  config.stage_counts = {1, 3, 9};
+  config.broker.covering_collapse = true;
+  Overlay overlay{config};
+  auto& pub = overlay.add_publisher();
+  // Deliberately NO advertisement: identity weakening maximizes covering
+  // relations between submitted forms — the collapse's stress case.
+  workload::StockGenerator gen{{}, 77};
+
+  std::vector<filter::ConjunctiveFilter> filters;
+  std::vector<int> received(25, 0), expected(25, 0);
+  for (int i = 0; i < 25; ++i) {
+    filters.push_back(gen.next_subscription());
+    overlay.add_subscriber().subscribe(
+        filters[i],
+        [&received, i](const event::EventImage&) { ++received[i]; });
+    overlay.run();
+  }
+  for (int e = 0; e < 500; ++e) {
+    const auto image = event::image_of(gen.next());
+    for (int i = 0; i < 25; ++i)
+      if (filters[i].matches(image, overlay.registry())) ++expected[i];
+    pub.publish(image);
+  }
+  overlay.run();
+  EXPECT_EQ(received, expected);
+
+  // And the collapse actually did something: the root holds fewer filters
+  // than the 25 exact subscriptions.
+  EXPECT_LT(overlay.root().stats().filters, 25u);
+}
+
+}  // namespace
+}  // namespace cake::routing

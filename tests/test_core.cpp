@@ -1,0 +1,200 @@
+// Unit tests for the public EventSystem façade: typed publish/subscribe,
+// closure filters, subtype subscriptions — the paper's §3.4 programming
+// model end to end.
+#include "cake/core/event_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cake/workload/generators.hpp"
+
+namespace cake::core {
+namespace {
+
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+using workload::Auction;
+using workload::CarAuction;
+using workload::Stock;
+using workload::VehicleAuction;
+
+EventSystem::Config small_config() {
+  EventSystem::Config config;
+  config.overlay.stage_counts = {1, 2, 4};
+  return config;
+}
+
+class CoreTest : public ::testing::Test {
+protected:
+  CoreTest() : sys_(small_config()) {
+    workload::ensure_types_registered();
+    sys_.advertise<Stock>();
+    sys_.advertise<Auction>();
+    sys_.advertise<VehicleAuction>();
+    sys_.advertise<CarAuction>();
+  }
+  EventSystem sys_;
+};
+
+TEST_F(CoreTest, TypedSubscribeReceivesTypedObjects) {
+  auto& sub = sys_.make_subscriber();
+  std::vector<std::string> symbols;
+  sub.subscribe<Stock>(FilterBuilder{"Stock"}
+                           .where("symbol", Op::Eq, Value{"Foo"})
+                           .where("price", Op::Lt, Value{10.0})
+                           .build(),
+                       [&](const Stock& s) { symbols.push_back(s.symbol()); });
+  sys_.run();
+  sys_.publish(Stock{"Foo", 9.0, 100});
+  sys_.publish(Stock{"Foo", 11.0, 100});
+  sys_.publish(Stock{"Bar", 9.0, 100});
+  sys_.run();
+  EXPECT_EQ(symbols, std::vector<std::string>{"Foo"});
+}
+
+TEST_F(CoreTest, PaperBuyFilterClosure) {
+  // §3.4 Filter Interpretation: BuyFilter("Foo", 10.0, 0.95) — cheap Foo
+  // quotes whose price dropped below 95% of the previous matching quote.
+  auto& sub = sys_.make_subscriber();
+  std::vector<double> bought;
+  double last = 0.0;
+  sub.subscribe<Stock>(
+      FilterBuilder{"Stock"}
+          .where("symbol", Op::Eq, Value{"Foo"})
+          .where("price", Op::Lt, Value{10.0})
+          .build(),
+      [&](const Stock& s) { bought.push_back(s.price()); },
+      [&last](const Stock& s) {
+        const double price = s.price();
+        const bool match = last == 0.0 || price <= last * 0.95;
+        last = price;
+        return match;
+      });
+  sys_.run();
+  for (double price : {9.0, 8.9, 8.0, 12.0, 7.0}) {
+    sys_.publish(Stock{"Foo", price, 100});
+    sys_.run();
+  }
+  // 9.0 first match; 8.9 > 8.55 no; 8.0 <= 8.455 yes; 12 filtered by price;
+  // 7.0 <= 7.6 yes.
+  EXPECT_EQ(bought, (std::vector<double>{9.0, 8.0, 7.0}));
+}
+
+TEST_F(CoreTest, DefaultTypeConstraintIncludesSubtypes) {
+  auto& sub = sys_.make_subscriber();
+  int count = 0;
+  // No explicit type in the filter: subscribe<Auction> adds Auction+subtypes.
+  sub.subscribe<Auction>(FilterBuilder{}.build(),
+                         [&](const Auction&) { ++count; });
+  sys_.run();
+  sys_.publish(Auction{"Estate", 100.0});
+  sys_.publish(VehicleAuction{200.0, "Van", 4});
+  sys_.publish(CarAuction{300.0, 4, 5});
+  sys_.publish(Stock{"Foo", 1.0, 1});
+  sys_.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(CoreTest, SubtypeHandlerSeesMostDerivedState) {
+  auto& sub = sys_.make_subscriber();
+  std::vector<std::string> kinds;
+  sub.subscribe<VehicleAuction>(FilterBuilder{}.build(),
+                                [&](const VehicleAuction& v) {
+                                  kinds.push_back(v.kind());
+                                });
+  sys_.run();
+  sys_.publish(VehicleAuction{200.0, "Van", 4});
+  sys_.publish(CarAuction{300.0, 4, 5});  // Car is-a Vehicle
+  sys_.run();
+  EXPECT_EQ(kinds, (std::vector<std::string>{"Van", "Car"}));
+}
+
+TEST_F(CoreTest, TypedCompositeSubscription) {
+  auto& sub = sys_.make_subscriber();
+  int count = 0;
+  sub.subscribe_any<Stock>(
+      {FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"Foo"}).build(),
+       FilterBuilder{"Stock"}.where("price", Op::Lt, Value{5.0}).build()},
+      [&](const Stock&) { ++count; });
+  sys_.run();
+  sys_.publish(Stock{"Foo", 3.0, 1});   // both disjuncts: once
+  sys_.publish(Stock{"Foo", 50.0, 1});  // symbol only
+  sys_.publish(Stock{"Bar", 3.0, 1});   // price only
+  sys_.publish(Stock{"Bar", 50.0, 1});  // neither
+  sys_.run();
+  EXPECT_EQ(count, 3);
+}
+
+TEST_F(CoreTest, DurableSubscriptionThroughFacade) {
+  auto& sub = sys_.make_subscriber();
+  std::vector<double> prices;
+  sub.subscribe<Stock>(
+      FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"Foo"}).build(),
+      [&](const Stock& s) { prices.push_back(s.price()); }, {},
+      /*durable=*/true);
+  sys_.run();
+  sub.detach();
+  sys_.run();
+  sys_.publish(Stock{"Foo", 7.0, 1});
+  sys_.run();
+  EXPECT_TRUE(prices.empty());
+  sub.resume();
+  sys_.run();
+  EXPECT_EQ(prices, std::vector<double>{7.0});
+}
+
+TEST_F(CoreTest, ImageSubscriptionBypassesTypedDecode) {
+  auto& sub = sys_.make_subscriber();
+  std::vector<std::string> types;
+  sub.subscribe_images(FilterBuilder{"Stock"}.build(),
+                       [&](const event::EventImage& e) {
+                         types.push_back(e.type_name());
+                       });
+  sys_.run();
+  sys_.publish(Stock{"Foo", 1.0, 1});
+  sys_.run();
+  EXPECT_EQ(types, std::vector<std::string>{"Stock"});
+}
+
+TEST_F(CoreTest, UnsubscribeViaFacade) {
+  auto& sub = sys_.make_subscriber();
+  int count = 0;
+  const auto token = sub.subscribe<Stock>(FilterBuilder{"Stock"}.build(),
+                                          [&](const Stock&) { ++count; });
+  sys_.run();
+  sys_.publish(Stock{"Foo", 1.0, 1});
+  sys_.run();
+  sub.unsubscribe(token);
+  sys_.run();
+  sys_.publish(Stock{"Foo", 1.0, 1});
+  sys_.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(CoreTest, SchemaStagesDefaultCoversOverlayDepth) {
+  EXPECT_EQ(sys_.schema_stages(), 4u);  // 3 broker stages + subscriber level
+  EventSystem::Config config = small_config();
+  config.schema_stages = 2;
+  EventSystem custom{config};
+  EXPECT_EQ(custom.schema_stages(), 2u);
+}
+
+TEST_F(CoreTest, RunForAdvancesVirtualTimeOnly) {
+  const sim::Time before = sys_.overlay().scheduler().now();
+  sys_.run_for(5'000'000);
+  EXPECT_EQ(sys_.overlay().scheduler().now(), before + 5'000'000);
+}
+
+TEST_F(CoreTest, StatsVisibleThroughFacade) {
+  auto& sub = sys_.make_subscriber();
+  sub.subscribe<Stock>(
+      FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"Foo"}).build(),
+      [](const Stock&) {});
+  sys_.run();
+  sys_.publish(Stock{"Foo", 1.0, 1});
+  sys_.run();
+  EXPECT_EQ(sub.stats().events_delivered, 1u);
+}
+
+}  // namespace
+}  // namespace cake::core

@@ -1,0 +1,126 @@
+// Tests for the paper's type-evolution claim (§2.1): "publishers can
+// easily extend the hierarchy and create new event (sub)types without
+// requiring subscribers to update their subscriptions" — plus the
+// encapsulation guarantee that brokers never need application code.
+#include <gtest/gtest.h>
+
+#include "cake/routing/overlay.hpp"
+#include "cake/workload/generators.hpp"
+
+namespace cake {
+namespace {
+
+using event::EventImage;
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+
+// A subtype that did not exist when the subscriptions were installed.
+class TruckAuction final
+    : public event::EventOf<TruckAuction, workload::VehicleAuction> {
+public:
+  TruckAuction(double price, std::int64_t capacity, std::int64_t axles)
+      : EventOf(price, "Truck", capacity), axles_(axles) {}
+  [[nodiscard]] std::int64_t axles() const noexcept { return axles_; }
+
+private:
+  std::int64_t axles_;
+};
+
+TEST(TypeEvolution, NewSubtypeReachesExistingSubscriptionsUnchanged) {
+  workload::ensure_types_registered();
+  routing::OverlayConfig config;
+  config.stage_counts = {1, 2, 4};
+  routing::Overlay overlay{config};
+  auto& pub = overlay.add_publisher();
+  auto& registry = reflect::TypeRegistry::global();
+  pub.advertise(weaken::StageSchema::drop_one_per_stage(
+      registry.get("VehicleAuction"), 4));
+  overlay.run();
+
+  // Subscribe to the *existing* hierarchy level, before the subtype exists.
+  auto& fleet_buyer = overlay.add_subscriber();
+  std::vector<std::string> kinds;
+  fleet_buyer.subscribe(FilterBuilder{"VehicleAuction", true}
+                            .where("price", Op::Lt, Value{50'000.0})
+                            .build(),
+                        [&](const EventImage& e) {
+                          kinds.push_back(e.find("kind")->as_string());
+                        });
+  overlay.run();
+
+  // NOW the publisher extends the hierarchy — no subscriber involvement.
+  if (!registry.contains<TruckAuction>()) {
+    reflect::TypeBuilder<TruckAuction>{registry, "TruckAuction"}
+        .base<workload::VehicleAuction>()
+        .attr("axles", &TruckAuction::axles)
+        .finalize();
+  }
+  pub.advertise(weaken::StageSchema::drop_one_per_stage(
+      registry.get("TruckAuction"), 4));
+  overlay.run();
+
+  pub.publish(TruckAuction{30'000.0, 24, 3});
+  pub.publish(TruckAuction{90'000.0, 40, 5});  // above the price limit
+  pub.publish(workload::VehicleAuction{20'000.0, "Van", 8});
+  overlay.run();
+
+  // The pre-existing subscription caught the brand-new subtype.
+  EXPECT_EQ(kinds, (std::vector<std::string>{"Truck", "Van"}));
+
+  // Its image carries the inherited attributes first and the new one last.
+  const EventImage image = event::image_of(TruckAuction{1.0, 2, 3});
+  EXPECT_EQ(image.type_name(), "TruckAuction");
+  ASSERT_EQ(image.attributes().size(), 5u);
+  EXPECT_EQ(image.attributes().front().name, "product");
+  EXPECT_EQ(image.attributes().back().name, "axles");
+}
+
+// A type whose instances brokers can route but never reconstruct: no
+// codec factory exists anywhere — encapsulation means the network layer
+// needs none.
+class SealedReading final : public event::EventOf<SealedReading> {
+public:
+  explicit SealedReading(double celsius) : celsius_(celsius) {}
+  [[nodiscard]] double celsius() const noexcept { return celsius_; }
+
+private:
+  double celsius_;
+};
+
+TEST(Encapsulation, BrokersRouteTypesWithoutAnyFactory) {
+  workload::ensure_types_registered();
+  auto& registry = reflect::TypeRegistry::global();
+  if (!registry.contains<SealedReading>()) {
+    reflect::TypeBuilder<SealedReading>{registry, "SealedReading"}
+        .attr("celsius", &SealedReading::celsius)
+        .finalize();
+  }
+  ASSERT_FALSE(event::EventCodec::global().can_decode("SealedReading"));
+
+  routing::OverlayConfig config;
+  config.stage_counts = {1, 2};
+  routing::Overlay overlay{config};
+  auto& pub = overlay.add_publisher();
+  pub.advertise(
+      weaken::StageSchema::drop_one_per_stage(registry.get<SealedReading>(), 3));
+  overlay.run();
+
+  auto& monitor = overlay.add_subscriber();
+  std::vector<double> readings;
+  monitor.subscribe(FilterBuilder{"SealedReading"}
+                        .where("celsius", Op::Gt, Value{30.0})
+                        .build(),
+                    [&](const EventImage& e) {
+                      readings.push_back(*e.find("celsius")->as_number());
+                    });
+  overlay.run();
+
+  pub.publish(SealedReading{35.5});
+  pub.publish(SealedReading{20.0});
+  overlay.run();
+  EXPECT_EQ(readings, std::vector<double>{35.5});
+}
+
+}  // namespace
+}  // namespace cake

@@ -1,0 +1,153 @@
+// Randomized robustness ("fuzz") tests: whatever bytes arrive on a link,
+// decoding either succeeds or throws WireError — it never crashes, loops
+// or reads out of bounds. This is the property that lets brokers simply
+// drop malformed frames and keep running.
+#include <gtest/gtest.h>
+
+#include "cake/routing/overlay.hpp"
+#include "cake/util/rng.hpp"
+#include "cake/workload/generators.hpp"
+
+namespace cake {
+namespace {
+
+using util::Rng;
+
+std::vector<std::byte> random_bytes(Rng& rng, std::size_t max_len) {
+  std::vector<std::byte> bytes(rng.below(max_len + 1));
+  for (auto& b : bytes) b = static_cast<std::byte>(rng.below(256));
+  return bytes;
+}
+
+TEST(Fuzz, RandomGarbageNeverCrashesPacketDecode) {
+  Rng rng{0xF422};
+  for (int trial = 0; trial < 20'000; ++trial) {
+    const auto bytes = random_bytes(rng, 64);
+    try {
+      (void)routing::decode(bytes);
+    } catch (const wire::WireError&) {
+      // expected for almost every input
+    }
+  }
+}
+
+TEST(Fuzz, MutatedValidFramesNeverCrashPacketDecode) {
+  workload::ensure_types_registered();
+  workload::BiblioGenerator gen{{}, 77};
+  Rng rng{0xF423};
+
+  std::vector<sim::Network::Payload> seeds;
+  seeds.push_back(routing::encode(routing::Packet{
+      routing::Subscribe{gen.next_subscription(), 42, 7, true}}));
+  seeds.push_back(
+      routing::encode(routing::Packet{routing::EventMsg{gen.next_event()}}));
+  seeds.push_back(routing::encode(
+      routing::Packet{routing::Advertise{workload::BiblioGenerator::schema()}}));
+  seeds.push_back(routing::encode(
+      routing::Packet{routing::ReqInsert{gen.next_subscription(1), 3}}));
+
+  int decoded_ok = 0;
+  for (int trial = 0; trial < 20'000; ++trial) {
+    auto frame = seeds[rng.below(seeds.size())];
+    // Between 1 and 8 random byte mutations (flip / overwrite / truncate).
+    const std::size_t mutations = 1 + rng.below(8);
+    for (std::size_t m = 0; m < mutations && !frame.empty(); ++m) {
+      switch (rng.below(3)) {
+        case 0:
+          frame[rng.below(frame.size())] ^= static_cast<std::byte>(1 + rng.below(255));
+          break;
+        case 1:
+          frame[rng.below(frame.size())] = static_cast<std::byte>(rng.below(256));
+          break;
+        case 2:
+          frame.resize(rng.below(frame.size() + 1));
+          break;
+      }
+    }
+    try {
+      (void)routing::decode(frame);
+      ++decoded_ok;  // checksum collision or benign mutation: fine
+    } catch (const wire::WireError&) {
+    }
+  }
+  // The checksum makes survivors rare but the test's real assertion is
+  // "no crash"; keep a sanity bound so the loop demonstrably ran.
+  EXPECT_LT(decoded_ok, 20'000);
+}
+
+TEST(Fuzz, EventImageDecodeIsBoundsChecked) {
+  Rng rng{0xF424};
+  for (int trial = 0; trial < 20'000; ++trial) {
+    const auto bytes = random_bytes(rng, 48);
+    wire::Reader reader{bytes};
+    try {
+      (void)event::EventImage::decode(reader);
+    } catch (const wire::WireError&) {
+    }
+  }
+}
+
+TEST(Fuzz, FilterDecodeIsBoundsChecked) {
+  Rng rng{0xF425};
+  for (int trial = 0; trial < 20'000; ++trial) {
+    const auto bytes = random_bytes(rng, 48);
+    wire::Reader reader{bytes};
+    try {
+      (void)filter::ConjunctiveFilter::decode(reader);
+    } catch (const wire::WireError&) {
+    }
+  }
+}
+
+TEST(Fuzz, SchemaDecodeRejectsNonMonotoneInput) {
+  // StageSchema::decode reads raw vectors; corrupt stage sets must not
+  // bypass the monotonicity invariant when fed into a schema-consuming
+  // path. decode() itself is permissive; this asserts the wire layer never
+  // crashes and the explicit constructor still enforces the invariant.
+  Rng rng{0xF426};
+  for (int trial = 0; trial < 10'000; ++trial) {
+    const auto bytes = random_bytes(rng, 48);
+    wire::Reader reader{bytes};
+    try {
+      (void)weaken::StageSchema::decode(reader);
+    } catch (const wire::WireError&) {
+    }
+  }
+  EXPECT_THROW(weaken::StageSchema("T", {{"a"}, {"b"}}), std::invalid_argument);
+}
+
+TEST(Fuzz, LiveBrokerSurvivesGarbageStorm) {
+  workload::ensure_types_registered();
+  routing::OverlayConfig config;
+  config.stage_counts = {1, 2};
+  routing::Overlay overlay{config};
+  auto& pub = overlay.add_publisher();
+  pub.advertise(workload::BiblioGenerator::schema());
+  overlay.run();
+
+  auto& sub = overlay.add_subscriber();
+  int count = 0;
+  sub.subscribe(filter::FilterBuilder{"Publication"}
+                    .where("year", filter::Op::Eq, value::Value{2002})
+                    .build(),
+                [&](const event::EventImage&) { ++count; });
+  overlay.run();
+
+  Rng rng{0xF427};
+  for (int i = 0; i < 500; ++i) {
+    overlay.network().send(999, rng.below(4),  // brokers and endpoints alike
+                           random_bytes(rng, 40));
+  }
+  overlay.run();
+
+  pub.publish(event::EventImage{"Publication",
+                                {{"year", value::Value{2002}},
+                                 {"conference", value::Value{"ICDCS"}},
+                                 {"author", value::Value{"E"}},
+                                 {"title", value::Value{"t"}}}});
+  overlay.run();
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace cake

@@ -1,0 +1,240 @@
+// Unit + oracle tests for matching engines: the counting index must agree
+// exactly with the naive Fig. 6 table on randomized workloads.
+#include "cake/index/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cake/event/event.hpp"
+#include "cake/util/rng.hpp"
+#include "cake/workload/generators.hpp"
+
+namespace cake::index {
+namespace {
+
+using event::EventImage;
+using event::image_of;
+using filter::ConjunctiveFilter;
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+using workload::Auction;
+using workload::CarAuction;
+using workload::Stock;
+using workload::VehicleAuction;
+
+class IndexTest : public ::testing::TestWithParam<Engine> {
+protected:
+  void SetUp() override {
+    workload::ensure_types_registered();
+    index_ = make_index(GetParam());
+  }
+
+  std::vector<FilterId> match(const EventImage& image) {
+    std::vector<FilterId> out;
+    index_->match(image, out);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  std::unique_ptr<MatchIndex> index_;
+};
+
+TEST_P(IndexTest, EmptyIndexMatchesNothing) {
+  EXPECT_TRUE(match(image_of(Stock{"Foo", 1.0, 1})).empty());
+  EXPECT_EQ(index_->size(), 0u);
+}
+
+TEST_P(IndexTest, SingleEqualityFilter) {
+  const FilterId id = index_->add(
+      FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"Foo"}).build());
+  EXPECT_EQ(match(image_of(Stock{"Foo", 1.0, 1})), std::vector<FilterId>{id});
+  EXPECT_TRUE(match(image_of(Stock{"Bar", 1.0, 1})).empty());
+}
+
+TEST_P(IndexTest, ConjunctionRequiresAllPredicates) {
+  const FilterId id = index_->add(FilterBuilder{"Stock"}
+                                      .where("symbol", Op::Eq, Value{"Foo"})
+                                      .where("price", Op::Lt, Value{10.0})
+                                      .build());
+  EXPECT_EQ(match(image_of(Stock{"Foo", 9.0, 1})), std::vector<FilterId>{id});
+  EXPECT_TRUE(match(image_of(Stock{"Foo", 11.0, 1})).empty());
+  EXPECT_TRUE(match(image_of(Stock{"Bar", 9.0, 1})).empty());
+}
+
+TEST_P(IndexTest, AcceptAllFilterMatchesEverything) {
+  const FilterId id = index_->add(ConjunctiveFilter::accept_all());
+  EXPECT_EQ(match(image_of(Stock{"Foo", 1.0, 1})), std::vector<FilterId>{id});
+  EXPECT_EQ(match(EventImage{"Ghost", {}}), std::vector<FilterId>{id});
+}
+
+TEST_P(IndexTest, SubtypeInclusiveTypeFilter) {
+  const FilterId id = index_->add(FilterBuilder{"Auction", true}.build());
+  EXPECT_EQ(match(image_of(CarAuction{1.0, 2, 4})), std::vector<FilterId>{id});
+  EXPECT_EQ(match(image_of(Auction{"Estate", 1.0})), std::vector<FilterId>{id});
+  EXPECT_TRUE(match(image_of(Stock{"Foo", 1.0, 1})).empty());
+}
+
+TEST_P(IndexTest, ExactTypeFilterRejectsSubtypes) {
+  const FilterId id = index_->add(FilterBuilder{"Auction", false}.build());
+  EXPECT_EQ(match(image_of(Auction{"Estate", 1.0})), std::vector<FilterId>{id});
+  EXPECT_TRUE(match(image_of(VehicleAuction{1.0, "Van", 3})).empty());
+}
+
+TEST_P(IndexTest, RemoveStopsMatching) {
+  const FilterId id = index_->add(
+      FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"Foo"}).build());
+  index_->remove(id);
+  EXPECT_TRUE(match(image_of(Stock{"Foo", 1.0, 1})).empty());
+  EXPECT_EQ(index_->size(), 0u);
+  EXPECT_EQ(index_->find(id), nullptr);
+  index_->remove(id);  // idempotent
+  index_->remove(12345);
+}
+
+TEST_P(IndexTest, FindReturnsStoredFilter) {
+  const ConjunctiveFilter f =
+      FilterBuilder{"Stock"}.where("price", Op::Gt, Value{5.0}).build();
+  const FilterId id = index_->add(f);
+  ASSERT_NE(index_->find(id), nullptr);
+  EXPECT_EQ(*index_->find(id), f);
+}
+
+TEST_P(IndexTest, DuplicateRangeConstraintsOnOneAttribute) {
+  const FilterId id = index_->add(FilterBuilder{"Stock"}
+                                      .where("price", Op::Gt, Value{5.0})
+                                      .where("price", Op::Lt, Value{10.0})
+                                      .build());
+  EXPECT_EQ(match(image_of(Stock{"X", 7.0, 1})), std::vector<FilterId>{id});
+  EXPECT_TRUE(match(image_of(Stock{"X", 4.0, 1})).empty());
+  EXPECT_TRUE(match(image_of(Stock{"X", 12.0, 1})).empty());
+}
+
+TEST_P(IndexTest, WildcardConstraintsAreTriviallySatisfied) {
+  const FilterId id = index_->add(FilterBuilder{"Stock"}
+                                      .where("symbol", Op::Eq, Value{"Foo"})
+                                      .where("price", Op::Any)
+                                      .build());
+  EXPECT_EQ(match(image_of(Stock{"Foo", 1e9, 1})), std::vector<FilterId>{id});
+}
+
+TEST_P(IndexTest, ManyFiltersSelectSubset) {
+  std::vector<FilterId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(index_->add(FilterBuilder{"Stock"}
+                                  .where("price", Op::Lt, Value{double(i)})
+                                  .build()));
+  }
+  const auto matched = match(image_of(Stock{"Foo", 9.5, 1}));
+  // prices 10..19 are above 9.5
+  std::vector<FilterId> expected(ids.begin() + 10, ids.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(matched, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, IndexTest,
+                         ::testing::Values(Engine::Naive, Engine::Counting,
+                                           Engine::Trie),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Engine::Naive: return "Naive";
+                             case Engine::Counting: return "Counting";
+                             default: return "Trie";
+                           }
+                         });
+
+TEST(TrieStructure, SharedPrefixesShareNodes) {
+  workload::ensure_types_registered();
+  TrieIndex trie{reflect::TypeRegistry::global()};
+  // 20 filters sharing (year, conference), unique authors.
+  for (int i = 0; i < 20; ++i) {
+    trie.add(FilterBuilder{"Publication"}
+                 .where("year", Op::Eq, Value{2002})
+                 .where("conference", Op::Eq, Value{"ICDCS"})
+                 .where("author", Op::Eq, Value{"a" + std::to_string(i)})
+                 .build());
+  }
+  // root + year + conference + 20 author leaves = 23 nodes, not 20×3.
+  EXPECT_EQ(trie.node_count(), 23u);
+}
+
+TEST(TrieStructure, NonEqualityFiltersTerminateAtTheSharedPrefix) {
+  workload::ensure_types_registered();
+  TrieIndex trie{reflect::TypeRegistry::global()};
+  const FilterId id = trie.add(FilterBuilder{"Stock"}
+                                   .where("symbol", Op::Eq, Value{"Foo"})
+                                   .where("price", Op::Lt, Value{10.0})
+                                   .build());
+  EXPECT_EQ(trie.node_count(), 2u);  // root + (symbol, Foo)
+  std::vector<FilterId> out;
+  trie.match(event::image_of(Stock{"Foo", 5.0, 1}), out);
+  EXPECT_EQ(out, std::vector<FilterId>{id});
+  trie.match(event::image_of(Stock{"Foo", 15.0, 1}), out);
+  EXPECT_TRUE(out.empty());
+}
+
+// Oracle property: both engines agree on thousands of random
+// (filters, events) combinations across all workload domains.
+TEST(IndexOracle, CountingAgreesWithNaiveOnRandomWorkloads) {
+  workload::ensure_types_registered();
+  util::Rng rng{31337};
+  workload::BiblioGenerator biblio{{}, 11};
+  workload::StockGenerator stocks{{}, 12};
+  workload::AuctionGenerator auctions{{}, 13};
+
+  NaiveTable naive{reflect::TypeRegistry::global()};
+  CountingIndex counting{reflect::TypeRegistry::global()};
+  TrieIndex trie{reflect::TypeRegistry::global()};
+
+  // A mixed filter population, including type-only and wildcard shapes.
+  for (int i = 0; i < 150; ++i) {
+    ConjunctiveFilter f;
+    switch (rng.below(5)) {
+      case 0: f = biblio.next_subscription(); break;
+      case 1: f = biblio.next_subscription(rng.below(4)); break;
+      case 2: f = stocks.next_subscription(); break;
+      case 3:
+        f = FilterBuilder{"Auction", true}
+                .where("price", Op::Lt, Value{1000.0 + 49'000.0 * rng.uniform()})
+                .build();
+        break;
+      case 4: f = FilterBuilder{"VehicleAuction", rng.chance(0.5)}.build(); break;
+    }
+    const FilterId a = naive.add(f);
+    const FilterId b = counting.add(f);
+    const FilterId c = trie.add(f);
+    ASSERT_EQ(a, b);
+    ASSERT_EQ(a, c);
+    // Churn: occasionally remove a random earlier filter from all.
+    if (rng.chance(0.15)) {
+      const FilterId victim = rng.below(a + 1);
+      naive.remove(victim);
+      counting.remove(victim);
+      trie.remove(victim);
+    }
+  }
+  ASSERT_EQ(naive.size(), counting.size());
+  ASSERT_EQ(naive.size(), trie.size());
+
+  std::vector<FilterId> out_naive, out_counting, out_trie;
+  for (int i = 0; i < 2000; ++i) {
+    EventImage image;
+    switch (rng.below(3)) {
+      case 0: image = biblio.next_event(); break;
+      case 1: image = image_of(stocks.next()); break;
+      case 2: image = image_of(*auctions.next()); break;
+    }
+    naive.match(image, out_naive);
+    counting.match(image, out_counting);
+    trie.match(image, out_trie);
+    std::sort(out_naive.begin(), out_naive.end());
+    std::sort(out_counting.begin(), out_counting.end());
+    std::sort(out_trie.begin(), out_trie.end());
+    ASSERT_EQ(out_naive, out_counting) << "event " << image.to_string();
+    ASSERT_EQ(out_naive, out_trie) << "event " << image.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace cake::index

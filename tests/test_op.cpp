@@ -1,0 +1,83 @@
+// Unit + parameterized tests for constraint operators.
+#include "cake/filter/op.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cake::filter {
+namespace {
+
+using value::Value;
+
+TEST(Op, ToStringSymbols) {
+  EXPECT_EQ(to_string(Op::Eq), "=");
+  EXPECT_EQ(to_string(Op::Ne), "!=");
+  EXPECT_EQ(to_string(Op::Lt), "<");
+  EXPECT_EQ(to_string(Op::Le), "<=");
+  EXPECT_EQ(to_string(Op::Gt), ">");
+  EXPECT_EQ(to_string(Op::Ge), ">=");
+  EXPECT_EQ(to_string(Op::Prefix), "prefix");
+  EXPECT_EQ(to_string(Op::Exists), "exists");
+  EXPECT_EQ(to_string(Op::Any), "ALL");
+}
+
+struct ApplyCase {
+  Op op;
+  Value event_value;
+  Value operand;
+  bool expected;
+};
+
+class ApplyTable : public ::testing::TestWithParam<ApplyCase> {};
+
+TEST_P(ApplyTable, Applies) {
+  const ApplyCase& c = GetParam();
+  EXPECT_EQ(applies(c.op, c.event_value, c.operand), c.expected)
+      << to_string(c.op) << " event=" << c.event_value.to_string()
+      << " operand=" << c.operand.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Equality, ApplyTable,
+    ::testing::Values(ApplyCase{Op::Eq, Value{"Foo"}, Value{"Foo"}, true},
+                      ApplyCase{Op::Eq, Value{"Foo"}, Value{"Bar"}, false},
+                      ApplyCase{Op::Eq, Value{10}, Value{10.0}, true},
+                      ApplyCase{Op::Eq, Value{10}, Value{11}, false},
+                      ApplyCase{Op::Eq, Value{true}, Value{true}, true},
+                      ApplyCase{Op::Eq, Value{"1"}, Value{1}, false},
+                      ApplyCase{Op::Ne, Value{"Foo"}, Value{"Bar"}, true},
+                      ApplyCase{Op::Ne, Value{5}, Value{5.0}, false},
+                      ApplyCase{Op::Ne, Value{"1"}, Value{1}, true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Ordering, ApplyTable,
+    ::testing::Values(ApplyCase{Op::Lt, Value{9.0}, Value{10.0}, true},
+                      ApplyCase{Op::Lt, Value{10.0}, Value{10.0}, false},
+                      ApplyCase{Op::Lt, Value{9}, Value{10.0}, true},
+                      ApplyCase{Op::Le, Value{10.0}, Value{10.0}, true},
+                      ApplyCase{Op::Le, Value{10.5}, Value{10.0}, false},
+                      ApplyCase{Op::Gt, Value{11}, Value{10}, true},
+                      ApplyCase{Op::Gt, Value{10}, Value{10}, false},
+                      ApplyCase{Op::Ge, Value{10}, Value{10}, true},
+                      ApplyCase{Op::Ge, Value{9}, Value{10}, false},
+                      ApplyCase{Op::Lt, Value{"abc"}, Value{"abd"}, true},
+                      ApplyCase{Op::Gt, Value{"b"}, Value{"a"}, true},
+                      // incomparable kinds evaluate to false, never throw
+                      ApplyCase{Op::Lt, Value{"5"}, Value{10}, false},
+                      ApplyCase{Op::Ge, Value{true}, Value{1}, false},
+                      ApplyCase{Op::Lt, Value{}, Value{1}, false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    PrefixExistsAny, ApplyTable,
+    ::testing::Values(ApplyCase{Op::Prefix, Value{"foobar"}, Value{"foo"}, true},
+                      ApplyCase{Op::Prefix, Value{"foo"}, Value{"foobar"}, false},
+                      ApplyCase{Op::Prefix, Value{"foo"}, Value{"foo"}, true},
+                      ApplyCase{Op::Prefix, Value{"foo"}, Value{""}, true},
+                      ApplyCase{Op::Prefix, Value{12}, Value{"1"}, false},
+                      ApplyCase{Op::Prefix, Value{"1"}, Value{1}, false},
+                      ApplyCase{Op::Exists, Value{"x"}, Value{}, true},
+                      ApplyCase{Op::Exists, Value{0}, Value{"ignored"}, true},
+                      ApplyCase{Op::Any, Value{"x"}, Value{}, true},
+                      ApplyCase{Op::Any, Value{}, Value{}, true}));
+
+}  // namespace
+}  // namespace cake::filter

@@ -1,0 +1,146 @@
+// Tests for the sound disjointness test behind advertisement-based
+// routing: overlaps(a, b) == false must imply no event matches both.
+#include <gtest/gtest.h>
+
+#include "cake/filter/filter.hpp"
+#include "cake/util/rng.hpp"
+#include "cake/workload/generators.hpp"
+
+namespace cake::filter {
+namespace {
+
+using value::Value;
+
+const reflect::TypeRegistry& reg() { return reflect::TypeRegistry::global(); }
+
+class OverlapsTest : public ::testing::Test {
+protected:
+  OverlapsTest() { workload::ensure_types_registered(); }
+};
+
+TEST_F(OverlapsTest, DisjointPointsOnOneAttribute) {
+  const auto a = FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"A"}).build();
+  const auto b = FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"B"}).build();
+  EXPECT_FALSE(overlaps(a, b, reg()));
+  EXPECT_FALSE(overlaps(b, a, reg()));
+  EXPECT_TRUE(overlaps(a, a, reg()));
+}
+
+TEST_F(OverlapsTest, DisjointRanges) {
+  const auto low = FilterBuilder{"Stock"}.where("price", Op::Lt, Value{5.0}).build();
+  const auto high = FilterBuilder{"Stock"}.where("price", Op::Gt, Value{10.0}).build();
+  const auto mid = FilterBuilder{"Stock"}.where("price", Op::Gt, Value{3.0}).build();
+  EXPECT_FALSE(overlaps(low, high, reg()));
+  EXPECT_TRUE(overlaps(low, mid, reg()));
+}
+
+TEST_F(OverlapsTest, TouchingBoundsNeedInclusiveEnds) {
+  const auto le = FilterBuilder{}.where("p", Op::Le, Value{5.0}).build();
+  const auto ge = FilterBuilder{}.where("p", Op::Ge, Value{5.0}).build();
+  const auto lt = FilterBuilder{}.where("p", Op::Lt, Value{5.0}).build();
+  const auto gt = FilterBuilder{}.where("p", Op::Gt, Value{5.0}).build();
+  EXPECT_TRUE(overlaps(le, ge, reg()));   // exactly 5.0
+  EXPECT_FALSE(overlaps(lt, ge, reg()));
+  EXPECT_FALSE(overlaps(le, gt, reg()));
+  EXPECT_FALSE(overlaps(lt, gt, reg()));
+}
+
+TEST_F(OverlapsTest, PointAgainstRange) {
+  const auto point = FilterBuilder{}.where("p", Op::Eq, Value{7.0}).build();
+  EXPECT_TRUE(overlaps(point,
+                       FilterBuilder{}.where("p", Op::Lt, Value{10.0}).build(),
+                       reg()));
+  EXPECT_FALSE(overlaps(point,
+                        FilterBuilder{}.where("p", Op::Lt, Value{5.0}).build(),
+                        reg()));
+}
+
+TEST_F(OverlapsTest, DisjointTypes) {
+  const auto stock = FilterBuilder{"Stock"}.build();
+  const auto pub = FilterBuilder{"Publication"}.build();
+  const auto anything = FilterBuilder{}.build();
+  EXPECT_FALSE(overlaps(stock, pub, reg()));
+  EXPECT_TRUE(overlaps(stock, anything, reg()));
+}
+
+TEST_F(OverlapsTest, TypeHierarchyOverlap) {
+  const auto auction_tree = FilterBuilder{"Auction", true}.build();
+  const auto car_exact = FilterBuilder{"CarAuction", false}.build();
+  const auto vehicle_tree = FilterBuilder{"VehicleAuction", true}.build();
+  const auto auction_exact = FilterBuilder{"Auction", false}.build();
+  EXPECT_TRUE(overlaps(auction_tree, car_exact, reg()));
+  EXPECT_TRUE(overlaps(auction_tree, vehicle_tree, reg()));
+  EXPECT_TRUE(overlaps(vehicle_tree, car_exact, reg()));
+  // Exact Auction instances are not vehicles.
+  EXPECT_FALSE(overlaps(auction_exact, vehicle_tree, reg()));
+  EXPECT_FALSE(overlaps(car_exact, FilterBuilder{"Stock", true}.build(), reg()));
+}
+
+TEST_F(OverlapsTest, PrefixCompatibility) {
+  const auto ab = FilterBuilder{}.where("s", Op::Prefix, Value{"ab"}).build();
+  const auto abc = FilterBuilder{}.where("s", Op::Prefix, Value{"abc"}).build();
+  const auto xy = FilterBuilder{}.where("s", Op::Prefix, Value{"xy"}).build();
+  EXPECT_TRUE(overlaps(ab, abc, reg()));
+  EXPECT_FALSE(overlaps(ab, xy, reg()));
+  EXPECT_FALSE(overlaps(ab, FilterBuilder{}.where("s", Op::Eq, Value{"zz"}).build(),
+                        reg()));
+}
+
+TEST_F(OverlapsTest, MixedKindBoundsAreDisjoint) {
+  const auto text = FilterBuilder{}.where("v", Op::Lt, Value{"abc"}).build();
+  const auto number = FilterBuilder{}.where("v", Op::Gt, Value{5}).build();
+  EXPECT_FALSE(overlaps(text, number, reg()));
+}
+
+TEST_F(OverlapsTest, SelfContradictoryFilterIsDisjointFromEverything) {
+  const auto impossible = FilterBuilder{"Stock"}
+                              .where("price", Op::Lt, Value{1.0})
+                              .where("price", Op::Gt, Value{9.0})
+                              .build();
+  EXPECT_FALSE(overlaps(impossible, FilterBuilder{"Stock"}.build(), reg()));
+}
+
+TEST_F(OverlapsTest, DifferentAttributesNeverConflict) {
+  const auto a = FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"A"}).build();
+  const auto b = FilterBuilder{"Stock"}.where("price", Op::Lt, Value{5.0}).build();
+  EXPECT_TRUE(overlaps(a, b, reg()));
+}
+
+// Soundness property: whenever some generated event matches both filters,
+// overlaps() must say true (equivalently: false ⇒ provably disjoint).
+TEST_F(OverlapsTest, SoundnessAgainstSampledEvents) {
+  util::Rng rng{909};
+  workload::StockGenerator gen{{}, 910};
+  static const Op ops[] = {Op::Eq, Op::Ne, Op::Lt, Op::Le,
+                           Op::Gt, Op::Ge, Op::Exists, Op::Any};
+  auto random_filter = [&] {
+    FilterBuilder b{"Stock"};
+    if (rng.chance(0.6))
+      b.where("symbol", Op::Eq,
+              Value{gen.symbol_name(rng.below(5))});
+    if (rng.chance(0.8))
+      b.where("price", ops[rng.below(std::size(ops))],
+              Value{50.0 + 50.0 * rng.uniform()});
+    return b.build();
+  };
+
+  std::vector<event::EventImage> sample;
+  for (int i = 0; i < 200; ++i) sample.push_back(event::image_of(gen.next()));
+
+  int provably_disjoint = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const auto a = random_filter();
+    const auto b = random_filter();
+    if (overlaps(a, b, reg())) continue;
+    ++provably_disjoint;
+    for (const auto& image : sample) {
+      ASSERT_FALSE(a.matches(image, reg()) && b.matches(image, reg()))
+          << a.to_string() << " and " << b.to_string() << " both match "
+          << image.to_string();
+    }
+  }
+  EXPECT_GT(provably_disjoint, 100);  // the sweep exercised the false path
+}
+
+}  // namespace
+}  // namespace cake::filter

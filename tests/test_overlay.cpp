@@ -1,0 +1,113 @@
+// Unit tests for overlay construction and topology wiring.
+#include "cake/routing/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cake::routing {
+namespace {
+
+TEST(Overlay, RequiresSingleRoot) {
+  OverlayConfig config;
+  config.stage_counts = {2, 4};
+  EXPECT_THROW(Overlay{config}, std::invalid_argument);
+  config.stage_counts = {};
+  EXPECT_THROW(Overlay{config}, std::invalid_argument);
+}
+
+TEST(Overlay, PaperTopologyCounts) {
+  OverlayConfig config;
+  config.stage_counts = {1, 10, 100};
+  Overlay overlay{config};
+  EXPECT_EQ(overlay.stages(), 3u);
+  EXPECT_EQ(overlay.brokers().size(), 111u);
+  EXPECT_EQ(overlay.brokers_at(3).size(), 1u);
+  EXPECT_EQ(overlay.brokers_at(2).size(), 10u);
+  EXPECT_EQ(overlay.brokers_at(1).size(), 100u);
+  EXPECT_THROW(overlay.brokers_at(0), std::out_of_range);
+  EXPECT_THROW(overlay.brokers_at(4), std::out_of_range);
+}
+
+TEST(Overlay, RootHasNoParentAndCorrectStage) {
+  OverlayConfig config;
+  config.stage_counts = {1, 3, 9};
+  Overlay overlay{config};
+  EXPECT_TRUE(overlay.root().is_root());
+  EXPECT_EQ(overlay.root().stage(), 3u);
+  for (Broker* leaf : overlay.brokers_at(1)) {
+    EXPECT_EQ(leaf->stage(), 1u);
+    EXPECT_FALSE(leaf->is_root());
+    EXPECT_TRUE(leaf->children().empty());
+  }
+}
+
+TEST(Overlay, ChildrenDistributedEvenly) {
+  OverlayConfig config;
+  config.stage_counts = {1, 4, 16};
+  Overlay overlay{config};
+  EXPECT_EQ(overlay.root().children().size(), 4u);
+  for (Broker* mid : overlay.brokers_at(2))
+    EXPECT_EQ(mid->children().size(), 4u);
+}
+
+TEST(Overlay, UnevenFanoutStillCoversAllChildren) {
+  OverlayConfig config;
+  config.stage_counts = {1, 3, 10};
+  Overlay overlay{config};
+  std::size_t total_children = 0;
+  std::set<sim::NodeId> seen;
+  for (Broker* mid : overlay.brokers_at(2)) {
+    total_children += mid->children().size();
+    for (const sim::NodeId child : mid->children()) seen.insert(child);
+  }
+  EXPECT_EQ(total_children, 10u);
+  EXPECT_EQ(seen.size(), 10u);  // every leaf has exactly one parent
+}
+
+TEST(Overlay, SingleStageHierarchy) {
+  OverlayConfig config;
+  config.stage_counts = {1};
+  Overlay overlay{config};
+  EXPECT_EQ(overlay.stages(), 1u);
+  EXPECT_TRUE(overlay.root().is_root());
+  EXPECT_EQ(overlay.root().stage(), 1u);
+}
+
+TEST(Overlay, EndpointIdsAreUnique) {
+  OverlayConfig config;
+  config.stage_counts = {1, 2};
+  Overlay overlay{config};
+  std::set<sim::NodeId> ids;
+  for (const auto& broker : overlay.brokers()) ids.insert(broker->id());
+  for (int i = 0; i < 5; ++i) ids.insert(overlay.add_subscriber().id());
+  for (int i = 0; i < 3; ++i) ids.insert(overlay.add_publisher().id());
+  EXPECT_EQ(ids.size(), 3u + 5u + 3u);
+  EXPECT_EQ(overlay.subscribers().size(), 5u);
+  EXPECT_EQ(overlay.publishers().size(), 3u);
+}
+
+TEST(Overlay, DeterministicUnderSeed) {
+  // Two overlays with the same seed route a non-covered subscription to the
+  // same random leaf.
+  auto build_and_probe = [](std::uint64_t seed) {
+    OverlayConfig config;
+    config.stage_counts = {1, 4, 16};
+    config.seed = seed;
+    Overlay overlay{config};
+    auto& sub = overlay.add_subscriber();
+    sub.subscribe(filter::FilterBuilder{"Nowhere"}
+                      .where("x", filter::Op::Eq, value::Value{1})
+                      .build(),
+                  {});
+    overlay.run();
+    return sub.accepted_at(1);
+  };
+  const auto a = build_and_probe(7);
+  const auto b = build_and_probe(7);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace cake::routing

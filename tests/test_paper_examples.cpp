@@ -1,0 +1,170 @@
+// Literal reproductions of the paper's worked examples: the §4 Example 5
+// four-stage weakening chain (f → g → h → i) and the §4.1 Example 6
+// attribute-stage association, asserted filter by filter.
+#include <gtest/gtest.h>
+
+#include "cake/weaken/weaken.hpp"
+#include "cake/workload/types.hpp"
+
+namespace cake {
+namespace {
+
+using filter::AttributeConstraint;
+using filter::ConjunctiveFilter;
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+
+const reflect::TypeRegistry& reg() { return reflect::TypeRegistry::global(); }
+
+class PaperExample5 : public ::testing::Test {
+protected:
+  PaperExample5() { workload::ensure_types_registered(); }
+
+  // The paper's stage-0 subscriber filters.
+  ConjunctiveFilter f1_ = FilterBuilder{"Stock"}
+                              .where("symbol", Op::Eq, Value{"DEF"})
+                              .where("price", Op::Lt, Value{10.0})
+                              .build();
+  ConjunctiveFilter f2_ = FilterBuilder{"Stock"}
+                              .where("symbol", Op::Eq, Value{"DEF"})
+                              .where("price", Op::Lt, Value{11.0})
+                              .build();
+  ConjunctiveFilter f3_ = FilterBuilder{"Stock"}
+                              .where("symbol", Op::Eq, Value{"GHI"})
+                              .where("price", Op::Lt, Value{8.0})
+                              .build();
+  ConjunctiveFilter f4_ = FilterBuilder{"Auction"}
+                              .where("product", Op::Eq, Value{"Vehicle"})
+                              .where("kind", Op::Eq, Value{"Car"})
+                              .where("capacity", Op::Lt, Value{2000})
+                              .where("price", Op::Lt, Value{10'000.0})
+                              .build();
+
+  // Example 6's G_Auction, translated to our model (the paper counts the
+  // class tuple as attribute 1; our type test is distinguished, so the
+  // stage sets list only the value attributes):
+  //   s0: all, s1: drop price, s2: also drop capacity, s3: type only.
+  weaken::StageSchema auction_schema_{
+      "Auction",
+      {{"product", "kind", "capacity", "price"},
+       {"product", "kind", "capacity"},
+       {"product", "kind"},
+       {}}};
+  weaken::StageSchema stock_schema_{
+      "Stock",
+      {{"symbol", "price"}, {"symbol", "price"}, {"symbol"}, {}}};
+};
+
+TEST_F(PaperExample5, Stage1_G1CoversF1AndF2ViaRelaxation) {
+  // "The weakening is done such that the weakened filters cover one or
+  // more user-level filters": g1 = (class Stock)(symbol DEF)(price < 11).
+  const ConjunctiveFilter g1 = weaken::join_filters(f1_, f2_, reg());
+  const ConjunctiveFilter expected = FilterBuilder{"Stock"}
+                                         .where("symbol", Op::Eq, Value{"DEF"})
+                                         .where("price", Op::Lt, Value{11.0})
+                                         .build();
+  EXPECT_EQ(g1, expected);
+  EXPECT_TRUE(covers(g1, f1_, reg()));
+  EXPECT_TRUE(covers(g1, f2_, reg()));
+
+  // g2 = f3 unchanged (nothing to merge with), g3 = f4 minus price.
+  const ConjunctiveFilter g3 = weaken::weaken_filter(f4_, auction_schema_, 1);
+  ASSERT_EQ(g3.constraints().size(), 3u);
+  EXPECT_EQ(g3.constraints()[0],
+            (AttributeConstraint{"product", Op::Eq, Value{"Vehicle"}}));
+  EXPECT_EQ(g3.constraints()[1],
+            (AttributeConstraint{"kind", Op::Eq, Value{"Car"}}));
+  EXPECT_EQ(g3.constraints()[2],
+            (AttributeConstraint{"capacity", Op::Lt, Value{2000}}));
+  EXPECT_TRUE(covers(g3, f4_, reg()));
+
+  // "In general, as a result there will be less filters at this stage":
+  // {f1..f4} collapse under {g1, g2=f3, g3} to exactly three.
+  const auto stage1 = weaken::collapse(
+      {g1, f3_, g3, weaken::weaken_filter(f1_, stock_schema_, 1),
+       weaken::weaken_filter(f2_, stock_schema_, 1)},
+      reg());
+  EXPECT_EQ(stage1.size(), 3u);
+}
+
+TEST_F(PaperExample5, Stage2_AttributesAreRemovedOutright) {
+  // "When weakening, the least general set of attributes which were
+  // already weakened are removed": h1 = (class Stock)(symbol DEF).
+  const ConjunctiveFilter g1 = weaken::join_filters(f1_, f2_, reg());
+  const ConjunctiveFilter h1 = weaken::weaken_filter(g1, stock_schema_, 2);
+  EXPECT_EQ(h1, FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"DEF"}).build());
+
+  const ConjunctiveFilter h2 = weaken::weaken_filter(f3_, stock_schema_, 2);
+  EXPECT_EQ(h2, FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"GHI"}).build());
+
+  const ConjunctiveFilter h3 = weaken::weaken_filter(f4_, auction_schema_, 2);
+  const ConjunctiveFilter expected_h3 = FilterBuilder{"Auction"}
+                                            .where("product", Op::Eq, Value{"Vehicle"})
+                                            .where("kind", Op::Eq, Value{"Car"})
+                                            .build();
+  EXPECT_EQ(h3, expected_h3);
+  EXPECT_TRUE(covers(h1, g1, reg()));
+  EXPECT_TRUE(covers(h3, f4_, reg()));
+}
+
+TEST_F(PaperExample5, Stage3_FilteringOnTypeOnly) {
+  // "At this stage filtering is done only on the type of events":
+  // i1 = (class Stock), i2 = (class Auction).
+  const ConjunctiveFilter i1 = weaken::weaken_filter(f1_, stock_schema_, 3);
+  EXPECT_TRUE(i1.constraints().empty());
+  EXPECT_EQ(i1.type().name, "Stock");
+
+  const ConjunctiveFilter i2 = weaken::weaken_filter(f4_, auction_schema_, 3);
+  EXPECT_TRUE(i2.constraints().empty());
+  EXPECT_EQ(i2.type().name, "Auction");
+
+  // And f1, f2, f3 all weaken to the SAME i1: one filter at the root.
+  EXPECT_EQ(weaken::weaken_filter(f2_, stock_schema_, 3), i1);
+  EXPECT_EQ(weaken::weaken_filter(f3_, stock_schema_, 3), i1);
+  const auto roots = weaken::collapse(
+      {i1, weaken::weaken_filter(f2_, stock_schema_, 3),
+       weaken::weaken_filter(f3_, stock_schema_, 3), i2},
+      reg());
+  EXPECT_EQ(roots.size(), 2u);  // exactly i1 and i2
+}
+
+TEST_F(PaperExample5, WholeChainPreservesEveryMatchingEvent) {
+  // Proposition 1 across the whole worked chain: any event accepted by a
+  // stage-0 filter is accepted by its weakened form at every stage.
+  const workload::Stock match{"DEF", 9.5, 100};
+  const workload::Stock wrong_symbol{"XYZ", 9.5, 100};
+  const workload::CarAuction car{9'000.0, 1500, 4};
+
+  const auto image = event::image_of(match);
+  for (std::size_t stage = 0; stage <= 3; ++stage) {
+    EXPECT_TRUE(weaken::weaken_filter(f1_, stock_schema_, stage)
+                    .matches(image, reg()))
+        << "stage " << stage;
+  }
+  // Non-matching events may survive weak stages (approximate filtering is
+  // allowed to be generous) but must die at stage 0.
+  EXPECT_FALSE(f1_.matches(event::image_of(wrong_symbol), reg()));
+  EXPECT_FALSE(f1_.matches(event::image_of(car), reg()));
+}
+
+TEST_F(PaperExample5, Example6AssociationMatchesTheStandardFilterPrefixes) {
+  // Example 6: s1 keeps "the first four attributes of the standard
+  // subscription filter" (class + three value attributes), s2 the first
+  // three, s3 only the class. Our schema lists the value attributes, so
+  // the per-stage sizes are 4, 3, 2, 0.
+  EXPECT_EQ(auction_schema_.attributes_at(0).size(), 4u);
+  EXPECT_EQ(auction_schema_.attributes_at(1).size(), 3u);
+  EXPECT_EQ(auction_schema_.attributes_at(2).size(), 2u);
+  EXPECT_EQ(auction_schema_.attributes_at(3).size(), 0u);
+  // Each stage's set is a prefix of the previous (most-general-first).
+  for (std::size_t s = 1; s < auction_schema_.stages(); ++s) {
+    const auto& wider = auction_schema_.attributes_at(s - 1);
+    const auto& narrower = auction_schema_.attributes_at(s);
+    for (std::size_t i = 0; i < narrower.size(); ++i)
+      EXPECT_EQ(narrower[i], wider[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cake

@@ -1,0 +1,382 @@
+// Tests for the non-hierarchical peer configuration (paper §4 footnote):
+// reverse-path routing correctness on random acyclic meshes, per-link
+// covering suppression, unsubscription, and the safety oracle.
+#include "cake/peer/peer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cake/workload/generators.hpp"
+
+namespace cake::peer {
+namespace {
+
+using event::EventImage;
+using filter::ConjunctiveFilter;
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+
+EventImage pub_event(int year, const std::string& conf,
+                     const std::string& author, const std::string& title) {
+  return EventImage{"Publication",
+                    {{"year", Value{year}},
+                     {"conference", Value{conf}},
+                     {"author", Value{author}},
+                     {"title", Value{title}}}};
+}
+
+class PeerTest : public ::testing::Test {
+protected:
+  PeerTest() { workload::ensure_types_registered(); }
+};
+
+TEST_F(PeerTest, PacketRoundTrips) {
+  const ConjunctiveFilter f =
+      FilterBuilder{"Stock"}.where("price", Op::Lt, Value{10.0}).build();
+  {
+    const PeerPacket back = decode(encode(PeerPacket{PeerSub{f}}));
+    EXPECT_EQ(std::get<PeerSub>(back).filter, f);
+  }
+  {
+    const PeerPacket back = decode(encode(PeerPacket{PeerUnsub{f}}));
+    EXPECT_EQ(std::get<PeerUnsub>(back).filter, f);
+  }
+  {
+    const EventImage image = pub_event(2002, "ICDCS", "E", "t");
+    const PeerPacket back = decode(encode(PeerPacket{PeerEvent{image, 777}}));
+    EXPECT_EQ(std::get<PeerEvent>(back).image, image);
+    EXPECT_EQ(std::get<PeerEvent>(back).published_at, 777u);
+  }
+  sim::Network::Payload garbage{std::byte{1}, std::byte{2}};
+  EXPECT_THROW((void)decode(garbage), wire::WireError);
+}
+
+TEST_F(PeerTest, MeshIsASpanningTree) {
+  PeerMesh mesh{12, {}, 5};
+  std::size_t degree_sum = 0;
+  for (const auto& broker : mesh.brokers())
+    degree_sum += broker->neighbors().size();
+  EXPECT_EQ(degree_sum, 2u * 11u);  // n-1 undirected edges
+}
+
+TEST_F(PeerTest, SingleBrokerDeliversLocally) {
+  PeerMesh mesh{1, {}, 1};
+  auto& sub = mesh.add_subscriber(0);
+  auto& pub = mesh.add_publisher(0);
+  int count = 0;
+  sub.subscribe(FilterBuilder{"Publication"}
+                    .where("year", Op::Eq, Value{2002})
+                    .build(),
+                [&](const EventImage&) { ++count; });
+  mesh.run();
+  pub.publish(pub_event(2002, "ICDCS", "E", "t"));
+  pub.publish(pub_event(1999, "X", "Y", "z"));
+  mesh.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(PeerTest, SubscriptionsPropagateAcrossTheMesh) {
+  PeerMesh mesh{8, {}, 3};
+  auto& sub = mesh.add_subscriber(7);
+  auto& pub = mesh.add_publisher(0);
+  int count = 0;
+  sub.subscribe(FilterBuilder{"Publication"}
+                    .where("author", Op::Eq, Value{"Eugster"})
+                    .build(),
+                [&](const EventImage&) { ++count; });
+  mesh.run();
+  pub.publish(pub_event(2002, "ICDCS", "Eugster", "t"));
+  pub.publish(pub_event(2002, "ICDCS", "Felber", "t"));
+  mesh.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sub.events_received(), 1u);  // exact filters travel: no waste
+}
+
+TEST_F(PeerTest, ReversePathDeliversExactlyOnce) {
+  // A subscriber in the middle of a path must get one copy even when the
+  // event's path passes through its broker.
+  PeerMesh mesh{5, {}, 9};
+  auto& mid = mesh.add_subscriber(2);
+  auto& far = mesh.add_subscriber(4);
+  auto& pub = mesh.add_publisher(0);
+  int mid_count = 0, far_count = 0;
+  const auto f = FilterBuilder{"Publication"}
+                     .where("year", Op::Eq, Value{2002})
+                     .build();
+  mid.subscribe(f, [&](const EventImage&) { ++mid_count; });
+  far.subscribe(f, [&](const EventImage&) { ++far_count; });
+  mesh.run();
+  pub.publish(pub_event(2002, "ICDCS", "E", "t"));
+  mesh.run();
+  EXPECT_EQ(mid_count, 1);
+  EXPECT_EQ(far_count, 1);
+}
+
+TEST_F(PeerTest, UnsubscribeWithdrawsAcrossLinks) {
+  PeerMesh mesh{4, {}, 11};
+  auto& sub = mesh.add_subscriber(3);
+  auto& pub = mesh.add_publisher(0);
+  int count = 0;
+  const auto f = FilterBuilder{"Publication"}
+                     .where("year", Op::Eq, Value{2002})
+                     .build();
+  sub.subscribe(f, [&](const EventImage&) { ++count; });
+  mesh.run();
+  pub.publish(pub_event(2002, "ICDCS", "E", "t"));
+  mesh.run();
+  EXPECT_EQ(count, 1);
+
+  sub.unsubscribe(f);
+  mesh.run();
+  for (const auto& broker : mesh.brokers())
+    EXPECT_EQ(broker->stats().filters, 0u) << "broker " << broker->id();
+  pub.publish(pub_event(2002, "ICDCS", "E", "t2"));
+  mesh.run();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(PeerTest, PerLinkCollapseSuppressesCoveredFilters) {
+  PeerConfig config;
+  config.collapse_per_link = true;
+  PeerMesh mesh{2, config, 13};
+  auto& wide = mesh.add_subscriber(0);
+  auto& narrow = mesh.add_subscriber(0);
+  wide.subscribe(FilterBuilder{"Stock"}
+                     .where("symbol", Op::Eq, Value{"Foo"})
+                     .where("price", Op::Lt, Value{11.0})
+                     .build(),
+                 {});
+  mesh.run();
+  narrow.subscribe(FilterBuilder{"Stock"}
+                       .where("symbol", Op::Eq, Value{"Foo"})
+                       .where("price", Op::Lt, Value{10.0})
+                       .build(),
+                   {});
+  mesh.run();
+  // Broker 0 holds both, but only the covering one crosses the link.
+  EXPECT_EQ(mesh.brokers()[0]->stats().filters, 2u);
+  EXPECT_EQ(mesh.brokers()[0]->advertised_to(mesh.brokers()[1]->id()), 1u);
+  EXPECT_EQ(mesh.brokers()[1]->stats().filters, 1u);
+}
+
+TEST_F(PeerTest, WithoutCollapseEveryFilterCrossesEveryLink) {
+  PeerConfig config;
+  config.collapse_per_link = false;
+  PeerMesh mesh{2, config, 13};
+  auto& sub = mesh.add_subscriber(0);
+  sub.subscribe(FilterBuilder{"Stock"}.where("price", Op::Lt, Value{11.0}).build(),
+                {});
+  sub.subscribe(FilterBuilder{"Stock"}.where("price", Op::Lt, Value{10.0}).build(),
+                {});
+  mesh.run();
+  EXPECT_EQ(mesh.brokers()[1]->stats().filters, 2u);
+}
+
+TEST_F(PeerTest, LatencyTracksTreeDistance) {
+  // Path topology (seed-independent check): build 3 brokers and find the
+  // pair of endpoints; latencies differ by hop count.
+  PeerMesh mesh{1, {}, 2};
+  auto& sub = mesh.add_subscriber(0);
+  auto& pub = mesh.add_publisher(0);
+  sub.subscribe(FilterBuilder{"Publication"}
+                    .where("year", Op::Eq, Value{2002})
+                    .build(),
+                {});
+  mesh.run();
+  pub.publish(pub_event(2002, "c", "a", "t"));
+  mesh.run();
+  // publisher → broker → subscriber: 2 hops of the default 1 ms.
+  EXPECT_DOUBLE_EQ(sub.delivery_latency().mean(), 2000.0);
+}
+
+// ---- advertisement semantics (Siena-style pruning) ---------------------------
+
+TEST_F(PeerTest, AdvertisementsPruneSubscriptionPropagation) {
+  PeerConfig config;
+  config.use_advertisements = true;
+  // Path topology: chain of 3 brokers (seeded spanning tree on 3 nodes can
+  // be a star; build explicitly with 2 brokers + 1 to keep it a path).
+  PeerMesh mesh{3, config, 8};
+  auto& pub = mesh.add_publisher(0);
+  pub.advertise(FilterBuilder{"Stock", true}.build());
+  mesh.run();
+  // The advertisement flooded everywhere.
+  for (const auto& broker : mesh.brokers())
+    EXPECT_EQ(broker->known_advertisements(), 1u);
+
+  // A Publication subscription overlaps no advertisement: it stays at its
+  // home broker and never crosses a link.
+  auto& reader = mesh.add_subscriber(2);
+  reader.subscribe(FilterBuilder{"Publication"}
+                       .where("year", Op::Eq, Value{2002})
+                       .build(),
+                   {});
+  mesh.run();
+  std::size_t pub_filters = 0;
+  for (const auto& broker : mesh.brokers()) pub_filters += broker->stats().filters;
+  EXPECT_EQ(pub_filters, 1u);  // home broker only
+
+  // A Stock subscription follows the advertisement path.
+  auto& trader = mesh.add_subscriber(2);
+  int fills = 0;
+  trader.subscribe(FilterBuilder{"Stock"}
+                       .where("symbol", Op::Eq, Value{"SYMA0"})
+                       .build(),
+                   [&](const EventImage&) { ++fills; });
+  mesh.run();
+  std::size_t stock_filters = 0;
+  for (const auto& broker : mesh.brokers())
+    stock_filters += broker->stats().filters;
+  EXPECT_GT(stock_filters, 1u);  // crossed toward the publisher
+
+  pub.publish(event::image_of(workload::Stock{"SYMA0", 10.0, 1}));
+  pub.publish(event::image_of(workload::Stock{"SYMB1", 10.0, 1}));
+  mesh.run();
+  EXPECT_EQ(fills, 1);
+}
+
+TEST_F(PeerTest, UnadvertiseWithdrawsSubscriptionPaths) {
+  PeerConfig config;
+  config.use_advertisements = true;
+  PeerMesh mesh{2, config, 8};
+  auto& pub = mesh.add_publisher(0);
+  const auto advert = FilterBuilder{"Stock", true}.build();
+  pub.advertise(advert);
+  mesh.run();
+
+  auto& trader = mesh.add_subscriber(1);
+  trader.subscribe(FilterBuilder{"Stock"}.build(), {});
+  mesh.run();
+  EXPECT_EQ(mesh.brokers()[0]->stats().filters, 1u);  // crossed the link
+
+  pub.unadvertise(advert);
+  mesh.run();
+  for (const auto& broker : mesh.brokers())
+    EXPECT_EQ(broker->known_advertisements(), 0u);
+  // The subscription was withdrawn from the now-demandless link; it only
+  // survives at its home broker.
+  EXPECT_EQ(mesh.brokers()[0]->stats().filters, 0u);
+  EXPECT_EQ(mesh.brokers()[1]->stats().filters, 1u);
+}
+
+TEST_F(PeerTest, LateAdvertisementUnlocksExistingSubscriptions) {
+  PeerConfig config;
+  config.use_advertisements = true;
+  PeerMesh mesh{2, config, 8};
+  auto& trader = mesh.add_subscriber(1);
+  int fills = 0;
+  trader.subscribe(FilterBuilder{"Stock"}.build(),
+                   [&](const EventImage&) { ++fills; });
+  mesh.run();
+  EXPECT_EQ(mesh.brokers()[0]->stats().filters, 0u);  // no demand path yet
+
+  auto& pub = mesh.add_publisher(0);
+  pub.advertise(FilterBuilder{"Stock", true}.build());
+  mesh.run();
+  EXPECT_EQ(mesh.brokers()[0]->stats().filters, 1u);  // unlocked
+
+  pub.publish(event::image_of(workload::Stock{"SYMA0", 10.0, 1}));
+  mesh.run();
+  EXPECT_EQ(fills, 1);
+}
+
+TEST_F(PeerTest, OracleHoldsWithAdvertisements) {
+  PeerConfig config;
+  config.use_advertisements = true;
+  PeerMesh mesh{12, config, 21};
+  workload::BiblioGenerator gen{{}, 22};
+  auto& pub = mesh.add_publisher();
+  pub.advertise(FilterBuilder{"Publication"}.build());
+  mesh.run();
+
+  constexpr int kSubs = 20;
+  std::vector<ConjunctiveFilter> filters;
+  std::vector<int> received(kSubs, 0), expected(kSubs, 0);
+  for (int i = 0; i < kSubs; ++i) {
+    filters.push_back(gen.next_subscription(i % 3));
+    mesh.add_subscriber().subscribe(
+        filters[i], [&received, i](const EventImage&) { ++received[i]; });
+  }
+  mesh.run();
+  for (int e = 0; e < 300; ++e) {
+    const EventImage image = gen.next_event();
+    for (int i = 0; i < kSubs; ++i)
+      if (filters[i].matches(image, reflect::TypeRegistry::global()))
+        ++expected[i];
+    pub.publish(image);
+  }
+  mesh.run();
+  EXPECT_EQ(received, expected);
+}
+
+// Safety oracle on a random mesh, mirroring the hierarchy's property test.
+TEST_F(PeerTest, DeliveredSetEqualsOracleSet) {
+  PeerMesh mesh{15, {}, 77};
+  workload::BiblioGenerator gen{{}, 42};
+  auto& pub = mesh.add_publisher();
+
+  constexpr int kSubs = 30;
+  std::vector<ConjunctiveFilter> filters;
+  std::vector<int> received(kSubs, 0), expected(kSubs, 0);
+  for (int i = 0; i < kSubs; ++i) {
+    filters.push_back(gen.next_subscription(i % 3));
+    mesh.add_subscriber().subscribe(
+        filters[i], [&received, i](const EventImage&) { ++received[i]; });
+  }
+  mesh.run();
+
+  for (int e = 0; e < 400; ++e) {
+    const EventImage image = gen.next_event();
+    for (int i = 0; i < kSubs; ++i)
+      if (filters[i].matches(image, reflect::TypeRegistry::global()))
+        ++expected[i];
+    pub.publish(image);
+  }
+  mesh.run();
+  EXPECT_EQ(received, expected);
+}
+
+TEST_F(PeerTest, OracleHoldsWithCollapseAndChurn) {
+  PeerConfig config;
+  config.collapse_per_link = true;
+  PeerMesh mesh{10, config, 5};
+  workload::StockGenerator gen{{}, 17};
+  auto& pub = mesh.add_publisher();
+
+  std::vector<ConjunctiveFilter> filters;
+  std::vector<PeerSubscriber*> subs;
+  std::vector<int> received(20, 0), expected(20, 0);
+  std::vector<bool> active(20, true);
+  for (int i = 0; i < 20; ++i) {
+    filters.push_back(gen.next_subscription());
+    auto& sub = mesh.add_subscriber();
+    sub.subscribe(filters[i],
+                  [&received, i](const EventImage&) { ++received[i]; });
+    subs.push_back(&sub);
+  }
+  mesh.run();
+
+  util::Rng rng{31};
+  for (int round = 0; round < 10; ++round) {
+    // Churn: one random unsubscription per round.
+    const std::size_t victim = rng.below(20);
+    if (active[victim]) {
+      subs[victim]->unsubscribe(filters[victim]);
+      active[victim] = false;
+      mesh.run();
+    }
+    for (int e = 0; e < 40; ++e) {
+      const auto image = event::image_of(gen.next());
+      for (int i = 0; i < 20; ++i)
+        if (active[i] &&
+            filters[i].matches(image, reflect::TypeRegistry::global()))
+          ++expected[i];
+      pub.publish(image);
+    }
+    mesh.run();
+  }
+  EXPECT_EQ(received, expected);
+}
+
+}  // namespace
+}  // namespace cake::peer

@@ -1,0 +1,98 @@
+// Round-trip tests for every overlay protocol message.
+#include "cake/routing/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cake/workload/generators.hpp"
+
+namespace cake::routing {
+namespace {
+
+using filter::ConjunctiveFilter;
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+
+ConjunctiveFilter sample_filter() {
+  return FilterBuilder{"Stock"}
+      .where("symbol", Op::Eq, Value{"DEF"})
+      .where("price", Op::Lt, Value{10.0})
+      .build();
+}
+
+template <class T>
+T roundtrip(const T& msg) {
+  const Packet decoded = decode(encode(Packet{msg}));
+  return std::get<T>(decoded);
+}
+
+TEST(Protocol, AdvertiseRoundTrip) {
+  const auto schema = workload::BiblioGenerator::schema();
+  EXPECT_EQ(roundtrip(Advertise{schema}).schema, schema);
+}
+
+TEST(Protocol, SubscribeRoundTrip) {
+  const Subscribe msg{sample_filter(), 42, 7};
+  const Subscribe back = roundtrip(msg);
+  EXPECT_EQ(back.filter, msg.filter);
+  EXPECT_EQ(back.subscriber, 42u);
+  EXPECT_EQ(back.token, 7u);
+}
+
+TEST(Protocol, JoinAtRoundTrip) {
+  const JoinAt back = roundtrip(JoinAt{9, 123});
+  EXPECT_EQ(back.target, 9u);
+  EXPECT_EQ(back.token, 123u);
+}
+
+TEST(Protocol, AcceptedAtRoundTrip) {
+  const AcceptedAt back = roundtrip(AcceptedAt{3, 5, sample_filter()});
+  EXPECT_EQ(back.node, 3u);
+  EXPECT_EQ(back.token, 5u);
+  EXPECT_EQ(back.stored, sample_filter());
+}
+
+TEST(Protocol, ReqInsertRoundTrip) {
+  const ReqInsert back = roundtrip(ReqInsert{sample_filter(), 11});
+  EXPECT_EQ(back.filter, sample_filter());
+  EXPECT_EQ(back.child, 11u);
+}
+
+TEST(Protocol, RenewRoundTrip) {
+  const Renew back = roundtrip(Renew{sample_filter(), 6});
+  EXPECT_EQ(back.filter, sample_filter());
+  EXPECT_EQ(back.child, 6u);
+}
+
+TEST(Protocol, UnsubRoundTrip) {
+  const Unsub back = roundtrip(Unsub{sample_filter(), 8});
+  EXPECT_EQ(back.filter, sample_filter());
+  EXPECT_EQ(back.child, 8u);
+}
+
+TEST(Protocol, EventMsgRoundTrip) {
+  workload::BiblioGenerator gen{{}, 1};
+  const event::EventImage image = gen.next_event();
+  EXPECT_EQ(roundtrip(EventMsg{image}).image, image);
+}
+
+TEST(Protocol, CorruptFrameThrows) {
+  auto bytes = encode(Packet{JoinAt{1, 2}});
+  bytes.back() ^= std::byte{0x01};
+  EXPECT_THROW((void)decode(bytes), wire::WireError);
+}
+
+TEST(Protocol, UnknownTagThrows) {
+  wire::Writer w;
+  w.u8(250);
+  const auto framed = wire::frame(w.bytes());
+  EXPECT_THROW((void)decode(framed), wire::WireError);
+}
+
+TEST(Protocol, SentinelNodeIdsSurvive) {
+  const Subscribe back = roundtrip(Subscribe{sample_filter(), sim::kNoNode, 0});
+  EXPECT_EQ(back.subscriber, sim::kNoNode);
+}
+
+}  // namespace
+}  // namespace cake::routing

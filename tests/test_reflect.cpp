@@ -1,0 +1,161 @@
+// Unit tests for the reflection substrate.
+#include "cake/reflect/reflect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cake::reflect {
+namespace {
+
+// Local reflectable hierarchy, registered into a per-fixture registry.
+struct Animal : Reflectable {
+  static const TypeInfo* info;
+  [[nodiscard]] const TypeInfo& type() const noexcept override { return *info; }
+
+  std::string species_ = "generic";
+  std::int64_t legs_ = 4;
+
+  [[nodiscard]] const std::string& species() const noexcept { return species_; }
+  [[nodiscard]] std::int64_t legs() const noexcept { return legs_; }
+};
+const TypeInfo* Animal::info = nullptr;
+
+struct Dog : Animal {
+  static const TypeInfo* dog_info;
+  [[nodiscard]] const TypeInfo& type() const noexcept override {
+    return *dog_info;
+  }
+
+  Dog() { species_ = "dog"; }
+  bool good_boy_ = true;
+  [[nodiscard]] bool good_boy() const noexcept { return good_boy_; }
+  [[nodiscard]] double weight() const noexcept { return 12.5; }
+};
+const TypeInfo* Dog::dog_info = nullptr;
+
+class ReflectTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Animal::info = &TypeBuilder<Animal>{registry_, "Animal"}
+                        .attr("species", &Animal::species)
+                        .attr("legs", &Animal::legs)
+                        .finalize();
+    Dog::dog_info = &TypeBuilder<Dog>{registry_, "Dog"}
+                         .base<Animal>()
+                         .attr("good_boy", &Dog::good_boy)
+                         .attr("weight", &Dog::weight)
+                         .finalize();
+  }
+
+  TypeRegistry registry_;
+};
+
+TEST_F(ReflectTest, LookupByNameAndType) {
+  EXPECT_EQ(registry_.find("Animal"), Animal::info);
+  EXPECT_EQ(registry_.find("Dog"), Dog::dog_info);
+  EXPECT_EQ(registry_.find("Cat"), nullptr);
+  EXPECT_EQ(&registry_.get<Animal>(), Animal::info);
+  EXPECT_EQ(&registry_.get<Dog>(), Dog::dog_info);
+  EXPECT_TRUE(registry_.contains<Dog>());
+  EXPECT_EQ(registry_.size(), 2u);
+}
+
+TEST_F(ReflectTest, GetUnknownThrows) {
+  EXPECT_THROW((void)registry_.get("Cat"), ReflectError);
+  EXPECT_THROW((void)registry_.get<int>(), ReflectError);
+}
+
+TEST_F(ReflectTest, DuplicateNameThrows) {
+  struct Other : Reflectable {
+    [[nodiscard]] const TypeInfo& type() const noexcept override {
+      return *Animal::info;
+    }
+  };
+  EXPECT_THROW(TypeBuilder<Other>(registry_, "Animal").finalize(), ReflectError);
+}
+
+TEST_F(ReflectTest, DuplicateCppTypeThrows) {
+  EXPECT_THROW(TypeBuilder<Animal>(registry_, "Animal2").finalize(), ReflectError);
+}
+
+TEST_F(ReflectTest, ConformanceIsReflexiveAndTransitiveUpward) {
+  EXPECT_TRUE(Animal::info->conforms_to(*Animal::info));
+  EXPECT_TRUE(Dog::dog_info->conforms_to(*Dog::dog_info));
+  EXPECT_TRUE(Dog::dog_info->conforms_to(*Animal::info));
+  EXPECT_FALSE(Animal::info->conforms_to(*Dog::dog_info));
+}
+
+TEST_F(ReflectTest, InheritedAttributesComeFirst) {
+  const auto& attrs = Dog::dog_info->attributes();
+  ASSERT_EQ(attrs.size(), 4u);
+  EXPECT_EQ(attrs[0]->name, "species");
+  EXPECT_EQ(attrs[1]->name, "legs");
+  EXPECT_EQ(attrs[2]->name, "good_boy");
+  EXPECT_EQ(attrs[3]->name, "weight");
+}
+
+TEST_F(ReflectTest, OwnAttributesExcludeInherited) {
+  EXPECT_EQ(Dog::dog_info->own_attributes().size(), 2u);
+  EXPECT_EQ(Animal::info->own_attributes().size(), 2u);
+}
+
+TEST_F(ReflectTest, KindDeduction) {
+  EXPECT_EQ(Dog::dog_info->find_attribute("species")->kind, value::Kind::String);
+  EXPECT_EQ(Dog::dog_info->find_attribute("legs")->kind, value::Kind::Int);
+  EXPECT_EQ(Dog::dog_info->find_attribute("good_boy")->kind, value::Kind::Bool);
+  EXPECT_EQ(Dog::dog_info->find_attribute("weight")->kind, value::Kind::Double);
+}
+
+TEST_F(ReflectTest, FindAttributeSearchesInheritanceChain) {
+  EXPECT_NE(Dog::dog_info->find_attribute("legs"), nullptr);
+  EXPECT_EQ(Dog::dog_info->find_attribute("missing"), nullptr);
+  EXPECT_EQ(Animal::info->find_attribute("weight"), nullptr);
+}
+
+TEST_F(ReflectTest, GettersReadThroughAccessors) {
+  Dog dog;
+  dog.legs_ = 3;
+  const AttributeInfo* legs = Dog::dog_info->find_attribute("legs");
+  EXPECT_EQ(legs->get(dog), value::Value{3});
+  const AttributeInfo* species = Dog::dog_info->find_attribute("species");
+  EXPECT_EQ(species->get(dog), value::Value{"dog"});
+  const AttributeInfo* good = Dog::dog_info->find_attribute("good_boy");
+  EXPECT_EQ(good->get(dog), value::Value{true});
+}
+
+TEST_F(ReflectTest, InheritedGetterWorksOnDerivedInstance) {
+  Dog dog;
+  // The getter was registered on Animal but must read the Dog object.
+  const AttributeInfo* species = Animal::info->find_attribute("species");
+  EXPECT_EQ(species->get(dog), value::Value{"dog"});
+}
+
+TEST_F(ReflectTest, RedeclaringInheritedAttributeThrows) {
+  struct BadDog : Animal {
+    [[nodiscard]] const TypeInfo& type() const noexcept override {
+      return *Animal::info;
+    }
+  };
+  TypeBuilder<BadDog> builder{registry_, "BadDog"};
+  builder.base<Animal>().attr("legs", &Animal::legs);
+  EXPECT_THROW(builder.finalize(), ReflectError);
+}
+
+struct Point : Reflectable {
+  static const TypeInfo* info;
+  [[nodiscard]] const TypeInfo& type() const noexcept override { return *info; }
+  double x = 3.0, y = 4.0;
+};
+const TypeInfo* Point::info = nullptr;
+
+TEST(ReflectFn, ComputedAttributeProjection) {
+  TypeRegistry registry;
+  Point::info =
+      &TypeBuilder<Point>{registry, "Point"}
+           .attr_fn("norm", [](const Point& p) { return p.x * p.x + p.y * p.y; })
+           .finalize();
+  Point p;
+  EXPECT_EQ(Point::info->find_attribute("norm")->get(p), value::Value{25.0});
+}
+
+}  // namespace
+}  // namespace cake::reflect

@@ -1,0 +1,159 @@
+// Tests for windowed load sampling (the literal "per time unit" form of
+// the §5.1 metrics).
+#include "cake/metrics/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cake/workload/generators.hpp"
+
+namespace cake::metrics {
+namespace {
+
+using event::EventImage;
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+
+struct Fx {
+  Fx() {
+    workload::ensure_types_registered();
+    routing::OverlayConfig config;
+    config.stage_counts = {1, 2};
+    overlay = std::make_unique<routing::Overlay>(config);
+    publisher = &overlay->add_publisher();
+    publisher->advertise(workload::BiblioGenerator::schema(3));
+    overlay->run();
+    subscriber = &overlay->add_subscriber();
+    subscriber->subscribe(FilterBuilder{"Publication"}
+                              .where("year", Op::Eq, Value{2002})
+                              .build(),
+                          {});
+    overlay->run();
+  }
+
+  void publish(int year) {
+    publisher->publish(EventImage{"Publication",
+                                  {{"year", Value{year}},
+                                   {"conference", Value{"c"}},
+                                   {"author", Value{"a"}},
+                                   {"title", Value{"t"}}}});
+  }
+
+  [[nodiscard]] std::uint64_t root_events(const Window& window) const {
+    for (const NodeLoad& load : window.loads) {
+      if (load.id == overlay->root().id()) return load.events_received;
+    }
+    return 0;
+  }
+
+  std::unique_ptr<routing::Overlay> overlay;
+  routing::PublisherNode* publisher = nullptr;
+  routing::SubscriberNode* subscriber = nullptr;
+};
+
+TEST(LoadSampler, RejectsZeroInterval) {
+  Fx fx;
+  EXPECT_THROW(LoadSampler(*fx.overlay, 0), std::invalid_argument);
+}
+
+TEST(LoadSampler, WindowsCarryPerWindowDeltas) {
+  Fx fx;
+  LoadSampler sampler{*fx.overlay, 1'000'000};
+  sampler.start();
+
+  // Burst 1: 5 events inside the first window.
+  for (int i = 0; i < 5; ++i) fx.publish(2002);
+  fx.overlay->run();
+  fx.overlay->scheduler().run_until(fx.overlay->scheduler().now() + 1'100'000);
+
+  // Burst 2: 3 events in a later window.
+  for (int i = 0; i < 3; ++i) fx.publish(2002);
+  fx.overlay->run();
+  sampler.flush();
+
+  const auto& windows = sampler.windows();
+  ASSERT_GE(windows.size(), 2u);
+  EXPECT_EQ(fx.root_events(windows.front()), 5u);
+  EXPECT_EQ(fx.root_events(windows.back()), 3u);
+
+  // Cross-check: the window deltas sum to the cumulative counter.
+  std::uint64_t sum = 0;
+  for (const auto& window : windows) sum += fx.root_events(window);
+  EXPECT_EQ(sum, fx.overlay->root().stats().events_received);
+}
+
+TEST(LoadSampler, QuietWindowsShowZeroLoad) {
+  Fx fx;
+  LoadSampler sampler{*fx.overlay, 500'000};
+  sampler.start();
+  fx.overlay->scheduler().run_until(fx.overlay->scheduler().now() + 2'100'000);
+  sampler.flush();
+  ASSERT_FALSE(sampler.windows().empty());
+  for (const auto& window : sampler.windows())
+    EXPECT_EQ(window.total_events(), 0u);
+}
+
+TEST(LoadSampler, FlushWithoutElapsedTimeIsNoop) {
+  Fx fx;
+  LoadSampler sampler{*fx.overlay, 1'000'000};
+  sampler.start();
+  sampler.flush();
+  EXPECT_TRUE(sampler.windows().empty());
+}
+
+TEST(LoadSampler, StartIsIdempotent) {
+  Fx fx;
+  LoadSampler sampler{*fx.overlay, 1'000'000};
+  sampler.start();
+  sampler.start();
+  fx.publish(2002);
+  fx.overlay->run();
+  fx.overlay->scheduler().run_until(fx.overlay->scheduler().now() + 1'100'000);
+  sampler.flush();
+  // One sampling task, not two: windows do not double-count.
+  std::uint64_t sum = 0;
+  for (const auto& window : sampler.windows()) sum += fx.root_events(window);
+  EXPECT_EQ(sum, 1u);
+}
+
+TEST(LoadSampler, WindowBoundariesAreContiguous) {
+  Fx fx;
+  LoadSampler sampler{*fx.overlay, 700'000};
+  sampler.start();
+  for (int burst = 0; burst < 4; ++burst) {
+    fx.publish(2002);
+    fx.overlay->run();
+    fx.overlay->scheduler().run_until(fx.overlay->scheduler().now() + 800'000);
+  }
+  sampler.flush();
+  const auto& windows = sampler.windows();
+  ASSERT_GE(windows.size(), 2u);
+  for (std::size_t i = 1; i < windows.size(); ++i)
+    EXPECT_EQ(windows[i].start, windows[i - 1].end);
+}
+
+TEST(LoadSampler, PerWindowMatchingRate) {
+  Fx fx;
+  LoadSampler sampler{*fx.overlay, 1'000'000};
+  sampler.start();
+  // Window 1: all matching. Window 2: none matching.
+  for (int i = 0; i < 4; ++i) fx.publish(2002);
+  fx.overlay->run();
+  fx.overlay->scheduler().run_until(fx.overlay->scheduler().now() + 1'100'000);
+  for (int i = 0; i < 4; ++i) fx.publish(1970);
+  fx.overlay->run();
+  sampler.flush();
+
+  const auto& windows = sampler.windows();
+  ASSERT_GE(windows.size(), 2u);
+  auto root_mr = [&](const Window& window) {
+    for (const NodeLoad& load : window.loads)
+      if (load.id == fx.overlay->root().id()) return load.mr();
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(root_mr(windows.front()), 1.0);
+  EXPECT_DOUBLE_EQ(root_mr(windows.back()), 0.0);
+}
+
+}  // namespace
+}  // namespace cake::metrics

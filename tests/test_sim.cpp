@@ -1,0 +1,175 @@
+// Unit tests for the discrete-event scheduler and the counted network.
+#include "cake/sim/sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cake::sim {
+namespace {
+
+TEST(Scheduler, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Scheduler, TiesRunInPostOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) s.schedule_at(10, [&, i] { order.push_back(i); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  s.schedule_at(100, [] {});
+  s.run();
+  bool ran = false;
+  s.schedule_at(5, [&] { ran = true; });  // in the past
+  s.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.now(), 100u);  // time never goes backwards
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+  Scheduler s;
+  Time fired_at = 0;
+  s.schedule_at(50, [&] {
+    s.schedule_after(25, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired_at, 75u);
+}
+
+TEST(Scheduler, ClosuresMayScheduleMoreWork) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) s.schedule_after(1, tick);
+  };
+  s.schedule_at(0, tick);
+  EXPECT_EQ(s.run(), 10u);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  EXPECT_TRUE(s.empty());
+  s.schedule_at(1, [] {});
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, MaxStepsBoundsExecution) {
+  Scheduler s;
+  for (int i = 0; i < 10; ++i) s.schedule_at(i, [] {});
+  EXPECT_EQ(s.run(3), 3u);
+  EXPECT_EQ(s.pending(), 7u);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  std::vector<Time> fired;
+  for (Time t : {10u, 20u, 30u, 40u}) s.schedule_at(t, [&, t] { fired.push_back(t); });
+  s.run_until(30);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));  // strictly before deadline
+  EXPECT_EQ(s.now(), 30u);
+  s.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Network, DeliversWithDefaultLatency) {
+  Scheduler sched;
+  Network net{sched, 500};
+  Time delivered_at = 0;
+  NodeId from_seen = kNoNode;
+  net.attach(2, [&](NodeId from, const Network::Payload&) {
+    delivered_at = sched.now();
+    from_seen = from;
+  });
+  net.send(1, 2, {std::byte{0xab}});
+  sched.run();
+  EXPECT_EQ(delivered_at, 500u);
+  EXPECT_EQ(from_seen, 1u);
+}
+
+TEST(Network, PerLinkLatencyOverride) {
+  Scheduler sched;
+  Network net{sched, 500};
+  net.set_latency(1, 2, 50);
+  Time delivered_at = 0;
+  net.attach(2, [&](NodeId, const Network::Payload&) { delivered_at = sched.now(); });
+  net.send(1, 2, {});
+  sched.run();
+  EXPECT_EQ(delivered_at, 50u);
+}
+
+TEST(Network, CountsMessagesAndBytes) {
+  Scheduler sched;
+  Network net{sched};
+  net.attach(2, [](NodeId, const Network::Payload&) {});
+  net.send(1, 2, Network::Payload(10));
+  net.send(1, 2, Network::Payload(5));
+  net.send(2, 1, Network::Payload(7));
+  EXPECT_EQ(net.total_messages(), 3u);
+  EXPECT_EQ(net.total_bytes(), 22u);
+  EXPECT_EQ(net.link(1, 2).messages, 2u);
+  EXPECT_EQ(net.link(1, 2).bytes, 15u);
+  EXPECT_EQ(net.link(2, 1).messages, 1u);
+  EXPECT_EQ(net.link(9, 9).messages, 0u);
+}
+
+TEST(Network, ReceivedByCountsDeliveries) {
+  Scheduler sched;
+  Network net{sched};
+  net.attach(2, [](NodeId, const Network::Payload&) {});
+  net.send(1, 2, {});
+  net.send(1, 2, {});
+  net.send(1, 3, {});  // node 3 is detached: counted as sent, not received
+  sched.run();
+  EXPECT_EQ(net.received_by(2), 2u);
+  EXPECT_EQ(net.received_by(3), 0u);
+  EXPECT_EQ(net.total_messages(), 3u);
+}
+
+TEST(Network, DetachedPeerDropsSilently) {
+  Scheduler sched;
+  Network net{sched};
+  net.send(1, 99, Network::Payload(4));
+  EXPECT_NO_THROW(sched.run());
+}
+
+TEST(Network, PayloadContentArrivesIntact) {
+  Scheduler sched;
+  Network net{sched};
+  Network::Payload received;
+  net.attach(5, [&](NodeId, const Network::Payload& p) { received = p; });
+  const Network::Payload sent{std::byte{1}, std::byte{2}, std::byte{3}};
+  net.send(4, 5, sent);
+  sched.run();
+  EXPECT_EQ(received, sent);
+}
+
+TEST(Network, HandlerMaySendMore) {
+  Scheduler sched;
+  Network net{sched, 10};
+  int hops = 0;
+  net.attach(1, [&](NodeId, const Network::Payload& p) {
+    if (++hops < 5) net.send(1, 2, p);
+  });
+  net.attach(2, [&](NodeId, const Network::Payload& p) { net.send(2, 1, p); });
+  net.send(0, 1, {});
+  sched.run();
+  EXPECT_EQ(hops, 5);
+  EXPECT_EQ(sched.now(), 10u * 9);  // 0→1, then 4 round trips of 2 hops
+}
+
+}  // namespace
+}  // namespace cake::sim

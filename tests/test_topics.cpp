@@ -1,0 +1,126 @@
+// Unit + equivalence tests for the topic bus (the §3.4 degenerate case).
+#include "cake/baseline/topics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cake/baseline/baseline.hpp"
+#include "cake/workload/generators.hpp"
+
+namespace cake::baseline {
+namespace {
+
+using event::EventImage;
+using event::image_of;
+using workload::Stock;
+
+class TopicsTest : public ::testing::Test {
+protected:
+  TopicsTest() {
+    workload::ensure_types_registered();
+    bus_.set_delivery_handler(
+        [this](TopicBus::SubscriberId s, const EventImage& e) {
+          log_.emplace_back(s, e.type_name());
+        });
+  }
+  TopicBus bus_;
+  std::vector<std::pair<TopicBus::SubscriberId, std::string>> log_;
+};
+
+TEST_F(TopicsTest, MulticastsToTheTypeGroupOnly) {
+  bus_.subscribe("Stock", 1);
+  bus_.subscribe("Stock", 2);
+  bus_.subscribe("Publication", 3);
+  bus_.publish(image_of(Stock{"Foo", 1.0, 1}));
+  ASSERT_EQ(log_.size(), 2u);
+  EXPECT_EQ(log_[0].first, 1u);
+  EXPECT_EQ(log_[1].first, 2u);
+  EXPECT_EQ(bus_.stats().deliveries, 2u);
+  EXPECT_EQ(bus_.stats().group_lookups, 1u);
+}
+
+TEST_F(TopicsTest, UnknownTopicDropsSilently) {
+  bus_.publish(EventImage{"Ghost", {}});
+  EXPECT_TRUE(log_.empty());
+  EXPECT_EQ(bus_.stats().events_published, 1u);
+}
+
+TEST_F(TopicsTest, SubscribeIsIdempotent) {
+  bus_.subscribe("Stock", 1);
+  bus_.subscribe("Stock", 1);
+  EXPECT_EQ(bus_.group_size("Stock"), 1u);
+  bus_.publish(image_of(Stock{"Foo", 1.0, 1}));
+  EXPECT_EQ(log_.size(), 1u);
+}
+
+TEST_F(TopicsTest, UnsubscribeLeavesGroup) {
+  bus_.subscribe("Stock", 1);
+  bus_.subscribe("Stock", 2);
+  bus_.unsubscribe("Stock", 1);
+  bus_.unsubscribe("Stock", 99);     // unknown member: no-op
+  bus_.unsubscribe("Nothing", 1);    // unknown topic: no-op
+  bus_.publish(image_of(Stock{"Foo", 1.0, 1}));
+  ASSERT_EQ(log_.size(), 1u);
+  EXPECT_EQ(log_[0].first, 2u);
+}
+
+TEST_F(TopicsTest, EmptyGroupsAreDropped) {
+  bus_.subscribe("Stock", 1);
+  EXPECT_EQ(bus_.stats().topics, 1u);
+  bus_.unsubscribe("Stock", 1);
+  EXPECT_EQ(bus_.stats().topics, 0u);
+  EXPECT_EQ(bus_.group_size("Stock"), 0u);
+}
+
+TEST_F(TopicsTest, TopicSemanticsAreExactTypeMatch) {
+  // Topics know nothing about the type hierarchy: a "Auction" group does
+  // NOT receive VehicleAuction events (that is what subtype-inclusive
+  // content filters add over topics).
+  bus_.subscribe("Auction", 1);
+  bus_.publish(image_of(workload::Auction{"Estate", 1.0}));
+  bus_.publish(image_of(workload::VehicleAuction{1.0, "Van", 2}));
+  EXPECT_EQ(log_.size(), 1u);
+}
+
+// Equivalence: topics == type-only (exact) content subscriptions.
+TEST_F(TopicsTest, EquivalentToTypeOnlyContentFilters) {
+  CentralizedServer content;
+  std::vector<std::pair<SubscriberId, std::string>> content_log;
+  content.set_delivery_handler(
+      [&](SubscriberId s, const EventImage& e) {
+        content_log.emplace_back(s, e.type_name());
+      });
+
+  const char* types[] = {"Stock", "Auction", "VehicleAuction", "Publication"};
+  util::Rng rng{4};
+  for (TopicBus::SubscriberId i = 0; i < 30; ++i) {
+    const char* type = types[rng.below(std::size(types))];
+    bus_.subscribe(type, i);
+    content.subscribe(
+        filter::ConjunctiveFilter{filter::TypeConstraint{type, false}, {}}, i);
+  }
+
+  workload::StockGenerator stocks{{}, 5};
+  workload::AuctionGenerator auctions{{}, 6};
+  workload::BiblioGenerator biblio{{}, 7};
+  for (int e = 0; e < 500; ++e) {
+    EventImage image;
+    switch (rng.below(3)) {
+      case 0: image = image_of(stocks.next()); break;
+      case 1: image = image_of(*auctions.next()); break;
+      default: image = biblio.next_event(); break;
+    }
+    bus_.publish(image);
+    content.publish(image);
+  }
+
+  // Same deliveries, possibly in different per-event subscriber order:
+  // compare as multisets per (subscriber, type).
+  auto sorted = [](auto log) {
+    std::sort(log.begin(), log.end());
+    return log;
+  };
+  EXPECT_EQ(sorted(log_), sorted(content_log));
+}
+
+}  // namespace
+}  // namespace cake::baseline

@@ -1,0 +1,235 @@
+// Unit + property tests for filter/event weakening (Propositions 1 and 2),
+// filter collapsing and joining.
+#include "cake/weaken/weaken.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cake/util/rng.hpp"
+#include "cake/workload/generators.hpp"
+
+namespace cake::weaken {
+namespace {
+
+using event::EventImage;
+using filter::ConjunctiveFilter;
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+
+const reflect::TypeRegistry& reg() { return reflect::TypeRegistry::global(); }
+
+StageSchema biblio_schema() { return workload::BiblioGenerator::schema(4); }
+
+ConjunctiveFilter biblio_filter() {
+  return FilterBuilder{"Publication"}
+      .where("year", Op::Eq, Value{2002})
+      .where("conference", Op::Eq, Value{"ICDCS"})
+      .where("author", Op::Eq, Value{"Eugster"})
+      .where("title", Op::Eq, Value{"Event Systems"})
+      .build();
+}
+
+TEST(WeakenFilter, PaperStageLayout) {
+  const StageSchema schema = biblio_schema();
+  const ConjunctiveFilter f = biblio_filter();
+
+  const ConjunctiveFilter s1 = weaken_filter(f, schema, 1);
+  ASSERT_EQ(s1.constraints().size(), 3u);
+  EXPECT_EQ(s1.constraints().back().name, "author");
+
+  const ConjunctiveFilter s2 = weaken_filter(f, schema, 2);
+  ASSERT_EQ(s2.constraints().size(), 2u);
+  EXPECT_EQ(s2.constraints().back().name, "conference");
+
+  const ConjunctiveFilter s3 = weaken_filter(f, schema, 3);
+  ASSERT_EQ(s3.constraints().size(), 1u);
+  EXPECT_EQ(s3.constraints().front().name, "year");
+
+  // The type constraint always survives — stage-3 of a type-only schema
+  // degenerates to (class, T, =), the paper's g3/i1 form.
+  EXPECT_EQ(s3.type().name, "Publication");
+}
+
+TEST(WeakenFilter, Stage0IsIdentityModuloWildcards) {
+  const ConjunctiveFilter f = biblio_filter();
+  EXPECT_EQ(weaken_filter(f, biblio_schema(), 0), f);
+}
+
+TEST(WeakenFilter, WildcardConstraintsDropOut) {
+  const ConjunctiveFilter f = FilterBuilder{"Publication"}
+                                  .where("year", Op::Eq, Value{2002})
+                                  .where("title", Op::Any)
+                                  .build();
+  const ConjunctiveFilter weak = weaken_filter(f, biblio_schema(), 0);
+  ASSERT_EQ(weak.constraints().size(), 1u);
+  EXPECT_EQ(weak.constraints().front().name, "year");
+}
+
+TEST(WeakenFilter, EachStageCoversThePrevious) {
+  const StageSchema schema = biblio_schema();
+  const ConjunctiveFilter f = biblio_filter();
+  ConjunctiveFilter previous = f;
+  for (std::size_t stage = 1; stage < schema.stages(); ++stage) {
+    const ConjunctiveFilter weakened = weaken_filter(f, schema, stage);
+    EXPECT_TRUE(covers(weakened, previous, reg()))
+        << "stage " << stage << ": " << weakened.to_string()
+        << " should cover " << previous.to_string();
+    previous = weakened;
+  }
+}
+
+// Proposition 1 as a randomized property: the weakened filter covers the
+// original, and semantically never rejects an event the original accepts.
+TEST(WeakenProperty, WeakenedFilterNeverLosesEvents) {
+  workload::BiblioGenerator gen{{}, 99};
+  const StageSchema schema = biblio_schema();
+  for (int trial = 0; trial < 200; ++trial) {
+    const ConjunctiveFilter f = gen.next_subscription();
+    for (std::size_t stage = 0; stage < schema.stages(); ++stage) {
+      const ConjunctiveFilter weak = weaken_filter(f, schema, stage);
+      EXPECT_TRUE(covers(weak, f, reg()));
+    }
+    for (int probe = 0; probe < 20; ++probe) {
+      const EventImage image = gen.next_event();
+      if (!f.matches(image, reg())) continue;
+      for (std::size_t stage = 0; stage < schema.stages(); ++stage) {
+        EXPECT_TRUE(weaken_filter(f, schema, stage).matches(image, reg()));
+      }
+    }
+  }
+}
+
+// Proposition 2: stage-s weakened events cover originals for stage-s
+// weakened filters.
+TEST(WeakenProperty, WeakenedEventCoversOriginalForWeakenedFilters) {
+  workload::BiblioGenerator gen{{}, 7};
+  const StageSchema schema = biblio_schema();
+  for (int trial = 0; trial < 200; ++trial) {
+    const ConjunctiveFilter f = gen.next_subscription();
+    const EventImage image = gen.next_event();
+    for (std::size_t stage = 0; stage < schema.stages(); ++stage) {
+      const ConjunctiveFilter weak_f = weaken_filter(f, schema, stage);
+      const EventImage weak_e = weaken_image(image, schema, stage);
+      EXPECT_TRUE(filter::event_covers(weak_e, image, weak_f, reg()))
+          << "stage " << stage;
+    }
+  }
+}
+
+TEST(WeakenImage, ProjectsStageAttributes) {
+  workload::BiblioGenerator gen{{}, 3};
+  const EventImage image = gen.next_event();
+  const EventImage s2 = weaken_image(image, biblio_schema(), 2);
+  EXPECT_TRUE(s2.has("year"));
+  EXPECT_TRUE(s2.has("conference"));
+  EXPECT_FALSE(s2.has("author"));
+  EXPECT_FALSE(s2.has("title"));
+}
+
+// ---- collapse ---------------------------------------------------------------
+
+TEST(Collapse, RemovesCoveredFilters) {
+  // Example 5: g1 = (price < 11) covers f1 = (price < 10); only g1 remains.
+  const ConjunctiveFilter f1 =
+      FilterBuilder{"Stock"}.where("price", Op::Lt, Value{10.0}).build();
+  const ConjunctiveFilter g1 =
+      FilterBuilder{"Stock"}.where("price", Op::Lt, Value{11.0}).build();
+  const auto kept = collapse({f1, g1}, reg());
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept.front(), g1);
+}
+
+TEST(Collapse, KeepsIncomparableFilters) {
+  const ConjunctiveFilter a =
+      FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"A"}).build();
+  const ConjunctiveFilter b =
+      FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"B"}).build();
+  EXPECT_EQ(collapse({a, b}, reg()).size(), 2u);
+}
+
+TEST(Collapse, DeduplicatesEqualFilters) {
+  const ConjunctiveFilter a =
+      FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"A"}).build();
+  const auto kept = collapse({a, a, a}, reg());
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept.front(), a);
+}
+
+TEST(Collapse, ChainKeepsOnlyWeakest) {
+  const auto make = [](double bound) {
+    return FilterBuilder{"Stock"}.where("price", Op::Lt, Value{bound}).build();
+  };
+  const auto kept = collapse({make(5), make(10), make(20), make(15)}, reg());
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept.front(), make(20));
+}
+
+TEST(Collapse, EmptyInput) { EXPECT_TRUE(collapse({}, reg()).empty()); }
+
+// ---- join_filters ------------------------------------------------------------
+
+TEST(JoinFilters, PaperExample5G1) {
+  // f1 = symbol DEF, price < 10 ; f2 = symbol DEF, price < 11
+  // join = symbol DEF, price < 11 (the paper's g1).
+  const ConjunctiveFilter f1 = FilterBuilder{"Stock"}
+                                   .where("symbol", Op::Eq, Value{"DEF"})
+                                   .where("price", Op::Lt, Value{10.0})
+                                   .build();
+  const ConjunctiveFilter f2 = FilterBuilder{"Stock"}
+                                   .where("symbol", Op::Eq, Value{"DEF"})
+                                   .where("price", Op::Lt, Value{11.0})
+                                   .build();
+  const ConjunctiveFilter g1 = join_filters(f1, f2, reg());
+  EXPECT_TRUE(covers(g1, f1, reg()));
+  EXPECT_TRUE(covers(g1, f2, reg()));
+  ASSERT_EQ(g1.constraints().size(), 2u);
+  EXPECT_EQ(g1.constraints()[1], (filter::AttributeConstraint{
+                                     "price", Op::Lt, Value{11.0}}));
+}
+
+TEST(JoinFilters, TypeJoinFindsCommonAncestor) {
+  workload::ensure_types_registered();
+  const ConjunctiveFilter car = FilterBuilder{"CarAuction", true}.build();
+  const ConjunctiveFilter vehicle =
+      FilterBuilder{"VehicleAuction", false}.build();
+  const ConjunctiveFilter joined = join_filters(car, vehicle, reg());
+  EXPECT_EQ(joined.type().name, "VehicleAuction");
+  EXPECT_TRUE(joined.type().include_subtypes);
+}
+
+TEST(JoinFilters, UnrelatedTypesJoinToAcceptAll) {
+  const ConjunctiveFilter stock = FilterBuilder{"Stock"}.build();
+  const ConjunctiveFilter pub = FilterBuilder{"Publication"}.build();
+  EXPECT_TRUE(join_filters(stock, pub, reg()).type().accepts_all());
+}
+
+TEST(JoinFilters, AttributeConstrainedOnOneSideOnlyIsDropped) {
+  const ConjunctiveFilter a = FilterBuilder{"Stock"}
+                                  .where("symbol", Op::Eq, Value{"A"})
+                                  .where("price", Op::Lt, Value{10.0})
+                                  .build();
+  const ConjunctiveFilter b =
+      FilterBuilder{"Stock"}.where("symbol", Op::Eq, Value{"A"}).build();
+  const ConjunctiveFilter joined = join_filters(a, b, reg());
+  EXPECT_TRUE(covers(joined, a, reg()));
+  EXPECT_TRUE(covers(joined, b, reg()));
+  EXPECT_FALSE(joined.constraints().empty());
+  for (const auto& c : joined.constraints()) EXPECT_NE(c.name, "price");
+}
+
+// Property: a join always covers both inputs.
+TEST(JoinFiltersProperty, JoinCoversBothInputs) {
+  workload::BiblioGenerator gen{{}, 55};
+  for (int trial = 0; trial < 300; ++trial) {
+    const ConjunctiveFilter a = gen.next_subscription(trial % 3);
+    const ConjunctiveFilter b = gen.next_subscription((trial + 1) % 3);
+    const ConjunctiveFilter joined = join_filters(a, b, reg());
+    EXPECT_TRUE(covers(joined, a, reg()))
+        << joined.to_string() << " !covers " << a.to_string();
+    EXPECT_TRUE(covers(joined, b, reg()))
+        << joined.to_string() << " !covers " << b.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace cake::weaken

@@ -1,0 +1,186 @@
+// Unit tests for the binary wire substrate.
+#include "cake/wire/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace cake::wire {
+namespace {
+
+using value::Value;
+
+TEST(Wire, U8RoundTrip) {
+  Writer w;
+  w.u8(0);
+  w.u8(127);
+  w.u8(255);
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.u8(), 0);
+  EXPECT_EQ(r.u8(), 127);
+  EXPECT_EQ(r.u8(), 255);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, VarintRoundTripEdges) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 (1ULL << 32) - 1,
+                                 1ULL << 32,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  Writer w;
+  for (const auto v : cases) w.varint(v);
+  Reader r{w.bytes()};
+  for (const auto v : cases) EXPECT_EQ(r.varint(), v);
+}
+
+TEST(Wire, VarintCompactness) {
+  Writer w;
+  w.varint(5);
+  EXPECT_EQ(w.size(), 1u);
+  Writer w2;
+  w2.varint(300);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(Wire, ZigzagRoundTripEdges) {
+  const std::int64_t cases[] = {0,
+                                -1,
+                                1,
+                                -2,
+                                63,
+                                -64,
+                                std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()};
+  Writer w;
+  for (const auto v : cases) w.zigzag(v);
+  Reader r{w.bytes()};
+  for (const auto v : cases) EXPECT_EQ(r.zigzag(), v);
+}
+
+TEST(Wire, SmallMagnitudeSignedStaysSmall) {
+  Writer w;
+  w.zigzag(-1);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(Wire, F64RoundTrip) {
+  const double cases[] = {0.0, -0.0, 1.5, -123.25, 1e300, -1e-300};
+  Writer w;
+  for (const auto v : cases) w.f64(v);
+  Reader r{w.bytes()};
+  for (const auto v : cases) EXPECT_EQ(r.f64(), v);
+}
+
+TEST(Wire, StringRoundTrip) {
+  Writer w;
+  w.string("");
+  w.string("hello");
+  w.string(std::string(1000, 'x'));
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.string(), "");
+  EXPECT_EQ(r.string(), "hello");
+  EXPECT_EQ(r.string(), std::string(1000, 'x'));
+}
+
+TEST(Wire, StringWithEmbeddedNul) {
+  std::string s = "a";
+  s.push_back('\0');
+  s += "b";
+  Writer w;
+  w.string(s);
+  Reader r{w.bytes()};
+  EXPECT_EQ(r.string(), s);
+}
+
+TEST(Wire, ValueRoundTripAllKinds) {
+  const Value cases[] = {Value{}, Value{true}, Value{false}, Value{-42},
+                         Value{3.75}, Value{"abc"}};
+  Writer w;
+  for (const auto& v : cases) w.value(v);
+  Reader r{w.bytes()};
+  for (const auto& v : cases) EXPECT_EQ(r.value(), v);
+}
+
+TEST(Wire, TruncatedInputThrows) {
+  Writer w;
+  w.string("hello");
+  auto bytes = w.bytes();
+  bytes.pop_back();
+  Reader r{bytes};
+  EXPECT_THROW((void)r.string(), WireError);
+}
+
+TEST(Wire, EmptyReaderThrowsOnAnyRead) {
+  Reader r{std::span<const std::byte>{}};
+  EXPECT_THROW((void)r.u8(), WireError);
+  Reader r2{std::span<const std::byte>{}};
+  EXPECT_THROW((void)r2.varint(), WireError);
+  Reader r3{std::span<const std::byte>{}};
+  EXPECT_THROW((void)r3.f64(), WireError);
+}
+
+TEST(Wire, OverlongVarintThrows) {
+  Writer w;
+  for (int i = 0; i < 11; ++i) w.u8(0x80);
+  Reader r{w.bytes()};
+  EXPECT_THROW((void)r.varint(), WireError);
+}
+
+TEST(Wire, UnknownValueKindThrows) {
+  Writer w;
+  w.u8(99);
+  Reader r{w.bytes()};
+  EXPECT_THROW((void)r.value(), WireError);
+}
+
+TEST(Wire, Fnv1aKnownVectors) {
+  EXPECT_EQ(fnv1a({}), 0xcbf29ce484222325ULL);
+  const auto bytes = std::as_bytes(std::span{"a", 1});
+  EXPECT_EQ(fnv1a(bytes), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Wire, FrameRoundTrip) {
+  Writer w;
+  w.string("payload");
+  const auto framed = frame(w.bytes());
+  const auto payload = unframe(framed);
+  EXPECT_EQ(payload, w.bytes());
+}
+
+TEST(Wire, EmptyPayloadFrames) {
+  const auto framed = frame({});
+  EXPECT_TRUE(unframe(framed).empty());
+}
+
+TEST(Wire, CorruptChecksumDetected) {
+  Writer w;
+  w.string("data");
+  auto framed = frame(w.bytes());
+  framed[2] ^= std::byte{0xff};  // flip a payload bit
+  EXPECT_THROW((void)unframe(framed), WireError);
+}
+
+TEST(Wire, TruncatedFrameDetected) {
+  Writer w;
+  w.string("data");
+  auto framed = frame(w.bytes());
+  framed.resize(framed.size() - 3);
+  EXPECT_THROW((void)unframe(framed), WireError);
+}
+
+TEST(Wire, RawAppendsVerbatim) {
+  Writer inner;
+  inner.u8(1);
+  inner.u8(2);
+  Writer outer;
+  outer.raw(inner.bytes());
+  EXPECT_EQ(outer.bytes(), inner.bytes());
+}
+
+}  // namespace
+}  // namespace cake::wire

@@ -1,0 +1,164 @@
+// Unit tests for workload generators and their statistical knobs.
+#include "cake/workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cake::workload {
+namespace {
+
+using filter::Op;
+
+TEST(Biblio, EventsHaveAllFourAttributesInSchemaOrder) {
+  BiblioGenerator gen{{}, 1};
+  const event::EventImage image = gen.next_event();
+  EXPECT_EQ(image.type_name(), "Publication");
+  ASSERT_EQ(image.attributes().size(), 4u);
+  EXPECT_EQ(image.attributes()[0].name, "year");
+  EXPECT_EQ(image.attributes()[1].name, "conference");
+  EXPECT_EQ(image.attributes()[2].name, "author");
+  EXPECT_EQ(image.attributes()[3].name, "title");
+}
+
+TEST(Biblio, DeterministicUnderSeed) {
+  BiblioGenerator a{{}, 9}, b{{}, 9};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next_event(), b.next_event());
+}
+
+TEST(Biblio, DifferentSeedsDiffer) {
+  BiblioGenerator a{{}, 1}, b{{}, 2};
+  int same = 0;
+  for (int i = 0; i < 50; ++i) same += (a.next_event() == b.next_event());
+  EXPECT_LT(same, 25);
+}
+
+TEST(Biblio, ValuesStayInConfiguredUniverse) {
+  BiblioConfig config;
+  config.years = 3;
+  config.conferences = 2;
+  config.authors = 4;
+  BiblioGenerator gen{config, 3};
+  for (int i = 0; i < 200; ++i) {
+    const auto image = gen.next_event();
+    const auto year = image.find("year")->as_int();
+    EXPECT_GE(year, 1995);
+    EXPECT_LT(year, 1995 + 3);
+  }
+}
+
+TEST(Biblio, TitleIsBoundToItsCombination) {
+  BiblioGenerator gen{{}, 4};
+  for (int i = 0; i < 100; ++i) {
+    const auto image = gen.next_event();
+    const std::string title = image.find("title")->as_string();
+    const auto year = image.find("year")->as_int();
+    // title-<y>-<c>-<a>-<k> where y is the year rank.
+    EXPECT_EQ(title.rfind("title-" + std::to_string(year - 1995) + "-", 0), 0u)
+        << title;
+  }
+}
+
+TEST(Biblio, SubscriptionsShareTheEventDistribution) {
+  BiblioGenerator gen{{}, 5};
+  const auto f = gen.next_subscription();
+  EXPECT_EQ(f.type().name, "Publication");
+  ASSERT_EQ(f.constraints().size(), 4u);
+  for (const auto& c : f.constraints()) EXPECT_EQ(c.op, Op::Eq);
+}
+
+TEST(Biblio, WildcardKnobDropsLeastGeneralFirst) {
+  BiblioGenerator gen{{}, 6};
+  const auto f1 = gen.next_subscription(1);
+  EXPECT_EQ(f1.constraints()[3].op, Op::Any);   // title
+  EXPECT_EQ(f1.constraints()[2].op, Op::Eq);    // author still set
+  const auto f3 = gen.next_subscription(3);
+  EXPECT_EQ(f3.constraints()[1].op, Op::Any);   // conference
+  EXPECT_EQ(f3.constraints()[0].op, Op::Eq);    // year survives
+  const auto f4 = gen.next_subscription(4);
+  EXPECT_EQ(f4.constraints()[0].op, Op::Any);   // everything wildcarded
+}
+
+TEST(Biblio, HighTitleSkewYieldsHighConditionalMatchRate) {
+  // The knob behind the paper's MR ≈ 0.87: P(title matches | y,c,a match).
+  BiblioGenerator gen{{}, 7};
+  util::Zipf titles{BiblioConfig{}.titles_per_combo, BiblioConfig{}.title_skew};
+  double collision = 0.0;
+  for (std::size_t k = 0; k < titles.size(); ++k)
+    collision += titles.pmf(k) * titles.pmf(k);
+  EXPECT_GT(collision, 0.8);
+  EXPECT_LT(collision, 0.95);
+}
+
+TEST(Stock, PricesFollowPositiveRandomWalk) {
+  StockGenerator gen{{}, 8};
+  for (int i = 0; i < 500; ++i) {
+    const Stock quote = gen.next();
+    EXPECT_GT(quote.price(), 0.0);
+    EXPECT_GE(quote.volume(), 100);
+    EXPECT_LE(quote.volume(), 100'000);
+    EXPECT_EQ(quote.symbol().rfind("SYM", 0), 0u);
+  }
+}
+
+TEST(Stock, SymbolsDrawnFromConfiguredUniverse) {
+  StockConfig config;
+  config.symbols = 5;
+  StockGenerator gen{config, 9};
+  std::set<std::string> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(gen.next().symbol());
+  EXPECT_LE(seen.size(), 5u);
+  EXPECT_GE(seen.size(), 3u);  // Zipf(1.0) over 5 symbols covers most
+}
+
+TEST(Stock, SubscriptionShapeMatchesPaperExample) {
+  StockGenerator gen{{}, 10};
+  const auto f = gen.next_subscription();
+  EXPECT_EQ(f.type().name, "Stock");
+  ASSERT_EQ(f.constraints().size(), 2u);
+  EXPECT_EQ(f.constraints()[0].name, "symbol");
+  EXPECT_EQ(f.constraints()[0].op, Op::Eq);
+  EXPECT_EQ(f.constraints()[1].name, "price");
+  EXPECT_EQ(f.constraints()[1].op, Op::Lt);
+}
+
+TEST(Auctions, MixMatchesConfiguredFractions) {
+  AuctionConfig config;
+  config.vehicle_fraction = 0.5;
+  config.car_fraction = 0.5;
+  AuctionGenerator gen{config, 11};
+  int cars = 0, vehicles = 0, plain = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto e = gen.next();
+    if (dynamic_cast<const CarAuction*>(e.get())) ++cars;
+    else if (dynamic_cast<const VehicleAuction*>(e.get())) ++vehicles;
+    else ++plain;
+  }
+  EXPECT_NEAR(plain, 1000, 100);
+  EXPECT_NEAR(vehicles, 500, 80);
+  EXPECT_NEAR(cars, 500, 80);
+}
+
+TEST(Auctions, EveryEventConformsToAuction) {
+  AuctionGenerator gen{{}, 12};
+  const auto& base = reflect::TypeRegistry::global().get("Auction");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(gen.next()->type().conforms_to(base));
+  }
+}
+
+TEST(Schemas, BiblioSchemaDropsTitleFirst) {
+  const auto schema = BiblioGenerator::schema();
+  EXPECT_EQ(schema.type_name(), "Publication");
+  EXPECT_EQ(schema.stages(), 4u);
+  EXPECT_EQ(schema.attributes_at(1).back(), "author");
+  EXPECT_EQ(schema.attributes_at(3), std::vector<std::string>{"year"});
+}
+
+TEST(Schemas, StockSchemaKeepsSymbolLongest) {
+  const auto schema = StockGenerator::schema();
+  EXPECT_EQ(schema.attributes_at(2), std::vector<std::string>{"symbol"});
+}
+
+}  // namespace
+}  // namespace cake::workload
