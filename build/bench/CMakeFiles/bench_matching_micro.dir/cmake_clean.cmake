@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matching_micro.dir/bench_matching_micro.cpp.o"
+  "CMakeFiles/bench_matching_micro.dir/bench_matching_micro.cpp.o.d"
+  "bench_matching_micro"
+  "bench_matching_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matching_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matching_rate.dir/bench_matching_rate.cpp.o"
+  "CMakeFiles/bench_matching_rate.dir/bench_matching_rate.cpp.o.d"
+  "bench_matching_rate"
+  "bench_matching_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matching_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_peer_vs_hierarchy.dir/bench_peer_vs_hierarchy.cpp.o"
+  "CMakeFiles/bench_peer_vs_hierarchy.dir/bench_peer_vs_hierarchy.cpp.o.d"
+  "bench_peer_vs_hierarchy"
+  "bench_peer_vs_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_peer_vs_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

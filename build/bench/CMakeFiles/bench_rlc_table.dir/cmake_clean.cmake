@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rlc_table.dir/bench_rlc_table.cpp.o"
+  "CMakeFiles/bench_rlc_table.dir/bench_rlc_table.cpp.o.d"
+  "bench_rlc_table"
+  "bench_rlc_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rlc_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

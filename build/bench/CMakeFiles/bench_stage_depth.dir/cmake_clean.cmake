@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stage_depth.dir/bench_stage_depth.cpp.o"
+  "CMakeFiles/bench_stage_depth.dir/bench_stage_depth.cpp.o.d"
+  "bench_stage_depth"
+  "bench_stage_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stage_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topics.dir/bench_topics.cpp.o"
+  "CMakeFiles/bench_topics.dir/bench_topics.cpp.o.d"
+  "bench_topics"
+  "bench_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

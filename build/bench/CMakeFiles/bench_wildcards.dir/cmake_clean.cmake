@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wildcards.dir/bench_wildcards.cpp.o"
+  "CMakeFiles/bench_wildcards.dir/bench_wildcards.cpp.o.d"
+  "bench_wildcards"
+  "bench_wildcards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wildcards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_house.dir/auction_house.cpp.o"
+  "CMakeFiles/auction_house.dir/auction_house.cpp.o.d"
+  "auction_house"
+  "auction_house.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_house.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

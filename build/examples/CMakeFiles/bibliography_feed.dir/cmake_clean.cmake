@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bibliography_feed.dir/bibliography_feed.cpp.o"
+  "CMakeFiles/bibliography_feed.dir/bibliography_feed.cpp.o.d"
+  "bibliography_feed"
+  "bibliography_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bibliography_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_bus.dir/embedded_bus.cpp.o"
+  "CMakeFiles/embedded_bus.dir/embedded_bus.cpp.o.d"
+  "embedded_bus"
+  "embedded_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

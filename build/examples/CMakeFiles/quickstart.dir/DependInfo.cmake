@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cake_peer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_weaken.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_reflect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulator.dir/simulator.cpp.o"
+  "CMakeFiles/simulator.dir/simulator.cpp.o.d"
+  "simulator"
+  "simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_baseline.dir/cake/baseline/baseline.cpp.o"
+  "CMakeFiles/cake_baseline.dir/cake/baseline/baseline.cpp.o.d"
+  "CMakeFiles/cake_baseline.dir/cake/baseline/topics.cpp.o"
+  "CMakeFiles/cake_baseline.dir/cake/baseline/topics.cpp.o.d"
+  "libcake_baseline.a"
+  "libcake_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_core.dir/cake/core/event_system.cpp.o"
+  "CMakeFiles/cake_core.dir/cake/core/event_system.cpp.o.d"
+  "libcake_core.a"
+  "libcake_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_event.dir/cake/event/event.cpp.o"
+  "CMakeFiles/cake_event.dir/cake/event/event.cpp.o.d"
+  "libcake_event.a"
+  "libcake_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_filter.dir/cake/filter/constraint.cpp.o"
+  "CMakeFiles/cake_filter.dir/cake/filter/constraint.cpp.o.d"
+  "CMakeFiles/cake_filter.dir/cake/filter/filter.cpp.o"
+  "CMakeFiles/cake_filter.dir/cake/filter/filter.cpp.o.d"
+  "CMakeFiles/cake_filter.dir/cake/filter/op.cpp.o"
+  "CMakeFiles/cake_filter.dir/cake/filter/op.cpp.o.d"
+  "libcake_filter.a"
+  "libcake_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

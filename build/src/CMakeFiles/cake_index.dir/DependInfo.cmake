@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cake/index/index.cpp" "src/CMakeFiles/cake_index.dir/cake/index/index.cpp.o" "gcc" "src/CMakeFiles/cake_index.dir/cake/index/index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cake_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_reflect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

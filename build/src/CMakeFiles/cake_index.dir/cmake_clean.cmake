@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_index.dir/cake/index/index.cpp.o"
+  "CMakeFiles/cake_index.dir/cake/index/index.cpp.o.d"
+  "libcake_index.a"
+  "libcake_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

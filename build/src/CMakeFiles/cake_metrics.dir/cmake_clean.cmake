@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_metrics.dir/cake/metrics/metrics.cpp.o"
+  "CMakeFiles/cake_metrics.dir/cake/metrics/metrics.cpp.o.d"
+  "CMakeFiles/cake_metrics.dir/cake/metrics/sampler.cpp.o"
+  "CMakeFiles/cake_metrics.dir/cake/metrics/sampler.cpp.o.d"
+  "libcake_metrics.a"
+  "libcake_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

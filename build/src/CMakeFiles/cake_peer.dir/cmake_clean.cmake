@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_peer.dir/cake/peer/peer.cpp.o"
+  "CMakeFiles/cake_peer.dir/cake/peer/peer.cpp.o.d"
+  "libcake_peer.a"
+  "libcake_peer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_peer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_reflect.dir/cake/reflect/reflect.cpp.o"
+  "CMakeFiles/cake_reflect.dir/cake/reflect/reflect.cpp.o.d"
+  "libcake_reflect.a"
+  "libcake_reflect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_reflect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_routing.dir/cake/routing/broker.cpp.o"
+  "CMakeFiles/cake_routing.dir/cake/routing/broker.cpp.o.d"
+  "CMakeFiles/cake_routing.dir/cake/routing/endpoints.cpp.o"
+  "CMakeFiles/cake_routing.dir/cake/routing/endpoints.cpp.o.d"
+  "CMakeFiles/cake_routing.dir/cake/routing/overlay.cpp.o"
+  "CMakeFiles/cake_routing.dir/cake/routing/overlay.cpp.o.d"
+  "CMakeFiles/cake_routing.dir/cake/routing/protocol.cpp.o"
+  "CMakeFiles/cake_routing.dir/cake/routing/protocol.cpp.o.d"
+  "libcake_routing.a"
+  "libcake_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

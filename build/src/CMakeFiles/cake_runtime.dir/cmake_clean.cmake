@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_runtime.dir/cake/runtime/local_bus.cpp.o"
+  "CMakeFiles/cake_runtime.dir/cake/runtime/local_bus.cpp.o.d"
+  "libcake_runtime.a"
+  "libcake_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

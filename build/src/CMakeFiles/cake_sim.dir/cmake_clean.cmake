@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_sim.dir/cake/sim/sim.cpp.o"
+  "CMakeFiles/cake_sim.dir/cake/sim/sim.cpp.o.d"
+  "libcake_sim.a"
+  "libcake_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

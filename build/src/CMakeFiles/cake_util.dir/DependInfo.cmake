@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cake/util/cli.cpp" "src/CMakeFiles/cake_util.dir/cake/util/cli.cpp.o" "gcc" "src/CMakeFiles/cake_util.dir/cake/util/cli.cpp.o.d"
+  "/root/repo/src/cake/util/regex.cpp" "src/CMakeFiles/cake_util.dir/cake/util/regex.cpp.o" "gcc" "src/CMakeFiles/cake_util.dir/cake/util/regex.cpp.o.d"
+  "/root/repo/src/cake/util/rng.cpp" "src/CMakeFiles/cake_util.dir/cake/util/rng.cpp.o" "gcc" "src/CMakeFiles/cake_util.dir/cake/util/rng.cpp.o.d"
+  "/root/repo/src/cake/util/stats.cpp" "src/CMakeFiles/cake_util.dir/cake/util/stats.cpp.o" "gcc" "src/CMakeFiles/cake_util.dir/cake/util/stats.cpp.o.d"
+  "/root/repo/src/cake/util/table.cpp" "src/CMakeFiles/cake_util.dir/cake/util/table.cpp.o" "gcc" "src/CMakeFiles/cake_util.dir/cake/util/table.cpp.o.d"
+  "/root/repo/src/cake/util/zipf.cpp" "src/CMakeFiles/cake_util.dir/cake/util/zipf.cpp.o" "gcc" "src/CMakeFiles/cake_util.dir/cake/util/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_util.dir/cake/util/cli.cpp.o"
+  "CMakeFiles/cake_util.dir/cake/util/cli.cpp.o.d"
+  "CMakeFiles/cake_util.dir/cake/util/regex.cpp.o"
+  "CMakeFiles/cake_util.dir/cake/util/regex.cpp.o.d"
+  "CMakeFiles/cake_util.dir/cake/util/rng.cpp.o"
+  "CMakeFiles/cake_util.dir/cake/util/rng.cpp.o.d"
+  "CMakeFiles/cake_util.dir/cake/util/stats.cpp.o"
+  "CMakeFiles/cake_util.dir/cake/util/stats.cpp.o.d"
+  "CMakeFiles/cake_util.dir/cake/util/table.cpp.o"
+  "CMakeFiles/cake_util.dir/cake/util/table.cpp.o.d"
+  "CMakeFiles/cake_util.dir/cake/util/zipf.cpp.o"
+  "CMakeFiles/cake_util.dir/cake/util/zipf.cpp.o.d"
+  "libcake_util.a"
+  "libcake_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_value.dir/cake/value/value.cpp.o"
+  "CMakeFiles/cake_value.dir/cake/value/value.cpp.o.d"
+  "libcake_value.a"
+  "libcake_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_weaken.dir/cake/weaken/schema.cpp.o"
+  "CMakeFiles/cake_weaken.dir/cake/weaken/schema.cpp.o.d"
+  "CMakeFiles/cake_weaken.dir/cake/weaken/weaken.cpp.o"
+  "CMakeFiles/cake_weaken.dir/cake/weaken/weaken.cpp.o.d"
+  "libcake_weaken.a"
+  "libcake_weaken.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_weaken.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_wire.dir/cake/wire/wire.cpp.o"
+  "CMakeFiles/cake_wire.dir/cake/wire/wire.cpp.o.d"
+  "libcake_wire.a"
+  "libcake_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cake_workload.dir/cake/workload/generators.cpp.o"
+  "CMakeFiles/cake_workload.dir/cake/workload/generators.cpp.o.d"
+  "CMakeFiles/cake_workload.dir/cake/workload/types.cpp.o"
+  "CMakeFiles/cake_workload.dir/cake/workload/types.cpp.o.d"
+  "libcake_workload.a"
+  "libcake_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cake_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

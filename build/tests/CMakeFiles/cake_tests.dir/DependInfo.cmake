@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/cake_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_broker.cpp" "tests/CMakeFiles/cake_tests.dir/test_broker.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_broker.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/cake_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_collapse_routing.cpp" "tests/CMakeFiles/cake_tests.dir/test_collapse_routing.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_collapse_routing.cpp.o.d"
+  "/root/repo/tests/test_constraint.cpp" "tests/CMakeFiles/cake_tests.dir/test_constraint.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_constraint.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/cake_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_edges.cpp" "tests/CMakeFiles/cake_tests.dir/test_edges.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_edges.cpp.o.d"
+  "/root/repo/tests/test_endpoints.cpp" "tests/CMakeFiles/cake_tests.dir/test_endpoints.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_endpoints.cpp.o.d"
+  "/root/repo/tests/test_event.cpp" "tests/CMakeFiles/cake_tests.dir/test_event.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_event.cpp.o.d"
+  "/root/repo/tests/test_evolution.cpp" "tests/CMakeFiles/cake_tests.dir/test_evolution.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_evolution.cpp.o.d"
+  "/root/repo/tests/test_filter.cpp" "tests/CMakeFiles/cake_tests.dir/test_filter.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_filter.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/cake_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_index.cpp" "tests/CMakeFiles/cake_tests.dir/test_index.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_index.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/cake_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_local_bus.cpp" "tests/CMakeFiles/cake_tests.dir/test_local_bus.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_local_bus.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/cake_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_op.cpp" "tests/CMakeFiles/cake_tests.dir/test_op.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_op.cpp.o.d"
+  "/root/repo/tests/test_overlaps.cpp" "tests/CMakeFiles/cake_tests.dir/test_overlaps.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_overlaps.cpp.o.d"
+  "/root/repo/tests/test_overlay.cpp" "tests/CMakeFiles/cake_tests.dir/test_overlay.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_overlay.cpp.o.d"
+  "/root/repo/tests/test_paper_examples.cpp" "tests/CMakeFiles/cake_tests.dir/test_paper_examples.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_paper_examples.cpp.o.d"
+  "/root/repo/tests/test_peer.cpp" "tests/CMakeFiles/cake_tests.dir/test_peer.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_peer.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/cake_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_protocol.cpp" "tests/CMakeFiles/cake_tests.dir/test_protocol.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_protocol.cpp.o.d"
+  "/root/repo/tests/test_reflect.cpp" "tests/CMakeFiles/cake_tests.dir/test_reflect.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_reflect.cpp.o.d"
+  "/root/repo/tests/test_regex.cpp" "tests/CMakeFiles/cake_tests.dir/test_regex.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_regex.cpp.o.d"
+  "/root/repo/tests/test_resilience.cpp" "tests/CMakeFiles/cake_tests.dir/test_resilience.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_resilience.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/cake_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_sampler.cpp" "tests/CMakeFiles/cake_tests.dir/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_sampler.cpp.o.d"
+  "/root/repo/tests/test_schema.cpp" "tests/CMakeFiles/cake_tests.dir/test_schema.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_schema.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/cake_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_soak.cpp" "tests/CMakeFiles/cake_tests.dir/test_soak.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_soak.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/cake_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_topics.cpp" "tests/CMakeFiles/cake_tests.dir/test_topics.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_topics.cpp.o.d"
+  "/root/repo/tests/test_value.cpp" "tests/CMakeFiles/cake_tests.dir/test_value.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_value.cpp.o.d"
+  "/root/repo/tests/test_weaken.cpp" "tests/CMakeFiles/cake_tests.dir/test_weaken.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_weaken.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/cake_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_wire.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/cake_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_workload.cpp.o.d"
+  "/root/repo/tests/test_zipf.cpp" "tests/CMakeFiles/cake_tests.dir/test_zipf.cpp.o" "gcc" "tests/CMakeFiles/cake_tests.dir/test_zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cake_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_peer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_weaken.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_reflect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cake_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
