@@ -1,0 +1,190 @@
+// Experiment A12 — concurrent publish throughput of LocalBus.
+//
+// Measures N publisher threads pushing events through one bus, comparing
+// the sharded matching engine (per-shard reader–writer snapshot, the
+// default) against the pre-sharding baseline that funnels every match()
+// through one global mutex (BusOptions::serialize_matching).
+//
+// Two workloads:
+//   * multi-type — each publisher owns a distinct event class, so in the
+//     sharded bus the threads (almost) never touch the same shard;
+//   * same-type  — every publisher publishes Stock, so all threads take
+//     the SAME shard's lock, but only in shared mode: matching still
+//     proceeds concurrently on per-thread scratch state.
+//
+// Expected shape: the serialized bus is flat (or degrades) as threads are
+// added; the sharded bus scales with cores. On a single-core host both
+// columns are flat — the speedup column is only meaningful with
+// hardware_concurrency ≥ the thread count.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cake/metrics/metrics.hpp"
+#include "cake/runtime/local_bus.hpp"
+#include "cake/util/table.hpp"
+#include "cake/workload/types.hpp"
+
+namespace {
+
+using namespace cake;
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+
+constexpr std::size_t kShards = 16;
+constexpr int kFiltersPerType = 200;
+
+// The four classes publishers cycle through; hashed to distinct shards
+// with high probability at kShards = 16.
+const char* const kTypes[] = {"Stock", "Auction", "CarAuction", "Publication"};
+
+void populate(runtime::LocalBus& bus, std::atomic<std::uint64_t>& delivered) {
+  const auto handler = [&delivered](const event::Event&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  };
+  for (const char* type : kTypes) {
+    for (int i = 0; i < kFiltersPerType; ++i) {
+      // Price/year bounds arranged so a small fraction of filters match
+      // each event — realistic selective subscriptions, non-trivial
+      // counting work per match call.
+      if (std::string{type} == "Publication") {
+        bus.subscribe(FilterBuilder{type}
+                          .where("year", Op::Le, Value{std::int64_t{1900 + i}})
+                          .build(),
+                      handler);
+      } else {
+        bus.subscribe(FilterBuilder{type}
+                          .where("price", Op::Lt, Value{double(i)})
+                          .build(),
+                      handler);
+      }
+    }
+  }
+}
+
+void publish_one(runtime::LocalBus& bus, const char* type, int i) {
+  const double price = double(i % kFiltersPerType);
+  switch (type[0]) {
+    case 'S':
+      bus.publish(workload::Stock{"SYM", price, i});
+      break;
+    case 'A':
+      bus.publish(workload::Auction{"lot", price});
+      break;
+    case 'C':
+      bus.publish(workload::CarAuction{price, 5, 4});
+      break;
+    default:
+      bus.publish(workload::Publication{1900 + (i % kFiltersPerType), "ICDCS",
+                                        "author", "title"});
+      break;
+  }
+}
+
+struct Run {
+  double events_per_sec = 0.0;
+  std::uint64_t delivered = 0;
+};
+
+Run run_workload(bool serialized, bool multi_type, int threads,
+                 int events_per_thread,
+                 std::vector<index::ShardStats>* shards_out = nullptr) {
+  runtime::BusOptions options;
+  options.engine = index::Engine::Counting;
+  options.shards = kShards;
+  options.serialize_matching = serialized;
+  runtime::LocalBus bus{options};
+  std::atomic<std::uint64_t> delivered{0};
+  populate(bus, delivered);
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> publishers;
+  publishers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    publishers.emplace_back([&, t] {
+      const char* type = multi_type ? kTypes[t % 4] : "Stock";
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < events_per_thread; ++i) publish_one(bus, type, i);
+    });
+  }
+  while (ready.load(std::memory_order_acquire) != threads)
+    std::this_thread::yield();
+
+  const auto start = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& thread : publishers) thread.join();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  if (shards_out != nullptr) *shards_out = bus.shard_stats();
+  const double total = double(threads) * double(events_per_thread);
+  return Run{total / elapsed.count(), delivered.load()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int events_per_thread = argc > 1 ? std::atoi(argv[1]) : 20'000;
+  if (events_per_thread <= 0) {
+    std::cerr << "usage: " << argv[0]
+              << " [events_per_thread > 0]  (got '" << argv[1] << "')\n";
+    return 2;
+  }
+  workload::ensure_types_registered();
+
+  std::cout << "=== A12: Concurrent publish throughput, sharded vs "
+               "serialized matching ===\n"
+            << "4 event classes x " << kFiltersPerType << " filters, "
+            << kShards << " shards, " << events_per_thread
+            << " events/thread (hardware_concurrency = "
+            << std::thread::hardware_concurrency() << ")\n\n";
+
+  double speedup_at_4 = 0.0;
+  for (const bool multi_type : {true, false}) {
+    std::cout << (multi_type
+                      ? "-- Multi-type workload (publishers on distinct "
+                        "classes, distinct shards) --\n"
+                      : "-- Same-type workload (all publishers on Stock, one "
+                        "shared shard) --\n");
+    util::TextTable table{{"Threads", "Serialized ev/s", "Sharded ev/s",
+                           "Speedup", "Deliveries"}};
+    for (const int threads : {1, 2, 4, 8}) {
+      const Run serial =
+          run_workload(/*serialized=*/true, multi_type, threads,
+                       events_per_thread);
+      std::vector<index::ShardStats> shards;
+      const Run sharded = run_workload(/*serialized=*/false, multi_type,
+                                       threads, events_per_thread, &shards);
+      const double speedup = sharded.events_per_sec / serial.events_per_sec;
+      if (multi_type && threads == 4) speedup_at_4 = speedup;
+      table.add_row({std::to_string(threads),
+                     util::format_number(serial.events_per_sec),
+                     util::format_number(sharded.events_per_sec),
+                     util::format_number(speedup),
+                     std::to_string(sharded.delivered)});
+      if (serial.delivered != sharded.delivered) {
+        std::cout << "DELIVERY MISMATCH: serialized=" << serial.delivered
+                  << " sharded=" << sharded.delivered << "\n";
+        return 1;
+      }
+      if (!multi_type && threads == 4) {
+        std::cout << "shard imbalance at 4 threads: "
+                  << util::format_number(metrics::shard_imbalance(shards))
+                  << " (same-type: all traffic on one shard is expected)\n";
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "multi-type speedup at 4 publisher threads: "
+            << util::format_number(speedup_at_4) << "x\n";
+  return 0;
+}

@@ -19,7 +19,7 @@ void CentralizedServer::subscribe(filter::ConjunctiveFilter filter,
 void CentralizedServer::publish(const event::EventImage& image) {
   ++stats_.events_received;
   stats_.load_complexity += index_->size();
-  index_->match(image, scratch_);
+  index_->match(image, scratch_, match_state_);
   if (!scratch_.empty()) ++stats_.events_matched;
   for (const index::FilterId fid : scratch_) {
     ++stats_.deliveries;

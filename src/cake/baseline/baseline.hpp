@@ -59,6 +59,7 @@ private:
   std::vector<SubscriberId> owners_;  // indexed by FilterId
   DeliveryHandler handler_;
   CentralizedStats stats_;
+  index::MatchScratch match_state_;
   std::vector<index::FilterId> scratch_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cake/index/sharded.hpp"
+
 namespace cake::index {
 
 std::unique_ptr<MatchIndex> make_index(Engine engine,
@@ -10,8 +12,25 @@ std::unique_ptr<MatchIndex> make_index(Engine engine,
     case Engine::Naive: return std::make_unique<NaiveTable>(registry);
     case Engine::Counting: return std::make_unique<CountingIndex>(registry);
     case Engine::Trie: return std::make_unique<TrieIndex>(registry);
+    case Engine::ShardedCounting:
+      return std::make_unique<ShardedIndex>(Engine::Counting, registry);
   }
   return std::make_unique<NaiveTable>(registry);
+}
+
+MatchScratch::CountingState& MatchScratch::counting_for(const void* owner,
+                                                        std::size_t filters) {
+  // Bound the per-owner cache: a scratch that has visited many short-lived
+  // indexes sheds them all at once rather than leaking state forever.
+  if (counting_.size() > 64 && !counting_.contains(owner)) counting_.clear();
+  CountingState& state = counting_[owner];
+  if (state.stamps.size() < filters) {
+    // New entries get stamp 0; epoch is always ≥ 1 by the time they are
+    // read, so they can never alias a live count.
+    state.counts.resize(filters, 0);
+    state.stamps.resize(filters, 0);
+  }
+  return state;
 }
 
 FilterId NaiveTable::add(filter::ConjunctiveFilter filter) {
@@ -27,8 +46,8 @@ void NaiveTable::remove(FilterId id) {
   }
 }
 
-void NaiveTable::match(const event::EventImage& image,
-                       std::vector<FilterId>& out) const {
+void NaiveTable::match(const event::EventImage& image, std::vector<FilterId>& out,
+                       MatchScratch&) const {
   out.clear();
   for (FilterId id = 0; id < slots_.size(); ++id) {
     if (slots_[id].has_value() && slots_[id]->matches(image, registry_))
@@ -63,8 +82,6 @@ FilterId CountingIndex::add(filter::ConjunctiveFilter filter) {
   }
 
   entries_.push_back(Entry{std::move(filter), required, true});
-  counts_.push_back(0);
-  stamps_.push_back(0);
   ++live_;
   return id;
 }
@@ -76,19 +93,23 @@ void CountingIndex::remove(FilterId id) {
   }
 }
 
-void CountingIndex::bump(FilterId id, std::vector<FilterId>& out) const {
-  if (!entries_[id].alive) return;
-  if (stamps_[id] != epoch_) {
-    stamps_[id] = epoch_;
-    counts_[id] = 0;
+void CountingIndex::bump(const Entry& entry, FilterId id, std::vector<FilterId>& out,
+                         MatchScratch::CountingState& state) {
+  if (!entry.alive) return;
+  if (state.stamps[id] != state.epoch) {
+    state.stamps[id] = state.epoch;
+    state.counts[id] = 0;
   }
-  if (++counts_[id] == entries_[id].required) out.push_back(id);
+  if (++state.counts[id] == entry.required) out.push_back(id);
 }
 
 void CountingIndex::match(const event::EventImage& image,
-                          std::vector<FilterId>& out) const {
+                          std::vector<FilterId>& out,
+                          MatchScratch& scratch) const {
   out.clear();
-  ++epoch_;
+  MatchScratch::CountingState& state =
+      scratch.counting_for(this, entries_.size());
+  ++state.epoch;
 
   // Filters with no non-trivial predicate match everything.
   for (FilterId id = 0; id < entries_.size(); ++id) {
@@ -98,19 +119,19 @@ void CountingIndex::match(const event::EventImage& image,
   // Type predicates: exact name, then every registered ancestor's subtree.
   if (const auto exact = exact_type_.find(image.type_name());
       exact != exact_type_.end()) {
-    for (const FilterId id : exact->second) bump(id, out);
+    for (const FilterId id : exact->second) bump(entries_[id], id, out, state);
   }
   const reflect::TypeInfo* type = registry_.find(image.type_name());
   if (type != nullptr) {
     for (const reflect::TypeInfo* anc = type; anc != nullptr; anc = anc->parent()) {
       if (const auto it = subtree_type_.find(anc->name()); it != subtree_type_.end())
-        for (const FilterId id : it->second) bump(id, out);
+        for (const FilterId id : it->second) bump(entries_[id], id, out, state);
     }
   } else if (const auto it = subtree_type_.find(image.type_name());
              it != subtree_type_.end()) {
     // Unregistered event type: a subtree rooted at exactly this name still
     // matches (conformance is reflexive).
-    for (const FilterId id : it->second) bump(id, out);
+    for (const FilterId id : it->second) bump(entries_[id], id, out, state);
   }
 
   // Attribute predicates.
@@ -120,10 +141,11 @@ void CountingIndex::match(const event::EventImage& image,
     const AttrIndex& attr_index = it->second;
     if (const auto eq = attr_index.equals.find(attr.value);
         eq != attr_index.equals.end()) {
-      for (const FilterId id : eq->second) bump(id, out);
+      for (const FilterId id : eq->second) bump(entries_[id], id, out, state);
     }
     for (const auto& [constraint, id] : attr_index.other) {
-      if (applies(constraint.op, attr.value, constraint.operand)) bump(id, out);
+      if (applies(constraint.op, attr.value, constraint.operand))
+        bump(entries_[id], id, out, state);
     }
   }
 }
@@ -179,8 +201,8 @@ void TrieIndex::match_node(std::size_t node_index, const event::EventImage& imag
   }
 }
 
-void TrieIndex::match(const event::EventImage& image,
-                      std::vector<FilterId>& out) const {
+void TrieIndex::match(const event::EventImage& image, std::vector<FilterId>& out,
+                      MatchScratch&) const {
   out.clear();
   match_node(0, image, out);
 }

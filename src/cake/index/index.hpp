@@ -25,7 +25,48 @@ namespace cake::index {
 /// Stable handle for a filter inside one index.
 using FilterId = std::size_t;
 
+/// Per-caller matching state.
+///
+/// Engines that need working memory during a match — the counting pass of
+/// `CountingIndex`, the shard-local id buffer of `ShardedIndex` — draw it
+/// from here instead of from shared mutable members, so any number of
+/// threads may match() against one index concurrently as long as each
+/// passes its own scratch. A scratch is reusable across calls and across
+/// indexes (it rebinds itself per index); it must not be shared between
+/// threads. Long-lived matchers (brokers, the local bus) keep one per
+/// owner/thread so the epoch trick below never has to re-clear.
+class MatchScratch {
+public:
+  MatchScratch() = default;
+
+private:
+  friend class CountingIndex;
+  friend class ShardedIndex;
+
+  /// Predicate-hit counters for one counting index, epoch-stamped so a
+  /// reused scratch needs no O(filters) clearing between matches.
+  struct CountingState {
+    std::vector<std::size_t> counts;
+    std::vector<std::uint64_t> stamps;
+    std::uint64_t epoch = 0;
+  };
+
+  /// State for `owner`, grown to cover `filters` entries. Kept per owner
+  /// (bounded; reset wholesale past a small cap) so alternating matches
+  /// against several indexes — e.g. one per shard — stay O(1) to rebind.
+  CountingState& counting_for(const void* owner, std::size_t filters);
+
+  std::unordered_map<const void*, CountingState> counting_;
+  std::vector<FilterId> shard_ids_;  // ShardedIndex: inner-id buffer
+};
+
 /// Incremental many-filters-to-one-event matcher.
+///
+/// Thread safety: concurrent match() calls against one index are safe when
+/// every thread passes its own MatchScratch (the convenience overload uses
+/// a thread-local one) — no engine mutates shared state while matching.
+/// add() and remove() require external exclusion against everything else;
+/// `ShardedIndex` lifts that restriction with internal per-shard locks.
 class MatchIndex {
 public:
   virtual ~MatchIndex() = default;
@@ -37,19 +78,30 @@ public:
   virtual void remove(FilterId id) = 0;
 
   /// Appends the ids of all filters matching `image` to `out` (cleared
-  /// first). Must agree exactly with ConjunctiveFilter::matches.
-  virtual void match(const event::EventImage& image,
-                     std::vector<FilterId>& out) const = 0;
+  /// first), drawing working memory from `scratch`. Must agree exactly
+  /// with ConjunctiveFilter::matches.
+  virtual void match(const event::EventImage& image, std::vector<FilterId>& out,
+                     MatchScratch& scratch) const = 0;
+
+  /// Convenience: match with a per-thread scratch.
+  void match(const event::EventImage& image, std::vector<FilterId>& out) const {
+    thread_local MatchScratch scratch;
+    match(image, out, scratch);
+  }
 
   /// Number of live filters.
   [[nodiscard]] virtual std::size_t size() const noexcept = 0;
 
-  /// The filter stored under `id` (null if removed/unknown).
+  /// The filter stored under `id` (null if removed/unknown). The pointer
+  /// is invalidated by the next add(); do not use it concurrently with
+  /// writers.
   [[nodiscard]] virtual const filter::ConjunctiveFilter* find(FilterId id) const noexcept = 0;
 };
 
-/// Which engine a broker should use.
-enum class Engine { Naive, Counting, Trie };
+/// Which engine a broker should use. `ShardedCounting` wraps one counting
+/// index per event-class shard behind reader–writer locks (see sharded.hpp);
+/// the others are single-table engines needing external synchronization.
+enum class Engine { Naive, Counting, Trie, ShardedCounting };
 
 /// Factory: builds an engine bound to `registry` for subtype tests.
 [[nodiscard]] std::unique_ptr<MatchIndex> make_index(
@@ -61,9 +113,11 @@ class NaiveTable final : public MatchIndex {
 public:
   explicit NaiveTable(const reflect::TypeRegistry& registry) : registry_(registry) {}
 
+  using MatchIndex::match;
   FilterId add(filter::ConjunctiveFilter filter) override;
   void remove(FilterId id) override;
-  void match(const event::EventImage& image, std::vector<FilterId>& out) const override;
+  void match(const event::EventImage& image, std::vector<FilterId>& out,
+             MatchScratch& scratch) const override;
   [[nodiscard]] std::size_t size() const noexcept override { return live_; }
   [[nodiscard]] const filter::ConjunctiveFilter* find(FilterId id) const noexcept override;
 
@@ -79,9 +133,11 @@ class CountingIndex final : public MatchIndex {
 public:
   explicit CountingIndex(const reflect::TypeRegistry& registry) : registry_(registry) {}
 
+  using MatchIndex::match;
   FilterId add(filter::ConjunctiveFilter filter) override;
   void remove(FilterId id) override;
-  void match(const event::EventImage& image, std::vector<FilterId>& out) const override;
+  void match(const event::EventImage& image, std::vector<FilterId>& out,
+             MatchScratch& scratch) const override;
   [[nodiscard]] std::size_t size() const noexcept override { return live_; }
   [[nodiscard]] const filter::ConjunctiveFilter* find(FilterId id) const noexcept override;
 
@@ -98,7 +154,8 @@ private:
     std::vector<std::pair<filter::AttributeConstraint, FilterId>> other;
   };
 
-  void bump(FilterId id, std::vector<FilterId>& out) const;
+  static void bump(const Entry& entry, FilterId id, std::vector<FilterId>& out,
+                   MatchScratch::CountingState& state);
 
   const reflect::TypeRegistry& registry_;
   std::vector<Entry> entries_;
@@ -108,10 +165,6 @@ private:
   std::unordered_map<std::string, std::vector<FilterId>> exact_type_;
   // type name -> ids of subtype-inclusive filters rooted at it
   std::unordered_map<std::string, std::vector<FilterId>> subtree_type_;
-  // scratch for counting, indexed by FilterId (epoch-stamped)
-  mutable std::vector<std::size_t> counts_;
-  mutable std::vector<std::uint64_t> stamps_;
-  mutable std::uint64_t epoch_ = 0;
 };
 
 /// Discrimination-tree matcher specialized for the equality-heavy,
@@ -130,9 +183,11 @@ class TrieIndex final : public MatchIndex {
 public:
   explicit TrieIndex(const reflect::TypeRegistry& registry) : registry_(registry) {}
 
+  using MatchIndex::match;
   FilterId add(filter::ConjunctiveFilter filter) override;
   void remove(FilterId id) override;
-  void match(const event::EventImage& image, std::vector<FilterId>& out) const override;
+  void match(const event::EventImage& image, std::vector<FilterId>& out,
+             MatchScratch& scratch) const override;
   [[nodiscard]] std::size_t size() const noexcept override { return live_; }
   [[nodiscard]] const filter::ConjunctiveFilter* find(FilterId id) const noexcept override;
 

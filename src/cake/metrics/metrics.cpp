@@ -109,4 +109,29 @@ util::TextTable stage_table(const std::vector<StageSummary>& summaries) {
   return table;
 }
 
+double shard_imbalance(const std::vector<index::ShardStats>& shards) {
+  std::uint64_t total = 0, max = 0;
+  for (const index::ShardStats& s : shards) {
+    total += s.matches;
+    max = std::max(max, s.matches);
+  }
+  if (total == 0 || shards.empty()) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shards.size());
+  return static_cast<double>(max) / mean;
+}
+
+util::TextTable shard_table(const std::vector<index::ShardStats>& shards) {
+  util::TextTable table{{"Shard", "Matches", "Hit rate", "Filters"}};
+  for (const index::ShardStats& s : shards) {
+    const double hit_rate =
+        s.matches == 0 ? 0.0
+                       : static_cast<double>(s.hits) /
+                             static_cast<double>(s.matches);
+    table.add_row({std::to_string(s.shard), std::to_string(s.matches),
+                   util::format_number(hit_rate), std::to_string(s.filters)});
+  }
+  return table;
+}
+
 }  // namespace cake::metrics

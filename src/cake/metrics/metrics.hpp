@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "cake/index/sharded.hpp"
 #include "cake/routing/overlay.hpp"
 #include "cake/util/stats.hpp"
 #include "cake/util/table.hpp"
@@ -71,5 +72,15 @@ struct StageSummary {
 /// Publish-to-delivery virtual latency merged across every subscriber
 /// (count = delivered events; in virtual microseconds).
 [[nodiscard]] util::RunningStats delivery_latency(const routing::Overlay& overlay);
+
+/// Max-over-mean of match-call counts across shards of a sharded matching
+/// engine: 1.0 = perfectly even traffic, N = everything hammers one of N
+/// shards (publishers contend as if unsharded). 0 when no shard saw
+/// traffic. Feed it LocalBus::shard_stats() or Broker::shard_stats().
+[[nodiscard]] double shard_imbalance(const std::vector<index::ShardStats>& shards);
+
+/// Renders per-shard match counters: shard id, match calls, hit rate and
+/// live filters — the contention observability for ShardedIndex.
+[[nodiscard]] util::TextTable shard_table(const std::vector<index::ShardStats>& shards);
 
 }  // namespace cake::metrics

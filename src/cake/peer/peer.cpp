@@ -170,7 +170,7 @@ bool PeerBroker::demand_behind(sim::NodeId neighbor,
 
 void PeerBroker::handle(PeerEvent&& msg, sim::NodeId from) {
   ++stats_.events_received;
-  index_->match(msg.image, match_scratch_);
+  index_->match(msg.image, match_scratch_, scratch_);
   target_scratch_.clear();
   for (const index::FilterId fid : match_scratch_) {
     for (const sim::NodeId origin : entries_.at(fid).origins) {

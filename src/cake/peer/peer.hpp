@@ -148,6 +148,7 @@ private:
   std::vector<Advert> adverts_;
 
   PeerBrokerStats stats_;
+  index::MatchScratch scratch_;
   std::vector<index::FilterId> match_scratch_;
   std::vector<sim::NodeId> target_scratch_;
 };

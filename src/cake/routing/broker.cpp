@@ -40,6 +40,11 @@ BrokerStats Broker::stats() const noexcept {
   return s;
 }
 
+std::vector<index::ShardStats> Broker::shard_stats() const {
+  const auto* sharded = dynamic_cast<const index::ShardedIndex*>(index_.get());
+  return sharded ? sharded->shard_stats() : std::vector<index::ShardStats>{};
+}
+
 const weaken::StageSchema* Broker::schema_for(std::string_view type_name) const {
   const auto it = schemas_.find(std::string{type_name});
   return it == schemas_.end() ? nullptr : &it->second;
@@ -255,7 +260,7 @@ bool Broker::has_durable_lease(sim::NodeId child) const {
 
 void Broker::handle(EventMsg&& msg) {
   ++stats_.events_received;
-  index_->match(msg.image, match_scratch_);
+  index_->match(msg.image, match_scratch_, scratch_);
   target_scratch_.clear();
   for (const index::FilterId fid : match_scratch_) {
     const Entry& entry = entries_.at(fid);

@@ -25,7 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "cake/index/index.hpp"
+#include "cake/index/sharded.hpp"
 #include "cake/routing/protocol.hpp"
 #include "cake/sim/sim.hpp"
 #include "cake/util/rng.hpp"
@@ -110,6 +110,10 @@ public:
   [[nodiscard]] std::vector<std::pair<filter::ConjunctiveFilter, std::vector<sim::NodeId>>>
   table() const;
 
+  /// Per-shard match counters when this broker runs the sharded engine
+  /// (config.engine == Engine::ShardedCounting); empty otherwise.
+  [[nodiscard]] std::vector<index::ShardStats> shard_stats() const;
+
   /// Weakens `f` for stage `stage` per the advertised schema of its type;
   /// identity when no schema is known (sound fallback).
   [[nodiscard]] filter::ConjunctiveFilter weaken_for(
@@ -182,6 +186,7 @@ private:
   std::unordered_map<sim::NodeId, std::deque<event::EventImage>> detached_;
 
   BrokerStats stats_;
+  index::MatchScratch scratch_;
   std::vector<index::FilterId> match_scratch_;
   std::vector<sim::NodeId> target_scratch_;
 };

@@ -4,8 +4,29 @@
 
 namespace cake::runtime {
 
+namespace {
+
+std::unique_ptr<index::MatchIndex> make_bus_index(
+    const BusOptions& options, const reflect::TypeRegistry& registry) {
+  if (options.serialize_matching)
+    return index::make_index(options.engine, registry);
+  return std::make_unique<index::ShardedIndex>(options.engine, registry,
+                                               options.shards);
+}
+
+}  // namespace
+
 LocalBus::LocalBus(index::Engine engine, const reflect::TypeRegistry& registry)
-    : registry_(registry), index_(index::make_index(engine, registry)) {}
+    : LocalBus(BusOptions{.engine = engine}, registry) {}
+
+LocalBus::LocalBus(const BusOptions& options,
+                   const reflect::TypeRegistry& registry)
+    : registry_(registry),
+      serialize_matching_(options.serialize_matching),
+      index_(make_bus_index(options, registry)),
+      sharded_(serialize_matching_
+                   ? nullptr
+                   : static_cast<index::ShardedIndex*>(index_.get())) {}
 
 LocalBus::Token LocalBus::subscribe(filter::ConjunctiveFilter filter,
                                     Handler handler, Predicate predicate) {
@@ -17,17 +38,20 @@ LocalBus::Token LocalBus::subscribe(filter::ConjunctiveFilter filter,
   subscription->predicate = std::move(predicate);
 
   std::unique_lock table_lock{table_mutex_};
-  // The matching engines mutate internal scratch; adding also requires the
-  // match lock so no publish is walking the index concurrently.
-  std::lock_guard match_lock{match_mutex_};
-  const index::FilterId fid = index_->add(std::move(filter));
+  index::FilterId fid;
+  if (serialize_matching_) {
+    // Single-table engines need the match lock: no publish may be walking
+    // the index while it mutates.
+    std::lock_guard match_lock{serial_match_mutex_};
+    fid = index_->add(std::move(filter));
+  } else {
+    // The sharded engine locks the affected shard(s) internally.
+    fid = index_->add(std::move(filter));
+  }
   subs_.emplace(fid, std::move(subscription));
   const Token token = next_token_++;
   by_token_.emplace(token, fid);
-  {
-    std::lock_guard stats_lock{stats_mutex_};
-    stats_.subscriptions = subs_.size();
-  }
+  subscription_count_.store(subs_.size(), std::memory_order_relaxed);
   return token;
 }
 
@@ -41,25 +65,37 @@ void LocalBus::unsubscribe(Token token) {
     sub->second->active.store(false, std::memory_order_release);
     subs_.erase(sub);
   }
-  std::lock_guard match_lock{match_mutex_};
-  index_->remove(fid);
-  std::lock_guard stats_lock{stats_mutex_};
-  stats_.subscriptions = subs_.size();
+  if (serialize_matching_) {
+    std::lock_guard match_lock{serial_match_mutex_};
+    index_->remove(fid);
+  } else {
+    index_->remove(fid);
+  }
+  subscription_count_.store(subs_.size(), std::memory_order_relaxed);
 }
 
 std::size_t LocalBus::publish(const event::Event& event) {
   const event::EventImage image = event::image_of(event);
 
-  // Match under the engine lock, copy the live subscriptions out, then
-  // dispatch lock-free so handlers may re-enter the bus.
+  // Match under a shared snapshot — the table lock plus, inside the
+  // sharded index, a read lock on the one shard this event's class maps
+  // to — copy the live subscriptions out, then dispatch lock-free so
+  // handlers may re-enter the bus. The thread-local scratch is done with
+  // by the time handlers (or predicates) run, so reentrant publishes on
+  // this thread reuse it safely.
   std::vector<std::shared_ptr<Subscription>> targets;
   {
     std::shared_lock table_lock{table_mutex_};
-    std::lock_guard match_lock{match_mutex_};
-    static thread_local std::vector<index::FilterId> scratch;
-    index_->match(image, scratch);
-    targets.reserve(scratch.size());
-    for (const index::FilterId fid : scratch) {
+    thread_local index::MatchScratch scratch;
+    thread_local std::vector<index::FilterId> matched;
+    if (serialize_matching_) {
+      std::lock_guard match_lock{serial_match_mutex_};
+      index_->match(image, matched, scratch);
+    } else {
+      index_->match(image, matched, scratch);
+    }
+    targets.reserve(matched.size());
+    for (const index::FilterId fid : matched) {
       const auto it = subs_.find(fid);
       if (it != subs_.end()) targets.push_back(it->second);
     }
@@ -75,16 +111,21 @@ std::size_t LocalBus::publish(const event::Event& event) {
     }
   }
 
-  std::lock_guard stats_lock{stats_mutex_};
-  ++stats_.events_published;
-  if (!targets.empty()) ++stats_.events_matched;
-  stats_.deliveries += invoked;
+  events_published_.fetch_add(1, std::memory_order_relaxed);
+  if (!targets.empty()) events_matched_.fetch_add(1, std::memory_order_relaxed);
+  deliveries_.fetch_add(invoked, std::memory_order_relaxed);
   return invoked;
 }
 
 BusStats LocalBus::stats() const {
-  std::lock_guard stats_lock{stats_mutex_};
-  return stats_;
+  return BusStats{events_published_.load(std::memory_order_relaxed),
+                  events_matched_.load(std::memory_order_relaxed),
+                  deliveries_.load(std::memory_order_relaxed),
+                  subscription_count_.load(std::memory_order_relaxed)};
+}
+
+std::vector<index::ShardStats> LocalBus::shard_stats() const {
+  return sharded_ ? sharded_->shard_stats() : std::vector<index::ShardStats>{};
 }
 
 }  // namespace cake::runtime

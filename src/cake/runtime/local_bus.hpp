@@ -8,13 +8,25 @@
 // handlers as `const Event&`; the image is extracted once per publish for
 // matching only, so the paper's encapsulation story holds trivially.
 //
-// Concurrency contract:
+// Concurrency model (see DESIGN.md §6 for the full contract):
+//   * Matching runs on a ShardedIndex: the filter table is partitioned by
+//     event class name, each shard behind its own reader–writer lock.
+//     publish() takes only a shared (read) snapshot of the one shard its
+//     event's class hashes to, drawing counting state from a per-thread
+//     scratch — so publishers on distinct classes share no lock at all,
+//     and publishers on the same class match concurrently.
 //   * subscribe / unsubscribe / publish may be called from any thread;
-//   * handlers run on the publishing thread, outside the bus's locks, so
-//     they may publish or (un)subscribe reentrantly;
-//   * after unsubscribe() returns, the handler will not be *started*
+//     subscribe and unsubscribe are writers (bus table + affected shards)
+//     and linearize against publishes: once subscribe() returns, every
+//     subsequently *started* publish sees the subscription; once
+//     unsubscribe() returns, no new handler invocation starts.
+//   * Handlers and predicates run on the publishing thread, outside every
+//     bus lock, so they may publish or (un)subscribe reentrantly.
+//   * After unsubscribe() returns, the handler will not be *started*
 //     again, but an invocation already in flight on another thread may
 //     still complete (the usual in-proc bus semantics).
+//   * Stats counters are relaxed atomics: stats() is a monotonic snapshot,
+//     not a cross-counter-consistent one.
 #pragma once
 
 #include <atomic>
@@ -22,7 +34,7 @@
 #include <mutex>
 #include <shared_mutex>
 
-#include "cake/index/index.hpp"
+#include "cake/index/sharded.hpp"
 
 namespace cake::runtime {
 
@@ -32,6 +44,17 @@ struct BusStats {
   std::uint64_t events_matched = 0;  ///< matched ≥ 1 subscription
   std::uint64_t deliveries = 0;      ///< handler invocations
   std::size_t subscriptions = 0;
+};
+
+/// Construction knobs for LocalBus.
+struct BusOptions {
+  /// Engine run inside each shard (ShardedCounting collapses to Counting).
+  index::Engine engine = index::Engine::Counting;
+  /// Shard count; 0 = auto-size to the hardware (see ShardedIndex).
+  std::size_t shards = 0;
+  /// Pre-sharding baseline: one un-sharded engine behind a single global
+  /// match mutex. Kept for A/B measurement (bench_concurrency) only.
+  bool serialize_matching = false;
 };
 
 class LocalBus {
@@ -44,6 +67,9 @@ public:
   using Predicate = std::function<bool(const event::Event&)>;
 
   explicit LocalBus(index::Engine engine = index::Engine::Counting,
+                    const reflect::TypeRegistry& registry =
+                        reflect::TypeRegistry::global());
+  explicit LocalBus(const BusOptions& options,
                     const reflect::TypeRegistry& registry =
                         reflect::TypeRegistry::global());
 
@@ -91,6 +117,9 @@ public:
 
   [[nodiscard]] BusStats stats() const;
 
+  /// Per-shard match counters (empty in the serialized baseline mode).
+  [[nodiscard]] std::vector<index::ShardStats> shard_stats() const;
+
 private:
   struct Subscription {
     Handler handler;
@@ -100,14 +129,20 @@ private:
 
   const reflect::TypeRegistry& registry_;
   mutable std::shared_mutex table_mutex_;  // protects subs_ and token maps
-  std::mutex match_mutex_;                 // matching engines use scratch state
+  // Serialized-baseline mode only: the old single global match lock. In
+  // sharded mode (the default) matching is synchronized inside index_.
+  const bool serialize_matching_;
+  std::mutex serial_match_mutex_;
   std::unique_ptr<index::MatchIndex> index_;
+  index::ShardedIndex* sharded_ = nullptr;  // index_ downcast, sharded mode
   std::unordered_map<index::FilterId, std::shared_ptr<Subscription>> subs_;
   Token next_token_ = 1;
   std::unordered_map<Token, index::FilterId> by_token_;
 
-  mutable std::mutex stats_mutex_;
-  BusStats stats_;
+  std::atomic<std::uint64_t> events_published_{0};
+  std::atomic<std::uint64_t> events_matched_{0};
+  std::atomic<std::uint64_t> deliveries_{0};
+  std::atomic<std::size_t> subscription_count_{0};
 };
 
 }  // namespace cake::runtime

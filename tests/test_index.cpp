@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "cake/index/sharded.hpp"
+
 #include <algorithm>
 
 #include "cake/event/event.hpp"
@@ -135,12 +137,14 @@ TEST_P(IndexTest, ManyFiltersSelectSubset) {
 
 INSTANTIATE_TEST_SUITE_P(Engines, IndexTest,
                          ::testing::Values(Engine::Naive, Engine::Counting,
-                                           Engine::Trie),
+                                           Engine::Trie,
+                                           Engine::ShardedCounting),
                          [](const auto& info) {
                            switch (info.param) {
                              case Engine::Naive: return "Naive";
                              case Engine::Counting: return "Counting";
-                             default: return "Trie";
+                             case Engine::Trie: return "Trie";
+                             default: return "ShardedCounting";
                            }
                          });
 
@@ -186,6 +190,7 @@ TEST(IndexOracle, CountingAgreesWithNaiveOnRandomWorkloads) {
   NaiveTable naive{reflect::TypeRegistry::global()};
   CountingIndex counting{reflect::TypeRegistry::global()};
   TrieIndex trie{reflect::TypeRegistry::global()};
+  ShardedIndex sharded{Engine::Counting, reflect::TypeRegistry::global(), 8};
 
   // A mixed filter population, including type-only and wildcard shapes.
   for (int i = 0; i < 150; ++i) {
@@ -204,20 +209,24 @@ TEST(IndexOracle, CountingAgreesWithNaiveOnRandomWorkloads) {
     const FilterId a = naive.add(f);
     const FilterId b = counting.add(f);
     const FilterId c = trie.add(f);
+    const FilterId d = sharded.add(f);
     ASSERT_EQ(a, b);
     ASSERT_EQ(a, c);
+    ASSERT_EQ(a, d);
     // Churn: occasionally remove a random earlier filter from all.
     if (rng.chance(0.15)) {
       const FilterId victim = rng.below(a + 1);
       naive.remove(victim);
       counting.remove(victim);
       trie.remove(victim);
+      sharded.remove(victim);
     }
   }
   ASSERT_EQ(naive.size(), counting.size());
   ASSERT_EQ(naive.size(), trie.size());
+  ASSERT_EQ(naive.size(), sharded.size());
 
-  std::vector<FilterId> out_naive, out_counting, out_trie;
+  std::vector<FilterId> out_naive, out_counting, out_trie, out_sharded;
   for (int i = 0; i < 2000; ++i) {
     EventImage image;
     switch (rng.below(3)) {
@@ -228,11 +237,14 @@ TEST(IndexOracle, CountingAgreesWithNaiveOnRandomWorkloads) {
     naive.match(image, out_naive);
     counting.match(image, out_counting);
     trie.match(image, out_trie);
+    sharded.match(image, out_sharded);
     std::sort(out_naive.begin(), out_naive.end());
     std::sort(out_counting.begin(), out_counting.end());
     std::sort(out_trie.begin(), out_trie.end());
+    std::sort(out_sharded.begin(), out_sharded.end());
     ASSERT_EQ(out_naive, out_counting) << "event " << image.to_string();
     ASSERT_EQ(out_naive, out_trie) << "event " << image.to_string();
+    ASSERT_EQ(out_naive, out_sharded) << "event " << image.to_string();
   }
 }
 

@@ -175,12 +175,14 @@ TEST_P(LocalBusTest, ConcurrentChurnDoesNotCrashOrLeakDeliveries) {
 INSTANTIATE_TEST_SUITE_P(Engines, LocalBusTest,
                          ::testing::Values(index::Engine::Naive,
                                            index::Engine::Counting,
-                                           index::Engine::Trie),
+                                           index::Engine::Trie,
+                                           index::Engine::ShardedCounting),
                          [](const auto& info) {
                            switch (info.param) {
                              case index::Engine::Naive: return "Naive";
                              case index::Engine::Counting: return "Counting";
-                             default: return "Trie";
+                             case index::Engine::Trie: return "Trie";
+                             default: return "ShardedCounting";
                            }
                          });
 

@@ -124,5 +124,57 @@ TEST(Collection, CollectsFromLiveOverlay) {
   EXPECT_LT(root_row.node_avg_rlc, 1.0);
 }
 
+TEST(ShardMetrics, ImbalanceIsMaxOverMean) {
+  std::vector<index::ShardStats> shards{
+      {.shard = 0, .matches = 300, .hits = 30, .filters = 2},
+      {.shard = 1, .matches = 100, .hits = 10, .filters = 1},
+      {.shard = 2, .matches = 0, .hits = 0, .filters = 0},
+      {.shard = 3, .matches = 0, .hits = 0, .filters = 0},
+  };
+  // mean = 100, max = 300
+  EXPECT_DOUBLE_EQ(shard_imbalance(shards), 3.0);
+  EXPECT_DOUBLE_EQ(shard_imbalance({}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      shard_imbalance({{.shard = 0, .matches = 0, .hits = 0, .filters = 5}}),
+      0.0);  // no traffic yet
+}
+
+TEST(ShardMetrics, PerfectlyEvenTrafficScoresOne) {
+  std::vector<index::ShardStats> shards;
+  for (std::size_t i = 0; i < 8; ++i)
+    shards.push_back({.shard = i, .matches = 50, .hits = 5, .filters = 1});
+  EXPECT_DOUBLE_EQ(shard_imbalance(shards), 1.0);
+}
+
+TEST(ShardMetrics, TableReportsLiveCounters) {
+  workload::ensure_types_registered();
+  index::ShardedIndex sharded{index::Engine::Counting,
+                              reflect::TypeRegistry::global(), 4};
+  sharded.add(filter::FilterBuilder{"Stock"}.build());
+  std::vector<index::FilterId> out;
+  for (int i = 0; i < 10; ++i)
+    sharded.match(event::image_of(workload::Stock{"S", 1.0, i}), out);
+
+  const auto stats = sharded.shard_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  std::uint64_t matches = 0, hits = 0;
+  std::size_t filters = 0;
+  for (const auto& s : stats) {
+    matches += s.matches;
+    hits += s.hits;
+    filters += s.filters;
+  }
+  EXPECT_EQ(matches, 10u);  // one shard consulted per match call
+  EXPECT_EQ(hits, 10u);     // the filter matched every event
+  EXPECT_EQ(filters, 1u);   // exact-type filter lives in exactly one shard
+
+  std::ostringstream os;
+  shard_table(stats).print(os);
+  const std::string rendered = os.str();
+  EXPECT_NE(rendered.find("Shard"), std::string::npos);
+  EXPECT_NE(rendered.find("Hit rate"), std::string::npos);
+  EXPECT_GT(shard_imbalance(stats), 0.0);
+}
+
 }  // namespace
 }  // namespace cake::metrics

@@ -123,12 +123,14 @@ TEST_P(EngineSafety, DeliveredSetEqualsOracleSet) {
 INSTANTIATE_TEST_SUITE_P(Engines, EngineSafety,
                          ::testing::Values(index::Engine::Naive,
                                            index::Engine::Counting,
-                                           index::Engine::Trie),
+                                           index::Engine::Trie,
+                                           index::Engine::ShardedCounting),
                          [](const auto& info) {
                            switch (info.param) {
                              case index::Engine::Naive: return "Naive";
                              case index::Engine::Counting: return "Counting";
-                             default: return "Trie";
+                             case index::Engine::Trie: return "Trie";
+                             default: return "ShardedCounting";
                            }
                          });
 
