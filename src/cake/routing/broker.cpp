@@ -21,15 +21,45 @@ Broker::Broker(sim::NodeId id, std::size_t stage, sim::Network& network,
 }
 
 void Broker::start() {
+  attach_to_network();
+  schedule_tasks();
+}
+
+void Broker::attach_to_network() {
   network_.attach(id_, [this](sim::NodeId from, const sim::Network::Payload& p) {
     on_packet(from, p);
   });
-  if (config_.auto_renew) {
-    scheduler_.schedule_background_after(config_.renew_interval,
-                                         [this] { renew_task(); });
-    scheduler_.schedule_background_after(config_.reap_interval,
-                                         [this] { reap_task(); });
-  }
+}
+
+void Broker::schedule_tasks() {
+  if (!config_.auto_renew) return;
+  const std::uint64_t epoch = epoch_;
+  scheduler_.schedule_background_after(config_.renew_interval,
+                                       [this, epoch] { renew_task(epoch); });
+  scheduler_.schedule_background_after(config_.reap_interval,
+                                       [this, epoch] { reap_task(epoch); });
+}
+
+void Broker::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++epoch_;  // orphan the pending renew/reap closures
+  network_.detach(id_);
+}
+
+void Broker::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++epoch_;
+  entries_.clear();
+  by_filter_.clear();
+  needed_.clear();
+  active_.clear();
+  schemas_.clear();
+  detached_.clear();
+  index_ = index::make_index(config_.engine, registry_);
+  attach_to_network();
+  schedule_tasks();
 }
 
 BrokerStats Broker::stats() const noexcept {
@@ -61,6 +91,10 @@ Broker::table() const {
     rows.emplace_back(entry.filter, std::move(ids));
   }
   return rows;
+}
+
+std::vector<filter::ConjunctiveFilter> Broker::active_upward() const {
+  return {active_.begin(), active_.end()};
 }
 
 filter::ConjunctiveFilter Broker::weaken_for(const filter::ConjunctiveFilter& f,
@@ -347,15 +381,17 @@ sim::NodeId Broker::random_child() {
   return children_[rng_.below(children_.size())];
 }
 
-void Broker::renew_task() {
+void Broker::renew_task(std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // superseded by a crash or restart
   if (parent_ != sim::kNoNode) {
     for (const auto& form : active_) send(parent_, ReqInsert{form, id_});
   }
   scheduler_.schedule_background_after(config_.renew_interval,
-                                       [this] { renew_task(); });
+                                       [this, epoch] { renew_task(epoch); });
 }
 
-void Broker::reap_task() {
+void Broker::reap_task(std::uint64_t epoch) {
+  if (epoch != epoch_) return;
   const sim::Time now = scheduler_.now();
   std::vector<index::FilterId> dead;
   for (auto& [fid, entry] : entries_) {
@@ -365,7 +401,7 @@ void Broker::reap_task() {
   }
   for (const index::FilterId fid : dead) remove_entry(fid);
   scheduler_.schedule_background_after(config_.reap_interval,
-                                       [this] { reap_task(); });
+                                       [this, epoch] { reap_task(epoch); });
 }
 
 }  // namespace cake::routing

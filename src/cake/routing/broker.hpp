@@ -95,8 +95,25 @@ public:
   /// Attaches to the network and schedules the soft-state tasks.
   void start();
 
+  /// Simulates a process failure: detaches from the network and silences
+  /// the periodic tasks. No goodbye messages — in-flight traffic to this
+  /// node vanishes and children/parent must recover through the soft-state
+  /// machinery (§4.3).
+  void crash();
+
+  /// Cold restart after crash(): every table (filters, leases, upward
+  /// submissions, schemas, durable buffers) is discarded — a real restart
+  /// has no disk — then the broker re-attaches and the periodic tasks
+  /// resume. Children re-populate it: child brokers renew-by-reinsertion
+  /// within one renew interval, and subscribers get `Expired` on their next
+  /// renewal and re-run the join protocol.
+  void restart();
+
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
   [[nodiscard]] sim::NodeId id() const noexcept { return id_; }
   [[nodiscard]] std::size_t stage() const noexcept { return stage_; }
+  [[nodiscard]] sim::NodeId parent() const noexcept { return parent_; }
   [[nodiscard]] bool is_root() const noexcept { return parent_ == sim::kNoNode; }
   [[nodiscard]] const std::vector<sim::NodeId>& children() const noexcept {
     return children_;
@@ -109,6 +126,10 @@ public:
   /// Snapshot of the filtering table (filter, live child ids) for tests.
   [[nodiscard]] std::vector<std::pair<filter::ConjunctiveFilter, std::vector<sim::NodeId>>>
   table() const;
+
+  /// Forms currently submitted upward (the chaos oracle's table-fixpoint
+  /// check cross-references these against the parent's table).
+  [[nodiscard]] std::vector<filter::ConjunctiveFilter> active_upward() const;
 
   /// Per-shard match counters when this broker runs the sharded engine
   /// (config.engine == Engine::ShardedCounting); empty otherwise.
@@ -162,8 +183,13 @@ private:
   void send(sim::NodeId to, const Packet& packet);
   void send_join_at(sim::NodeId subscriber, sim::NodeId target, std::uint64_t token);
   [[nodiscard]] sim::NodeId random_child();
-  void renew_task();
-  void reap_task();
+  void attach_to_network();
+  /// Schedules renew/reap for the current epoch; a task whose captured
+  /// epoch is stale (crash or restart happened since) dies silently, so
+  /// crash–restart cannot double up the periodic tasks.
+  void schedule_tasks();
+  void renew_task(std::uint64_t epoch);
+  void reap_task(std::uint64_t epoch);
 
   sim::NodeId id_;
   std::size_t stage_;
@@ -175,6 +201,8 @@ private:
 
   sim::NodeId parent_ = sim::kNoNode;
   std::vector<sim::NodeId> children_;
+  bool crashed_ = false;
+  std::uint64_t epoch_ = 0;  // bumped by crash()/restart()
 
   std::unique_ptr<index::MatchIndex> index_;
   std::unordered_map<index::FilterId, Entry> entries_;

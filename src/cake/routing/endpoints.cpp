@@ -108,6 +108,15 @@ std::optional<sim::NodeId> SubscriberNode::accepted_at(std::uint64_t token) cons
   return it->second.parent;
 }
 
+std::vector<SubscriberNode::SubscriptionView>
+SubscriberNode::subscription_views() const {
+  std::vector<SubscriptionView> views;
+  views.reserve(subs_.size());
+  for (const auto& [token, sub] : subs_)
+    views.push_back({token, sub.parent, sub.stored_at_parent, sub.exact});
+  return views;
+}
+
 void SubscriberNode::on_packet(sim::NodeId from,
                                const sim::Network::Payload& payload) {
   (void)from;
@@ -145,6 +154,7 @@ void SubscriberNode::on_packet(sim::NodeId from,
   }
 
   if (auto* expired = std::get_if<Expired>(&packet)) {
+    if (!config_.rejoin_on_expired) return;  // injected completeness bug
     // A hosting broker reaped our lease (lost renewals, partition healed):
     // re-run the join protocol for the affected subscriptions.
     for (auto& [token, sub] : subs_) {

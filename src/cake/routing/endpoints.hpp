@@ -32,6 +32,12 @@ struct SubscriberStats {
 struct SubscriberConfig {
   sim::Time renew_interval = 5'000'000;
   bool auto_renew = true;
+  /// Re-run the join protocol when a hosting broker reports `Expired`.
+  /// Always on in real deployments; the chaos harness switches it off to
+  /// inject a known completeness bug and prove the differential oracle
+  /// catches it (a subscriber that ignores Expired silently stops
+  /// receiving events after its lease is reaped).
+  bool rejoin_on_expired = true;
 };
 
 class SubscriberNode {
@@ -100,6 +106,16 @@ public:
   /// Node the subscription was accepted at, if the handshake completed.
   [[nodiscard]] std::optional<sim::NodeId> accepted_at(std::uint64_t token) const;
   [[nodiscard]] std::size_t subscriptions() const noexcept { return subs_.size(); }
+
+  /// One row per live subscription, for the chaos oracle's table-fixpoint
+  /// check: it cross-references (parent, stored) against broker tables.
+  struct SubscriptionView {
+    std::uint64_t token = 0;
+    std::optional<sim::NodeId> parent;
+    filter::ConjunctiveFilter stored;  // weakened form held at `parent`
+    filter::ConjunctiveFilter exact;
+  };
+  [[nodiscard]] std::vector<SubscriptionView> subscription_views() const;
 
 private:
   struct Sub {

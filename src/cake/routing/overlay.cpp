@@ -50,6 +50,26 @@ std::vector<Broker*> Overlay::brokers_at(std::size_t stage) {
   return result;
 }
 
+Broker* Overlay::find_broker(sim::NodeId node) noexcept {
+  for (const auto& broker : brokers_)
+    if (broker->id() == node) return broker.get();
+  return nullptr;
+}
+
+void Overlay::crash(sim::NodeId node) {
+  Broker* broker = find_broker(node);
+  if (broker == nullptr)
+    throw std::invalid_argument{"Overlay::crash: not a broker id"};
+  broker->crash();
+}
+
+void Overlay::restart(sim::NodeId node) {
+  Broker* broker = find_broker(node);
+  if (broker == nullptr)
+    throw std::invalid_argument{"Overlay::restart: not a broker id"};
+  broker->restart();
+}
+
 SubscriberNode& Overlay::add_subscriber() {
   subscribers_.push_back(std::make_unique<SubscriberNode>(
       next_id_++, root().id(), network_, scheduler_, registry_,

@@ -40,6 +40,19 @@ public:
   /// Number of broker stages (root is stage `stages()`, leaves stage 1).
   [[nodiscard]] std::size_t stages() const noexcept { return config_.stage_counts.size(); }
   [[nodiscard]] Broker& root() noexcept { return *brokers_.front(); }
+
+  /// Broker with network id `node`, or nullptr for non-broker ids.
+  [[nodiscard]] Broker* find_broker(sim::NodeId node) noexcept;
+
+  /// Crashes the broker `node` (process failure: detaches, tasks freeze).
+  /// Throws std::invalid_argument for non-broker ids.
+  void crash(sim::NodeId node);
+  /// Cold-restarts a crashed broker: it comes back with empty tables and
+  /// children recover it — child brokers re-insert their active forms on
+  /// the next renewal, subscribers get `Expired` when they renew into the
+  /// cold table and re-run the join protocol. The chaos engine's
+  /// crash–restart ops route through this pair.
+  void restart(sim::NodeId node);
   /// Brokers at `stage` ∈ [1, stages()].
   [[nodiscard]] std::vector<Broker*> brokers_at(std::size_t stage);
   [[nodiscard]] const std::vector<std::unique_ptr<Broker>>& brokers() const noexcept {

@@ -77,6 +77,9 @@ struct Encoder {
   }
 };
 
+static_assert(std::variant_size_v<Packet> == kPacketClasses,
+              "packet_class/packet_class_name must cover every variant");
+
 }  // namespace
 
 sim::Network::Payload encode(const Packet& packet) {
@@ -145,6 +148,37 @@ Packet decode(std::span<const std::byte> payload) {
     }
   }
   throw wire::WireError{"protocol: unknown message tag"};
+}
+
+std::uint8_t packet_class(std::span<const std::byte> frame) noexcept {
+  // A frame is varint(len) + payload + 8-byte checksum; the payload's first
+  // byte is the tag. Walk the varint by hand — no allocation, no checksum.
+  std::size_t pos = 0;
+  bool terminated = false;
+  for (int i = 0; i < 10 && !terminated; ++i) {
+    if (pos >= frame.size()) return 0xff;
+    terminated = (static_cast<std::uint8_t>(frame[pos++]) & 0x80) == 0;
+  }
+  if (!terminated || pos >= frame.size()) return 0xff;
+  const auto tag = static_cast<std::uint8_t>(frame[pos]);
+  return tag < kPacketClasses ? tag : 0xff;
+}
+
+std::string_view packet_class_name(std::uint8_t cls) noexcept {
+  switch (static_cast<Tag>(cls)) {
+    case Tag::Advertise: return "Advertise";
+    case Tag::Subscribe: return "Subscribe";
+    case Tag::JoinAt: return "JoinAt";
+    case Tag::AcceptedAt: return "AcceptedAt";
+    case Tag::ReqInsert: return "ReqInsert";
+    case Tag::Renew: return "Renew";
+    case Tag::Unsub: return "Unsub";
+    case Tag::Event: return "EventMsg";
+    case Tag::Expired: return "Expired";
+    case Tag::Detach: return "Detach";
+    case Tag::Resume: return "Resume";
+  }
+  return "?";
 }
 
 }  // namespace cake::routing

@@ -23,6 +23,7 @@
 //   EventMsg    — a published event image travelling down the hierarchy
 #pragma once
 
+#include <string_view>
 #include <variant>
 
 #include "cake/filter/filter.hpp"
@@ -97,5 +98,17 @@ using Packet = std::variant<Advertise, Subscribe, JoinAt, AcceptedAt, ReqInsert,
 
 /// Parses a frame; throws wire::WireError on corruption or unknown tags.
 [[nodiscard]] Packet decode(std::span<const std::byte> payload);
+
+/// Number of distinct packet classes (== std::variant_size_v<Packet>).
+inline constexpr std::uint8_t kPacketClasses = 11;
+
+/// Peeks the wire tag of a framed packet without validating the checksum —
+/// cheap enough for the chaos engine's per-packet-type drop rules to call
+/// on every send. Returns 0xff (sim::FaultOp::kAnyType) for frames too
+/// short or malformed to carry a tag.
+[[nodiscard]] std::uint8_t packet_class(std::span<const std::byte> frame) noexcept;
+
+/// Human-readable name of a packet class ("Subscribe", ...), "?" if unknown.
+[[nodiscard]] std::string_view packet_class_name(std::uint8_t cls) noexcept;
 
 }  // namespace cake::routing

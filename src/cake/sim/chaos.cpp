@@ -1,0 +1,266 @@
+#include "cake/sim/chaos.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <stdexcept>
+
+namespace cake::sim {
+namespace {
+
+char kind_letter(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::Drop: return 'D';
+    case FaultKind::Partition: return 'P';
+    case FaultKind::Duplicate: return 'U';
+    case FaultKind::Jitter: return 'J';
+    case FaultKind::Crash: return 'C';
+  }
+  return '?';
+}
+
+FaultKind kind_of(char letter) {
+  switch (letter) {
+    case 'D': return FaultKind::Drop;
+    case 'P': return FaultKind::Partition;
+    case 'U': return FaultKind::Duplicate;
+    case 'J': return FaultKind::Jitter;
+    case 'C': return FaultKind::Crash;
+  }
+  throw std::invalid_argument{"FaultPlan: unknown op kind"};
+}
+
+std::uint64_t parse_u64(std::string_view field) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size())
+    throw std::invalid_argument{"FaultPlan: malformed number"};
+  return value;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    const std::size_t pos = s.find(sep);
+    parts.push_back(s.substr(0, pos));
+    if (pos == std::string_view::npos) break;
+    s.remove_prefix(pos + 1);
+  }
+  return parts;
+}
+
+}  // namespace
+
+Time FaultPlan::heal_time() const noexcept {
+  Time heal = 0;
+  for (const FaultOp& op : ops) heal = std::max(heal, op.until);
+  return heal;
+}
+
+std::string FaultPlan::encode() const {
+  std::string out = "seed=" + std::to_string(seed);
+  for (const FaultOp& op : ops) {
+    out += ';';
+    out += kind_letter(op.kind);
+    out += ',' + std::to_string(op.at);
+    out += ',' + std::to_string(op.until);
+    out += ',' + std::to_string(op.a);
+    out += ',' + std::to_string(op.b);
+    out += ',' + std::to_string(op.type);
+    out += ',' + std::to_string(op.permille);
+    out += ',' + std::to_string(op.jitter);
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::parse(const std::string& trace) {
+  const std::vector<std::string_view> parts = split(trace, ';');
+  if (parts.empty() || !parts.front().starts_with("seed="))
+    throw std::invalid_argument{"FaultPlan: trace must start with seed=<n>"};
+
+  FaultPlan plan;
+  plan.seed = parse_u64(parts.front().substr(5));
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::vector<std::string_view> fields = split(parts[i], ',');
+    if (fields.size() != 8 || fields[0].size() != 1)
+      throw std::invalid_argument{"FaultPlan: op needs 8 fields"};
+    FaultOp op;
+    op.kind = kind_of(fields[0].front());
+    op.at = parse_u64(fields[1]);
+    op.until = parse_u64(fields[2]);
+    op.a = static_cast<NodeId>(parse_u64(fields[3]));
+    op.b = static_cast<NodeId>(parse_u64(fields[4]));
+    op.type = static_cast<std::uint8_t>(parse_u64(fields[5]));
+    op.permille = static_cast<std::uint32_t>(parse_u64(fields[6]));
+    op.jitter = parse_u64(fields[7]);
+    plan.ops.push_back(op);
+  }
+  return plan;
+}
+
+FaultPlan random_plan(std::uint64_t seed, const RandomPlanSpec& spec) {
+  util::Rng rng{seed ^ 0xC4A05C4A05ULL};
+  FaultPlan plan;
+  plan.seed = seed;
+
+  const auto window = [&](FaultOp& op) {
+    op.at = rng.below(std::max<Time>(1, spec.horizon * 3 / 5));
+    const Time shortest = std::max<Time>(1, spec.horizon / 10);
+    const Time longest = std::max<Time>(shortest + 1, spec.horizon * 2 / 5);
+    op.until = std::min<Time>(spec.horizon,
+                              op.at + shortest + rng.below(longest - shortest));
+    if (op.until <= op.at) op.until = op.at + 1;
+  };
+  const auto any_node = [&] {
+    return static_cast<NodeId>(rng.below(spec.max_node + 1));
+  };
+
+  const std::size_t crashes =
+      spec.crashable.empty() ? 0 : std::min(spec.min_crashes, spec.ops);
+  for (std::size_t i = 0; i < crashes; ++i) {
+    FaultOp op;
+    op.kind = FaultKind::Crash;
+    op.a = spec.crashable[rng.below(spec.crashable.size())];
+    op.at = rng.below(std::max<Time>(1, spec.horizon / 2));
+    op.until = std::min<Time>(
+        spec.horizon, op.at + spec.horizon / 8 + rng.below(spec.horizon / 4 + 1));
+    if (op.until <= op.at) op.until = op.at + 1;
+    plan.ops.push_back(op);
+  }
+
+  while (plan.ops.size() < spec.ops) {
+    FaultOp op;
+    switch (rng.below(4)) {
+      case 0: {  // drop rule: maybe link-targeted, maybe type-targeted
+        op.kind = FaultKind::Drop;
+        window(op);
+        if (rng.chance(0.5)) {
+          op.a = any_node();
+          op.b = any_node();
+        }
+        if (!spec.droppable_types.empty() && rng.chance(0.5))
+          op.type = spec.droppable_types[rng.below(spec.droppable_types.size())];
+        op.permille = 300 + static_cast<std::uint32_t>(rng.below(701));
+        break;
+      }
+      case 1: {  // partition
+        op.kind = FaultKind::Partition;
+        window(op);
+        op.a = any_node();
+        op.b = any_node();
+        if (op.b < op.a) std::swap(op.a, op.b);
+        break;
+      }
+      case 2: {  // duplication
+        op.kind = FaultKind::Duplicate;
+        window(op);
+        op.permille = 100 + static_cast<std::uint32_t>(rng.below(401));
+        break;
+      }
+      default: {  // jitter
+        op.kind = FaultKind::Jitter;
+        window(op);
+        op.permille = 200 + static_cast<std::uint32_t>(rng.below(601));
+        op.jitter = 1 + rng.below(std::max<Time>(1, spec.max_jitter));
+        break;
+      }
+    }
+    plan.ops.push_back(op);
+  }
+  return plan;
+}
+
+Chaos::Chaos(Scheduler& scheduler, Network& network, FaultPlan plan)
+    : scheduler_(scheduler),
+      network_(network),
+      plan_(std::move(plan)),
+      rng_(plan_.seed ^ 0x0C4A0ULL) {}
+
+void Chaos::set_crash_hooks(CrashHook crash, CrashHook restart) {
+  crash_ = std::move(crash);
+  restart_ = std::move(restart);
+}
+
+void Chaos::set_classifier(PacketClassifier classifier) {
+  classifier_ = std::move(classifier);
+}
+
+void Chaos::arm() {
+  network_.set_interceptor(
+      [this](NodeId from, NodeId to, const Network::Payload& payload) {
+        return intercept(from, to, payload);
+      });
+  for (const FaultOp& op : plan_.ops) {
+    if (op.kind != FaultKind::Crash) continue;
+    scheduler_.schedule_at(op.at, [this, node = op.a] {
+      ++stats_.crashes;
+      if (crash_) crash_(node);
+    });
+    scheduler_.schedule_at(op.until, [this, node = op.a] {
+      ++stats_.restarts;
+      if (restart_) restart_(node);
+    });
+  }
+}
+
+void Chaos::disarm() { network_.set_interceptor({}); }
+
+bool Chaos::roll(std::uint32_t permille) {
+  return rng_.below(1000) < permille;
+}
+
+Network::FaultAction Chaos::intercept(NodeId from, NodeId to,
+                                      const Network::Payload& payload) {
+  const Time now = scheduler_.now();
+  Network::FaultAction action;
+  std::uint8_t cls = FaultOp::kAnyType;
+  bool classified = false;
+
+  for (const FaultOp& op : plan_.ops) {
+    if (now < op.at || now >= op.until) continue;
+    switch (op.kind) {
+      case FaultKind::Drop: {
+        if (op.a != kNoNode && op.a != from) break;
+        if (op.b != kNoNode && op.b != to) break;
+        if (op.type != FaultOp::kAnyType) {
+          if (!classified && classifier_) {
+            cls = classifier_(payload);
+            classified = true;
+          }
+          if (cls != op.type) break;
+        }
+        if (roll(op.permille)) {
+          ++stats_.dropped;
+          return {.copies = 0, .extra_latency = 0};
+        }
+        break;
+      }
+      case FaultKind::Partition: {
+        const bool from_inside = from >= op.a && from <= op.b;
+        const bool to_inside = to >= op.a && to <= op.b;
+        if (from_inside != to_inside) {
+          ++stats_.dropped;
+          return {.copies = 0, .extra_latency = 0};
+        }
+        break;
+      }
+      case FaultKind::Duplicate:
+        if (roll(op.permille)) {
+          ++action.copies;
+          ++stats_.duplicated;
+        }
+        break;
+      case FaultKind::Jitter:
+        if (roll(op.permille)) {
+          action.extra_latency += 1 + rng_.below(std::max<Time>(1, op.jitter));
+          ++stats_.delayed;
+        }
+        break;
+      case FaultKind::Crash:
+        break;  // handled by the scheduled hooks, not per message
+    }
+  }
+  return action;
+}
+
+}  // namespace cake::sim

@@ -1,0 +1,149 @@
+// Deterministic chaos engine.
+//
+// A `FaultPlan` is a seed plus a list of scripted fault operations in
+// virtual time: per-link / per-packet-type drop rules, network partitions
+// that split and heal, message duplication, latency jitter (reordering)
+// and node crash–restart. `Chaos` arms a plan against a `Scheduler` +
+// `Network` pair: it installs a `Network::Interceptor` that evaluates the
+// stochastic rules (driven by its own seeded Rng, so every run replays
+// bit-for-bit) and schedules crash/restart callbacks at their scripted
+// instants. Plans round-trip through a one-line text trace, which is what
+// failing seeds print as their replay command and what the shrinker
+// minimizes.
+//
+// The engine is protocol-agnostic: packet-type rules classify payloads
+// through a caller-supplied `PacketClassifier` (the routing layer provides
+// one that peeks the wire tag), so `sim` keeps depending on nothing above
+// it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cake/sim/sim.hpp"
+
+namespace cake::sim {
+
+enum class FaultKind : std::uint8_t {
+  Drop,       ///< drop matching messages with probability p during the window
+  Partition,  ///< isolate the id range [a, b] from everyone else
+  Duplicate,  ///< inject one extra copy with probability p
+  Jitter,     ///< add uniform extra latency in (0, jitter] with probability p
+  Crash,      ///< crash node `a` at `at`, restart it cold at `until`
+};
+
+/// One scripted fault. Windows are half-open [at, until) in virtual time;
+/// for Crash, `at` is the crash instant and `until` the restart instant.
+struct FaultOp {
+  static constexpr std::uint8_t kAnyType = 0xff;
+
+  FaultKind kind = FaultKind::Drop;
+  Time at = 0;
+  Time until = 0;
+  /// Drop: link source (kNoNode = any); Partition: range low end;
+  /// Crash: the node to take down.
+  NodeId a = kNoNode;
+  /// Drop: link destination (kNoNode = any); Partition: range high end.
+  NodeId b = kNoNode;
+  /// Drop: packet class to target (kAnyType = all); see PacketClassifier.
+  std::uint8_t type = kAnyType;
+  /// Probability of Drop/Duplicate/Jitter per message, in permille
+  /// (integral so traces round-trip exactly).
+  std::uint32_t permille = 1000;
+  /// Jitter: maximum extra latency.
+  Time jitter = 0;
+
+  [[nodiscard]] bool operator==(const FaultOp&) const = default;
+};
+
+/// A deterministic fault schedule: the seed drives every stochastic rule.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultOp> ops;
+
+  /// Virtual time by which every fault has healed (0 for an empty plan).
+  [[nodiscard]] Time heal_time() const noexcept;
+
+  /// One-line machine-readable trace, e.g.
+  /// "seed=7;D,0,3000000,4294967295,4294967295,255,300,0;C,1000000,2500000,3,0,0,0,0".
+  [[nodiscard]] std::string encode() const;
+  /// Inverse of encode(); throws std::invalid_argument on malformed input.
+  [[nodiscard]] static FaultPlan parse(const std::string& trace);
+
+  [[nodiscard]] bool operator==(const FaultPlan&) const = default;
+};
+
+/// Knobs for `random_plan`.
+struct RandomPlanSpec {
+  Time horizon = 8'000'000;  ///< every window closes by this time
+  std::size_t ops = 6;
+  NodeId max_node = 0;            ///< link/partition rules draw from [0, max_node]
+  std::vector<NodeId> crashable;  ///< nodes eligible for Crash ops
+  std::size_t min_crashes = 1;    ///< ignored when `crashable` is empty
+  Time max_jitter = 500'000;
+  /// Packet classes Drop rules may target, in addition to "any".
+  std::vector<std::uint8_t> droppable_types;
+};
+
+/// Seed-derived random fault schedule; same (seed, spec) → same plan.
+[[nodiscard]] FaultPlan random_plan(std::uint64_t seed, const RandomPlanSpec& spec);
+
+/// Counters for what the armed plan actually did to the traffic.
+struct ChaosStats {
+  std::uint64_t dropped = 0;     ///< messages killed by Drop/Partition rules
+  std::uint64_t duplicated = 0;  ///< extra copies injected
+  std::uint64_t delayed = 0;     ///< messages given extra latency
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+};
+
+/// Arms a FaultPlan against a simulation. Construction is passive; call
+/// `arm()` once the topology is up. The controller owns no nodes — crash
+/// and restart are callbacks into the layer that does (e.g.
+/// `routing::Overlay::crash/restart`).
+class Chaos {
+public:
+  using CrashHook = std::function<void(NodeId)>;
+  /// Maps a wire payload to a small packet-class integer for per-type Drop
+  /// rules; return FaultOp::kAnyType for "unclassifiable".
+  using PacketClassifier = std::function<std::uint8_t(const Network::Payload&)>;
+
+  Chaos(Scheduler& scheduler, Network& network, FaultPlan plan);
+
+  Chaos(const Chaos&) = delete;
+  Chaos& operator=(const Chaos&) = delete;
+
+  void set_crash_hooks(CrashHook crash, CrashHook restart);
+  void set_classifier(PacketClassifier classifier);
+
+  /// Installs the interceptor and schedules every Crash/restart instant
+  /// (foreground, so `run()` treats the schedule as pending work).
+  void arm();
+
+  /// Removes the interceptor; scripted crash instants still fire.
+  void disarm();
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const ChaosStats& stats() const noexcept { return stats_; }
+  /// True while some window is still open (or a restart is pending).
+  [[nodiscard]] bool faults_pending() const noexcept {
+    return scheduler_.now() < plan_.heal_time();
+  }
+
+private:
+  [[nodiscard]] Network::FaultAction intercept(NodeId from, NodeId to,
+                                               const Network::Payload& payload);
+  [[nodiscard]] bool roll(std::uint32_t permille);
+
+  Scheduler& scheduler_;
+  Network& network_;
+  FaultPlan plan_;
+  util::Rng rng_;
+  CrashHook crash_;
+  CrashHook restart_;
+  PacketClassifier classifier_;
+  ChaosStats stats_;
+};
+
+}  // namespace cake::sim

@@ -39,7 +39,7 @@ std::size_t Scheduler::run(std::size_t max_steps) {
 }
 
 void Scheduler::run_until(Time deadline) {
-  while (!queue_.empty() && queue_.top().at < deadline) step();
+  while (!queue_.empty() && queue_.top().at <= deadline) step();
   now_ = std::max(now_, deadline);
 }
 
@@ -64,6 +64,10 @@ void Network::set_latency(NodeId from, NodeId to, Time latency) {
   latency_[key(from, to)] = latency;
 }
 
+void Network::set_interceptor(Interceptor interceptor) {
+  interceptor_ = std::move(interceptor);
+}
+
 void Network::send(NodeId from, NodeId to, Payload payload) {
   const std::uint64_t k = key(from, to);
   LinkStats& stats = links_[k];
@@ -77,12 +81,33 @@ void Network::send(NodeId from, NodeId to, Payload payload) {
     return;
   }
 
+  FaultAction action;
+  if (interceptor_) action = interceptor_(from, to, payload);
+  if (action.copies == 0) {
+    ++dropped_;
+    return;
+  }
+  duplicated_ += action.copies - 1;
+
   const auto lat = latency_.find(k);
-  const Time delay = lat == latency_.end() ? default_latency_ : lat->second;
+  const Time delay =
+      (lat == latency_.end() ? default_latency_ : lat->second) +
+      action.extra_latency;
+  for (std::uint32_t copy = 0; copy + 1 < action.copies; ++copy)
+    schedule_delivery(from, to, delay, payload);
+  schedule_delivery(from, to, delay, std::move(payload));
+}
+
+void Network::schedule_delivery(NodeId from, NodeId to, Time delay,
+                                Payload payload) {
   scheduler_.schedule_after(
       delay, [this, from, to, payload = std::move(payload)]() {
         const auto handler = handlers_.find(to);
-        if (handler == handlers_.end()) return;  // crashed / detached peer
+        if (handler == handlers_.end()) {
+          ++undeliverable_;  // crashed / detached peer
+          return;
+        }
+        ++delivered_;
         ++received_[to];
         handler->second(from, payload);
       });

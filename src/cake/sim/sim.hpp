@@ -64,8 +64,14 @@ public:
   /// returns the number of closures executed.
   std::size_t run(std::size_t max_steps = std::numeric_limits<std::size_t>::max());
 
-  /// Runs everything (foreground and background) scheduled strictly before
-  /// `deadline`, then sets now == deadline.
+  /// Runs everything (foreground and background) scheduled at or before
+  /// `deadline` — the interval is *closed* on the right — then sets
+  /// now == deadline. Inclusive boundary semantics matter: the chaos
+  /// controller schedules heal/restart events at exact TTL multiples, and
+  /// `run_until(heal_time)` must execute them rather than leave them
+  /// pending one step away. A closure at the deadline that reschedules
+  /// itself with zero delay would loop forever, exactly as it would at any
+  /// earlier instant.
   void run_until(Time deadline);
 
 private:
@@ -99,6 +105,20 @@ public:
   using Payload = std::vector<std::byte>;
   using Handler = std::function<void(NodeId from, const Payload& payload)>;
 
+  /// Disposition of one message, decided by a fault interceptor at send
+  /// time: `copies == 0` drops it, `copies > 1` injects duplicates, and
+  /// `extra_latency` is added on top of the link latency (jitter — enough
+  /// to reorder messages relative to later sends on the same link).
+  struct FaultAction {
+    std::uint32_t copies = 1;
+    Time extra_latency = 0;
+  };
+  /// Inspects every message about to enter the link (after the uniform
+  /// loss process) and returns its disposition. The chaos engine installs
+  /// one of these; `{}` / default means "deliver normally".
+  using Interceptor = std::function<FaultAction(NodeId from, NodeId to,
+                                                const Payload& payload)>;
+
   explicit Network(Scheduler& scheduler, Time default_latency = 1000)
       : scheduler_(scheduler), default_latency_(default_latency) {}
 
@@ -118,8 +138,20 @@ public:
   /// are counted as sent and as `dropped()` but never delivered.
   void set_loss_rate(double rate, std::uint64_t seed = 0);
 
-  /// Messages discarded by the loss process so far.
+  /// Installs (or, with an empty function, removes) the fault interceptor
+  /// consulted on every send. Drops decided by it count into `dropped()`.
+  void set_interceptor(Interceptor interceptor);
+
+  /// Messages discarded so far — by the uniform loss process and by the
+  /// interceptor together.
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Physical copies handed to an attached receive handler.
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  /// Copies that reached an unattached (crashed/detached) node and vanished.
+  [[nodiscard]] std::uint64_t undeliverable() const noexcept { return undeliverable_; }
+  /// Extra copies injected by the interceptor (beyond one per send).
+  [[nodiscard]] std::uint64_t duplicated() const noexcept { return duplicated_; }
 
   /// Overrides the latency of the directed link from->to.
   void set_latency(NodeId from, NodeId to, Time latency);
@@ -140,11 +172,19 @@ private:
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
+  void schedule_delivery(NodeId from, NodeId to, Time delay, Payload payload);
+
   Scheduler& scheduler_;
   Time default_latency_;
   double loss_rate_ = 0.0;
   util::Rng loss_rng_{0};
+  Interceptor interceptor_;
+  // Conservation law, once the scheduler is drained:
+  //   total_messages() + duplicated() == delivered() + dropped() + undeliverable()
   std::uint64_t dropped_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t undeliverable_ = 0;
+  std::uint64_t duplicated_ = 0;
   std::unordered_map<NodeId, Handler> handlers_;
   std::unordered_map<std::uint64_t, Time> latency_;
   std::unordered_map<std::uint64_t, LinkStats> links_;

@@ -1,0 +1,25 @@
+#include "cake/util/env.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+
+namespace cake::util {
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  std::uint64_t value = 0;
+  const char* end = raw + std::strlen(raw);
+  const auto [ptr, ec] = std::from_chars(raw, end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<std::string> env_string(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  return std::string{raw};
+}
+
+}  // namespace cake::util

@@ -1,0 +1,21 @@
+// Seed-replay plumbing: every randomized suite (chaos runner, fuzz, soak)
+// honors the same two environment variables so a failing CI line reproduces
+// locally with one command:
+//
+//   CAKE_SEED=<n>         replaces the suite's default seed(s)
+//   CAKE_FAULT_TRACE=...  replays an exact fault schedule (chaos runner)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cake::util {
+
+/// `name` parsed as a decimal u64; nullopt when unset, empty or malformed.
+[[nodiscard]] std::optional<std::uint64_t> env_u64(const char* name);
+
+/// Raw value of `name`; nullopt when unset or empty.
+[[nodiscard]] std::optional<std::string> env_string(const char* name);
+
+}  // namespace cake::util

@@ -1,0 +1,160 @@
+// Chaos sweep front-end.
+//
+//   cake_chaos --seeds 500               # sweep seeds [0, 500)
+//   cake_chaos --seed 17                 # one seed, verbose
+//   cake_chaos --trace 'seed=17;C,...'   # replay an exact fault schedule
+//   cake_chaos --curve                   # convergence-time vs drop rate
+//
+// Environment (same contract as the fuzz/soak suites):
+//   CAKE_SEED         overrides the seed range with a single seed
+//   CAKE_FAULT_TRACE  replays a trace (equivalent to --trace)
+//
+// On failure the seed's shrunk trace is printed as a one-line replay
+// command and written to --fail-file (default chaos_failure.txt) for CI to
+// upload as an artifact. Exit code 1 on any failing seed.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cake/util/cli.hpp"
+#include "cake/util/env.hpp"
+#include "differential.hpp"
+
+namespace {
+
+using cake::chaos::HarnessConfig;
+using cake::chaos::TrialResult;
+
+int replay(const HarnessConfig& cfg, const std::string& trace) {
+  const cake::sim::FaultPlan plan = cake::sim::FaultPlan::parse(trace);
+  const TrialResult result = cake::chaos::run_trial(cfg, plan);
+  if (result.ok) {
+    std::cout << "trace OK: converged at t=" << result.converged_at
+              << "us, probe deliveries=" << result.expected_deliveries
+              << ", duplicate peak=" << result.duplicate_peak << "\n";
+    return 0;
+  }
+  std::cout << "trace FAILED: " << result.failure << "\n";
+  return 1;
+}
+
+int sweep(const HarnessConfig& cfg, std::uint64_t start, std::uint64_t seeds,
+          bool shrink, const std::string& fail_file) {
+  std::uint64_t failures = 0;
+  for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
+    const cake::sim::FaultPlan plan = cake::chaos::plan_for(seed, cfg);
+    const TrialResult result = cake::chaos::run_trial(cfg, plan);
+    if (result.ok) {
+      if (seeds == 1)
+        std::cout << "seed " << seed << " OK: " << result.chaos.dropped
+                  << " dropped, " << result.chaos.duplicated << " duplicated, "
+                  << result.chaos.crashes << " crashes, duplicate peak "
+                  << result.duplicate_peak << ", probe deliveries "
+                  << result.expected_deliveries << "\n";
+      continue;
+    }
+    ++failures;
+    std::cout << "seed " << seed << " FAILED: " << result.failure << "\n";
+    cake::sim::FaultPlan minimal = plan;
+    if (shrink) {
+      minimal = cake::chaos::shrink_plan(cfg, plan);
+      std::cout << "  shrunk " << plan.ops.size() << " -> "
+                << minimal.ops.size() << " fault ops\n";
+    }
+    const std::string cmd = cake::chaos::replay_command(minimal);
+    std::cout << "  replay: " << cmd << "\n";
+    if (!fail_file.empty()) {
+      std::ofstream out{fail_file, std::ios::app};
+      out << "seed " << seed << ": " << result.failure << "\n"
+          << cmd << "\n";
+    }
+  }
+  std::cout << (seeds - failures) << "/" << seeds << " seeds passed\n";
+  return failures == 0 ? 0 : 1;
+}
+
+// Convergence-time-vs-fault-rate curve (EXPERIMENTS.md): for each drop
+// rate, run a fixed window of drop-everything chaos over several seeds and
+// report how long past the heal instant the overlay needs before a probe
+// sweep is exactly-once — measured by bisecting the convergence slack.
+int curve(HarnessConfig cfg, std::uint64_t seeds) {
+  std::cout << "permille,seeds_converged,mean_dropped,mean_extra_slack_us\n";
+  for (const std::uint32_t permille : {100u, 300u, 500u, 700u, 900u}) {
+    std::uint64_t converged = 0;
+    std::uint64_t total_slack = 0;
+    std::uint64_t total_dropped = 0;
+    for (std::uint64_t seed = 0; seed < seeds; ++seed) {
+      cake::sim::FaultPlan plan;
+      plan.seed = seed;
+      plan.ops.push_back({cake::sim::FaultKind::Drop, 0, cfg.horizon,
+                          cake::sim::kNoNode, cake::sim::kNoNode,
+                          cake::sim::FaultOp::kAnyType, permille, 0});
+      // Binary-search the smallest convergence multiplier (of TTL) that
+      // still yields an exactly-once probe phase.
+      const TrialResult full = cake::chaos::run_trial(cfg, plan);
+      if (!full.ok) continue;
+      ++converged;
+      total_dropped += full.chaos.dropped;
+      cake::sim::Time lo = 0, hi = 3 * cfg.ttl;
+      while (lo + cfg.ttl / 4 < hi) {
+        const cake::sim::Time mid = (lo + hi) / 2;
+        HarnessConfig trial_cfg = cfg;
+        trial_cfg.extra_convergence_slack =
+            static_cast<std::int64_t>(mid) -
+            static_cast<std::int64_t>(3 * cfg.ttl);
+        if (cake::chaos::run_trial(trial_cfg, plan).ok)
+          hi = mid;
+        else
+          lo = mid;
+      }
+      total_slack += hi;
+    }
+    std::cout << permille << "," << converged << ","
+              << (converged ? total_dropped / converged : 0) << ","
+              << (converged ? total_slack / converged : 0) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cake::util::CliArgs args{argc, argv};
+  args.allow({"seeds", "start", "seed", "trace", "curve", "inject-bug",
+              "no-shrink", "fail-file", "subscribers", "events", "ops"});
+
+  HarnessConfig cfg;
+  cfg.inject_rejoin_bug = args.get("inject-bug", false);
+  cfg.subscribers =
+      static_cast<std::size_t>(args.get("subscribers", std::int64_t{10}));
+  cfg.chaos_events =
+      static_cast<std::size_t>(args.get("events", std::int64_t{120}));
+  cfg.fault_ops = static_cast<std::size_t>(args.get("ops", std::int64_t{6}));
+
+  // Environment overrides (CI artifact reproduction path).
+  const auto env_trace = cake::util::env_string("CAKE_FAULT_TRACE");
+  const auto env_seed = cake::util::env_u64("CAKE_SEED");
+
+  try {
+    if (args.has("trace") || env_trace.has_value())
+      return replay(cfg, args.get("trace", env_trace.value_or("")));
+    if (args.has("curve"))
+      return curve(cfg, static_cast<std::uint64_t>(
+                            args.get("seeds", std::int64_t{5})));
+
+    std::uint64_t start =
+        static_cast<std::uint64_t>(args.get("start", std::int64_t{0}));
+    std::uint64_t seeds =
+        static_cast<std::uint64_t>(args.get("seeds", std::int64_t{50}));
+    if (args.has("seed") || env_seed.has_value()) {
+      start = static_cast<std::uint64_t>(
+          args.get("seed", static_cast<std::int64_t>(env_seed.value_or(0))));
+      seeds = 1;
+    }
+    return sweep(cfg, start, seeds, !args.get("no-shrink", false),
+                 args.get("fail-file", std::string{"chaos_failure.txt"}));
+  } catch (const std::exception& e) {
+    std::cerr << "cake_chaos: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,346 @@
+#include "differential.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cake/routing/overlay.hpp"
+#include "cake/util/rng.hpp"
+#include "cake/workload/types.hpp"
+
+namespace cake::chaos {
+namespace {
+
+enum class Phase : std::uint8_t { Warm, Chaos, Probe };
+
+/// One reference subscription: a pointer to the live node plus the
+/// standard-form exact filter the oracle matches against directly.
+struct SubRec {
+  routing::SubscriberNode* node = nullptr;
+  filter::ConjunctiveFilter exact;
+};
+
+struct Bookkeeping {
+  // uid → subscription index → handler fire count.
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::size_t, std::uint64_t>>
+      counts;
+  // uid → subscription indices the reference matcher expects.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> expected;
+  std::unordered_map<std::uint64_t, Phase> phase_of;
+  std::uint64_t next_uid = 1;
+};
+
+/// Copies `image` with a unique `uid` attribute appended, so the oracle can
+/// identify every published event at the handler without trusting any
+/// routing-layer id. Filters never constrain `uid`; matching is unaffected.
+event::EventImage tag(const event::EventImage& image, std::uint64_t uid) {
+  std::vector<event::ImageAttribute> attrs = image.attributes();
+  attrs.push_back({"uid", value::Value{static_cast<std::int64_t>(uid)}});
+  return event::EventImage{image.type_name(), std::move(attrs),
+                           image.opaque()};
+}
+
+/// Structural "tables reaped to the fault-free fixpoint" check, both
+/// directions: every lease in every broker is backed by a live subscription
+/// or a child broker's active upward form, and every live subscription /
+/// active form has its lease. Returns the first violation, empty when clean.
+std::string check_fixpoint(routing::Overlay& overlay) {
+  std::ostringstream err;
+
+  // Leases → live state (no stale entries survived convergence).
+  for (const auto& broker : overlay.brokers()) {
+    for (const auto& [filter, children] : broker->table()) {
+      for (const sim::NodeId child : children) {
+        if (routing::Broker* cb = overlay.find_broker(child)) {
+          const auto up = cb->active_upward();
+          if (std::find(up.begin(), up.end(), filter) == up.end()) {
+            err << "broker " << broker->id() << " holds stale lease for child broker "
+                << child << ": " << filter.to_string();
+            return err.str();
+          }
+          continue;
+        }
+        bool live = false;
+        for (const auto& sub : overlay.subscribers()) {
+          if (sub->id() != child) continue;
+          for (const auto& view : sub->subscription_views())
+            live |= view.parent == broker->id() && view.stored == filter;
+        }
+        if (!live) {
+          err << "broker " << broker->id() << " holds stale lease for subscriber "
+              << child << ": " << filter.to_string();
+          return err.str();
+        }
+      }
+    }
+  }
+
+  // Live state → leases (nothing needed was reaped and left dangling).
+  const auto lease_exists = [&](sim::NodeId at, const filter::ConjunctiveFilter& f,
+                                sim::NodeId child) {
+    routing::Broker* broker = overlay.find_broker(at);
+    if (broker == nullptr) return false;
+    for (const auto& [filter, children] : broker->table())
+      if (filter == f &&
+          std::find(children.begin(), children.end(), child) != children.end())
+        return true;
+    return false;
+  };
+  for (const auto& sub : overlay.subscribers()) {
+    for (const auto& view : sub->subscription_views()) {
+      if (!view.parent.has_value()) {
+        err << "subscriber " << sub->id() << " token " << view.token
+            << " has no accepted home after convergence";
+        return err.str();
+      }
+      if (!lease_exists(*view.parent, view.stored, sub->id())) {
+        err << "subscriber " << sub->id() << "'s lease at broker "
+            << *view.parent << " missing: " << view.stored.to_string();
+        return err.str();
+      }
+    }
+  }
+  for (const auto& broker : overlay.brokers()) {
+    if (broker->is_root()) continue;
+    for (const auto& form : broker->active_upward()) {
+      if (!lease_exists(broker->parent(), form, broker->id())) {
+        err << "broker " << broker->id() << "'s upward form missing at parent "
+            << broker->parent() << ": " << form.to_string();
+        return err.str();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+sim::FaultPlan plan_for(std::uint64_t seed, const HarnessConfig& cfg) {
+  std::size_t brokers = 0;
+  for (const std::size_t n : cfg.stage_counts) brokers += n;
+
+  sim::RandomPlanSpec spec;
+  spec.horizon = cfg.horizon;
+  spec.ops = cfg.fault_ops;
+  // Node ids are assigned brokers-first, then one publisher, then the
+  // subscribers — the full range participates in link/partition rules.
+  spec.max_node = static_cast<sim::NodeId>(brokers + cfg.subscribers);
+  spec.crashable.resize(brokers);
+  for (std::size_t i = 0; i < brokers; ++i)
+    spec.crashable[i] = static_cast<sim::NodeId>(i);
+  spec.min_crashes = 1;
+  spec.max_jitter = 50 * cfg.link_latency;
+  // Wire tags of the classes whose loss stresses distinct recovery paths:
+  // Subscribe (1), ReqInsert (4), Renew (5), EventMsg (7).
+  spec.droppable_types = {1, 4, 5, 7};
+  return sim::random_plan(seed, spec);
+}
+
+TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
+  workload::ensure_types_registered();
+  TrialResult result;
+  const auto fail = [&result](std::string why) {
+    result.ok = false;
+    result.failure = std::move(why);
+    return result;
+  };
+
+  routing::OverlayConfig oc;
+  oc.stage_counts = cfg.stage_counts;
+  oc.broker.ttl = cfg.ttl;
+  oc.broker.renew_interval = cfg.renew_interval;
+  oc.broker.reap_interval = cfg.reap_interval;
+  oc.broker.engine = index::Engine::ShardedCounting;
+  oc.subscriber.renew_interval = cfg.renew_interval;
+  oc.subscriber.rejoin_on_expired = !cfg.inject_rejoin_bug;
+  oc.link_latency = cfg.link_latency;
+  oc.seed = plan.seed ^ 0x0E11A5ULL;
+  routing::Overlay overlay{oc};
+  const reflect::TypeRegistry& registry = overlay.registry();
+  sim::Scheduler& sch = overlay.scheduler();
+  sim::Network& net = overlay.network();
+
+  routing::PublisherNode& publisher = overlay.add_publisher();
+  publisher.advertise(workload::BiblioGenerator::schema());
+  overlay.run();
+
+  // --- workload ------------------------------------------------------------
+  const std::uint64_t wseed =
+      cfg.workload_seed != 0 ? cfg.workload_seed : plan.seed ^ 0xB1B10ULL;
+  workload::BiblioGenerator gen{cfg.biblio, wseed};
+  util::Rng rng{wseed ^ 0x5B5ULL};
+
+  Bookkeeping book;
+  std::vector<SubRec> subs;
+  subs.reserve(cfg.subscribers);
+  for (std::size_t i = 0; i < cfg.subscribers; ++i) {
+    routing::SubscriberNode& node = overlay.add_subscriber();
+    // Mostly 1–2 wildcards so filters overlap and most events match someone;
+    // the occasional fully-exact filter keeps the narrow path covered.
+    const std::size_t wildcards = rng.below(4) == 0 ? 0 : 1 + rng.below(2);
+    filter::ConjunctiveFilter exact = gen.next_subscription(wildcards);
+    if (const reflect::TypeInfo* type = registry.find(exact.type().name))
+      exact = exact.standard_form(*type);
+    const std::size_t key = subs.size();
+    node.subscribe(exact, [&book, key](const event::EventImage& image) {
+      const value::Value* uid = image.find("uid");
+      if (uid != nullptr) ++book.counts[uid->as_int()][key];
+    });
+    subs.push_back({&node, exact});
+  }
+  overlay.run();
+  for (const SubRec& sub : subs) {
+    if (sub.node->subscription_views().front().parent.has_value()) continue;
+    return fail("setup: a subscription never completed its join");
+  }
+
+  const auto publish_one = [&](Phase phase) {
+    const std::uint64_t uid = book.next_uid++;
+    const event::EventImage image = gen.next_event();
+    auto& expect = book.expected[uid];
+    for (std::size_t key = 0; key < subs.size(); ++key)
+      if (subs[key].exact.matches(image, registry)) expect.push_back(key);
+    book.phase_of[uid] = phase;
+    publisher.publish(tag(image, uid));
+  };
+
+  // --- warm-up: the fault-free baseline must already be exactly-once ------
+  for (std::size_t i = 0; i < cfg.warm_events; ++i) publish_one(Phase::Warm);
+  overlay.run();
+
+  // --- chaos ---------------------------------------------------------------
+  // Plan times are relative to the arm instant; shift them to absolute
+  // virtual time so replays are invariant to setup duration.
+  const sim::Time t0 = sch.now();
+  sim::FaultPlan shifted = plan;
+  for (sim::FaultOp& op : shifted.ops) {
+    op.at += t0;
+    op.until += t0;
+  }
+  sim::Chaos chaos{sch, net, shifted};
+  chaos.set_crash_hooks([&overlay](sim::NodeId n) { overlay.crash(n); },
+                        [&overlay](sim::NodeId n) { overlay.restart(n); });
+  chaos.set_classifier([](const sim::Network::Payload& payload) {
+    return routing::packet_class(payload);
+  });
+  chaos.arm();
+
+  for (std::size_t i = 0; i < cfg.chaos_events; ++i) {
+    const sim::Time at = t0 + (i + 1) * cfg.horizon / (cfg.chaos_events + 1);
+    sch.schedule_at(at, [&publish_one] { publish_one(Phase::Chaos); });
+  }
+
+  const sim::Time heal = t0 + std::max(plan.heal_time(), cfg.horizon);
+  sch.run_until(heal);
+  chaos.disarm();
+  result.chaos = chaos.stats();
+
+  // --- convergence: 3×TTL for stale leases, plus reap and renew slack -----
+  const auto window = static_cast<std::int64_t>(3 * cfg.ttl +
+                                                2 * cfg.reap_interval +
+                                                6 * cfg.renew_interval) +
+                      cfg.extra_convergence_slack;
+  sch.run_until(heal + static_cast<sim::Time>(std::max<std::int64_t>(window, 0)));
+  overlay.run();
+  result.converged_at = sch.now();
+
+  // (b) duplicates bounded, and only for events published under live faults.
+  for (const auto& [uid, per_sub] : book.counts) {
+    for (const auto& [key, copies] : per_sub) {
+      const auto& expect = book.expected.at(uid);
+      if (std::find(expect.begin(), expect.end(), key) == expect.end()) {
+        std::ostringstream err;
+        err << "false positive: event " << uid << " reached subscription "
+            << key << " which does not match it";
+        return fail(err.str());
+      }
+      result.duplicate_peak = std::max(result.duplicate_peak, copies);
+      if (copies > 1 && book.phase_of.at(uid) != Phase::Chaos) {
+        std::ostringstream err;
+        err << "duplicate outside fault window: event " << uid << " delivered "
+            << copies << "x to subscription " << key;
+        return fail(err.str());
+      }
+      if (copies > cfg.max_duplicates) {
+        std::ostringstream err;
+        err << "duplicate bound exceeded: event " << uid << " delivered "
+            << copies << "x to subscription " << key;
+        return fail(err.str());
+      }
+    }
+  }
+  // Warm events predate every fault: completeness is unconditional for them.
+  for (const auto& [uid, expect] : book.expected) {
+    if (book.phase_of.at(uid) != Phase::Warm) continue;
+    for (const std::size_t key : expect) {
+      if (book.counts[uid][key] != 1) {
+        std::ostringstream err;
+        err << "warm-up event " << uid << " delivered "
+            << book.counts[uid][key] << "x to subscription " << key;
+        return fail(err.str());
+      }
+    }
+  }
+
+  // (c) broker tables back to the fault-free fixpoint.
+  if (std::string err = check_fixpoint(overlay); !err.empty())
+    return fail("fixpoint: " + err);
+
+  // (a) probe events after convergence: exactly once, no false negatives.
+  const std::uint64_t first_probe = book.next_uid;
+  for (std::size_t i = 0; i < cfg.probe_events; ++i) publish_one(Phase::Probe);
+  overlay.run();
+  for (std::uint64_t uid = first_probe; uid < book.next_uid; ++uid) {
+    for (const std::size_t key : book.expected.at(uid)) {
+      ++result.expected_deliveries;
+      const std::uint64_t copies = book.counts[uid][key];
+      if (copies == 1) continue;
+      std::ostringstream err;
+      err << (copies == 0 ? "false negative" : "duplicate")
+          << " after convergence: probe event " << uid << " delivered "
+          << copies << "x to subscription " << key << " (subscriber "
+          << subs[key].node->id() << ")";
+      return fail(err.str());
+    }
+  }
+
+  // (d) network accounting: nothing created or lost outside the books.
+  if (net.total_messages() + net.duplicated() !=
+      net.delivered() + net.dropped() + net.undeliverable()) {
+    std::ostringstream err;
+    err << "network accounting violated: total=" << net.total_messages()
+        << " +dup=" << net.duplicated() << " != delivered=" << net.delivered()
+        << " +dropped=" << net.dropped()
+        << " +undeliverable=" << net.undeliverable();
+    return fail(err.str());
+  }
+  return result;
+}
+
+sim::FaultPlan shrink_plan(const HarnessConfig& cfg, sim::FaultPlan plan) {
+  // Greedy one-op removal to a local minimum: O(ops²) trials, each cheap at
+  // harness scale, and the result is 1-minimal (no single op is removable).
+  bool shrunk = true;
+  while (shrunk && plan.ops.size() > 1) {
+    shrunk = false;
+    for (std::size_t i = 0; i < plan.ops.size(); ++i) {
+      sim::FaultPlan candidate = plan;
+      candidate.ops.erase(candidate.ops.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      if (!run_trial(cfg, candidate).ok) {
+        plan = std::move(candidate);
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+std::string replay_command(const sim::FaultPlan& plan) {
+  return "cake_chaos --trace '" + plan.encode() + "'";
+}
+
+}  // namespace cake::chaos

@@ -1,0 +1,101 @@
+// Model-differential chaos harness.
+//
+// One *trial* builds a small overlay, subscribes a mixed workload, then
+// lets a deterministic `sim::FaultPlan` loose on it: per-link and
+// per-packet-type drops, partitions, duplication, latency jitter and
+// broker crash–restart. A centralized reference matcher — the exact
+// filters applied directly to every published image — computes the
+// expected delivery multiset, and after every fault has healed and the
+// soft-state machinery has had ≥ 3×TTL to converge the trial asserts:
+//
+//   (a) completeness: probe events published after convergence reach every
+//       matching subscriber exactly once (no false negatives, no stale
+//       duplicate leases);
+//   (b) duplicates are bounded and occur only for events published while
+//       faults were live;
+//   (c) broker tables are reaped back to the fault-free fixpoint — every
+//       lease corresponds to a live subscription or a child broker's
+//       active upward form, and vice versa;
+//   (d) the network's conservation law holds:
+//       total + duplicated == delivered + dropped + undeliverable.
+//
+// Failing seeds shrink greedily (drop one fault op at a time while the
+// trial still fails) and print a one-line replay command.
+//
+// `FaultPlan` times are *relative to the chaos-arm instant* (after setup
+// and warm-up), so the same (config, plan) pair replays bit-for-bit no
+// matter how long the deterministic setup takes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cake/sim/chaos.hpp"
+#include "cake/workload/generators.hpp"
+
+namespace cake::chaos {
+
+struct HarnessConfig {
+  std::vector<std::size_t> stage_counts{1, 2, 4};
+  sim::Time ttl = 1'000'000;
+  sim::Time renew_interval = 400'000;
+  sim::Time reap_interval = 500'000;
+  sim::Time link_latency = 1'000;
+
+  std::size_t subscribers = 10;
+  std::size_t warm_events = 25;    ///< published before faults arm
+  std::size_t chaos_events = 120;  ///< spread across the fault horizon
+  std::size_t probe_events = 40;   ///< published after convergence
+
+  /// Fault-schedule shape (plan_for fills in node ids and packet types).
+  sim::Time horizon = 8'000'000;
+  std::size_t fault_ops = 6;
+
+  /// Ceiling on copies of one event at one subscriber during fault windows.
+  std::uint64_t max_duplicates = 64;
+
+  /// Signed µs adjustment to the convergence window (default window:
+  /// heal + 3×TTL + 2×reap + 6×renew). The curve experiment bisects this
+  /// downward to measure how much convergence time a fault rate really
+  /// needs; never shrinks the window below the heal instant.
+  std::int64_t extra_convergence_slack = 0;
+
+  /// Satellite knob: disable the subscriber's Expired→rejoin path, the
+  /// known completeness bug the oracle must catch (acceptance criterion).
+  bool inject_rejoin_bug = false;
+
+  /// Dense workload so filters overlap and most events match someone.
+  workload::BiblioConfig biblio{.years = 3, .conferences = 3, .authors = 6};
+  std::uint64_t workload_seed = 0;  ///< 0 = derive from the plan seed
+};
+
+struct TrialResult {
+  bool ok = true;
+  std::string failure;  ///< first violated assertion; empty when ok
+  sim::ChaosStats chaos;
+  sim::Time converged_at = 0;  ///< virtual instant the probe phase started
+  std::uint64_t expected_deliveries = 0;  ///< reference-model count (probes)
+  std::uint64_t duplicate_peak = 0;  ///< max copies of one (event, sub) pair
+};
+
+/// Seed-derived random schedule shaped for `cfg`'s topology: drops target
+/// real links and protocol packet classes, partitions cut broker/endpoint
+/// id ranges, and ≥ 1 broker crash–restart is always present.
+[[nodiscard]] sim::FaultPlan plan_for(std::uint64_t seed,
+                                      const HarnessConfig& cfg);
+
+/// Runs one differential trial of `plan` (times relative to arm instant).
+[[nodiscard]] TrialResult run_trial(const HarnessConfig& cfg,
+                                    const sim::FaultPlan& plan);
+
+/// Greedily removes fault ops while the trial keeps failing; returns the
+/// minimal still-failing plan (== `plan` when nothing can be removed).
+[[nodiscard]] sim::FaultPlan shrink_plan(const HarnessConfig& cfg,
+                                         sim::FaultPlan plan);
+
+/// One-line command reproducing a failure, e.g.
+/// `cake_chaos --trace 'seed=7;C,1000,2000,3,0,0,0,0'`.
+[[nodiscard]] std::string replay_command(const sim::FaultPlan& plan);
+
+}  // namespace cake::chaos

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "cake/util/rng.hpp"
 #include "cake/workload/generators.hpp"
 
 namespace cake::routing {
@@ -92,6 +95,121 @@ TEST(Protocol, UnknownTagThrows) {
 TEST(Protocol, SentinelNodeIdsSurvive) {
   const Subscribe back = roundtrip(Subscribe{sample_filter(), sim::kNoNode, 0});
   EXPECT_EQ(back.subscriber, sim::kNoNode);
+}
+
+// ---- decode fuzzing ---------------------------------------------------------
+//
+// One representative frame per variant; truncation at every byte offset and
+// byte flips must raise wire::WireError — never crash, never silently decode
+// into a different variant.
+
+static_assert(std::variant_size_v<Packet> == kPacketClasses,
+              "new packet variants must join the fuzz corpus below");
+
+std::vector<Packet> fuzz_corpus() {
+  workload::BiblioGenerator gen{{}, 2};
+  return {Advertise{workload::BiblioGenerator::schema()},
+          Subscribe{sample_filter(), 42, 7, true},
+          JoinAt{9, 123},
+          AcceptedAt{3, 5, sample_filter()},
+          ReqInsert{sample_filter(), 11},
+          Renew{sample_filter(), 6},
+          Unsub{sample_filter(), 8},
+          Expired{sample_filter()},
+          Detach{4},
+          Resume{4},
+          EventMsg{gen.next_event(), 77, 0xABCDEFu}};
+}
+
+TEST(ProtocolFuzz, TruncationAtEveryOffsetThrows) {
+  for (const Packet& packet : fuzz_corpus()) {
+    const auto frame = encode(packet);
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const std::vector<std::byte> cut(frame.begin(),
+                                       frame.begin() + static_cast<std::ptrdiff_t>(len));
+      EXPECT_THROW((void)decode(cut), wire::WireError)
+          << "variant " << packet.index() << " truncated to " << len
+          << " of " << frame.size() << " bytes";
+    }
+  }
+}
+
+TEST(ProtocolFuzz, SingleByteFlipsNeverMisdecode) {
+  for (const Packet& packet : fuzz_corpus()) {
+    const auto frame = encode(packet);
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      for (const std::byte mask : {std::byte{0x01}, std::byte{0xff}}) {
+        auto mutated = frame;
+        mutated[i] ^= mask;
+        try {
+          const Packet back = decode(mutated);
+          // A flip the checksum failed to catch may only yield the same
+          // variant (possible in principle, never a silent reinterpretation).
+          EXPECT_EQ(back.index(), packet.index())
+              << "flip at byte " << i << " changed the decoded variant";
+        } catch (const wire::WireError&) {
+          // The expected outcome.
+        }
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzz, RandomMultiByteCorruptionThrowsOrPreservesVariant) {
+  util::Rng rng{0xF00DULL};
+  for (const Packet& packet : fuzz_corpus()) {
+    const auto frame = encode(packet);
+    for (int round = 0; round < 200; ++round) {
+      auto mutated = frame;
+      const std::size_t flips = 1 + rng.below(4);
+      for (std::size_t f = 0; f < flips; ++f) {
+        const std::size_t at = rng.below(mutated.size());
+        mutated[at] ^= static_cast<std::byte>(1 + rng.below(255));
+      }
+      try {
+        const Packet back = decode(mutated);
+        EXPECT_EQ(back.index(), packet.index());
+      } catch (const wire::WireError&) {
+      }
+    }
+  }
+}
+
+// ---- packet classification (chaos per-type drop rules) ---------------------
+
+TEST(Protocol, PacketClassPeeksTheWireTagOfEveryVariant) {
+  // Variant order and wire-tag order differ at the tail (EventMsg encodes
+  // as tag 7 for compatibility with its position in the original enum);
+  // packet_class reports the *wire* tag.
+  const std::vector<std::uint8_t> wire_tag_of_variant = {0, 1, 2, 3, 4, 5,
+                                                         6, 8, 9, 10, 7};
+  const std::vector<Packet> corpus = fuzz_corpus();
+  ASSERT_EQ(corpus.size(), wire_tag_of_variant.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i)
+    EXPECT_EQ(packet_class(encode(corpus[i])), wire_tag_of_variant[i])
+        << "variant " << i;
+}
+
+TEST(Protocol, PacketClassNamesAreDistinctAndKnown) {
+  std::set<std::string_view> names;
+  for (std::uint8_t cls = 0; cls < kPacketClasses; ++cls) {
+    const std::string_view name = packet_class_name(cls);
+    EXPECT_NE(name, "?") << "class " << int{cls};
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), kPacketClasses);
+  EXPECT_EQ(packet_class_name(kPacketClasses), "?");
+  EXPECT_EQ(packet_class_name(0xff), "?");
+}
+
+TEST(Protocol, PacketClassIsSafeOnMalformedFrames) {
+  EXPECT_EQ(packet_class({}), 0xff);
+  const std::vector<std::byte> junk{std::byte{0x80}, std::byte{0x80},
+                                    std::byte{0x80}};
+  EXPECT_EQ(packet_class(junk), 0xff);  // unterminated varint
+  auto frame = encode(Packet{Detach{4}});
+  frame.resize(1);  // length byte only, no tag
+  EXPECT_EQ(packet_class(frame), 0xff);
 }
 
 }  // namespace

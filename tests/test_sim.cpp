@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
+#include "cake/sim/chaos.hpp"
+
 namespace cake::sim {
 namespace {
 
@@ -79,10 +83,52 @@ TEST(Scheduler, RunUntilStopsAtDeadline) {
   std::vector<Time> fired;
   for (Time t : {10u, 20u, 30u, 40u}) s.schedule_at(t, [&, t] { fired.push_back(t); });
   s.run_until(30);
-  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));  // strictly before deadline
+  // Closed on the right: work scheduled exactly at the deadline runs too.
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20, 30}));
   EXPECT_EQ(s.now(), 30u);
   s.run();
   EXPECT_EQ(fired.size(), 4u);
+}
+
+// Pins the boundary contract: [.., deadline] is *inclusive*. The chaos
+// controller schedules heals and restarts at exact TTL multiples, and
+// run_until(heal_time) must execute them rather than strand them one step
+// into the future.
+TEST(Scheduler, RunUntilBoundaryIsInclusive) {
+  Scheduler s;
+  Time ran_at = 0;
+  s.schedule_at(100, [&] { ran_at = s.now(); });
+  s.run_until(100);
+  EXPECT_EQ(ran_at, 100u);  // executed, with now() == deadline inside
+  EXPECT_EQ(s.now(), 100u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, RunUntilDrainsCascadesAtTheDeadline) {
+  Scheduler s;
+  int depth = 0;
+  // Work spawned *at* the deadline with zero delay still belongs to the
+  // closed interval and must run before run_until returns.
+  std::function<void()> chain = [&] {
+    if (++depth < 3) s.schedule_after(0, chain);
+  };
+  s.schedule_at(50, chain);
+  s.run_until(50);
+  EXPECT_EQ(depth, 3);
+  EXPECT_EQ(s.now(), 50u);
+}
+
+TEST(Scheduler, RunUntilIsIdempotentAtTheDeadline) {
+  Scheduler s;
+  int runs = 0;
+  s.schedule_at(80, [&] { ++runs; });
+  s.run_until(80);
+  s.run_until(80);  // nothing left at or before the deadline
+  EXPECT_EQ(runs, 1);
+  s.schedule_background_at(81, [&] { ++runs; });
+  s.run_until(80);  // strictly-later work stays pending
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(s.pending(), 1u);
 }
 
 TEST(Network, DeliversWithDefaultLatency) {
@@ -169,6 +215,156 @@ TEST(Network, HandlerMaySendMore) {
   sched.run();
   EXPECT_EQ(hops, 5);
   EXPECT_EQ(sched.now(), 10u * 9);  // 0→1, then 4 round trips of 2 hops
+}
+
+// ---- fault interception ----------------------------------------------------
+
+TEST(Network, InterceptorDropsCountIntoDropped) {
+  Scheduler sched;
+  Network net{sched};
+  std::uint64_t seen = 0;
+  net.attach(2, [&](NodeId, const Network::Payload&) { ++seen; });
+  net.set_interceptor([](NodeId, NodeId, const Network::Payload&) {
+    return Network::FaultAction{.copies = 0, .extra_latency = 0};
+  });
+  for (int i = 0; i < 7; ++i) net.send(1, 2, Network::Payload(1));
+  sched.run();
+  EXPECT_EQ(seen, 0u);
+  EXPECT_EQ(net.dropped(), 7u);
+  EXPECT_EQ(net.delivered(), 0u);
+  EXPECT_EQ(net.total_messages(), 7u);
+}
+
+TEST(Network, InterceptorDuplicatesDeliverEveryCopy) {
+  Scheduler sched;
+  Network net{sched};
+  std::uint64_t seen = 0;
+  net.attach(2, [&](NodeId, const Network::Payload&) { ++seen; });
+  net.set_interceptor([](NodeId, NodeId, const Network::Payload&) {
+    return Network::FaultAction{.copies = 3, .extra_latency = 0};
+  });
+  for (int i = 0; i < 5; ++i) net.send(1, 2, Network::Payload(1));
+  sched.run();
+  EXPECT_EQ(seen, 15u);
+  EXPECT_EQ(net.duplicated(), 10u);  // two extra copies per send
+  EXPECT_EQ(net.delivered(), 15u);
+  EXPECT_EQ(net.total_messages(), 5u);
+}
+
+TEST(Network, InterceptorJitterReordersDeliveries) {
+  Scheduler sched;
+  Network net{sched, 100};
+  std::vector<int> order;
+  net.attach(2, [&](NodeId, const Network::Payload& p) {
+    order.push_back(static_cast<int>(p[0]));
+  });
+  // First message gets a large extra delay; the second overtakes it.
+  bool first = true;
+  net.set_interceptor([&first](NodeId, NodeId, const Network::Payload&) {
+    const Time extra = first ? 1000 : 0;
+    first = false;
+    return Network::FaultAction{.copies = 1, .extra_latency = extra};
+  });
+  net.send(1, 2, {std::byte{1}});
+  net.send(1, 2, {std::byte{2}});
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(net.delivered(), 2u);
+}
+
+TEST(Network, InterceptorClearsWithEmptyFunction) {
+  Scheduler sched;
+  Network net{sched};
+  std::uint64_t seen = 0;
+  net.attach(2, [&](NodeId, const Network::Payload&) { ++seen; });
+  net.set_interceptor([](NodeId, NodeId, const Network::Payload&) {
+    return Network::FaultAction{.copies = 0, .extra_latency = 0};
+  });
+  net.send(1, 2, Network::Payload(1));
+  net.set_interceptor({});
+  net.send(1, 2, Network::Payload(1));
+  sched.run();
+  EXPECT_EQ(seen, 1u);
+  EXPECT_EQ(net.dropped(), 1u);
+}
+
+// ---- loss-rate determinism and conservation --------------------------------
+
+namespace {
+
+/// Sends 2×`batch` one-byte messages 1→2, switching the loss process on
+/// mid-run, and returns the delivered payload sequence.
+std::vector<int> lossy_run(double rate, std::uint64_t seed, int batch) {
+  Scheduler sched;
+  Network net{sched, 10};
+  std::vector<int> delivered;
+  net.attach(2, [&](NodeId, const Network::Payload& p) {
+    delivered.push_back(static_cast<int>(p[0]));
+  });
+  for (int i = 0; i < batch; ++i)
+    net.send(1, 2, {static_cast<std::byte>(i)});
+  sched.run();
+  net.set_loss_rate(rate, seed);  // mid-run: earlier traffic was clean
+  for (int i = batch; i < 2 * batch; ++i)
+    net.send(1, 2, {static_cast<std::byte>(i)});
+  sched.run();
+  EXPECT_EQ(net.delivered() + net.dropped(), net.total_messages());
+  return delivered;
+}
+
+}  // namespace
+
+TEST(Network, MidRunLossRateIsDeterministicPerSeed) {
+  const std::vector<int> a = lossy_run(0.4, 99, 50);
+  const std::vector<int> b = lossy_run(0.4, 99, 50);
+  EXPECT_EQ(a, b) << "same seed must drop the same messages";
+  EXPECT_LT(a.size(), 100u) << "a 40% loss process dropped nothing";
+  EXPECT_GE(a.size(), 50u) << "pre-fault traffic must never be dropped";
+
+  // Some other seed must make a different choice somewhere (50 coin flips).
+  bool any_differ = false;
+  for (std::uint64_t seed = 100; seed < 105 && !any_differ; ++seed)
+    any_differ = lossy_run(0.4, seed, 50) != a;
+  EXPECT_TRUE(any_differ);
+}
+
+// Conservation under arbitrary chaos schedules: whatever a random fault
+// plan does — drops, partitions, duplication, jitter — after a full drain
+//   total + duplicated == delivered + dropped + undeliverable
+// and every chaos schedule replays identically for its seed.
+TEST(Network, AccountingIdentityHoldsUnderRandomChaosSchedules) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    RandomPlanSpec spec;
+    spec.horizon = 100'000;
+    spec.ops = 5;
+    spec.max_node = 4;  // nodes 0..4, node 4 left unattached
+    const FaultPlan plan = random_plan(seed, spec);
+
+    const auto run_once = [&plan] {
+      Scheduler sched;
+      Network net{sched, 10};
+      net.set_loss_rate(0.1, plan.seed);  // uniform loss on top of chaos
+      for (NodeId n = 0; n < 4; ++n)
+        net.attach(n, [](NodeId, const Network::Payload&) {});
+      Chaos chaos{sched, net, plan};
+      chaos.arm();
+      for (int i = 0; i < 400; ++i) {
+        const Time at = static_cast<Time>(i) * 250;
+        sched.schedule_at(at, [&net, i] {
+          net.send(static_cast<NodeId>(i % 4), static_cast<NodeId>((i + 1) % 5),
+                   Network::Payload(3));
+        });
+      }
+      sched.run();
+      EXPECT_EQ(net.total_messages() + net.duplicated(),
+                net.delivered() + net.dropped() + net.undeliverable())
+          << "conservation violated for " << plan.encode();
+      return std::tuple{net.delivered(), net.dropped(), net.undeliverable(),
+                        net.duplicated()};
+    };
+    EXPECT_EQ(run_once(), run_once())
+        << "chaos schedule not deterministic: " << plan.encode();
+  }
 }
 
 }  // namespace

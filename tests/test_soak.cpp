@@ -8,6 +8,7 @@
 
 #include "cake/peer/peer.hpp"
 #include "cake/routing/overlay.hpp"
+#include "cake/util/env.hpp"
 #include "cake/util/rng.hpp"
 #include "cake/workload/generators.hpp"
 
@@ -16,6 +17,13 @@ namespace {
 
 using event::EventImage;
 using filter::ConjunctiveFilter;
+
+/// CAKE_SEED narrows a soak suite to one externally-chosen seed — the
+/// replay path a failing CI line prints.
+std::vector<std::uint64_t> soak_seeds(std::vector<std::uint64_t> defaults) {
+  if (const auto seed = util::env_u64("CAKE_SEED")) return {*seed};
+  return defaults;
+}
 
 struct ModelSub {
   routing::SubscriberNode* node = nullptr;
@@ -149,8 +157,8 @@ TEST_P(SoakTest, RandomOperationSequencesMatchTheModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest,
-                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
-                                           12),
+                         ::testing::ValuesIn(soak_seeds(
+                             {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})),
                          [](const auto& info) {
                            return "Seed" + std::to_string(info.param);
                          });
@@ -224,7 +232,8 @@ TEST_P(PeerSoakTest, RandomOperationSequencesMatchTheModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PeerSoakTest,
-                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18),
+                         ::testing::ValuesIn(soak_seeds(
+                             {11, 12, 13, 14, 15, 16, 17, 18})),
                          [](const auto& info) {
                            return "Seed" + std::to_string(info.param);
                          });
