@@ -58,6 +58,7 @@ std::vector<StageSummary> summarize_by_stage(const std::vector<NodeLoad>& loads,
       summary.node_avg_mr += node->mr();
       summary.node_avg_lc += node->lc();
       summary.events_received += node->events_received;
+      summary.events_matched += node->events_matched;
     }
     const auto n = static_cast<double>(nodes.size());
     summary.total_node_rlc = summary.node_avg_rlc;  // sum over the stage
@@ -73,6 +74,12 @@ double global_rlc(const std::vector<StageSummary>& summaries) {
   double total = 0.0;
   for (const StageSummary& s : summaries) total += s.total_node_rlc;
   return total;
+}
+
+std::uint64_t spurious_deliveries(const std::vector<StageSummary>& summaries) {
+  for (const StageSummary& s : summaries)
+    if (s.stage == 0) return s.events_received - s.events_matched;
+  return 0;
 }
 
 util::RunningStats delivery_latency(const routing::Overlay& overlay) {
@@ -119,6 +126,35 @@ double shard_imbalance(const std::vector<index::ShardStats>& shards) {
   const double mean =
       static_cast<double>(total) / static_cast<double>(shards.size());
   return static_cast<double>(max) / mean;
+}
+
+util::TextTable attribution_table(const trace::Attribution& attribution) {
+  util::TextTable table{{"Attribute", "Spurious deliveries", "Spurious hops"}};
+  std::uint64_t hops_total = 0;
+  for (const auto& [attribute, count] : attribution.ranked()) {
+    const auto hops_it = attribution.spurious_hops_by_attribute.find(attribute);
+    const std::uint64_t hops =
+        hops_it == attribution.spurious_hops_by_attribute.end() ? 0
+                                                                : hops_it->second;
+    hops_total += hops;
+    table.add_row({attribute, std::to_string(count), std::to_string(hops)});
+  }
+  table.add_row({"(total)", std::to_string(attribution.total()),
+                 std::to_string(hops_total)});
+  return table;
+}
+
+util::TextTable trace_stage_table(const std::vector<trace::StageRollup>& rollups) {
+  util::TextTable table{{"Stage", "Hops", "Matched", "MR (traced)",
+                         "Latency avg µs", "Latency max µs"}};
+  for (const trace::StageRollup& r : rollups) {
+    table.add_row({std::to_string(r.stage), std::to_string(r.hops),
+                   std::to_string(r.matched), util::format_number(r.mr()),
+                   util::format_number(r.latency.mean()),
+                   util::format_number(r.latency.count() == 0 ? 0.0
+                                                              : r.latency.max())});
+  }
+  return table;
 }
 
 util::TextTable shard_table(const std::vector<index::ShardStats>& shards) {

@@ -14,6 +14,7 @@
 
 #include "cake/index/sharded.hpp"
 #include "cake/routing/overlay.hpp"
+#include "cake/trace/collector.hpp"
 #include "cake/util/stats.hpp"
 #include "cake/util/table.hpp"
 
@@ -45,6 +46,11 @@ struct StageSummary {
   double node_avg_mr = 0.0;
   double node_avg_lc = 0.0;
   std::uint64_t events_received = 0;
+  /// Exact sum of per-node matched counts (brokers: weakened match;
+  /// stage 0: delivered). Kept as an integer — the trace pipeline's
+  /// attribution must reconcile against it *exactly*, and the averaged MR
+  /// doubles above cannot recover the count.
+  std::uint64_t events_matched = 0;
 };
 
 /// Broker loads (stages 1..n) of an overlay.
@@ -62,6 +68,15 @@ struct StageSummary {
 /// Sum of total_node_rlc over all stages — the paper's "global total of
 /// RLCs", expected ≈ 1 for the multi-stage system.
 [[nodiscard]] double global_rlc(const std::vector<StageSummary>& summaries);
+
+/// Spurious deliveries at stage 0: events that reached a subscriber process
+/// (forwarded by a weakened filter, Proposition 1) but failed every exact
+/// filter there — received minus matched of the stage-0 row. This is the
+/// exact integer the trace pipeline's per-attribute false-positive
+/// attribution (trace::Collector::attribution) must sum to when every
+/// event is traced. 0 when no stage-0 row is present.
+[[nodiscard]] std::uint64_t spurious_deliveries(
+    const std::vector<StageSummary>& summaries);
 
 /// Renders the §5.3 table: Stage | Node avg. of RLC | Total node avg. of RLC.
 [[nodiscard]] util::TextTable rlc_table(const std::vector<StageSummary>& summaries);
@@ -82,5 +97,18 @@ struct StageSummary {
 /// Renders per-shard match counters: shard id, match calls, hit rate and
 /// live filters — the contention observability for ShardedIndex.
 [[nodiscard]] util::TextTable shard_table(const std::vector<index::ShardStats>& shards);
+
+/// Renders the false-positive attribution rollup from traced journeys:
+/// per weakened attribute, the spurious stage-0 deliveries charged to it
+/// and the spurious upstream broker hops its false positives travelled.
+/// Rows ranked by delivery count (the paper's "which attribute do we pay
+/// for weakening" question); a totals row closes the table.
+[[nodiscard]] util::TextTable attribution_table(const trace::Attribution& attribution);
+
+/// Renders per-stage rollups computed from traces alone — the Figure-7 MR
+/// curve rebuilt from journeys instead of node counters. Cross-checking
+/// this against `stage_table` validates the trace pipeline end to end.
+[[nodiscard]] util::TextTable trace_stage_table(
+    const std::vector<trace::StageRollup>& rollups);
 
 }  // namespace cake::metrics

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <type_traits>
 
 namespace cake::routing {
 
@@ -105,7 +106,6 @@ filter::ConjunctiveFilter Broker::weaken_for(const filter::ConjunctiveFilter& f,
 }
 
 void Broker::on_packet(sim::NodeId from, const sim::Network::Payload& payload) {
-  (void)from;
   Packet packet;
   try {
     packet = decode(payload);
@@ -114,7 +114,17 @@ void Broker::on_packet(sim::NodeId from, const sim::Network::Payload& payload) {
     return;
   }
   if (!std::holds_alternative<EventMsg>(packet)) ++stats_.control_received;
-  std::visit([this](auto&& msg) { handle(std::move(msg)); }, std::move(packet));
+  std::visit(
+      [this, from](auto&& msg) {
+        // Only the event path cares who sent the packet (trace spans link
+        // hops through the sender); control handlers keep their arity.
+        if constexpr (std::is_same_v<std::decay_t<decltype(msg)>, EventMsg>) {
+          handle(std::move(msg), from);
+        } else {
+          handle(std::move(msg));
+        }
+      },
+      std::move(packet));
 }
 
 void Broker::handle(Advertise&& msg) {
@@ -292,7 +302,7 @@ bool Broker::has_durable_lease(sim::NodeId child) const {
   return false;
 }
 
-void Broker::handle(EventMsg&& msg) {
+void Broker::handle(EventMsg&& msg, sim::NodeId from) {
   ++stats_.events_received;
   index_->match(msg.image, match_scratch_, scratch_);
   target_scratch_.clear();
@@ -304,6 +314,8 @@ void Broker::handle(EventMsg&& msg) {
   target_scratch_.erase(
       std::unique(target_scratch_.begin(), target_scratch_.end()),
       target_scratch_.end());
+  if (tracer_ != nullptr && msg.trace_id != 0)
+    emit_trace_span(msg, from, !target_scratch_.empty());
   if (target_scratch_.empty()) return;
   ++stats_.events_matched;
   for (const sim::NodeId target : target_scratch_) {
@@ -319,6 +331,32 @@ void Broker::handle(EventMsg&& msg) {
     send(target, msg);
     ++stats_.events_forwarded;
   }
+}
+
+void Broker::emit_trace_span(const EventMsg& msg, sim::NodeId from,
+                             bool matched) {
+  trace::TraceSpan span;
+  span.trace_id = msg.trace_id;
+  span.kind = trace::SpanKind::Broker;
+  span.node = id_;
+  span.from = from;
+  span.stage = stage_;
+  span.filters_evaluated = index_->size();
+  span.matched = matched;
+  span.ticks = scheduler_.now();
+  // The attributes this stage's schema weakened away: present in the event
+  // (stage-0 set) but absent from A_stage — exactly the constraints this
+  // broker could not check, i.e. the only possible sources of a spurious
+  // forward (Proposition 1).
+  if (const weaken::StageSchema* schema = schema_for(msg.image.type_name())) {
+    const std::vector<std::string>& kept = schema->attributes_at(stage_);
+    for (const std::string& attr : schema->attributes_at(0)) {
+      if (std::find(kept.begin(), kept.end(), attr) == kept.end() &&
+          msg.image.has(attr))
+        span.weakened_attrs_hit.push_back(attr);
+    }
+  }
+  tracer_->emit(std::move(span));
 }
 
 void Broker::remove_entry(index::FilterId fid) {

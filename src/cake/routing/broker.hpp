@@ -28,6 +28,7 @@
 #include "cake/index/sharded.hpp"
 #include "cake/routing/protocol.hpp"
 #include "cake/sim/sim.hpp"
+#include "cake/trace/trace.hpp"
 #include "cake/util/rng.hpp"
 #include "cake/weaken/weaken.hpp"
 
@@ -91,6 +92,10 @@ public:
   /// Topology wiring; call before start().
   void set_parent(sim::NodeId parent) { parent_ = parent; }
   void add_child(sim::NodeId child) { children_.push_back(child); }
+
+  /// Installs the per-event tracer (null = tracing off, the default; the
+  /// only cost left on the event path is one null test per EventMsg).
+  void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   /// Attaches to the network and schedules the soft-state tasks.
   void start();
@@ -161,13 +166,17 @@ private:
   void handle(Expired&&) {}  // subscriber-bound; ignored at brokers
   void handle(Detach&& msg);
   void handle(Resume&& msg);
-  void handle(EventMsg&& msg);
+  void handle(EventMsg&& msg, sim::NodeId from);
   // Subscriber-bound messages are ignored if misrouted to a broker.
   void handle(JoinAt&&) {}
   void handle(AcceptedAt&&) {}
 
   void handle_wildcard(const Subscribe& msg);
   void insert_subscriber(const Subscribe& msg);
+  /// Emits this hop's TraceSpan for a traced event (msg.trace_id != 0):
+  /// the weakened-match verdict plus the attributes the stage schema
+  /// weakened away here — the constraints this broker could not check.
+  void emit_trace_span(const EventMsg& msg, sim::NodeId from, bool matched);
   /// Installs/refreshes <filter, child>; propagates upward on new filters.
   void insert_filter(filter::ConjunctiveFilter stored, sim::NodeId child,
                      bool durable = false);
@@ -201,6 +210,7 @@ private:
 
   sim::NodeId parent_ = sim::kNoNode;
   std::vector<sim::NodeId> children_;
+  trace::Tracer* tracer_ = nullptr;
   bool crashed_ = false;
   std::uint64_t epoch_ = 0;  // bumped by crash()/restart()
 

@@ -119,7 +119,6 @@ SubscriberNode::subscription_views() const {
 
 void SubscriberNode::on_packet(sim::NodeId from,
                                const sim::Network::Payload& payload) {
-  (void)from;
   Packet packet;
   try {
     packet = decode(payload);
@@ -186,8 +185,58 @@ void SubscriberNode::on_packet(sim::NodeId from,
       ++stats_.events_delivered;
       latency_.add(static_cast<double>(scheduler_.now() - ev->published_at));
     }
+    if (tracer_ != nullptr && ev->trace_id != 0)
+      emit_trace_span(*ev, from, delivered);
     return;
   }
+}
+
+void SubscriberNode::emit_trace_span(const EventMsg& msg, sim::NodeId from,
+                                     bool delivered) {
+  trace::TraceSpan span;
+  span.trace_id = msg.trace_id;
+  span.kind = trace::SpanKind::Subscriber;
+  span.node = id_;
+  span.from = from;
+  span.stage = 0;
+  span.filters_evaluated = subs_.size();
+  span.matched = delivered;
+  span.ticks = scheduler_.now();
+  if (!delivered) {
+    // Spurious arrival (Proposition 1's false positive): attribute it. A
+    // subscription is culpable when the weakened form its hosting broker
+    // holds still matches — that form is why the broker forwarded here. The
+    // first exact constraint the event fails names the weakened-away
+    // attribute to blame; when the exact filter passes but the stateful
+    // local predicate vetoed, no declarative attribute is at fault. Tokens
+    // are walked in ascending order so the blame list is deterministic.
+    std::vector<std::uint64_t> tokens;
+    tokens.reserve(subs_.size());
+    for (const auto& [token, sub] : subs_) tokens.push_back(token);
+    std::sort(tokens.begin(), tokens.end());
+    for (const std::uint64_t token : tokens) {
+      const Sub& sub = subs_.at(token);
+      if (!sub.parent.has_value()) continue;
+      if (!sub.stored_at_parent.matches(msg.image, registry_)) continue;
+      std::string blame;
+      if (!sub.exact.type().matches(msg.image.type_name(), registry_)) {
+        blame = "(class)";
+      } else {
+        for (const auto& c : sub.exact.constraints()) {
+          if (!c.matches(msg.image)) {
+            blame = c.name;
+            break;
+          }
+        }
+        if (blame.empty()) blame = "(local-predicate)";
+      }
+      if (std::find(span.weakened_attrs_hit.begin(),
+                    span.weakened_attrs_hit.end(),
+                    blame) == span.weakened_attrs_hit.end())
+        span.weakened_attrs_hit.push_back(std::move(blame));
+    }
+  }
+  tracer_->emit(std::move(span));
 }
 
 void SubscriberNode::renew_task() {
@@ -223,16 +272,29 @@ void PublisherNode::advertise(weaken::StageSchema schema) {
   network_.send(id_, root_, encode(Advertise{std::move(schema)}));
 }
 
-void PublisherNode::publish(const event::Event& event) {
-  publish(event::image_of(event));
+std::uint64_t PublisherNode::publish(const event::Event& event) {
+  return publish(event::image_of(event));
 }
 
-void PublisherNode::publish(event::EventImage image) {
+std::uint64_t PublisherNode::publish(event::EventImage image) {
   ++stats_.events_published;
   const std::uint64_t event_id =
       (static_cast<std::uint64_t>(id_) << 32) | next_seq_++;
-  network_.send(id_, root_,
-                encode(EventMsg{std::move(image), scheduler_.now(), event_id}));
+  const trace::TraceId trace_id =
+      tracer_ != nullptr ? tracer_->stamp(event_id) : 0;
+  if (trace_id != 0) {
+    // Root of the journey: everything downstream hangs off this span.
+    trace::TraceSpan span;
+    span.trace_id = trace_id;
+    span.kind = trace::SpanKind::Publish;
+    span.node = id_;
+    span.matched = true;
+    span.ticks = scheduler_.now();
+    tracer_->emit(std::move(span));
+  }
+  network_.send(id_, root_, encode(EventMsg{std::move(image), scheduler_.now(),
+                                            event_id, trace_id}));
+  return event_id;
 }
 
 }  // namespace cake::routing

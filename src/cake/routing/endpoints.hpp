@@ -15,6 +15,7 @@
 #include <unordered_set>
 
 #include "cake/routing/protocol.hpp"
+#include "cake/trace/trace.hpp"
 #include "cake/util/rng.hpp"
 #include "cake/util/stats.hpp"
 
@@ -57,6 +58,9 @@ public:
 
   /// Attaches to the network and schedules renewal.
   void start();
+
+  /// Installs the per-event tracer (null = tracing off, the default).
+  void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   /// Starts the join protocol for `exact` (converted to standard form when
   /// its event type is registered, §4.4). Returns a token identifying the
@@ -135,6 +139,12 @@ private:
   void attach_to_network();
   void renew_task();
   void send(sim::NodeId to, const Packet& packet);
+  /// Emits the stage-0 exact-verdict span for a traced event. On a
+  /// spurious arrival the span carries the blame list: per culpable
+  /// subscription (its weakened form matched, so it caused the forward),
+  /// the first exact constraint the event fails — i.e. which weakened
+  /// attribute produced this false positive.
+  void emit_trace_span(const EventMsg& msg, sim::NodeId from, bool delivered);
 
   sim::NodeId id_;
   sim::NodeId root_;
@@ -150,6 +160,7 @@ private:
   std::uint64_t next_group_ = 1;
   bool detached_ = false;
   bool halted_ = false;
+  trace::Tracer* tracer_ = nullptr;
   SubscriberStats stats_;
   util::RunningStats latency_;
 };
@@ -169,12 +180,18 @@ public:
   /// Announces an event class and its attribute-stage association G_c.
   void advertise(weaken::StageSchema schema);
 
+  /// Installs the per-event tracer (null = tracing off, the default).
+  /// Sampling is decided here, once per event: the publisher stamps the
+  /// trace id and every downstream hop just propagates it.
+  void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   /// Publishes a typed event (image extracted via reflection — the user
-  /// never marshals).
-  void publish(const event::Event& event);
+  /// never marshals). Returns the event id carried on the wire (and used
+  /// as the trace id when the event is sampled).
+  std::uint64_t publish(const event::Event& event);
 
   /// Publishes a pre-built image (workload generators).
-  void publish(event::EventImage image);
+  std::uint64_t publish(event::EventImage image);
 
   [[nodiscard]] sim::NodeId id() const noexcept { return id_; }
   [[nodiscard]] const PublisherStats& stats() const noexcept { return stats_; }
@@ -184,6 +201,7 @@ private:
   sim::NodeId root_;
   sim::Network& network_;
   const sim::Scheduler& scheduler_;
+  trace::Tracer* tracer_ = nullptr;
   std::uint64_t next_seq_ = 0;
   PublisherStats stats_;
 };

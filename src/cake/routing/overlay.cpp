@@ -13,6 +13,9 @@ Overlay::Overlay(OverlayConfig config, const reflect::TypeRegistry& registry)
     throw std::invalid_argument{
         "Overlay: stage_counts must start with a single root"};
 
+  if (config_.trace.enabled)
+    tracer_ = std::make_unique<trace::Tracer>(config_.trace);
+
   const std::size_t levels = config_.stage_counts.size();
   for (std::size_t level = 0; level < levels; ++level) {
     stage_offsets_.push_back(brokers_.size());
@@ -36,7 +39,10 @@ Overlay::Overlay(OverlayConfig config, const reflect::TypeRegistry& registry)
     }
   }
 
-  for (const auto& broker : brokers_) broker->start();
+  for (const auto& broker : brokers_) {
+    broker->set_tracer(tracer_.get());
+    broker->start();
+  }
 }
 
 std::vector<Broker*> Overlay::brokers_at(std::size_t stage) {
@@ -74,6 +80,7 @@ SubscriberNode& Overlay::add_subscriber() {
   subscribers_.push_back(std::make_unique<SubscriberNode>(
       next_id_++, root().id(), network_, scheduler_, registry_,
       config_.subscriber));
+  subscribers_.back()->set_tracer(tracer_.get());
   subscribers_.back()->start();
   return *subscribers_.back();
 }
@@ -81,6 +88,7 @@ SubscriberNode& Overlay::add_subscriber() {
 PublisherNode& Overlay::add_publisher() {
   publishers_.push_back(std::make_unique<PublisherNode>(
       next_id_++, root().id(), network_, scheduler_));
+  publishers_.back()->set_tracer(tracer_.get());
   return *publishers_.back();
 }
 

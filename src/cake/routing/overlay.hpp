@@ -19,6 +19,9 @@ struct OverlayConfig {
   SubscriberConfig subscriber;
   sim::Time link_latency = 1000;  // 1 virtual ms per hop
   std::uint64_t seed = 42;
+  /// Per-event tracing (trace/trace.hpp). Disabled by default: no Tracer is
+  /// even constructed, and every node keeps a null tracer pointer.
+  trace::TraceConfig trace{};
 };
 
 /// Owns the simulation and every node in it.
@@ -76,6 +79,9 @@ public:
   /// Drains the scheduler (runs the simulation to quiescence).
   std::size_t run() { return scheduler_.run(); }
 
+  /// The per-event tracer; null when `config.trace.enabled` is false.
+  [[nodiscard]] trace::Tracer* tracer() noexcept { return tracer_.get(); }
+
 private:
   OverlayConfig config_;
   const reflect::TypeRegistry& registry_;
@@ -83,6 +89,7 @@ private:
   sim::Scheduler scheduler_;
   sim::Network network_;
   sim::NodeId next_id_ = 0;
+  std::unique_ptr<trace::Tracer> tracer_;         // before nodes: they point in
   std::vector<std::unique_ptr<Broker>> brokers_;  // breadth-first, root first
   std::vector<std::size_t> stage_offsets_;        // index of first broker per level
   std::vector<std::unique_ptr<SubscriberNode>> subscribers_;

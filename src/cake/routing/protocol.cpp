@@ -73,6 +73,7 @@ struct Encoder {
     w.u8(static_cast<std::uint8_t>(Tag::Event));
     w.varint(m.published_at);
     w.varint(m.event_id);
+    w.varint(m.trace_id);
     m.image.encode(w);
   }
 };
@@ -143,6 +144,7 @@ Packet decode(std::span<const std::byte> payload) {
       EventMsg m;
       m.published_at = r.varint();
       m.event_id = r.varint();
+      m.trace_id = r.varint();
       m.image = event::EventImage::decode(r);
       return m;
     }

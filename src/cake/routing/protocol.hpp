@@ -88,6 +88,11 @@ struct EventMsg {
   /// in the low bits); lets subscribers deduplicate multi-path deliveries
   /// of composite subscriptions.
   std::uint64_t event_id = 0;
+  /// Per-event trace id (trace/trace.hpp), stamped by the publisher for
+  /// sampled events and propagated unchanged down every hop. 0 = untraced:
+  /// brokers and subscribers emit a span only when non-zero, so the
+  /// disabled/unsampled hot path costs one integer compare per hop.
+  std::uint64_t trace_id = 0;
 };
 
 using Packet = std::variant<Advertise, Subscribe, JoinAt, AcceptedAt, ReqInsert,

@@ -1,0 +1,178 @@
+#include "cake/trace/collector.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace cake::trace {
+
+bool Journey::delivered() const noexcept {
+  return std::any_of(hops.begin(), hops.end(), [](const TraceSpan& s) {
+    return s.kind == SpanKind::Subscriber && s.matched;
+  });
+}
+
+std::uint64_t Journey::spurious_arrivals() const noexcept {
+  std::uint64_t n = 0;
+  for (const TraceSpan& s : hops)
+    if (s.kind == SpanKind::Subscriber && !s.matched) ++n;
+  return n;
+}
+
+std::vector<const TraceSpan*> Journey::subscriber_spans() const {
+  std::vector<const TraceSpan*> out;
+  for (const TraceSpan& s : hops)
+    if (s.kind == SpanKind::Subscriber) out.push_back(&s);
+  return out;
+}
+
+std::vector<const TraceSpan*> Journey::broker_spans() const {
+  std::vector<const TraceSpan*> out;
+  for (const TraceSpan& s : hops)
+    if (s.kind == SpanKind::Broker) out.push_back(&s);
+  return out;
+}
+
+const TraceSpan* Journey::span_at(sim::NodeId node) const noexcept {
+  if (publish.has_value() && publish->node == node) return &*publish;
+  for (const TraceSpan& s : hops)
+    if (s.node == node) return &s;
+  return nullptr;
+}
+
+std::uint64_t Attribution::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& [attr, count] : by_attribute) sum += count;
+  return sum;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Attribution::ranked() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out(by_attribute.begin(),
+                                                         by_attribute.end());
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+void Collector::add(TraceSpan span) {
+  Journey& journey = journeys_[span.trace_id];
+  journey.trace_id = span.trace_id;
+  ++span_count_;
+  if (span.kind == SpanKind::Publish) {
+    // Keep the earliest publish span (chaos duplication can replay one).
+    if (!journey.publish.has_value() || span.seq < journey.publish->seq)
+      journey.publish = std::move(span);
+    return;
+  }
+  journey.hops.push_back(std::move(span));
+  // add() receives spans in drain order (sorted by seq), but imports may
+  // interleave files; keep hops seq-sorted so replay prints causally.
+  for (std::size_t i = journey.hops.size(); i > 1; --i) {
+    if (journey.hops[i - 1].seq >= journey.hops[i - 2].seq) break;
+    std::swap(journey.hops[i - 1], journey.hops[i - 2]);
+  }
+}
+
+void Collector::add_all(std::vector<TraceSpan> spans) {
+  for (TraceSpan& span : spans) add(std::move(span));
+}
+
+const Journey* Collector::find(TraceId id) const noexcept {
+  const auto it = journeys_.find(id);
+  return it == journeys_.end() ? nullptr : &it->second;
+}
+
+std::vector<StageRollup> Collector::stage_rollups() const {
+  std::map<std::size_t, StageRollup> by_stage;
+  for (const auto& [id, journey] : journeys_) {
+    for (const TraceSpan& s : journey.hops) {
+      StageRollup& roll = by_stage[s.stage];
+      roll.stage = s.stage;
+      ++roll.hops;
+      if (s.matched) ++roll.matched;
+      if (journey.publish.has_value() && s.ticks >= journey.publish->ticks)
+        roll.latency.add(static_cast<double>(s.ticks - journey.publish->ticks));
+    }
+  }
+  std::vector<StageRollup> out;
+  out.reserve(by_stage.size());
+  for (auto& [stage, roll] : by_stage) out.push_back(std::move(roll));
+  return out;
+}
+
+Attribution Collector::attribution() const {
+  Attribution result;
+  for (const auto& [id, journey] : journeys_) {
+    for (const TraceSpan& s : journey.hops) {
+      if (s.kind != SpanKind::Subscriber || s.matched) continue;
+      const std::string& blame = s.weakened_attrs_hit.empty()
+                                     ? std::string{kUnattributed}
+                                     : s.weakened_attrs_hit.front();
+      ++result.by_attribute[blame];
+      // Charge the wasted upstream forwards to the same attribute: walk
+      // the from-chain back toward the publisher (bounded by hop count,
+      // so a malformed import cannot loop).
+      sim::NodeId cursor = s.from;
+      for (std::size_t guard = 0;
+           guard <= journey.hops.size() && cursor != sim::kNoNode; ++guard) {
+        const TraceSpan* up = journey.span_at(cursor);
+        if (up == nullptr || up->kind != SpanKind::Broker) break;
+        ++result.spurious_hops_by_attribute[blame];
+        cursor = up->from;
+      }
+    }
+  }
+  return result;
+}
+
+std::map<std::size_t, std::uint64_t> Collector::rejected_at_stage() const {
+  std::map<std::size_t, std::uint64_t> out;
+  for (const auto& [id, journey] : journeys_) {
+    // The deepest (lowest-stage) broker rejection of a journey that never
+    // reached any subscriber is where pre-filtering stopped it.
+    if (!journey.hops.empty() &&
+        std::none_of(journey.hops.begin(), journey.hops.end(),
+                     [](const TraceSpan& s) {
+                       return s.kind == SpanKind::Subscriber;
+                     })) {
+      std::size_t deepest = std::numeric_limits<std::size_t>::max();
+      for (const TraceSpan& s : journey.hops)
+        if (s.kind == SpanKind::Broker && !s.matched)
+          deepest = std::min(deepest, s.stage);
+      if (deepest != std::numeric_limits<std::size_t>::max()) ++out[deepest];
+    }
+  }
+  return out;
+}
+
+void Collector::export_jsonl(std::ostream& os) const {
+  // Re-emit in global seq order so an export is a valid causal log.
+  std::vector<const TraceSpan*> all;
+  all.reserve(span_count_);
+  for (const auto& [id, journey] : journeys_) {
+    if (journey.publish.has_value()) all.push_back(&*journey.publish);
+    for (const TraceSpan& s : journey.hops) all.push_back(&s);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceSpan* a, const TraceSpan* b) { return a->seq < b->seq; });
+  for (const TraceSpan* span : all) os << span_to_json(*span) << '\n';
+}
+
+std::vector<TraceSpan> Collector::import_jsonl(std::istream& is) {
+  std::vector<TraceSpan> spans;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      spans.push_back(span_from_json(line));
+    } catch (const JsonError& e) {
+      throw JsonError{"line " + std::to_string(lineno) + ": " + e.what()};
+    }
+  }
+  return spans;
+}
+
+}  // namespace cake::trace

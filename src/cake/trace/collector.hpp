@@ -1,0 +1,109 @@
+// Journey assembly and rollups over trace spans.
+//
+// The `Collector` groups spans by trace id into per-event *journeys*
+// (publish → broker hops → subscriber verdicts), then answers the
+// questions the aggregate counters cannot:
+//
+//   * false-positive attribution — for every spurious arrival at a
+//     subscriber, *which weakened attribute* is to blame. Each spurious
+//     arrival is charged to exactly one attribute (the most general
+//     failing constraint of the lowest-token culpable subscription, as
+//     recorded by the subscriber span), so the attribution counts sum
+//     exactly to the spurious-delivery total — the property the trace
+//     oracle cross-checks against metrics::summarize_by_stage.
+//   * per-stage hop statistics — arrivals, weakened-match rate (the
+//     trace-derived MR of the paper's Fig. 7), rejections, and
+//     publish-to-hop virtual latency.
+//   * journey replay — everything `cake_trace journey` prints.
+//
+// Export/import is JSON-lines, one span per line (json.hpp).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+
+#include "cake/trace/json.hpp"
+#include "cake/util/stats.hpp"
+
+namespace cake::trace {
+
+/// Attribute name charged when a spurious arrival carries no blame list
+/// (e.g. a stale lease delivered an event no local subscription explains).
+inline constexpr const char* kUnattributed = "(unattributed)";
+
+/// One traced event's path through the pipeline.
+struct Journey {
+  TraceId trace_id = 0;
+  std::optional<TraceSpan> publish;
+  std::vector<TraceSpan> hops;  ///< broker + subscriber spans, seq order
+
+  /// Did any subscriber accept it end-to-end?
+  [[nodiscard]] bool delivered() const noexcept;
+  /// Subscriber arrivals that failed the exact check.
+  [[nodiscard]] std::uint64_t spurious_arrivals() const noexcept;
+  [[nodiscard]] std::vector<const TraceSpan*> subscriber_spans() const;
+  [[nodiscard]] std::vector<const TraceSpan*> broker_spans() const;
+  /// First span emitted by `node`, if the event crossed it.
+  [[nodiscard]] const TraceSpan* span_at(sim::NodeId node) const noexcept;
+};
+
+/// One broker stage's (or, for stage 0, the subscriber edge's) rollup.
+struct StageRollup {
+  std::size_t stage = 0;
+  std::uint64_t hops = 0;     ///< spans emitted at this stage
+  std::uint64_t matched = 0;  ///< weakened match (stage ≥ 1) / exact (stage 0)
+  util::RunningStats latency;  ///< publish→hop virtual µs
+
+  /// Trace-derived matching rate — Fig. 7's MR computed from journeys.
+  [[nodiscard]] double mr() const noexcept {
+    return hops == 0 ? 0.0
+                     : static_cast<double>(matched) / static_cast<double>(hops);
+  }
+};
+
+/// False-positive attribution. Sum over `by_attribute` == total spurious
+/// subscriber arrivals across all journeys (kUnattributed included).
+struct Attribution {
+  std::map<std::string, std::uint64_t> by_attribute;
+  /// Wasted broker forwards per attribute: for each spurious arrival, the
+  /// broker hops on its upstream path, charged to the same attribute.
+  std::map<std::string, std::uint64_t> spurious_hops_by_attribute;
+
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  /// Attributes by descending spurious-arrival count (ties: name order).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> ranked() const;
+};
+
+class Collector {
+public:
+  void add(TraceSpan span);
+  void add_all(std::vector<TraceSpan> spans);
+
+  /// Journeys keyed by trace id (deterministic order).
+  [[nodiscard]] const std::map<TraceId, Journey>& journeys() const noexcept {
+    return journeys_;
+  }
+  [[nodiscard]] const Journey* find(TraceId id) const noexcept;
+  [[nodiscard]] std::size_t span_count() const noexcept { return span_count_; }
+
+  /// Per-stage rollups, subscriber edge (stage 0) first.
+  [[nodiscard]] std::vector<StageRollup> stage_rollups() const;
+
+  [[nodiscard]] Attribution attribution() const;
+
+  /// Journeys whose deepest broker span rejected the event, per stage —
+  /// the events the weakened pre-filtering stopped early.
+  [[nodiscard]] std::map<std::size_t, std::uint64_t> rejected_at_stage() const;
+
+  /// One span per line.
+  void export_jsonl(std::ostream& os) const;
+  /// Parses a JSON-lines stream (blank lines skipped); throws JsonError.
+  [[nodiscard]] static std::vector<TraceSpan> import_jsonl(std::istream& is);
+
+private:
+  std::map<TraceId, Journey> journeys_;
+  std::size_t span_count_ = 0;
+};
+
+}  // namespace cake::trace

@@ -1,0 +1,291 @@
+#include "cake/trace/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace cake::trace {
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue document() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) throw JsonError{"json: trailing garbage"};
+    return v;
+  }
+
+private:
+  JsonValue value() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw JsonError{"json: unexpected end"};
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't': literal("true"); return JsonValue{true};
+      case 'f': literal("false"); return JsonValue{false};
+      case 'n': literal("null"); return JsonValue{};
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue::Object members;
+    skip_ws();
+    if (peek() == '}') { ++pos_; return JsonValue{std::move(members)}; }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      members.emplace(std::move(key), value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') return JsonValue{std::move(members)};
+      if (c != ',') throw JsonError{"json: expected ',' or '}' in object"};
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue::Array items;
+    skip_ws();
+    if (peek() == ']') { ++pos_; return JsonValue{std::move(items)}; }
+    while (true) {
+      items.push_back(value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') return JsonValue{std::move(items)};
+      if (c != ',') throw JsonError{"json: expected ',' or ']' in array"};
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) throw JsonError{"json: unterminated string"};
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) throw JsonError{"json: dangling escape"};
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) throw JsonError{"json: short \\u escape"};
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else throw JsonError{"json: bad \\u escape"};
+          }
+          // UTF-8 encode the BMP code point (the exporter only escapes
+          // control characters, so this path is for foreign producers).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: throw JsonError{"json: unknown escape"};
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string_view lit = text_.substr(start, pos_ - start);
+    if (lit.empty()) throw JsonError{"json: expected a value"};
+    // RFC 8259: no leading zeros ("01" is two tokens, i.e. malformed).
+    const std::string_view digits = lit[0] == '-' ? lit.substr(1) : lit;
+    if (digits.size() > 1 && digits[0] == '0' && digits[1] != '.' &&
+        digits[1] != 'e' && digits[1] != 'E')
+      throw JsonError{"json: leading zero in number"};
+    if (lit.find_first_of(".eE") == std::string_view::npos &&
+        lit.front() != '-') {
+      std::uint64_t u = 0;
+      const auto [p, ec] = std::from_chars(lit.data(), lit.data() + lit.size(), u);
+      if (ec == std::errc{} && p == lit.data() + lit.size()) return JsonValue{u};
+    }
+    double d = 0.0;
+    const auto [p, ec] = std::from_chars(lit.data(), lit.data() + lit.size(), d);
+    if (ec != std::errc{} || p != lit.data() + lit.size())
+      throw JsonError{"json: malformed number"};
+    return JsonValue{d};
+  }
+
+  void literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      throw JsonError{"json: bad literal"};
+    pos_ += word.size();
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+  [[nodiscard]] char peek() const {
+    if (pos_ >= text_.size()) throw JsonError{"json: unexpected end"};
+    return text_[pos_];
+  }
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (next() != c)
+      throw JsonError{std::string{"json: expected '"} + c + "'"};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+SpanKind kind_from_string(std::string_view s) {
+  if (s == "publish") return SpanKind::Publish;
+  if (s == "broker") return SpanKind::Broker;
+  if (s == "subscriber") return SpanKind::Subscriber;
+  throw JsonError{"span: unknown kind '" + std::string{s} + "'"};
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&repr_)) return *b;
+  throw JsonError{"json: expected a bool"};
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&repr_)) return *u;
+  throw JsonError{"json: expected an unsigned integer"};
+}
+
+double JsonValue::as_double() const {
+  if (const double* d = std::get_if<double>(&repr_)) return *d;
+  if (const std::uint64_t* u = std::get_if<std::uint64_t>(&repr_))
+    return static_cast<double>(*u);
+  throw JsonError{"json: expected a number"};
+}
+
+const std::string& JsonValue::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&repr_)) return *s;
+  throw JsonError{"json: expected a string"};
+}
+
+const JsonValue::Array& JsonValue::as_array() const {
+  if (const Array* a = std::get_if<Array>(&repr_)) return *a;
+  throw JsonError{"json: expected an array"};
+}
+
+const JsonValue::Object& JsonValue::as_object() const {
+  if (const Object* o = std::get_if<Object>(&repr_)) return *o;
+  throw JsonError{"json: expected an object"};
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  if (const JsonValue* v = find(key)) return *v;
+  throw JsonError{"json: missing key '" + key + "'"};
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  const Object& o = as_object();
+  const auto it = o.find(key);
+  return it == o.end() ? nullptr : &it->second;
+}
+
+JsonValue parse_json(std::string_view text) { return Parser{text}.document(); }
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string span_to_json(const TraceSpan& span) {
+  std::ostringstream os;
+  os << "{\"trace_id\":" << span.trace_id
+     << ",\"kind\":" << json_quote(to_string(span.kind))
+     << ",\"node\":" << span.node;
+  if (span.from != sim::kNoNode) os << ",\"from\":" << span.from;
+  os << ",\"stage\":" << span.stage
+     << ",\"filters_evaluated\":" << span.filters_evaluated
+     << ",\"matched\":" << (span.matched ? "true" : "false")
+     << ",\"weakened_attrs_hit\":[";
+  for (std::size_t i = 0; i < span.weakened_attrs_hit.size(); ++i) {
+    if (i != 0) os << ',';
+    os << json_quote(span.weakened_attrs_hit[i]);
+  }
+  os << "],\"ticks\":" << span.ticks << ",\"seq\":" << span.seq << "}";
+  return os.str();
+}
+
+TraceSpan span_from_json(std::string_view line) {
+  const JsonValue v = parse_json(line);
+  TraceSpan span;
+  span.trace_id = v.at("trace_id").as_uint();
+  span.kind = kind_from_string(v.at("kind").as_string());
+  span.node = static_cast<sim::NodeId>(v.at("node").as_uint());
+  if (const JsonValue* from = v.find("from"))
+    span.from = static_cast<sim::NodeId>(from->as_uint());
+  span.stage = static_cast<std::size_t>(v.at("stage").as_uint());
+  span.filters_evaluated = v.at("filters_evaluated").as_uint();
+  span.matched = v.at("matched").as_bool();
+  for (const JsonValue& attr : v.at("weakened_attrs_hit").as_array())
+    span.weakened_attrs_hit.push_back(attr.as_string());
+  span.ticks = v.at("ticks").as_uint();
+  span.seq = v.at("seq").as_uint();
+  if (span.trace_id == 0) throw JsonError{"span: trace_id 0 is the untraced sentinel"};
+  return span;
+}
+
+}  // namespace cake::trace

@@ -1,0 +1,83 @@
+// Minimal JSON support for the trace export format.
+//
+// Spans are exported as JSON-lines (one object per line) so journeys can
+// leave the process — CI artifacts, the `cake_trace` CLI, ad-hoc jq — and
+// come back. The dialect is the subset the span schema needs (objects,
+// arrays, strings, integers, booleans, null); the parser is strict within
+// that subset and bounds-checked, rejecting anything malformed rather than
+// guessing. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "cake/trace/trace.hpp"
+
+namespace cake::trace {
+
+/// Raised on malformed JSON or a schema-invalid span line.
+class JsonError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parsed JSON value (numbers keep int/double separated so 64-bit trace
+/// ids survive the round trip exactly).
+class JsonValue {
+public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : repr_(b) {}
+  JsonValue(std::uint64_t u) : repr_(u) {}
+  JsonValue(double d) : repr_(d) {}
+  JsonValue(std::string s) : repr_(std::move(s)) {}
+  JsonValue(Array a) : repr_(std::move(a)) {}
+  JsonValue(Object o) : repr_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<std::monostate>(repr_);
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return std::holds_alternative<Object>(repr_);
+  }
+
+  /// Checked accessors; throw JsonError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; throws JsonError when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  /// Object member lookup; nullptr when absent.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+private:
+  std::variant<std::monostate, bool, std::uint64_t, double, std::string, Array,
+               Object>
+      repr_;
+};
+
+/// Parses one complete JSON document; throws JsonError on anything
+/// malformed, including trailing garbage.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Escapes `s` into a quoted JSON string literal.
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+/// One span as a single JSON-lines record (no trailing newline).
+[[nodiscard]] std::string span_to_json(const TraceSpan& span);
+
+/// Inverse of span_to_json; throws JsonError on schema violations.
+[[nodiscard]] TraceSpan span_from_json(std::string_view line);
+
+}  // namespace cake::trace

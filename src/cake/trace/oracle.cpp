@@ -1,0 +1,143 @@
+#include "cake/trace/oracle.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cake::trace {
+namespace {
+
+/// Walks the from-chain of `arrival` up to the publish span, requiring a
+/// matched broker span with strictly increasing stage at every link.
+/// Returns hops verified; appends a violation and returns 0 on a break.
+std::uint64_t verify_path(const Journey& journey, const TraceSpan& arrival,
+                          std::vector<std::string>& violations) {
+  std::uint64_t hops = 0;
+  sim::NodeId cursor = arrival.from;
+  std::size_t prev_stage = arrival.stage;
+  const auto fail = [&](const std::string& why) {
+    std::ostringstream os;
+    os << "event " << journey.trace_id << " at subscriber " << arrival.node
+       << ": " << why;
+    violations.push_back(os.str());
+    return std::uint64_t{0};
+  };
+
+  for (std::size_t guard = 0; guard <= journey.hops.size() + 1; ++guard) {
+    if (cursor == sim::kNoNode) return fail("path reached no-node before the publisher");
+    if (journey.publish.has_value() && cursor == journey.publish->node)
+      return hops;  // reached the publish edge: chain complete
+    const TraceSpan* up = journey.span_at(cursor);
+    if (up == nullptr)
+      return fail("no span from upstream node " + std::to_string(cursor) +
+                  " (journey has a hole)");
+    if (up->kind != SpanKind::Broker)
+      return fail("upstream span at node " + std::to_string(cursor) +
+                  " is not a broker span");
+    if (!up->matched)
+      return fail("forwarded by broker " + std::to_string(cursor) +
+                  " whose span says matched=false");
+    if (up->stage <= prev_stage)
+      return fail("stage did not increase walking upward (broker " +
+                  std::to_string(cursor) + ")");
+    prev_stage = up->stage;
+    ++hops;
+    cursor = up->from;
+  }
+  return fail("path walk exceeded the journey's hop count (cycle?)");
+}
+
+}  // namespace
+
+std::string OracleReport::to_string(std::size_t limit) const {
+  std::ostringstream os;
+  os << violations.size() << " violation(s) across " << journeys_checked
+     << " journeys";
+  for (std::size_t i = 0; i < violations.size() && i < limit; ++i)
+    os << "\n  [" << i << "] " << violations[i];
+  if (violations.size() > limit)
+    os << "\n  ... " << (violations.size() - limit) << " more";
+  return os.str();
+}
+
+OracleReport verify_journeys(const Collector& collector,
+                             const std::vector<TraceId>& published,
+                             const std::vector<sim::NodeId>& subscriber_nodes,
+                             const ExpectedDelivery& expected,
+                             OracleOptions options) {
+  OracleReport report;
+
+  for (const auto& [id, journey] : collector.journeys()) {
+    if (id < options.min_trace_id) continue;
+    ++report.journeys_checked;
+
+    // Conservation: no span without its publish edge.
+    if (!journey.publish.has_value()) {
+      report.violations.push_back("event " + std::to_string(id) +
+                                  ": spans without a publish span (orphan)");
+      continue;
+    }
+
+    for (const TraceSpan* arrival : journey.subscriber_spans()) {
+      if (arrival->matched) {
+        ++report.deliveries_verified;
+        // Perfect end-to-end, direction 1: a delivery must be expected.
+        if (!expected(id, arrival->node)) {
+          report.violations.push_back(
+              "event " + std::to_string(id) + " delivered at subscriber " +
+              std::to_string(arrival->node) +
+              " although its exact filters do not match (false positive "
+              "delivery)");
+        }
+      } else {
+        ++report.spurious_arrivals;
+        // A spurious *arrival* is legal (that is the approximation the
+        // paper trades for small tables) — but it must never be expected.
+        if (expected(id, arrival->node)) {
+          report.violations.push_back(
+              "event " + std::to_string(id) + " reached subscriber " +
+              std::to_string(arrival->node) +
+              " but the exact verdict was a reject while the reference "
+              "matcher expected a delivery");
+        }
+      }
+      // Either way the journey must prove the forwarding chain: matched
+      // weakened filters at every traversed stage.
+      report.path_hops_verified +=
+          verify_path(journey, *arrival, report.violations);
+    }
+  }
+
+  if (options.require_completeness) {
+    for (const TraceId id : published) {
+      if (id < options.min_trace_id) continue;
+      const Journey* journey = collector.find(id);
+      for (const sim::NodeId node : subscriber_nodes) {
+        if (!expected(id, node)) continue;
+        const bool delivered =
+            journey != nullptr &&
+            std::any_of(journey->hops.begin(), journey->hops.end(),
+                        [node](const TraceSpan& s) {
+                          return s.kind == SpanKind::Subscriber &&
+                                 s.node == node && s.matched;
+                        });
+        if (!delivered) {
+          report.violations.push_back(
+              "event " + std::to_string(id) +
+              " matches subscriber " + std::to_string(node) +
+              " but its journey shows no delivery there (false negative)");
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+std::uint64_t orphan_spans(const Collector& collector) {
+  std::uint64_t orphans = 0;
+  for (const auto& [id, journey] : collector.journeys())
+    if (!journey.publish.has_value()) orphans += journey.hops.size();
+  return orphans;
+}
+
+}  // namespace cake::trace

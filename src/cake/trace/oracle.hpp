@@ -1,0 +1,67 @@
+// Trace-driven test oracle.
+//
+// The paper's two end-to-end guarantees, checked *per event from its
+// journey* rather than from aggregate delivery counts:
+//
+//   no false negatives — an event a subscriber's exact filter matches must
+//     show a journey ending in a subscriber span with matched=true at that
+//     node (fault-free runs only; faults may legitimately lose events);
+//   perfect end-to-end — a subscriber span with matched=true must be
+//     expected by the reference matcher, and every broker span on its
+//     upstream path must itself have matched (brokers only forward what
+//     their weakened tables matched — the journey proves the chain);
+//   conservation — every broker/subscriber span belongs to a journey with
+//     a publish span ("no orphans": an event cannot appear mid-pipeline
+//     out of nowhere; ring overwrites are the one legitimate cause and are
+//     accounted separately by TracerStats).
+//
+// The oracle works purely on journeys plus a caller-supplied ground truth
+// (the centralized reference matcher), so it layers onto any harness —
+// the 200-seed property test and the chaos differential suite share it.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "cake/trace/collector.hpp"
+
+namespace cake::trace {
+
+/// Ground truth: should `trace_id` be delivered at subscriber `node`?
+using ExpectedDelivery = std::function<bool(TraceId, sim::NodeId)>;
+
+struct OracleReport {
+  std::uint64_t journeys_checked = 0;
+  std::uint64_t deliveries_verified = 0;  ///< matched subscriber spans seen
+  std::uint64_t spurious_arrivals = 0;
+  std::uint64_t path_hops_verified = 0;  ///< broker spans walked on paths
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+  /// Violations joined for gtest failure messages (first `limit` shown).
+  [[nodiscard]] std::string to_string(std::size_t limit = 10) const;
+};
+
+struct OracleOptions {
+  /// Check the no-false-negative direction (requires a fault-free run:
+  /// under chaos, losing an event is legal and only completeness of
+  /// post-convergence probes is asserted by the chaos harness itself).
+  bool require_completeness = true;
+  /// Journeys below this trace id are skipped (chaos: restrict the strict
+  /// checks to the probe phase).
+  TraceId min_trace_id = 0;
+};
+
+/// Verifies every journey in `collector` against `expected`, for the given
+/// subscriber nodes. `published` lists every sampled trace id (so a wholly
+/// lost journey is still visible to the completeness check).
+[[nodiscard]] OracleReport verify_journeys(
+    const Collector& collector, const std::vector<TraceId>& published,
+    const std::vector<sim::NodeId>& subscriber_nodes,
+    const ExpectedDelivery& expected, OracleOptions options = {});
+
+/// Conservation-only check usable under chaos: spans without a publish
+/// span in their journey ("orphans"). Always 0 unless rings overflowed.
+[[nodiscard]] std::uint64_t orphan_spans(const Collector& collector);
+
+}  // namespace cake::trace

@@ -1,0 +1,105 @@
+#include "cake/trace/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cake::trace {
+
+std::string_view to_string(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::Publish: return "publish";
+    case SpanKind::Broker: return "broker";
+    case SpanKind::Subscriber: return "subscriber";
+  }
+  return "?";
+}
+
+SpanRing::SpanRing(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ == 0)
+    throw std::invalid_argument{"SpanRing: capacity must be positive"};
+  slots_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void SpanRing::push(TraceSpan span) {
+  if (slots_.size() < capacity_) {
+    slots_.push_back(std::move(span));
+  } else {
+    slots_[pushed_ % capacity_] = std::move(span);
+  }
+  ++pushed_;
+}
+
+std::size_t SpanRing::size() const noexcept { return slots_.size(); }
+
+std::uint64_t SpanRing::overwritten() const noexcept {
+  return pushed_ - slots_.size();
+}
+
+std::vector<TraceSpan> SpanRing::snapshot() const {
+  std::vector<TraceSpan> out;
+  out.reserve(slots_.size());
+  if (slots_.size() < capacity_) {
+    out = slots_;
+    return out;
+  }
+  const std::size_t head = pushed_ % capacity_;  // oldest live slot
+  for (std::size_t i = 0; i < capacity_; ++i)
+    out.push_back(slots_[(head + i) % capacity_]);
+  return out;
+}
+
+Tracer::Tracer(TraceConfig config) : config_(config) {
+  if (config_.sample_period == 0) config_.sample_period = 1;
+}
+
+bool Tracer::sampled(std::uint64_t event_id) const noexcept {
+  if (config_.sample_period <= 1) return true;
+  // SplitMix64 finalizer: a cheap, well-mixed hash so "every Nth" is not
+  // correlated with publisher id or sequence-number parity.
+  std::uint64_t x = event_id + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x % config_.sample_period == 0;
+}
+
+TraceId Tracer::stamp(std::uint64_t event_id) {
+  if (!sampled(event_id)) {
+    ++events_skipped_;
+    return 0;
+  }
+  ++events_sampled_;
+  // 0 is the "untraced" sentinel; an event id of 0 still gets a valid id.
+  return event_id != 0 ? event_id : 1;
+}
+
+void Tracer::emit(TraceSpan span) {
+  span.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  auto [it, inserted] =
+      rings_.try_emplace(span.node, SpanRing{config_.ring_capacity});
+  it->second.push(std::move(span));
+}
+
+std::vector<TraceSpan> Tracer::spans() const {
+  std::vector<TraceSpan> all;
+  for (const auto& [node, ring] : rings_) {
+    const std::vector<TraceSpan> part = ring.snapshot();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceSpan& a, const TraceSpan& b) { return a.seq < b.seq; });
+  return all;
+}
+
+TracerStats Tracer::stats() const noexcept {
+  TracerStats s;
+  for (const auto& [node, ring] : rings_) {
+    s.spans_emitted += ring.pushed();
+    s.spans_overwritten += ring.overwritten();
+  }
+  s.events_sampled = events_sampled_;
+  s.events_skipped = events_skipped_;
+  return s;
+}
+
+}  // namespace cake::trace

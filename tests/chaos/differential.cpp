@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "cake/routing/overlay.hpp"
+#include "cake/trace/oracle.hpp"
 #include "cake/util/rng.hpp"
 #include "cake/workload/types.hpp"
 
@@ -29,6 +30,8 @@ struct Bookkeeping {
   // uid → subscription indices the reference matcher expects.
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> expected;
   std::unordered_map<std::uint64_t, Phase> phase_of;
+  // uid → the routing-layer event id (== trace id when tracing rides along).
+  std::unordered_map<std::uint64_t, std::uint64_t> trace_of;
   std::uint64_t next_uid = 1;
 };
 
@@ -157,6 +160,14 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
   oc.subscriber.rejoin_on_expired = !cfg.inject_rejoin_bug;
   oc.link_latency = cfg.link_latency;
   oc.seed = plan.seed ^ 0x0E11A5ULL;
+  if (cfg.trace_pipeline) {
+    oc.trace.enabled = true;
+    oc.trace.sample_period = 1;
+    // Per-node headroom: every event can cross a node several times under
+    // duplication; overflow is a harness sizing bug and fails the trial.
+    oc.trace.ring_capacity =
+        (cfg.warm_events + cfg.chaos_events + cfg.probe_events) * 64;
+  }
   routing::Overlay overlay{oc};
   const reflect::TypeRegistry& registry = overlay.registry();
   sim::Scheduler& sch = overlay.scheduler();
@@ -203,7 +214,7 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
     for (std::size_t key = 0; key < subs.size(); ++key)
       if (subs[key].exact.matches(image, registry)) expect.push_back(key);
     book.phase_of[uid] = phase;
-    publisher.publish(tag(image, uid));
+    book.trace_of[uid] = publisher.publish(tag(image, uid));
   };
 
   // --- warm-up: the fault-free baseline must already be exactly-once ------
@@ -315,6 +326,68 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
         << " +dropped=" << net.dropped()
         << " +undeliverable=" << net.undeliverable();
     return fail(err.str());
+  }
+
+  // (e) trace-id conservation: the trace analogue of (d). Every span must
+  // belong to a journey rooted at a publish span — a dropped EventMsg
+  // silences all downstream spans, it never strands some — and journeys
+  // must equal events published. Probe journeys additionally pass the
+  // trace oracle end to end.
+  if (cfg.trace_pipeline) {
+    const trace::Tracer& tracer = *overlay.tracer();
+    trace::Collector collector;
+    collector.add_all(tracer.spans());
+    result.traced_spans = tracer.stats().spans_emitted;
+    result.traced_journeys = collector.journeys().size();
+    if (tracer.stats().spans_overwritten != 0) {
+      std::ostringstream err;
+      err << "trace ring overflow: " << tracer.stats().spans_overwritten
+          << " spans overwritten (harness ring sizing bug)";
+      return fail(err.str());
+    }
+    if (const std::uint64_t orphans = trace::orphan_spans(collector);
+        orphans != 0) {
+      std::ostringstream err;
+      err << "trace conservation violated: " << orphans
+          << " spans without a publish-rooted journey";
+      return fail(err.str());
+    }
+    if (result.traced_journeys != book.next_uid - 1) {
+      std::ostringstream err;
+      err << "trace conservation violated: " << result.traced_journeys
+          << " journeys for " << (book.next_uid - 1) << " published events";
+      return fail(err.str());
+    }
+
+    if (cfg.probe_events > 0) {
+      std::unordered_map<trace::TraceId, std::uint64_t> uid_of;
+      std::vector<trace::TraceId> probe_ids;
+      for (std::uint64_t uid = 1; uid < book.next_uid; ++uid) {
+        const trace::TraceId id = book.trace_of.at(uid);
+        uid_of.emplace(id, uid);
+        if (uid >= first_probe) probe_ids.push_back(id);
+      }
+      std::vector<sim::NodeId> subscriber_nodes;
+      std::unordered_map<sim::NodeId, std::size_t> key_of;
+      for (std::size_t key = 0; key < subs.size(); ++key) {
+        subscriber_nodes.push_back(subs[key].node->id());
+        key_of.emplace(subs[key].node->id(), key);
+      }
+      const auto expected = [&](trace::TraceId id, sim::NodeId node) {
+        const auto uid = uid_of.find(id);
+        const auto key = key_of.find(node);
+        if (uid == uid_of.end() || key == key_of.end()) return false;
+        const auto& expect = book.expected.at(uid->second);
+        return std::find(expect.begin(), expect.end(), key->second) !=
+               expect.end();
+      };
+      trace::OracleOptions options;
+      options.min_trace_id = book.trace_of.at(first_probe);
+      const trace::OracleReport report = trace::verify_journeys(
+          collector, probe_ids, subscriber_nodes, expected, options);
+      if (!report.ok())
+        return fail("trace oracle (probe phase): " + report.to_string());
+    }
   }
   return result;
 }

@@ -65,6 +65,16 @@ struct HarnessConfig {
   /// known completeness bug the oracle must catch (acceptance criterion).
   bool inject_rejoin_bug = false;
 
+  /// Rides the per-event trace pipeline (trace/) along the whole trial,
+  /// sampling every event into rings sized for the workload. The trial
+  /// then also asserts trace-id conservation — every span belongs to a
+  /// journey rooted at a publish span, even after drops, duplication and
+  /// crash–restarts (a dropped EventMsg must silence all downstream spans,
+  /// never strand some) — that journeys equal events published (the trace
+  /// analogue of the network's byte-conservation law), and that
+  /// probe-phase journeys pass the trace oracle end to end.
+  bool trace_pipeline = false;
+
   /// Dense workload so filters overlap and most events match someone.
   workload::BiblioConfig biblio{.years = 3, .conferences = 3, .authors = 6};
   std::uint64_t workload_seed = 0;  ///< 0 = derive from the plan seed
@@ -77,6 +87,8 @@ struct TrialResult {
   sim::Time converged_at = 0;  ///< virtual instant the probe phase started
   std::uint64_t expected_deliveries = 0;  ///< reference-model count (probes)
   std::uint64_t duplicate_peak = 0;  ///< max copies of one (event, sub) pair
+  std::uint64_t traced_journeys = 0;  ///< with trace_pipeline: journeys seen
+  std::uint64_t traced_spans = 0;     ///< with trace_pipeline: spans retained
 };
 
 /// Seed-derived random schedule shaped for `cfg`'s topology: drops target

@@ -147,6 +147,58 @@ TEST(ChaosTrial, TraceReplayMatchesOriginalRun) {
   EXPECT_EQ(a.chaos.dropped, b.chaos.dropped);
 }
 
+// ---- trace pipeline riding along --------------------------------------------
+
+TEST(ChaosTrace, ScriptedCrashConservesEveryTraceId) {
+  HarnessConfig cfg;
+  cfg.trace_pipeline = true;
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.ops.push_back({FaultKind::Crash, 500'000, 500'000 + 4 * cfg.ttl, 4, 0,
+                      FaultOp::kAnyType, 0, 0});
+  const TrialResult result = chaos::run_trial(cfg, plan);
+  EXPECT_TRUE(result.ok) << result.failure;
+  // Every published event — warm, chaos and probe — must form a journey
+  // rooted at a publish span, even the ones the crash swallowed.
+  EXPECT_EQ(result.traced_journeys,
+            cfg.warm_events + cfg.chaos_events + cfg.probe_events);
+  EXPECT_GT(result.traced_spans, result.traced_journeys);
+}
+
+TEST(ChaosTrace, EventDropsAndDuplicationLeaveNoOrphanSpans) {
+  HarnessConfig cfg;
+  cfg.trace_pipeline = true;
+  FaultPlan plan;
+  plan.seed = 32;
+  // Drop a third of EventMsg packets and duplicate broadly: dropped events
+  // must silence all downstream spans, duplicated ones add spans to the
+  // same journey — neither may strand a span without a publish root.
+  plan.ops.push_back({FaultKind::Drop, 0, cfg.horizon, sim::kNoNode,
+                      sim::kNoNode, 7, 333, 0});
+  plan.ops.push_back({FaultKind::Duplicate, 0, cfg.horizon, sim::kNoNode,
+                      sim::kNoNode, FaultOp::kAnyType, 400, 0});
+  const TrialResult result = chaos::run_trial(cfg, plan);
+  EXPECT_TRUE(result.ok) << result.failure;
+  EXPECT_GT(result.chaos.dropped, 0u);
+  EXPECT_GT(result.chaos.duplicated, 0u);
+  EXPECT_EQ(result.traced_journeys,
+            cfg.warm_events + cfg.chaos_events + cfg.probe_events);
+}
+
+TEST(ChaosTrace, TenRandomSeedsPassWithTracingRidingAlong) {
+  HarnessConfig cfg;
+  cfg.trace_pipeline = true;
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    const FaultPlan plan = chaos::plan_for(seed, cfg);
+    const TrialResult result = chaos::run_trial(cfg, plan);
+    ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.failure
+                           << "\n  replay: " << chaos::replay_command(plan);
+    ASSERT_EQ(result.traced_journeys,
+              cfg.warm_events + cfg.chaos_events + cfg.probe_events)
+        << "seed " << seed;
+  }
+}
+
 // ---- the acceptance sweep ---------------------------------------------------
 
 TEST(ChaosSweep, FiftyRandomSeedsPassTheDifferentialOracle) {

@@ -1,0 +1,179 @@
+// Satellite 2: false-positive attribution golden test.
+//
+// A hand-built 3-stage chain overlay (one broker per stage) with the §5.2
+// bibliographic G_c — title dropped at stage 1, author at stage 2,
+// conference at stage 3 — and five hand-picked events whose journeys are
+// fully predictable:
+//
+//   e1 (2000, ICDCS, ann, t1)   delivered (matches everything)
+//   e2 (2000, ICDCS, ann, t2)   spurious: only the weakened-away *title*
+//                               differs, so every broker forwards it and the
+//                               subscriber's exact check kills it — one
+//                               spurious delivery + 3 wasted hops on "title"
+//   e3 (2000, ICDCS, bob, t1)   rejected at stage 1 (author checked there)
+//   e4 (2000, VLDB,  ann, t1)   rejected at stage 2 (conference checked)
+//   e5 (1999, ICDCS, ann, t1)   rejected at stage 3 (year checked)
+//
+// Every count below is computed by hand from that table and pinned.
+#include <gtest/gtest.h>
+
+#include "cake/metrics/metrics.hpp"
+#include "cake/routing/overlay.hpp"
+#include "cake/trace/collector.hpp"
+#include "cake/trace/oracle.hpp"
+#include "cake/workload/generators.hpp"
+#include "cake/workload/types.hpp"
+
+namespace cake {
+namespace {
+
+event::EventImage publication(std::int64_t year, std::string conference,
+                              std::string author, std::string title) {
+  return event::EventImage{"Publication",
+                           {{"year", value::Value{year}},
+                            {"conference", value::Value{std::move(conference)}},
+                            {"author", value::Value{std::move(author)}},
+                            {"title", value::Value{std::move(title)}}}};
+}
+
+class TraceGolden : public ::testing::Test {
+protected:
+  void SetUp() override {
+    workload::ensure_types_registered();
+    routing::OverlayConfig config;
+    config.stage_counts = {1, 1, 1};  // one broker per stage: a fixed path
+    config.trace.enabled = true;
+    overlay_ = std::make_unique<routing::Overlay>(config);
+
+    publisher_ = &overlay_->add_publisher();
+    publisher_->advertise(workload::BiblioGenerator::schema());
+    overlay_->run();
+
+    subscriber_ = &overlay_->add_subscriber();
+    subscriber_->subscribe(filter::FilterBuilder{"Publication"}
+                               .where("year", filter::Op::Eq, value::Value{2000})
+                               .where("conference", filter::Op::Eq,
+                                      value::Value{std::string{"ICDCS"}})
+                               .where("author", filter::Op::Eq,
+                                      value::Value{std::string{"ann"}})
+                               .where("title", filter::Op::Eq,
+                                      value::Value{std::string{"t1"}})
+                               .build(),
+                           {});
+    overlay_->run();
+    // No wildcards: the covering search must host it at the stage-1 leaf.
+    ASSERT_EQ(subscriber_->accepted_at(1),
+              std::optional<sim::NodeId>{stage_broker(1)});
+
+    publisher_->publish(publication(2000, "ICDCS", "ann", "t1"));  // e1
+    publisher_->publish(publication(2000, "ICDCS", "ann", "t2"));  // e2
+    publisher_->publish(publication(2000, "ICDCS", "bob", "t1"));  // e3
+    publisher_->publish(publication(2000, "VLDB", "ann", "t1"));   // e4
+    publisher_->publish(publication(1999, "ICDCS", "ann", "t1"));  // e5
+    overlay_->run();
+
+    collector_.add_all(overlay_->tracer()->spans());
+  }
+
+  [[nodiscard]] sim::NodeId stage_broker(std::size_t stage) {
+    return overlay_->brokers_at(stage).front()->id();
+  }
+
+  /// Trace id of the n-th published event (0-based).
+  [[nodiscard]] trace::TraceId event(std::size_t n) const {
+    return (static_cast<std::uint64_t>(publisher_->id()) << 32) | n;
+  }
+
+  std::unique_ptr<routing::Overlay> overlay_;
+  routing::PublisherNode* publisher_ = nullptr;
+  routing::SubscriberNode* subscriber_ = nullptr;
+  trace::Collector collector_;
+};
+
+TEST_F(TraceGolden, AttributionPinnedToHandComputedCounts) {
+  const trace::Attribution attribution = collector_.attribution();
+  // Exactly one spurious delivery, charged to "title" — the attribute the
+  // leaf's weakened filter could not check.
+  EXPECT_EQ(attribution.total(), 1u);
+  ASSERT_EQ(attribution.by_attribute.size(), 1u);
+  EXPECT_EQ(attribution.by_attribute.at("title"), 1u);
+  // e2 travelled publisher -> stage 3 -> stage 2 -> stage 1 before dying at
+  // the subscriber: three wasted broker forwards, all charged to "title".
+  ASSERT_EQ(attribution.spurious_hops_by_attribute.size(), 1u);
+  EXPECT_EQ(attribution.spurious_hops_by_attribute.at("title"), 3u);
+}
+
+TEST_F(TraceGolden, RejectionStagesPinned) {
+  const auto rejected = collector_.rejected_at_stage();
+  ASSERT_EQ(rejected.size(), 3u);
+  EXPECT_EQ(rejected.at(1), 1u);  // e3: author first checked at stage 1
+  EXPECT_EQ(rejected.at(2), 1u);  // e4: conference first checked at stage 2
+  EXPECT_EQ(rejected.at(3), 1u);  // e5: year checked everywhere, dies at root
+}
+
+TEST_F(TraceGolden, StageRollupsPinned) {
+  const auto rollups = collector_.stage_rollups();
+  ASSERT_EQ(rollups.size(), 4u);
+  // stage 0: e1 delivered + e2 spurious.
+  EXPECT_EQ(rollups[0].hops, 2u);
+  EXPECT_EQ(rollups[0].matched, 1u);
+  // stage 1 sees e1, e2, e3 (e4/e5 died above); forwards e1, e2.
+  EXPECT_EQ(rollups[1].hops, 3u);
+  EXPECT_EQ(rollups[1].matched, 2u);
+  // stage 2 sees e1..e4; forwards all but e4.
+  EXPECT_EQ(rollups[2].hops, 4u);
+  EXPECT_EQ(rollups[2].matched, 3u);
+  // stage 3 (root) sees all five; forwards all but e5.
+  EXPECT_EQ(rollups[3].hops, 5u);
+  EXPECT_EQ(rollups[3].matched, 4u);
+}
+
+TEST_F(TraceGolden, DeliveredJourneyShowsWeakenedAttributesPerStage) {
+  const trace::Journey* journey = collector_.find(event(0));  // e1
+  ASSERT_NE(journey, nullptr);
+  EXPECT_TRUE(journey->delivered());
+  ASSERT_EQ(journey->hops.size(), 4u);  // 3 brokers + subscriber
+
+  // Each broker records exactly the attributes its stage weakened away.
+  const auto weakened_at = [&](std::size_t stage) {
+    for (const trace::TraceSpan* span : journey->broker_spans())
+      if (span->stage == stage) return span->weakened_attrs_hit;
+    return std::vector<std::string>{};
+  };
+  EXPECT_EQ(weakened_at(1), (std::vector<std::string>{"title"}));
+  EXPECT_EQ(weakened_at(2), (std::vector<std::string>{"author", "title"}));
+  EXPECT_EQ(weakened_at(3),
+            (std::vector<std::string>{"conference", "author", "title"}));
+
+  // One link-latency tick per hop down the fixed chain.
+  ASSERT_TRUE(journey->publish.has_value());
+  const sim::Time t0 = journey->publish->ticks;
+  EXPECT_EQ(journey->hops[0].ticks - t0, 1000u);
+  EXPECT_EQ(journey->hops[3].ticks - t0, 4000u);
+}
+
+TEST_F(TraceGolden, ReconcilesWithMetricsAndOracle) {
+  std::vector<metrics::NodeLoad> loads = metrics::broker_loads(*overlay_);
+  const auto sub_loads = metrics::subscriber_loads(*overlay_);
+  loads.insert(loads.end(), sub_loads.begin(), sub_loads.end());
+  const auto summaries = metrics::summarize_by_stage(loads, 5, 1);
+  EXPECT_EQ(metrics::spurious_deliveries(summaries), 1u);
+  EXPECT_EQ(collector_.attribution().total(),
+            metrics::spurious_deliveries(summaries));
+
+  // Only e1 is a legitimate delivery.
+  const auto expected = [this](trace::TraceId id, sim::NodeId node) {
+    return id == event(0) && node == subscriber_->id();
+  };
+  const trace::OracleReport report = trace::verify_journeys(
+      collector_, {event(0), event(1), event(2), event(3), event(4)},
+      {subscriber_->id()}, expected);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.deliveries_verified, 1u);
+  EXPECT_EQ(report.spurious_arrivals, 1u);
+  // e1 and e2 each walked 3 broker hops to reach the subscriber.
+  EXPECT_EQ(report.path_hops_verified, 6u);
+}
+
+}  // namespace
+}  // namespace cake

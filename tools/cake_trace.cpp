@@ -1,0 +1,10 @@
+// Binary shim for the cake_trace CLI (logic in core/trace_tool.cpp so the
+// tests can drive it through streams).
+#include <iostream>
+
+#include "cake/core/trace_tool.hpp"
+
+int main(int argc, char** argv) {
+  return cake::core::run_trace_tool({argv + 1, argv + argc}, std::cout,
+                                    std::cerr);
+}
