@@ -1,0 +1,227 @@
+// Experiment A14 — zero-allocation hot path: before/after curves.
+//
+// Four arms over the same seeded {1, 4, 16} biblio overlay, timed around
+// the publish + drain phase only, each toggling one layer of DESIGN.md §9:
+//
+//   baseline     owning decode at every broker, fresh frame per forward,
+//                buffer pooling off — the pre-§9 cost model;
+//   interned     borrowed in-place decode (symbol ids, string_views into
+//                the packet), still re-encoding per forward, pooling off;
+//   pooled       borrowed decode + re-encode over pooled wire buffers;
+//   passthrough  borrowed decode + the original refcounted frame fanned to
+//                every matching child — the full §9 configuration.
+//
+// Arms run interleaved and keep best-of-R throughput. A counting
+// operator-new interposer (local to this binary) measures allocations per
+// published event over the publish + drain phase; those counts are
+// deterministic for a fixed workload and form the CI regression gate —
+// wall-clock speedup is reported but not gated, since shared runners jitter.
+//
+// Writes BENCH_hotpath.json next to the working directory for the CI
+// artifact. Exit status: 0 when the alloc gate holds, 1 otherwise.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "cake/routing/overlay.hpp"
+#include "cake/util/table.hpp"
+#include "cake/wire/buffer.hpp"
+#include "cake/workload/generators.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+std::uint64_t news() { return g_news.load(std::memory_order_relaxed); }
+
+void* counted_alloc(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+  throw std::bad_alloc{};
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace cake;
+
+constexpr std::size_t kSubscribers = 40;
+constexpr int kRounds = 5;
+
+struct Arm {
+  const char* name;
+  bool borrowed_decode;
+  routing::ForwardMode forward;
+  bool pooling;
+  double best_events_per_sec = 0.0;
+  double allocs_per_event = 0.0;
+  double bytes_per_event = 0.0;
+  std::uint64_t deliveries = 0;
+};
+
+void run_arm(Arm& arm, std::size_t events, std::uint64_t seed) {
+  wire::set_buffer_pooling(arm.pooling);
+
+  routing::OverlayConfig config;
+  config.stage_counts = {1, 4, 16};
+  config.seed = seed;
+  config.broker.borrowed_decode = arm.borrowed_decode;
+  config.broker.forward = arm.forward;
+  config.broker.auto_renew = false;  // static phase: measure the event path
+  routing::Overlay overlay{config};
+
+  auto& publisher = overlay.add_publisher();
+  publisher.advertise(workload::BiblioGenerator::schema());
+  overlay.run();
+
+  workload::BiblioGenerator gen{{}, seed};
+  for (std::size_t i = 0; i < kSubscribers; ++i) {
+    overlay.add_subscriber().subscribe(gen.next_subscription(i % 3), {});
+    overlay.run();
+  }
+
+  // Pre-generate the stream so the generator's cost is outside the clock,
+  // and warm every scratch/pool with a prefix slice before measuring.
+  std::vector<event::EventImage> stream;
+  stream.reserve(events + 256);
+  for (std::size_t e = 0; e < events + 256; ++e)
+    stream.push_back(gen.next_event());
+  for (std::size_t e = events; e < stream.size(); ++e)
+    publisher.publish(std::move(stream[e]));
+  overlay.run();
+
+  const std::uint64_t bytes_before = overlay.network().total_bytes();
+  const std::uint64_t news_before = news();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t e = 0; e < events; ++e)
+    publisher.publish(std::move(stream[e]));
+  overlay.run();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  const std::uint64_t news_after = news();
+
+  arm.best_events_per_sec =
+      std::max(arm.best_events_per_sec, double(events) / elapsed.count());
+  arm.allocs_per_event = double(news_after - news_before) / double(events);
+  arm.bytes_per_event =
+      double(overlay.network().total_bytes() - bytes_before) / double(events);
+  arm.deliveries = 0;
+  for (const auto& sub : overlay.subscribers())
+    arm.deliveries += sub->stats().events_delivered;
+  wire::set_buffer_pooling(true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t events =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
+  if (events == 0) {
+    std::cerr << "usage: " << argv[0] << " [events > 0]\n";
+    return 2;
+  }
+  workload::ensure_types_registered();
+
+  Arm arms[] = {
+      {"baseline", false, routing::ForwardMode::Reencode, false},
+      {"interned", true, routing::ForwardMode::Reencode, false},
+      {"pooled", true, routing::ForwardMode::Reencode, true},
+      {"passthrough", true, routing::ForwardMode::PassThrough, true},
+  };
+
+  std::cout << "=== A14: Zero-allocation hot path ===\n"
+            << "{1,4,16} overlay, " << kSubscribers << " subscribers, "
+            << events << " events, best of " << kRounds
+            << " interleaved rounds\n\n";
+
+  for (int round = 0; round < kRounds; ++round)
+    for (Arm& arm : arms) run_arm(arm, events, 2002 + round);
+
+  const Arm& baseline = arms[0];
+  const Arm& full = arms[3];
+  util::TextTable table{{"Arm", "Events/s", "vs baseline", "Allocs/event",
+                         "Bytes/event", "Deliveries"}};
+  for (const Arm& arm : arms) {
+    table.add_row(
+        {arm.name, util::format_number(arm.best_events_per_sec),
+         util::format_number(arm.best_events_per_sec /
+                             baseline.best_events_per_sec),
+         util::format_number(arm.allocs_per_event),
+         util::format_number(arm.bytes_per_event),
+         std::to_string(arm.deliveries)});
+  }
+  table.print(std::cout);
+
+  const double speedup =
+      full.best_events_per_sec / baseline.best_events_per_sec;
+  std::cout << "\npassthrough/baseline speedup: "
+            << util::format_number(speedup) << "x\n";
+
+  {
+    std::ofstream json{"BENCH_hotpath.json"};
+    json << "{\n  \"experiment\": \"A14\",\n  \"events\": " << events
+         << ",\n  \"arms\": [\n";
+    for (std::size_t i = 0; i < 4; ++i) {
+      const Arm& arm = arms[i];
+      json << "    {\"name\": \"" << arm.name
+           << "\", \"events_per_sec\": " << arm.best_events_per_sec
+           << ", \"allocs_per_event\": " << arm.allocs_per_event
+           << ", \"bytes_per_event\": " << arm.bytes_per_event
+           << ", \"deliveries\": " << arm.deliveries << "}"
+           << (i + 1 < 4 ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"speedup_passthrough_vs_baseline\": " << speedup
+         << "\n}\n";
+  }
+
+  // Deterministic gates. Every arm must deliver the same events (the layers
+  // are pure optimizations), and the alloc curve must fall monotonically to
+  // (near) zero — the broker hops allocate nothing in the passthrough arm;
+  // what remains is the subscriber-edge owning decode plus the publisher's
+  // per-event frame, both outside §9's claim.
+  bool ok = true;
+  for (const Arm& arm : arms) {
+    if (arm.deliveries != baseline.deliveries) {
+      std::cerr << "GATE: arm '" << arm.name << "' delivered "
+                << arm.deliveries << " != baseline " << baseline.deliveries
+                << "\n";
+      ok = false;
+    }
+  }
+  if (!(full.allocs_per_event < 0.5 * baseline.allocs_per_event)) {
+    std::cerr << "GATE: passthrough allocs/event (" << full.allocs_per_event
+              << ") not < 0.5x baseline (" << baseline.allocs_per_event
+              << ")\n";
+    ok = false;
+  }
+  if (arms[1].allocs_per_event >= baseline.allocs_per_event) {
+    std::cerr << "GATE: interned arm does not allocate less than baseline\n";
+    ok = false;
+  }
+  std::cout << (ok ? "\nA14 alloc gate: PASS\n" : "\nA14 alloc gate: FAIL\n");
+  return ok ? 0 : 1;
+}

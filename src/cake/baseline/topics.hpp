@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cake/event/event.hpp"
+#include "cake/util/hash.hpp"
 
 namespace cake::baseline {
 
@@ -52,7 +53,9 @@ public:
   [[nodiscard]] std::size_t group_size(const std::string& topic) const;
 
 private:
-  std::unordered_map<std::string, std::vector<SubscriberId>> groups_;
+  // Transparent hasher: publish() looks up by the image's string_view
+  // type name without materializing a key.
+  util::StringMap<std::vector<SubscriberId>> groups_;
   Handler handler_;
   TopicStats stats_;
 };

@@ -4,12 +4,14 @@
 
 namespace cake::event {
 
-EventImage::EventImage(std::string type_name,
+EventImage::EventImage(std::string_view type_name,
                        std::vector<ImageAttribute> attributes,
                        std::vector<std::byte> opaque)
-    : type_name_(std::move(type_name)),
-      attributes_(std::move(attributes)),
-      opaque_(std::move(opaque)) {}
+    : attributes_(std::move(attributes)), opaque_(std::move(opaque)) {
+  const symbol::Symbol type = symbol::intern(type_name);
+  type_id_ = type.id;
+  type_name_ = type.text;
+}
 
 const value::Value* EventImage::find(std::string_view name) const noexcept {
   for (const auto& attr : attributes_) {
@@ -45,20 +47,42 @@ void EventImage::encode(wire::Writer& w) const {
   w.raw(opaque_);
 }
 
-EventImage EventImage::decode(wire::Reader& r) {
-  EventImage image;
-  image.type_name_ = r.string();
+void EventImage::read_from(wire::Reader& r, bool borrow_values) {
+  const symbol::Symbol type = symbol::intern(r.string_view());
+  type_id_ = type.id;
+  type_name_ = type.text;
   const std::uint64_t n = r.count(2);  // name length byte + value tag
-  image.attributes_.reserve(n);
+  attributes_.clear();
+  attributes_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
-    std::string name = r.string();
-    image.attributes_.push_back({std::move(name), r.value()});
+    const symbol::Symbol name = symbol::intern(r.string_view());
+    attributes_.emplace_back(name, borrow_values ? r.value_view() : r.value());
   }
   const std::uint64_t extra = r.count(1);
-  image.opaque_.reserve(extra);
-  for (std::uint64_t i = 0; i < extra; ++i)
-    image.opaque_.push_back(static_cast<std::byte>(r.u8()));
+  const std::span<const std::byte> raw = r.bytes(extra);
+  opaque_.assign(raw.begin(), raw.end());
+}
+
+EventImage EventImage::decode(wire::Reader& r) {
+  EventImage image;
+  image.read_from(r, /*borrow_values=*/false);
   return image;
+}
+
+void EventImage::assign_view(wire::Reader& r) {
+  read_from(r, /*borrow_values=*/true);
+}
+
+EventImage EventImage::to_owned() const {
+  EventImage owned;
+  owned.type_id_ = type_id_;
+  owned.type_name_ = type_name_;
+  owned.attributes_.reserve(attributes_.size());
+  for (const auto& attr : attributes_)
+    owned.attributes_.push_back(
+        ImageAttribute{symbol::Symbol{attr.id, attr.name}, attr.value.to_owned()});
+  owned.opaque_ = opaque_;
+  return owned;
 }
 
 std::string EventImage::to_string() const {
@@ -70,14 +94,22 @@ std::string EventImage::to_string() const {
 }
 
 EventImage image_of(const Event& event) {
+  EventImage image;
+  image_of_into(event, image);
+  return image;
+}
+
+void image_of_into(const Event& event, EventImage& out) {
   const reflect::TypeInfo& info = event.type();
-  std::vector<ImageAttribute> attrs;
-  attrs.reserve(info.attributes().size());
+  out.type_id_ = info.symbol().id;
+  out.type_name_ = info.symbol().text;
+  out.attributes_.clear();
+  out.attributes_.reserve(info.attributes().size());
   for (const auto* attr : info.attributes())
-    attrs.push_back({attr->name, attr->get(event)});
+    out.attributes_.emplace_back(attr->symbol, attr->get(event));
   wire::Writer extra;
   event.save_extra(extra);
-  return EventImage{info.name(), std::move(attrs), extra.take()};
+  out.opaque_ = extra.take();
 }
 
 EventCodec& EventCodec::global() {
@@ -91,14 +123,14 @@ void EventCodec::add(std::string type_name, Factory factory) {
 }
 
 bool EventCodec::can_decode(std::string_view type_name) const noexcept {
-  return factories_.contains(std::string{type_name});
+  return factories_.contains(type_name);  // heterogeneous: no temporary
 }
 
 std::unique_ptr<Event> EventCodec::decode(const EventImage& image) const {
   const auto it = factories_.find(image.type_name());
   if (it == factories_.end())
     throw reflect::ReflectError{"EventCodec: no factory for type '" +
-                                image.type_name() + "'"};
+                                std::string{image.type_name()} + "'"};
   return it->second(image);
 }
 
@@ -109,8 +141,7 @@ std::vector<std::byte> to_wire(const Event& event) {
 }
 
 EventImage image_from_wire(std::span<const std::byte> bytes) {
-  const std::vector<std::byte> payload = wire::unframe(bytes);
-  wire::Reader r{payload};
+  wire::Reader r{wire::unframe(bytes)};
   return EventImage::decode(r);
 }
 

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "cake/reflect/reflect.hpp"
+#include "cake/symbol/symbol.hpp"
+#include "cake/util/hash.hpp"
 #include "cake/wire/wire.hpp"
 
 namespace cake::event {
@@ -64,22 +66,41 @@ const reflect::TypeInfo& EventOf<Derived, Base>::type() const noexcept {
   return reflect::TypeRegistry::global().get<Derived>();
 }
 
-/// One extracted name-value pair.
+/// One extracted name-value pair. The name is *interned*: `id` is the dense
+/// symbol id and `name` a borrowed view into the interner's process-lifetime
+/// storage — constructing an attribute never copies the name (DESIGN.md §9).
 struct ImageAttribute {
-  std::string name;
+  symbol::Id id = 0;
+  std::string_view name;
   value::Value value;
 
-  [[nodiscard]] bool operator==(const ImageAttribute&) const = default;
+  ImageAttribute() = default;
+  ImageAttribute(std::string_view name, value::Value value)
+      : ImageAttribute(symbol::intern(name), std::move(value)) {}
+  ImageAttribute(symbol::Symbol symbol, value::Value value) noexcept
+      : id(symbol.id), name(symbol.text), value(std::move(value)) {}
+
+  [[nodiscard]] bool operator==(const ImageAttribute& other) const noexcept {
+    return id == other.id && value == other.value;
+  }
 };
 
 /// The low-level event representation used for routing and matching.
+///
+/// Flat form: the type name and attribute names are interned symbols
+/// (borrowed views, never owned copies). Attribute *values* are owned by
+/// default; `assign_view` produces a borrowed image whose string values
+/// point into the inbound packet buffer — valid only while that buffer
+/// lives. Call `to_owned()` before storing such an image.
 class EventImage {
 public:
   EventImage() = default;
-  EventImage(std::string type_name, std::vector<ImageAttribute> attributes,
+  EventImage(std::string_view type_name, std::vector<ImageAttribute> attributes,
              std::vector<std::byte> opaque = {});
 
-  [[nodiscard]] const std::string& type_name() const noexcept { return type_name_; }
+  [[nodiscard]] std::string_view type_name() const noexcept { return type_name_; }
+  /// Interned symbol id of the type name (integer key for index lookups).
+  [[nodiscard]] symbol::Id type_id() const noexcept { return type_id_; }
   [[nodiscard]] const std::vector<ImageAttribute>& attributes() const noexcept {
     return attributes_;
   }
@@ -100,11 +121,25 @@ public:
   void encode(wire::Writer& w) const;
   [[nodiscard]] static EventImage decode(wire::Reader& r);
 
+  /// Borrowed decode into *this*, reusing attribute/opaque capacity: names
+  /// are interned as usual, but string values stay views into the reader's
+  /// buffer (`Reader::value_view`). The zero-allocation broker decode mode;
+  /// the image must not outlive the buffer (DESIGN.md §9).
+  void assign_view(wire::Reader& r);
+
+  /// Deep copy with every borrowed value materialized as owned.
+  [[nodiscard]] EventImage to_owned() const;
+
   [[nodiscard]] std::string to_string() const;
   [[nodiscard]] bool operator==(const EventImage&) const = default;
 
 private:
-  std::string type_name_;
+  friend void image_of_into(const Event& event, EventImage& out);
+
+  void read_from(wire::Reader& r, bool borrow_values);
+
+  symbol::Id type_id_ = 0;
+  std::string_view type_name_;
   std::vector<ImageAttribute> attributes_;
   std::vector<std::byte> opaque_;
 };
@@ -113,6 +148,10 @@ private:
 /// (reflection). The attribute order is the declaration order, i.e.
 /// most-general first (inherited attributes leftmost).
 [[nodiscard]] EventImage image_of(const Event& event);
+
+/// Like `image_of` but reuses `out`'s capacity (the LocalBus publish
+/// scratch); attribute names ride the pre-interned registration symbols.
+void image_of_into(const Event& event, EventImage& out);
 
 /// Registry of per-type factories reconstructing typed events from images.
 class EventCodec {
@@ -131,7 +170,7 @@ public:
   [[nodiscard]] std::unique_ptr<Event> decode(const EventImage& image) const;
 
 private:
-  std::unordered_map<std::string, Factory> factories_;
+  util::StringMap<Factory> factories_;  // transparent: no-alloc lookup
 };
 
 /// Serializes `event` for link transfer: reflective image + checksum frame.

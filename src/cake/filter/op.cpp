@@ -31,10 +31,14 @@ bool applies(Op op, const value::Value& event_value,
     case Op::Ne:
       return !(event_value == operand);
     case Op::Prefix: {
+      // The event side may be a borrowed string (zero-copy decode), so only
+      // as_string_view() is safe here — as_string() would throw inside this
+      // noexcept function. Operands always come from owned filter storage.
       if (event_value.kind() != value::Kind::String ||
           operand.kind() != value::Kind::String)
         return false;
-      return event_value.as_string().starts_with(operand.as_string());
+      return event_value.as_string_view().starts_with(
+          operand.as_string_view());
     }
     case Op::Regex: {
       if (event_value.kind() != value::Kind::String ||
@@ -42,7 +46,7 @@ bool applies(Op op, const value::Value& event_value,
         return false;
       try {
         return util::Regex::cached(operand.as_string())
-            .matches(event_value.as_string());
+            .matches(event_value.as_string_view());
       } catch (const util::RegexError&) {
         return false;  // invalid pattern matches nothing
       }

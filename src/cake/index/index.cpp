@@ -67,14 +67,15 @@ FilterId CountingIndex::add(filter::ConjunctiveFilter filter) {
   const auto& type = filter.type();
   if (!type.accepts_all()) {
     ++required;
-    auto& bucket = type.include_subtypes ? subtree_type_[type.name]
-                                         : exact_type_[type.name];
+    const symbol::Id type_id = symbol::intern(type.name).id;
+    auto& bucket = type.include_subtypes ? subtree_type_[type_id]
+                                         : exact_type_[type_id];
     bucket.push_back(id);
   }
   for (const auto& constraint : filter.constraints()) {
     if (constraint.is_wildcard()) continue;  // trivially satisfied
     ++required;
-    AttrIndex& attr_index = by_attribute_[constraint.name];
+    AttrIndex& attr_index = by_attribute_[symbol::intern(constraint.name).id];
     if (constraint.op == filter::Op::Eq)
       attr_index.equals[constraint.operand].push_back(id);
     else
@@ -117,17 +118,19 @@ void CountingIndex::match(const event::EventImage& image,
   }
 
   // Type predicates: exact name, then every registered ancestor's subtree.
-  if (const auto exact = exact_type_.find(image.type_name());
+  // All lookups are by interned symbol id — integer hashes, no strings.
+  if (const auto exact = exact_type_.find(image.type_id());
       exact != exact_type_.end()) {
     for (const FilterId id : exact->second) bump(entries_[id], id, out, state);
   }
-  const reflect::TypeInfo* type = registry_.find(image.type_name());
+  const reflect::TypeInfo* type = registry_.find(image.type_id());
   if (type != nullptr) {
     for (const reflect::TypeInfo* anc = type; anc != nullptr; anc = anc->parent()) {
-      if (const auto it = subtree_type_.find(anc->name()); it != subtree_type_.end())
+      if (const auto it = subtree_type_.find(anc->symbol().id);
+          it != subtree_type_.end())
         for (const FilterId id : it->second) bump(entries_[id], id, out, state);
     }
-  } else if (const auto it = subtree_type_.find(image.type_name());
+  } else if (const auto it = subtree_type_.find(image.type_id());
              it != subtree_type_.end()) {
     // Unregistered event type: a subtree rooted at exactly this name still
     // matches (conformance is reflexive).
@@ -136,7 +139,7 @@ void CountingIndex::match(const event::EventImage& image,
 
   // Attribute predicates.
   for (const auto& attr : image.attributes()) {
-    const auto it = by_attribute_.find(attr.name);
+    const auto it = by_attribute_.find(attr.id);
     if (it == by_attribute_.end()) continue;
     const AttrIndex& attr_index = it->second;
     if (const auto eq = attr_index.equals.find(attr.value);
@@ -160,7 +163,7 @@ FilterId TrieIndex::add(filter::ConjunctiveFilter filter) {
   std::size_t node = 0;  // root
   for (const auto& constraint : filter.constraints()) {
     if (constraint.op != filter::Op::Eq) continue;  // residual-checked later
-    EdgeKey key{constraint.name, constraint.operand};
+    EdgeKey key{symbol::intern(constraint.name).id, constraint.operand};
     const auto it = nodes_[node].edges.find(key);
     if (it != nodes_[node].edges.end()) {
       node = it->second;
@@ -196,7 +199,7 @@ void TrieIndex::match_node(std::size_t node_index, const event::EventImage& imag
   }
   if (node.edges.empty()) return;
   for (const auto& attr : image.attributes()) {
-    const auto it = node.edges.find(EdgeKey{attr.name, attr.value});
+    const auto it = node.edges.find(EdgeKey{attr.id, attr.value});
     if (it != node.edges.end()) match_node(it->second, image, out);
   }
 }

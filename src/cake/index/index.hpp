@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cake/filter/filter.hpp"
+#include "cake/symbol/symbol.hpp"
 
 namespace cake::index {
 
@@ -160,11 +161,13 @@ private:
   const reflect::TypeRegistry& registry_;
   std::vector<Entry> entries_;
   std::size_t live_ = 0;
-  std::unordered_map<std::string, AttrIndex> by_attribute_;
-  // type name -> ids of filters with an exact type test on it
-  std::unordered_map<std::string, std::vector<FilterId>> exact_type_;
-  // type name -> ids of subtype-inclusive filters rooted at it
-  std::unordered_map<std::string, std::vector<FilterId>> subtree_type_;
+  // All three tables key by interned symbol id: the match loop hashes one
+  // u32 per attribute instead of a string (DESIGN.md §9).
+  std::unordered_map<symbol::Id, AttrIndex> by_attribute_;
+  // type-name symbol -> ids of filters with an exact type test on it
+  std::unordered_map<symbol::Id, std::vector<FilterId>> exact_type_;
+  // type-name symbol -> ids of subtype-inclusive filters rooted at it
+  std::unordered_map<symbol::Id, std::vector<FilterId>> subtree_type_;
 };
 
 /// Discrimination-tree matcher specialized for the equality-heavy,
@@ -196,13 +199,13 @@ public:
 
 private:
   struct EdgeKey {
-    std::string attribute;
+    symbol::Id attribute = 0;  // interned: integer compare, no string hash
     value::Value operand;
     [[nodiscard]] bool operator==(const EdgeKey&) const = default;
   };
   struct EdgeKeyHash {
     std::size_t operator()(const EdgeKey& key) const noexcept {
-      return std::hash<std::string>{}(key.attribute) * 1315423911u ^
+      return std::hash<symbol::Id>{}(key.attribute) * 1315423911u ^
              key.operand.hash();
     }
   };

@@ -1,6 +1,7 @@
 #include "cake/peer/peer.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 namespace cake::peer {
 namespace {
@@ -33,8 +34,7 @@ sim::Network::Payload encode(const PeerPacket& packet) {
 }
 
 PeerPacket decode(std::span<const std::byte> payload) {
-  const std::vector<std::byte> body = wire::unframe(payload);
-  wire::Reader r{body};
+  wire::Reader r{wire::unframe(payload)};
   switch (static_cast<Tag>(r.u8())) {
     case Tag::Sub:
       return PeerSub{filter::ConjunctiveFilter::decode(r)};
@@ -93,8 +93,15 @@ void PeerBroker::on_packet(sim::NodeId from, const sim::Network::Payload& payloa
     return;
   }
   if (!std::holds_alternative<PeerEvent>(packet)) ++stats_.control_received;
-  std::visit([this, from](auto&& msg) { handle(std::move(msg), from); },
-             std::move(packet));
+  std::visit(
+      [this, from, &payload](auto&& msg) {
+        if constexpr (std::is_same_v<std::decay_t<decltype(msg)>, PeerEvent>) {
+          handle(std::move(msg), from, payload);
+        } else {
+          handle(std::move(msg), from);
+        }
+      },
+      std::move(packet));
 }
 
 void PeerBroker::handle(PeerSub&& msg, sim::NodeId from) {
@@ -168,7 +175,8 @@ bool PeerBroker::demand_behind(sim::NodeId neighbor,
   return false;
 }
 
-void PeerBroker::handle(PeerEvent&& msg, sim::NodeId from) {
+void PeerBroker::handle(PeerEvent&& msg, sim::NodeId from,
+                        const sim::Network::Payload& payload) {
   ++stats_.events_received;
   index_->match(msg.image, match_scratch_, scratch_);
   target_scratch_.clear();
@@ -184,7 +192,7 @@ void PeerBroker::handle(PeerEvent&& msg, sim::NodeId from) {
   if (target_scratch_.empty()) return;
   ++stats_.events_matched;
   for (const sim::NodeId target : target_scratch_) {
-    send(target, msg);
+    network_.send(id_, target, payload);  // original frame, refcount copy
     ++stats_.events_forwarded;
   }
 }

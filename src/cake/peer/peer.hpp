@@ -118,7 +118,11 @@ private:
   void handle(PeerUnsub&& msg, sim::NodeId from);
   void handle(PeerAdvertise&& msg, sim::NodeId from);
   void handle(PeerUnadvertise&& msg, sim::NodeId from);
-  void handle(PeerEvent&& msg, sim::NodeId from);
+  /// Events carry the inbound frame alongside the decoded image: the frame
+  /// is hop-invariant (no per-hop fields), so fan-out forwards the original
+  /// refcounted bytes instead of re-encoding per target (DESIGN.md §9).
+  void handle(PeerEvent&& msg, sim::NodeId from,
+              const sim::Network::Payload& payload);
   /// With advertisements on: may subscriptions travel to `neighbor` at all
   /// for filter `f` (i.e. did an overlapping advertisement arrive from it)?
   [[nodiscard]] bool demand_behind(sim::NodeId neighbor,

@@ -6,9 +6,11 @@ TypeInfo::TypeInfo(std::string name, const TypeInfo* parent,
                    std::type_index cpp_type,
                    std::vector<AttributeInfo> own_attributes)
     : name_(std::move(name)),
+      symbol_(symbol::intern(name_)),
       parent_(parent),
       cpp_type_(cpp_type),
       own_attributes_(std::move(own_attributes)) {
+  for (auto& own : own_attributes_) own.symbol = symbol::intern(own.name);
   if (parent_ != nullptr) {
     all_attributes_ = parent_->all_attributes_;
     for (const auto* inherited : all_attributes_) {
@@ -55,12 +57,18 @@ const TypeInfo& TypeRegistry::add(std::string name, const TypeInfo* parent,
   types_.push_back(std::move(info));
   by_name_.emplace(ref.name(), &ref);
   by_cpp_type_.emplace(cpp_type, &ref);
+  by_symbol_.emplace(ref.symbol().id, &ref);
   return ref;
 }
 
 const TypeInfo* TypeRegistry::find(std::string_view name) const noexcept {
-  const auto it = by_name_.find(std::string{name});
+  const auto it = by_name_.find(name);  // heterogeneous: no temporary string
   return it == by_name_.end() ? nullptr : it->second;
+}
+
+const TypeInfo* TypeRegistry::find(symbol::Id symbol) const noexcept {
+  const auto it = by_symbol_.find(symbol);
+  return it == by_symbol_.end() ? nullptr : it->second;
 }
 
 const TypeInfo* TypeRegistry::find(std::type_index cpp_type) const noexcept {

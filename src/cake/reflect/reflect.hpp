@@ -35,6 +35,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cake/symbol/symbol.hpp"
+#include "cake/util/hash.hpp"
 #include "cake/value/value.hpp"
 
 namespace cake::reflect {
@@ -69,6 +71,10 @@ struct AttributeInfo {
   /// Reads the attribute from an object whose dynamic type conforms to the
   /// attribute's declaring type.
   std::function<value::Value(const Reflectable&)> get;
+  /// Interned name, assigned by the TypeInfo constructor at registration.
+  /// Event images built from this attribute borrow `symbol.text` instead of
+  /// copying the name (DESIGN.md §9).
+  symbol::Symbol symbol{};
 };
 
 /// Immutable descriptor of one registered type.
@@ -78,6 +84,8 @@ public:
            std::vector<AttributeInfo> own_attributes);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Interned type name (dense id + stable view), assigned at registration.
+  [[nodiscard]] symbol::Symbol symbol() const noexcept { return symbol_; }
   [[nodiscard]] const TypeInfo* parent() const noexcept { return parent_; }
   [[nodiscard]] std::type_index cpp_type() const noexcept { return cpp_type_; }
 
@@ -99,6 +107,7 @@ public:
 
 private:
   std::string name_;
+  symbol::Symbol symbol_;
   const TypeInfo* parent_;
   std::type_index cpp_type_;
   std::vector<AttributeInfo> own_attributes_;
@@ -125,6 +134,9 @@ public:
 
   [[nodiscard]] const TypeInfo* find(std::string_view name) const noexcept;
   [[nodiscard]] const TypeInfo* find(std::type_index cpp_type) const noexcept;
+  /// Lookup by interned type-name symbol; null when no type carries it.
+  /// Integer hash — the cheapest of the name lookups on the match path.
+  [[nodiscard]] const TypeInfo* find(symbol::Id symbol) const noexcept;
 
   /// Like find but throws ReflectError when missing.
   [[nodiscard]] const TypeInfo& get(std::string_view name) const;
@@ -147,8 +159,9 @@ public:
 
 private:
   std::vector<std::unique_ptr<TypeInfo>> types_;
-  std::unordered_map<std::string, const TypeInfo*> by_name_;
+  util::StringMap<const TypeInfo*> by_name_;  // transparent: no-alloc lookup
   std::unordered_map<std::type_index, const TypeInfo*> by_cpp_type_;
+  std::unordered_map<symbol::Id, const TypeInfo*> by_symbol_;
 };
 
 namespace detail {

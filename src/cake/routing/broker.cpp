@@ -77,7 +77,7 @@ std::vector<index::ShardStats> Broker::shard_stats() const {
 }
 
 const weaken::StageSchema* Broker::schema_for(std::string_view type_name) const {
-  const auto it = schemas_.find(std::string{type_name});
+  const auto it = schemas_.find(type_name);  // transparent: no key copy
   return it == schemas_.end() ? nullptr : &it->second;
 }
 
@@ -106,6 +106,16 @@ filter::ConjunctiveFilter Broker::weaken_for(const filter::ConjunctiveFilter& f,
 }
 
 void Broker::on_packet(sim::NodeId from, const sim::Network::Payload& payload) {
+  if (config_.borrowed_decode && packet_class(payload) == kEventPacketClass) {
+    // Steady-state fast path: match straight over the inbound frame, no
+    // owning decode, no Packet variant (DESIGN.md §9).
+    try {
+      handle_event_frame(from, payload);
+    } catch (const wire::WireError&) {
+      ++stats_.malformed_packets;
+    }
+    return;
+  }
   Packet packet;
   try {
     packet = decode(payload);
@@ -315,7 +325,7 @@ void Broker::handle(EventMsg&& msg, sim::NodeId from) {
       std::unique(target_scratch_.begin(), target_scratch_.end()),
       target_scratch_.end());
   if (tracer_ != nullptr && msg.trace_id != 0)
-    emit_trace_span(msg, from, !target_scratch_.empty());
+    emit_trace_span(msg.trace_id, msg.image, from, !target_scratch_.empty());
   if (target_scratch_.empty()) return;
   ++stats_.events_matched;
   for (const sim::NodeId target : target_scratch_) {
@@ -333,10 +343,58 @@ void Broker::handle(EventMsg&& msg, sim::NodeId from) {
   }
 }
 
-void Broker::emit_trace_span(const EventMsg& msg, sim::NodeId from,
+void Broker::handle_event_frame(sim::NodeId from,
+                                const sim::Network::Payload& payload) {
+  wire::Reader r{wire::unframe(payload)};
+  r.u8();  // tag, already peeked by packet_class
+  const sim::Time published_at = r.varint();
+  const std::uint64_t event_id = r.varint();
+  const std::uint64_t trace_id = r.varint();
+  image_scratch_.assign_view(r);  // borrows names and strings from `payload`
+
+  ++stats_.events_received;
+  index_->match(image_scratch_, match_scratch_, scratch_);
+  target_scratch_.clear();
+  for (const index::FilterId fid : match_scratch_) {
+    const Entry& entry = entries_.at(fid);
+    for (const auto& lease : entry.leases) target_scratch_.push_back(lease.child);
+  }
+  std::sort(target_scratch_.begin(), target_scratch_.end());
+  target_scratch_.erase(
+      std::unique(target_scratch_.begin(), target_scratch_.end()),
+      target_scratch_.end());
+  if (tracer_ != nullptr && trace_id != 0)
+    emit_trace_span(trace_id, image_scratch_, from, !target_scratch_.empty());
+  if (target_scratch_.empty()) return;
+  ++stats_.events_matched;
+  for (const sim::NodeId target : target_scratch_) {
+    if (const auto buffer = detached_.find(target); buffer != detached_.end()) {
+      // Never pass borrowed views into a buffer that outlives the frame:
+      // durable buffering takes an owning deep copy (§9 exclusion rule).
+      if (buffer->second.size() >= config_.durable_buffer_limit) {
+        buffer->second.pop_front();  // bound memory: drop the oldest
+        ++stats_.buffer_overflows;
+      }
+      buffer->second.push_back(image_scratch_.to_owned());
+      ++stats_.events_buffered;
+      continue;
+    }
+    if (config_.forward == ForwardMode::PassThrough) {
+      network_.send(id_, target, payload);  // refcount copy, zero bytes moved
+    } else {
+      network_.send(id_, target, encode_event_frame(image_scratch_,
+                                                    published_at, event_id,
+                                                    trace_id));
+    }
+    ++stats_.events_forwarded;
+  }
+}
+
+void Broker::emit_trace_span(std::uint64_t trace_id,
+                             const event::EventImage& image, sim::NodeId from,
                              bool matched) {
   trace::TraceSpan span;
-  span.trace_id = msg.trace_id;
+  span.trace_id = trace_id;
   span.kind = trace::SpanKind::Broker;
   span.node = id_;
   span.from = from;
@@ -348,11 +406,11 @@ void Broker::emit_trace_span(const EventMsg& msg, sim::NodeId from,
   // (stage-0 set) but absent from A_stage — exactly the constraints this
   // broker could not check, i.e. the only possible sources of a spurious
   // forward (Proposition 1).
-  if (const weaken::StageSchema* schema = schema_for(msg.image.type_name())) {
+  if (const weaken::StageSchema* schema = schema_for(image.type_name())) {
     const std::vector<std::string>& kept = schema->attributes_at(stage_);
     for (const std::string& attr : schema->attributes_at(0)) {
       if (std::find(kept.begin(), kept.end(), attr) == kept.end() &&
-          msg.image.has(attr))
+          image.has(attr))
         span.weakened_attrs_hit.push_back(attr);
     }
   }

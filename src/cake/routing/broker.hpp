@@ -29,6 +29,7 @@
 #include "cake/routing/protocol.hpp"
 #include "cake/sim/sim.hpp"
 #include "cake/trace/trace.hpp"
+#include "cake/util/hash.hpp"
 #include "cake/util/rng.hpp"
 #include "cake/weaken/weaken.hpp"
 
@@ -38,6 +39,12 @@ namespace cake::routing {
 enum class Placement {
   CoveringSearch,  ///< Fig. 5: follow covering filters; cluster similar subs
   Random,          ///< locality baseline of §4.2: random descent, no search
+};
+
+/// How a broker emits a matched event toward each child (DESIGN.md §9).
+enum class ForwardMode {
+  Reencode,     ///< serialize a fresh frame per forward (pre-§9 behaviour)
+  PassThrough,  ///< fan out the inbound refcounted frame unchanged
 };
 
 struct BrokerConfig {
@@ -62,6 +69,14 @@ struct BrokerConfig {
   /// Events buffered per detached durable subscriber before the oldest are
   /// dropped (§2.1 storing events for temporarily disconnected subscribers).
   std::size_t durable_buffer_limit = 1024;
+  /// Decode inbound EventMsg frames in place (string_views borrowed from the
+  /// packet buffer) instead of through the generic owning decoder. Off = the
+  /// allocation-heavy baseline, kept for A14's before/after arms.
+  bool borrowed_decode = true;
+  /// Pass-through is sound because the stored image is hop-invariant: every
+  /// hop forwards exactly the bytes the publisher framed (trace ids, event
+  /// ids and published_at all travel inside the frame, never per-hop).
+  ForwardMode forward = ForwardMode::PassThrough;
   index::Engine engine = index::Engine::Naive;
   Placement placement = Placement::CoveringSearch;
 };
@@ -171,12 +186,19 @@ private:
   void handle(JoinAt&&) {}
   void handle(AcceptedAt&&) {}
 
+  /// Zero-allocation event path (DESIGN.md §9): decodes the EventMsg frame
+  /// into `image_scratch_` with values borrowed from `payload`'s buffer,
+  /// matches, and fans the original frame (PassThrough) or a fresh
+  /// serialization (Reencode) to the matching children. Throws WireError on
+  /// corruption, like decode().
+  void handle_event_frame(sim::NodeId from, const sim::Network::Payload& payload);
   void handle_wildcard(const Subscribe& msg);
   void insert_subscriber(const Subscribe& msg);
-  /// Emits this hop's TraceSpan for a traced event (msg.trace_id != 0):
+  /// Emits this hop's TraceSpan for a traced event (trace_id != 0):
   /// the weakened-match verdict plus the attributes the stage schema
   /// weakened away here — the constraints this broker could not check.
-  void emit_trace_span(const EventMsg& msg, sim::NodeId from, bool matched);
+  void emit_trace_span(std::uint64_t trace_id, const event::EventImage& image,
+                       sim::NodeId from, bool matched);
   /// Installs/refreshes <filter, child>; propagates upward on new filters.
   void insert_filter(filter::ConjunctiveFilter stored, sim::NodeId child,
                      bool durable = false);
@@ -219,7 +241,7 @@ private:
   std::unordered_map<filter::ConjunctiveFilter, index::FilterId> by_filter_;
   std::unordered_map<filter::ConjunctiveFilter, std::size_t> needed_;  // refcounts
   std::unordered_set<filter::ConjunctiveFilter> active_;  // submitted upward
-  std::unordered_map<std::string, weaken::StageSchema> schemas_;
+  util::StringMap<weaken::StageSchema> schemas_;
   // Buffered events per detached durable subscriber, oldest first.
   std::unordered_map<sim::NodeId, std::deque<event::EventImage>> detached_;
 
@@ -227,6 +249,9 @@ private:
   index::MatchScratch scratch_;
   std::vector<index::FilterId> match_scratch_;
   std::vector<sim::NodeId> target_scratch_;
+  // Reused borrowed image for handle_event_frame; its string_views point
+  // into the payload being handled and die with the call.
+  event::EventImage image_scratch_;
 };
 
 }  // namespace cake::routing

@@ -292,8 +292,10 @@ std::uint64_t PublisherNode::publish(event::EventImage image) {
     span.ticks = scheduler_.now();
     tracer_->emit(std::move(span));
   }
-  network_.send(id_, root_, encode(EventMsg{std::move(image), scheduler_.now(),
-                                            event_id, trace_id}));
+  // Serialize once into a pooled frame; every downstream hop that passes
+  // through refcounts these exact bytes (DESIGN.md §9).
+  network_.send(id_, root_,
+                encode_event_frame(image, scheduler_.now(), event_id, trace_id));
   return event_id;
 }
 

@@ -80,18 +80,33 @@ struct Encoder {
 
 static_assert(std::variant_size_v<Packet> == kPacketClasses,
               "packet_class/packet_class_name must cover every variant");
+static_assert(static_cast<std::uint8_t>(Tag::Event) == kEventPacketClass,
+              "kEventPacketClass must track the Tag enum");
 
 }  // namespace
 
-sim::Network::Payload encode(const Packet& packet) {
+std::vector<std::byte> encode(const Packet& packet) {
   wire::Writer w;
   std::visit(Encoder{w}, packet);
   return wire::frame(w.bytes());
 }
 
+sim::Network::Payload encode_event_frame(const event::EventImage& image,
+                                         sim::Time published_at,
+                                         std::uint64_t event_id,
+                                         std::uint64_t trace_id) {
+  wire::Writer w = wire::Writer::pooled();
+  w.begin_frame();
+  w.u8(static_cast<std::uint8_t>(Tag::Event));
+  w.varint(published_at);
+  w.varint(event_id);
+  w.varint(trace_id);
+  image.encode(w);
+  return w.end_frame();
+}
+
 Packet decode(std::span<const std::byte> payload) {
-  const std::vector<std::byte> body = wire::unframe(payload);
-  wire::Reader r{body};
+  wire::Reader r{wire::unframe(payload)};
   switch (static_cast<Tag>(r.u8())) {
     case Tag::Advertise:
       return Advertise{weaken::StageSchema::decode(r)};

@@ -98,14 +98,29 @@ struct EventMsg {
 using Packet = std::variant<Advertise, Subscribe, JoinAt, AcceptedAt, ReqInsert,
                             Renew, Unsub, Expired, Detach, Resume, EventMsg>;
 
-/// Serializes a packet into a checksummed frame ready for Network::send.
-[[nodiscard]] sim::Network::Payload encode(const Packet& packet);
+/// Serializes a packet into a checksummed frame ready for Network::send
+/// (the Payload conversion wraps the vector). Control-path helper; event
+/// traffic uses `encode_event_frame`, which pools its buffer.
+[[nodiscard]] std::vector<std::byte> encode(const Packet& packet);
+
+/// Serializes an EventMsg-class packet straight into a pooled, refcounted
+/// frame — byte-identical to `encode(EventMsg{...})` but without the
+/// payload copy or fresh buffer. `image` may be a borrowed image (the
+/// broker's re-encode arm writes straight from the inbound view).
+[[nodiscard]] sim::Network::Payload encode_event_frame(
+    const event::EventImage& image, sim::Time published_at,
+    std::uint64_t event_id, std::uint64_t trace_id);
 
 /// Parses a frame; throws wire::WireError on corruption or unknown tags.
 [[nodiscard]] Packet decode(std::span<const std::byte> payload);
 
 /// Number of distinct packet classes (== std::variant_size_v<Packet>).
 inline constexpr std::uint8_t kPacketClasses = 11;
+
+/// Wire tag of EventMsg frames (checked against the Tag enum in
+/// protocol.cpp). Brokers peek this to route event traffic through the
+/// borrowed-decode / pass-through fast path without a full decode.
+inline constexpr std::uint8_t kEventPacketClass = 7;
 
 /// Peeks the wire tag of a framed packet without validating the checksum —
 /// cheap enough for the chaos engine's per-packet-type drop rules to call

@@ -75,7 +75,12 @@ void LocalBus::unsubscribe(Token token) {
 }
 
 std::size_t LocalBus::publish(const event::Event& event) {
-  const event::EventImage image = event::image_of(event);
+  // Reuse a thread-local image: image_of_into rewrites it in place, so a
+  // warmed-up publish builds the image without touching the heap. Safe
+  // against reentrancy for the same reason as the scratch below — matching
+  // is over before any handler can publish again on this thread.
+  thread_local event::EventImage image;
+  event::image_of_into(event, image);
 
   // Match under a shared snapshot — the table lock plus, inside the
   // sharded index, a read lock on the one shard this event's class maps

@@ -100,17 +100,39 @@ void Network::send(NodeId from, NodeId to, Payload payload) {
 
 void Network::schedule_delivery(NodeId from, NodeId to, Time delay,
                                 Payload payload) {
-  scheduler_.schedule_after(
-      delay, [this, from, to, payload = std::move(payload)]() {
-        const auto handler = handlers_.find(to);
-        if (handler == handlers_.end()) {
-          ++undeliverable_;  // crashed / detached peer
-          return;
-        }
-        ++delivered_;
-        ++received_[to];
-        handler->second(from, payload);
-      });
+  // Park the message in a pooled slot: the closure captures 12 bytes and
+  // fits std::function's inline storage, so steady-state delivery never
+  // allocates (the slot vector stops growing once it covers the peak
+  // in-flight count).
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(delivery_slots_.size());
+    delivery_slots_.emplace_back();
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  Delivery& d = delivery_slots_[slot];
+  d.from = from;
+  d.to = to;
+  d.payload = std::move(payload);
+  scheduler_.schedule_after(delay, [this, slot] { deliver(slot); });
+}
+
+void Network::deliver(std::uint32_t slot) {
+  // Move the record out and recycle the slot *before* running the handler:
+  // handlers send more messages, which may claim it again.
+  Delivery d = std::move(delivery_slots_[slot]);
+  delivery_slots_[slot] = Delivery{};
+  free_slots_.push_back(slot);
+  const auto handler = handlers_.find(d.to);
+  if (handler == handlers_.end()) {
+    ++undeliverable_;  // crashed / detached peer
+    return;
+  }
+  ++delivered_;
+  ++received_[d.to];
+  handler->second(d.from, d.payload);
 }
 
 LinkStats Network::link(NodeId from, NodeId to) const noexcept {

@@ -6,7 +6,9 @@
 // between registered endpoints with configurable per-link latency while
 // counting every message and byte — the raw material for the LC/RLC/MR
 // metrics. Payloads are real wire bytes, so the serialization path is
-// exercised on every hop exactly as it would be on a socket.
+// exercised on every hop exactly as it would be on a socket. Payloads are
+// refcounted `wire::Frame`s: fan-out, duplication and in-flight buffering
+// copy a pointer, never the bytes (DESIGN.md §9).
 #pragma once
 
 #include <cstdint>
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "cake/util/rng.hpp"
+#include "cake/wire/buffer.hpp"
 
 namespace cake::sim {
 
@@ -102,7 +105,10 @@ struct LinkStats {
 /// Byte-payload message network with latency and accounting.
 class Network {
 public:
-  using Payload = std::vector<std::byte>;
+  /// Refcounted immutable frame; implicitly constructible from a
+  /// `std::vector<std::byte>` so encode()-returning-vector call sites work
+  /// unchanged (they pay one wrap allocation — hot paths pass Frames).
+  using Payload = wire::Frame;
   using Handler = std::function<void(NodeId from, const Payload& payload)>;
 
   /// Disposition of one message, decided by a fault interceptor at send
@@ -173,6 +179,16 @@ private:
   }
 
   void schedule_delivery(NodeId from, NodeId to, Time delay, Payload payload);
+  void deliver(std::uint32_t slot);
+
+  /// In-flight message parked until its delivery time. Slots are pooled so
+  /// the scheduler closure captures only {this, slot} — small enough for
+  /// std::function's inline storage, i.e. no allocation per hop.
+  struct Delivery {
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;
+    Payload payload;
+  };
 
   Scheduler& scheduler_;
   Time default_latency_;
@@ -190,6 +206,8 @@ private:
   std::unordered_map<std::uint64_t, LinkStats> links_;
   std::unordered_map<NodeId, std::uint64_t> received_;
   LinkStats total_;
+  std::vector<Delivery> delivery_slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace cake::sim

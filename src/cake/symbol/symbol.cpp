@@ -1,0 +1,73 @@
+#include "cake/symbol/symbol.hpp"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace cake::symbol {
+
+namespace {
+
+struct TransparentHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+// Storage is a deque of owned strings: growth never moves existing
+// elements, so the `string_view`s handed out (and used as map keys) stay
+// valid across inserts.
+struct Interner {
+  mutable std::shared_mutex mutex;
+  std::deque<std::string> storage;
+  std::unordered_map<std::string_view, Id, TransparentHash, std::equal_to<>> ids;
+
+  Interner() { insert_locked(""); }  // id 0 == ""
+
+  Symbol insert_locked(std::string_view text) {
+    std::string& owned = storage.emplace_back(text);
+    const Id id = static_cast<Id>(storage.size() - 1);
+    ids.emplace(std::string_view{owned}, id);
+    return Symbol{id, std::string_view{owned}};
+  }
+};
+
+Interner& table() {
+  static Interner instance;
+  return instance;
+}
+
+}  // namespace
+
+Symbol intern(std::string_view text) {
+  Interner& t = table();
+  {
+    std::shared_lock lock{t.mutex};
+    const auto it = t.ids.find(text);
+    if (it != t.ids.end()) return Symbol{it->second, it->first};
+  }
+  std::unique_lock lock{t.mutex};
+  const auto it = t.ids.find(text);  // raced: someone else interned it
+  if (it != t.ids.end()) return Symbol{it->second, it->first};
+  return t.insert_locked(text);
+}
+
+std::string_view name(Id id) {
+  Interner& t = table();
+  std::shared_lock lock{t.mutex};
+  if (id >= t.storage.size())
+    throw std::out_of_range{"symbol: unknown id"};
+  return std::string_view{t.storage[id]};
+}
+
+std::size_t size() noexcept {
+  Interner& t = table();
+  std::shared_lock lock{t.mutex};
+  return t.storage.size();
+}
+
+}  // namespace cake::symbol

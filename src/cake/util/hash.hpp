@@ -1,0 +1,28 @@
+// Heterogeneous string hashing for std::string-keyed maps.
+//
+// `unordered_map<std::string, V>::find(std::string_view)` normally has to
+// materialize a temporary std::string per call; with a transparent hasher
+// the lookup hashes the view directly. Used by every string-keyed table on
+// the hot path (type registry, event codec, broker schema table, topic
+// groups) so steady-state lookups are allocation-free (DESIGN.md §9).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace cake::util {
+
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// `std::string`-keyed map with allocation-free `string_view` lookups.
+template <typename V>
+using StringMap = std::unordered_map<std::string, V, StringHash, std::equal_to<>>;
+
+}  // namespace cake::util

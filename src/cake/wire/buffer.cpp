@@ -1,0 +1,55 @@
+#include "cake/wire/buffer.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace cake::wire {
+
+namespace {
+
+std::atomic<bool> g_pooling{true};
+
+// Thread-local free list: each thread returns buffers to its own pool, so
+// cross-thread Frame destruction is safe without locks. Bounded so a burst
+// can't pin unbounded capacity.
+constexpr std::size_t kMaxPooled = 64;
+
+std::vector<std::vector<std::byte>>& pool() {
+  thread_local std::vector<std::vector<std::byte>> buffers;
+  return buffers;
+}
+
+}  // namespace
+
+void set_buffer_pooling(bool enabled) noexcept {
+  g_pooling.store(enabled, std::memory_order_relaxed);
+}
+
+bool buffer_pooling() noexcept {
+  return g_pooling.load(std::memory_order_relaxed);
+}
+
+std::vector<std::byte> acquire_buffer() {
+  if (buffer_pooling()) {
+    auto& p = pool();
+    if (!p.empty()) {
+      std::vector<std::byte> buf = std::move(p.back());
+      p.pop_back();
+      buf.clear();
+      return buf;
+    }
+  }
+  return {};
+}
+
+void release_buffer(std::vector<std::byte>&& buf) noexcept {
+  if (!buffer_pooling() || buf.capacity() == 0) return;
+  auto& p = pool();
+  if (p.size() >= kMaxPooled) return;  // excess capacity is just freed
+  p.push_back(std::move(buf));
+}
+
+Frame::Frame(std::vector<std::byte> bytes)
+    : holder_(std::make_shared<const Holder>(std::move(bytes))), offset_(0) {}
+
+}  // namespace cake::wire

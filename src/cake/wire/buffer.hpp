@@ -1,0 +1,101 @@
+// Pooled, refcounted wire buffers.
+//
+// Every packet the simulator carries used to be a `std::vector<std::byte>`
+// copied at each fan-out point. `Frame` is the replacement: an immutable,
+// reference-counted byte buffer — copying a Frame bumps a refcount, so a
+// broker can fan one inbound event frame out to every matching child
+// without touching the bytes (DESIGN.md §9, pass-through forwarding). The
+// backing vectors cycle through a thread-local pool so steady-state
+// encoding does not allocate either.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace cake::wire {
+
+/// Globally enables/disables buffer pooling (default on). Exists for the
+/// A14 bench arms; pooling off means acquire/release degrade to plain
+/// vector allocation.
+void set_buffer_pooling(bool enabled) noexcept;
+[[nodiscard]] bool buffer_pooling() noexcept;
+
+/// An empty vector with warm capacity from the thread-local pool (or a
+/// fresh one when the pool is empty / pooling is off).
+[[nodiscard]] std::vector<std::byte> acquire_buffer();
+
+/// Returns a buffer's capacity to the thread-local pool (bounded; excess
+/// buffers are simply freed).
+void release_buffer(std::vector<std::byte>&& buf) noexcept;
+
+/// Immutable refcounted byte buffer holding one encoded wire frame.
+///
+/// `offset` exists because `Writer::end_frame` right-aligns the varint
+/// length prefix inside a fixed-width gap instead of copying the payload:
+/// the visible bytes (`bytes()`) start past the slack and are byte-identical
+/// to what the copying `frame()` helper produces.
+class Frame {
+public:
+  Frame() = default;
+  /// Wraps an existing encoded frame (one refcount allocation). Implicit so
+  /// legacy `encode() -> vector` call sites keep working.
+  Frame(std::vector<std::byte> bytes);
+  /// Literal payloads (tests, hand-rolled packets).
+  Frame(std::initializer_list<std::byte> bytes)
+      : Frame(std::vector<std::byte>{bytes}) {}
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    if (!holder_) return {};
+    return std::span<const std::byte>{storage().data() + offset_,
+                                      storage().size() - offset_};
+  }
+  operator std::span<const std::byte>() const noexcept { return bytes(); }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return holder_ ? storage().size() - offset_ : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] const std::byte* data() const noexcept { return bytes().data(); }
+  const std::byte& operator[](std::size_t i) const noexcept {
+    return bytes()[i];
+  }
+  [[nodiscard]] auto begin() const noexcept { return bytes().begin(); }
+  [[nodiscard]] auto end() const noexcept { return bytes().end(); }
+
+  /// Content equality (not identity): two frames are equal when their
+  /// visible bytes are.
+  friend bool operator==(const Frame& a, const Frame& b) noexcept {
+    const auto sa = a.bytes();
+    const auto sb = b.bytes();
+    return sa.size() == sb.size() &&
+           std::equal(sa.begin(), sa.end(), sb.begin());
+  }
+
+private:
+  friend class Writer;
+
+  // On destruction the backing vector's capacity goes back to the pool.
+  struct Holder {
+    std::vector<std::byte> buf;
+    explicit Holder(std::vector<std::byte> b) noexcept : buf(std::move(b)) {}
+    ~Holder() { release_buffer(std::move(buf)); }
+    Holder(const Holder&) = delete;
+    Holder& operator=(const Holder&) = delete;
+  };
+
+  Frame(std::shared_ptr<const Holder> holder, std::size_t offset) noexcept
+      : holder_(std::move(holder)), offset_(offset) {}
+
+  [[nodiscard]] const std::vector<std::byte>& storage() const noexcept {
+    return holder_->buf;
+  }
+
+  std::shared_ptr<const Holder> holder_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace cake::wire

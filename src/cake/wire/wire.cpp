@@ -1,12 +1,27 @@
 #include "cake/wire/wire.hpp"
 
 #include <bit>
+#include <cassert>
 #include <cstring>
 
 namespace cake::wire {
 
 using value::Kind;
 using value::Value;
+
+namespace {
+
+// Widest length prefix end_frame ever needs: 5 varint bytes cover payloads
+// up to 2^35-1, far beyond any packet this system frames.
+constexpr std::size_t kLenGap = 5;
+
+}  // namespace
+
+Writer Writer::pooled() {
+  Writer w;
+  w.buf_ = acquire_buffer();
+  return w;
+}
 
 void Writer::u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
 
@@ -41,12 +56,42 @@ void Writer::value(const Value& v) {
     case Kind::Bool: u8(v.as_bool() ? 1 : 0); break;
     case Kind::Int: zigzag(v.as_int()); break;
     case Kind::Double: f64(v.as_double()); break;
-    case Kind::String: string(v.as_string()); break;
+    case Kind::String: string(v.as_string_view()); break;
   }
 }
 
 void Writer::raw(std::span<const std::byte> bytes) {
   buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Writer::begin_frame() {
+  assert(buf_.empty() && !framing_);
+  buf_.resize(kLenGap);  // slack for the back-filled length varint
+  framing_ = true;
+}
+
+Frame Writer::end_frame() {
+  assert(framing_);
+  framing_ = false;
+  const std::size_t payload_len = buf_.size() - kLenGap;
+  const std::uint64_t sum =
+      fnv1a(std::span<const std::byte>{buf_.data() + kLenGap, payload_len});
+  for (int i = 0; i < 8; ++i)
+    u8(static_cast<std::uint8_t>(sum >> (8 * i)));
+  // Right-align the minimal varint inside the gap so the frame's visible
+  // bytes match `frame()` exactly; the Frame offset skips the slack.
+  std::byte prefix[kLenGap];
+  std::size_t n = 0;
+  std::uint64_t v = payload_len;
+  while (v >= 0x80) {
+    prefix[n++] = static_cast<std::byte>(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  prefix[n++] = static_cast<std::byte>(v);
+  assert(n <= kLenGap);
+  const std::size_t offset = kLenGap - n;
+  std::memcpy(buf_.data() + offset, prefix, n);
+  return Frame{std::make_shared<const Frame::Holder>(std::move(buf_)), offset};
 }
 
 void Reader::need(std::size_t n) const {
@@ -89,11 +134,21 @@ double Reader::f64() {
   return std::bit_cast<double>(bits);
 }
 
-std::string Reader::string() {
+std::string Reader::string() { return std::string{string_view()}; }
+
+std::string_view Reader::string_view() {
   const std::uint64_t len = varint();
   need(len);
-  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), len);
+  const std::string_view s{reinterpret_cast<const char*>(buf_.data() + pos_),
+                           static_cast<std::size_t>(len)};
   pos_ += len;
+  return s;
+}
+
+std::span<const std::byte> Reader::bytes(std::size_t n) {
+  need(n);
+  const std::span<const std::byte> s = buf_.subspan(pos_, n);
+  pos_ += n;
   return s;
 }
 
@@ -105,6 +160,18 @@ Value Reader::value() {
     case Kind::Int: return Value{zigzag()};
     case Kind::Double: return Value{f64()};
     case Kind::String: return Value{string()};
+  }
+  throw WireError{"wire: unknown value kind"};
+}
+
+Value Reader::value_view() {
+  const auto kind = static_cast<Kind>(u8());
+  switch (kind) {
+    case Kind::Null: return {};
+    case Kind::Bool: return Value{u8() != 0};
+    case Kind::Int: return Value{zigzag()};
+    case Kind::Double: return Value{f64()};
+    case Kind::String: return Value::borrow(string_view());
   }
   throw WireError{"wire: unknown value kind"};
 }
@@ -128,14 +195,12 @@ std::vector<std::byte> frame(std::span<const std::byte> payload) {
   return w.take();
 }
 
-std::vector<std::byte> unframe(std::span<const std::byte> framed) {
+std::span<const std::byte> unframe(std::span<const std::byte> framed) {
   Reader r{framed};
   const std::uint64_t len = r.varint();
-  if (r.remaining() < len + 8) throw WireError{"wire: truncated frame"};
-  std::vector<std::byte> payload;
-  payload.reserve(len);
-  for (std::uint64_t i = 0; i < len; ++i)
-    payload.push_back(static_cast<std::byte>(r.u8()));
+  if (len > framed.size() || r.remaining() < len + 8)
+    throw WireError{"wire: truncated frame"};
+  const std::span<const std::byte> payload = r.bytes(len);
   std::uint64_t sum = 0;
   for (int i = 0; i < 8; ++i)
     sum |= static_cast<std::uint64_t>(r.u8()) << (8 * i);

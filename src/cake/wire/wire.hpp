@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cake/value/value.hpp"
+#include "cake/wire/buffer.hpp"
 
 namespace cake::wire {
 
@@ -30,6 +31,13 @@ public:
 /// Append-only byte sink.
 class Writer {
 public:
+  Writer() = default;
+
+  /// A writer whose backing buffer comes from the thread-local pool; pair
+  /// with `begin_frame`/`end_frame` to encode a whole frame with zero
+  /// steady-state allocations.
+  [[nodiscard]] static Writer pooled();
+
   [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return buf_; }
   [[nodiscard]] std::vector<std::byte> take() noexcept { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
@@ -48,8 +56,18 @@ public:
   /// Raw bytes, no length prefix.
   void raw(std::span<const std::byte> bytes);
 
+  /// In-place framing: reserves a fixed-width gap for the length prefix.
+  /// Must be the first write. Everything written afterwards is the frame
+  /// payload; `end_frame` checksums it and back-fills a right-aligned
+  /// minimal varint length into the gap — no payload copy, byte-identical
+  /// on the wire to the copying `frame()` helper.
+  void begin_frame();
+  /// Finishes an in-place frame, consuming the writer's buffer.
+  [[nodiscard]] Frame end_frame();
+
 private:
   std::vector<std::byte> buf_;
+  bool framing_ = false;
 };
 
 /// Bounds-checked byte source over a borrowed buffer.
@@ -69,7 +87,15 @@ public:
   [[nodiscard]] std::int64_t zigzag();
   [[nodiscard]] double f64();
   [[nodiscard]] std::string string();
+  /// Borrowed length-prefixed string: a view into the reader's buffer, no
+  /// copy. Valid only while the underlying buffer lives.
+  [[nodiscard]] std::string_view string_view();
+  /// Borrowed raw bytes (`n` of them), advancing the cursor.
+  [[nodiscard]] std::span<const std::byte> bytes(std::size_t n);
   [[nodiscard]] value::Value value();
+  /// Like `value()` but decodes strings as borrowed views into the reader's
+  /// buffer (`Value::borrow`) — the zero-copy decode mode (DESIGN.md §9).
+  [[nodiscard]] value::Value value_view();
 
 private:
   std::span<const std::byte> buf_;
@@ -82,10 +108,14 @@ private:
 [[nodiscard]] std::uint64_t fnv1a(std::span<const std::byte> bytes) noexcept;
 
 /// Wraps a payload into a checksummed frame: varint length + payload + sum.
+/// Copies the payload once; hot paths should use `Writer::begin_frame`/
+/// `end_frame`, which frame in place.
 [[nodiscard]] std::vector<std::byte> frame(std::span<const std::byte> payload);
 
-/// Validates and strips a frame produced by `frame`; throws WireError on
-/// truncation or checksum mismatch.
-[[nodiscard]] std::vector<std::byte> unframe(std::span<const std::byte> framed);
+/// Validates a frame produced by `frame`/`end_frame` and returns a
+/// bounds-checked *view* of its payload (no copy — the view borrows from
+/// `framed`). Throws WireError on truncation or checksum mismatch.
+[[nodiscard]] std::span<const std::byte> unframe(
+    std::span<const std::byte> framed);
 
 }  // namespace cake::wire

@@ -7,7 +7,7 @@ using event::EventImage;
 
 const value::Value& required(const EventImage& image, std::string_view name) {
   if (const auto* v = image.find(name)) return *v;
-  throw reflect::ReflectError{"image of '" + image.type_name() +
+  throw reflect::ReflectError{"image of '" + std::string{image.type_name()} +
                               "' lacks attribute '" + std::string{name} + "'"};
 }
 

@@ -1,0 +1,213 @@
+// Allocation guard for the zero-allocation hot path (DESIGN.md §9).
+//
+// A counting `operator new` interposer pins the steady-state costs this PR
+// claims: an inner broker forwarding an EventMsg frame performs *zero* heap
+// allocations per event (borrowed decode + frame pass-through), and
+// `LocalBus::publish` settles to a small fixed constant. The interposer is
+// global to this binary, which is why these tests live in their own
+// executable instead of the GLOB'd cake_tests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "cake/filter/filter.hpp"
+#include "cake/routing/broker.hpp"
+#include "cake/routing/protocol.hpp"
+#include "cake/runtime/local_bus.hpp"
+#include "cake/sim/sim.hpp"
+#include "cake/workload/generators.hpp"
+#include "cake/workload/types.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+std::uint64_t news() { return g_news.load(std::memory_order_relaxed); }
+
+void* counted_alloc(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded ? rounded : align)) return p;
+  throw std::bad_alloc{};
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace cake {
+namespace {
+
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+
+// An inner broker in steady state: borrowed decode, frame pass-through.
+// After warm-up (scratch capacities grown, symbols interned, hash maps
+// populated), re-delivering the same published frame must not allocate at
+// all — not in the network, not in the broker, not in the sink delivery.
+TEST(AllocGuard, BrokerForwardPathIsAllocationFree) {
+  workload::ensure_types_registered();
+  const auto& registry = reflect::TypeRegistry::global();
+
+  sim::Scheduler scheduler;
+  sim::Network network{scheduler, 10};
+
+  routing::BrokerConfig config;
+  config.auto_renew = false;  // static workload: no periodic tasks
+  routing::Broker broker{1, 1, network, scheduler, registry, config,
+                         util::Rng{7}};
+  broker.start();
+
+  // A plain sink stands in for the next hop (subscriber-edge decode is
+  // excluded by design: the owning decode happens once, at the edge).
+  network.attach(2, [](sim::NodeId, const sim::Network::Payload&) {});
+
+  // Install a filter the event matches, through the wire like a child would.
+  workload::BiblioGenerator gen{{}, 2002};
+  const event::EventImage image = gen.next_event();
+  const auto filter = FilterBuilder{"Publication"}
+                          .where("year", Op::Eq, *image.find("year"))
+                          .build();
+  ASSERT_TRUE(filter.matches(image, registry));
+  network.send(2, 1,
+               routing::encode(routing::Packet{routing::ReqInsert{filter, 2}}));
+  scheduler.run();
+
+  // One pre-encoded event frame, re-sent for every iteration: the publisher
+  // serializes once and every hop below passes bytes through.
+  const sim::Network::Payload frame =
+      routing::encode_event_frame(image, 0, 1, 0);
+
+  for (int i = 0; i < 64; ++i) {  // warm-up: grow every capacity once
+    network.send(0, 1, frame);
+    scheduler.run();
+  }
+  const std::uint64_t forwarded_before = broker.stats().events_forwarded;
+
+  const std::uint64_t before = news();
+  for (int i = 0; i < 512; ++i) {
+    network.send(0, 1, frame);
+    scheduler.run();
+  }
+  const std::uint64_t after = news();
+
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state forward path allocated on the heap";
+  EXPECT_EQ(broker.stats().events_forwarded, forwarded_before + 512);
+  EXPECT_EQ(broker.stats().malformed_packets, 0u);
+}
+
+// Re-encode mode still decodes without allocating, and pooling recycles the
+// byte buffers — what remains is exactly one allocation per forwarded
+// frame: the shared_ptr control block that makes the fresh frame
+// refcounted. Pin it so neither the decode nor the encode path regresses.
+TEST(AllocGuard, ReencodeForwardWithPoolingCostsOneRefcountBlock) {
+  workload::ensure_types_registered();
+  const auto& registry = reflect::TypeRegistry::global();
+
+  sim::Scheduler scheduler;
+  sim::Network network{scheduler, 10};
+
+  routing::BrokerConfig config;
+  config.auto_renew = false;
+  config.forward = routing::ForwardMode::Reencode;
+  routing::Broker broker{1, 1, network, scheduler, registry, config,
+                         util::Rng{7}};
+  broker.start();
+  network.attach(2, [](sim::NodeId, const sim::Network::Payload&) {});
+
+  const auto filter = FilterBuilder{"Publication"}.build();
+  network.send(2, 1,
+               routing::encode(routing::Packet{routing::ReqInsert{filter, 2}}));
+  scheduler.run();
+
+  workload::BiblioGenerator gen{{}, 2002};
+  const sim::Network::Payload frame =
+      routing::encode_event_frame(gen.next_event(), 0, 1, 0);
+
+  for (int i = 0; i < 64; ++i) {
+    network.send(0, 1, frame);
+    scheduler.run();
+  }
+
+  const std::uint64_t before = news();
+  for (int i = 0; i < 512; ++i) {
+    network.send(0, 1, frame);
+    scheduler.run();
+  }
+  EXPECT_EQ(news() - before, 512u)
+      << "pooled re-encode should cost exactly the per-frame refcount block";
+}
+
+// LocalBus::publish: the typed event -> image extraction reuses a
+// thread-local image and the match runs over thread-local scratch; the only
+// remaining allocation is the per-publish target snapshot. Pin it to a
+// small constant that holds for *every* iteration, not just on average.
+TEST(AllocGuard, LocalBusPublishCostsAFixedSmallConstant) {
+  workload::ensure_types_registered();
+  runtime::LocalBus bus{index::Engine::Counting,
+                        reflect::TypeRegistry::global()};
+  int delivered = 0;
+  bus.subscribe(FilterBuilder{"Stock"}.build(),
+                [&](const event::Event&) { ++delivered; });
+
+  const workload::Stock stock{"CAKE", 31.41, 1000};
+  for (int i = 0; i < 64; ++i) bus.publish(stock);  // warm-up
+
+  const std::uint64_t before = news();
+  bus.publish(stock);
+  const std::uint64_t per_publish = news() - before;
+  EXPECT_LE(per_publish, 2u) << "publish cost grew beyond the snapshot";
+
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t start = news();
+    bus.publish(stock);
+    EXPECT_EQ(news() - start, per_publish) << "iteration " << i;
+  }
+  EXPECT_EQ(delivered, 64 + 1 + 256);
+}
+
+}  // namespace
+}  // namespace cake

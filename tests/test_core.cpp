@@ -148,7 +148,7 @@ TEST_F(CoreTest, ImageSubscriptionBypassesTypedDecode) {
   std::vector<std::string> types;
   sub.subscribe_images(FilterBuilder{"Stock"}.build(),
                        [&](const event::EventImage& e) {
-                         types.push_back(e.type_name());
+                         types.push_back(std::string{e.type_name()});
                        });
   sys_.run();
   sys_.publish(Stock{"Foo", 1.0, 1});

@@ -43,7 +43,8 @@ TEST(Fuzz, MutatedValidFramesNeverCrashPacketDecode) {
   workload::BiblioGenerator gen{{}, 77};
   Rng rng{fuzz_seed(0xF423)};
 
-  std::vector<sim::Network::Payload> seeds;
+  // Mutable byte vectors, not Frames: the mutation loop rewrites them.
+  std::vector<std::vector<std::byte>> seeds;
   seeds.push_back(routing::encode(routing::Packet{
       routing::Subscribe{gen.next_subscription(), 42, 7, true}}));
   seeds.push_back(

@@ -161,9 +161,9 @@ TEST(Network, CountsMessagesAndBytes) {
   Scheduler sched;
   Network net{sched};
   net.attach(2, [](NodeId, const Network::Payload&) {});
-  net.send(1, 2, Network::Payload(10));
-  net.send(1, 2, Network::Payload(5));
-  net.send(2, 1, Network::Payload(7));
+  net.send(1, 2, Network::Payload(std::vector<std::byte>(10)));
+  net.send(1, 2, Network::Payload(std::vector<std::byte>(5)));
+  net.send(2, 1, Network::Payload(std::vector<std::byte>(7)));
   EXPECT_EQ(net.total_messages(), 3u);
   EXPECT_EQ(net.total_bytes(), 22u);
   EXPECT_EQ(net.link(1, 2).messages, 2u);
@@ -188,7 +188,7 @@ TEST(Network, ReceivedByCountsDeliveries) {
 TEST(Network, DetachedPeerDropsSilently) {
   Scheduler sched;
   Network net{sched};
-  net.send(1, 99, Network::Payload(4));
+  net.send(1, 99, Network::Payload(std::vector<std::byte>(4)));
   EXPECT_NO_THROW(sched.run());
 }
 
@@ -227,7 +227,7 @@ TEST(Network, InterceptorDropsCountIntoDropped) {
   net.set_interceptor([](NodeId, NodeId, const Network::Payload&) {
     return Network::FaultAction{.copies = 0, .extra_latency = 0};
   });
-  for (int i = 0; i < 7; ++i) net.send(1, 2, Network::Payload(1));
+  for (int i = 0; i < 7; ++i) net.send(1, 2, Network::Payload(std::vector<std::byte>(1)));
   sched.run();
   EXPECT_EQ(seen, 0u);
   EXPECT_EQ(net.dropped(), 7u);
@@ -243,7 +243,7 @@ TEST(Network, InterceptorDuplicatesDeliverEveryCopy) {
   net.set_interceptor([](NodeId, NodeId, const Network::Payload&) {
     return Network::FaultAction{.copies = 3, .extra_latency = 0};
   });
-  for (int i = 0; i < 5; ++i) net.send(1, 2, Network::Payload(1));
+  for (int i = 0; i < 5; ++i) net.send(1, 2, Network::Payload(std::vector<std::byte>(1)));
   sched.run();
   EXPECT_EQ(seen, 15u);
   EXPECT_EQ(net.duplicated(), 10u);  // two extra copies per send
@@ -280,9 +280,9 @@ TEST(Network, InterceptorClearsWithEmptyFunction) {
   net.set_interceptor([](NodeId, NodeId, const Network::Payload&) {
     return Network::FaultAction{.copies = 0, .extra_latency = 0};
   });
-  net.send(1, 2, Network::Payload(1));
+  net.send(1, 2, Network::Payload(std::vector<std::byte>(1)));
   net.set_interceptor({});
-  net.send(1, 2, Network::Payload(1));
+  net.send(1, 2, Network::Payload(std::vector<std::byte>(1)));
   sched.run();
   EXPECT_EQ(seen, 1u);
   EXPECT_EQ(net.dropped(), 1u);
@@ -352,7 +352,7 @@ TEST(Network, AccountingIdentityHoldsUnderRandomChaosSchedules) {
         const Time at = static_cast<Time>(i) * 250;
         sched.schedule_at(at, [&net, i] {
           net.send(static_cast<NodeId>(i % 4), static_cast<NodeId>((i + 1) % 5),
-                   Network::Payload(3));
+                   Network::Payload(std::vector<std::byte>(3)));
         });
       }
       sched.run();
