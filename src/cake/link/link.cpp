@@ -1,0 +1,560 @@
+#include "cake/link/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace cake::link {
+
+void encode_fields(wire::Writer& w, const Ack& m) {
+  w.varint(m.session);
+  w.varint(m.cum);
+}
+
+void encode_fields(wire::Writer& w, const Nack& m) {
+  w.varint(m.session);
+  w.varint(m.missing);
+}
+
+void encode_fields(wire::Writer& w, const Heartbeat& m) {
+  w.varint(m.session);
+  w.varint(m.nonce);
+  w.u8(m.reply ? 1 : 0);
+}
+
+Ack decode_ack_fields(wire::Reader& r) {
+  Ack m;
+  m.session = static_cast<std::uint32_t>(r.varint());
+  m.cum = r.varint();
+  return m;
+}
+
+Nack decode_nack_fields(wire::Reader& r) {
+  Nack m;
+  m.session = static_cast<std::uint32_t>(r.varint());
+  m.missing = r.varint();
+  return m;
+}
+
+Heartbeat decode_heartbeat_fields(wire::Reader& r) {
+  Heartbeat m;
+  m.session = static_cast<std::uint32_t>(r.varint());
+  m.nonce = r.varint();
+  m.reply = r.u8() != 0;
+  return m;
+}
+
+LinkCounters& LinkCounters::operator+=(const LinkCounters& o) noexcept {
+  data_sent += o.data_sent;
+  retransmits += o.retransmits;
+  events_shed += o.events_shed;
+  duplicates_suppressed += o.duplicates_suppressed;
+  reordered_held += o.reordered_held;
+  acks_sent += o.acks_sent;
+  nacks_sent += o.nacks_sent;
+  heartbeats_sent += o.heartbeats_sent;
+  peers_declared_dead += o.peers_declared_dead;
+  stream_resets += o.stream_resets;
+  return *this;
+}
+
+LinkManager::LinkManager(sim::NodeId id, sim::Network& network,
+                         sim::Scheduler& scheduler, LinkOptions options,
+                         std::uint64_t seed)
+    : id_(id),
+      network_(network),
+      scheduler_(scheduler),
+      options_(options),
+      rng_(seed) {}
+
+void LinkManager::attach(Deliver deliver) {
+  deliver_ = std::move(deliver);
+  detached_ = false;
+  if (!reliable()) {
+    // Best-effort baseline: the manager steps fully aside — untagged sends,
+    // plain handler, byte-identical to the pre-link-layer system.
+    network_.attach(id_, sim::Network::Handler{deliver_});
+    return;
+  }
+  network_.attach(
+      id_, sim::Network::TaggedHandler{
+               [this](sim::NodeId from, const Payload& p,
+                      const sim::LinkTag& tag) { on_network(from, p, tag); }});
+  arm_heartbeat();
+}
+
+void LinkManager::detach() {
+  detached_ = true;
+  network_.detach(id_);
+}
+
+void LinkManager::reset() {
+  tx_.clear();
+  rx_.clear();
+  watches_.clear();
+}
+
+void LinkManager::send_control(sim::NodeId to, Payload payload) {
+  enqueue(to, std::move(payload), /*event=*/false);
+}
+
+void LinkManager::send_event(sim::NodeId to, Payload payload) {
+  enqueue(to, std::move(payload), /*event=*/true);
+}
+
+void LinkManager::enqueue(sim::NodeId to, Payload payload, bool event) {
+  if (!reliable()) {
+    network_.send(id_, to, std::move(payload));
+    return;
+  }
+  TxState& tx = tx_[to];
+  if (tx.session == 0) tx.session = next_session_++;
+  if (unacked(tx) < options_.window) {
+    admit(to, tx, TxFrame{std::move(payload), event});
+    return;
+  }
+  // Window full: queue behind it. Events are sheddable drop-newest past the
+  // queue limit; control is never shed — the queue grows instead, because a
+  // lost Subscribe/ReqInsert is a correctness hole the soft-state layer
+  // would take whole TTLs to repair.
+  if (event && tx.pending_count >= options_.queue_limit) {
+    ++counters_.events_shed;
+    return;
+  }
+  if (tx.pending_count == tx.pending.size()) {
+    // Grow the pending ring (unwrap into a fresh vector, oldest first).
+    std::vector<TxFrame> grown;
+    grown.reserve(std::max<std::size_t>(16, tx.pending.size() * 2));
+    for (std::size_t i = 0; i < tx.pending_count; ++i)
+      grown.push_back(std::move(
+          tx.pending[(tx.pending_head + i) % tx.pending.size()]));
+    grown.resize(grown.capacity());
+    tx.pending = std::move(grown);
+    tx.pending_head = 0;
+  }
+  tx.pending[(tx.pending_head + tx.pending_count) % tx.pending.size()] =
+      TxFrame{std::move(payload), event};
+  ++tx.pending_count;
+}
+
+void LinkManager::admit(sim::NodeId to, TxState& tx, TxFrame frame) {
+  if (tx.window.size() < options_.window) tx.window.resize(options_.window);
+  const std::uint64_t seq = tx.next_seq++;
+  tx.window[seq % options_.window] = std::move(frame);
+  ++counters_.data_sent;
+  transmit(to, tx, seq);
+  arm_retransmit(to, tx);
+}
+
+void LinkManager::transmit(sim::NodeId to, TxState& tx, std::uint64_t seq) {
+  sim::LinkTag tag;
+  tag.present = true;
+  tag.session = tx.session;
+  tag.seq = seq;
+  // Piggyback the cumulative ack for the reverse stream, if one exists.
+  if (const auto it = rx_.find(to); it != rx_.end() && it->second.synced) {
+    tag.ack = it->second.delivered;
+    tag.ack_session = it->second.session;
+    it->second.ack_armed = false;  // the pending standalone ack is covered
+  }
+  network_.send(id_, to, tx.window[seq % options_.window].payload, tag);
+}
+
+void LinkManager::advance_ack(sim::NodeId peer, TxState& tx,
+                              std::uint32_t session, std::uint64_t cum) {
+  if (session != tx.session || cum <= tx.acked) return;
+  if (cum >= tx.next_seq) cum = tx.next_seq - 1;  // never ack the future
+  while (tx.acked < cum) {
+    ++tx.acked;
+    tx.window[tx.acked % options_.window].payload = Payload{};  // recycle
+  }
+  tx.backoff = 0;
+  // Admit queued frames into the freed window.
+  while (tx.pending_count > 0 && unacked(tx) < options_.window) {
+    TxFrame frame = std::move(tx.pending[tx.pending_head]);
+    tx.pending_head = (tx.pending_head + 1) % tx.pending.size();
+    --tx.pending_count;
+    admit(peer, tx, std::move(frame));
+  }
+  if (unacked(tx) == 0) {
+    tx.timer_armed = false;  // dormant closure sees this and dies
+  } else {
+    tx.rto_deadline = scheduler_.now() + rto(tx);
+  }
+}
+
+void LinkManager::reset_stream(sim::NodeId peer, TxState& tx) {
+  // The receiver has no state for this stream (it restarted): restart from
+  // seq 1 under a fresh session, outstanding frames first, queue after.
+  ++counters_.stream_resets;
+  std::vector<TxFrame> outstanding;
+  outstanding.reserve(unacked(tx) + tx.pending_count);
+  for (std::uint64_t seq = tx.acked + 1; seq < tx.next_seq; ++seq)
+    outstanding.push_back(std::move(tx.window[seq % options_.window]));
+  for (std::size_t i = 0; i < tx.pending_count; ++i)
+    outstanding.push_back(
+        std::move(tx.pending[(tx.pending_head + i) % tx.pending.size()]));
+  tx.session = next_session_++;
+  tx.next_seq = 1;
+  tx.acked = 0;
+  tx.pending_head = 0;
+  tx.pending_count = 0;
+  tx.backoff = 0;
+  tx.timer_armed = false;
+  for (TxFrame& frame : outstanding) enqueue(peer, std::move(frame.payload),
+                                             frame.event);
+}
+
+void LinkManager::redirect(sim::NodeId from, sim::NodeId to) {
+  const auto it = tx_.find(from);
+  if (it == tx_.end()) return;
+  TxState tx = std::move(it->second);
+  tx_.erase(it);
+  rx_.erase(from);
+  for (std::uint64_t seq = tx.acked + 1; seq < tx.next_seq; ++seq) {
+    TxFrame& frame = tx.window[seq % options_.window];
+    enqueue(to, std::move(frame.payload), frame.event);
+  }
+  for (std::size_t i = 0; i < tx.pending_count; ++i) {
+    TxFrame& frame = tx.pending[(tx.pending_head + i) % tx.pending.size()];
+    enqueue(to, std::move(frame.payload), frame.event);
+  }
+}
+
+void LinkManager::forget(sim::NodeId peer) {
+  tx_.erase(peer);
+  rx_.erase(peer);
+  watches_.erase(peer);
+}
+
+std::size_t LinkManager::in_flight(sim::NodeId peer) const noexcept {
+  const auto it = tx_.find(peer);
+  return it == tx_.end() ? 0 : unacked(it->second) + it->second.pending_count;
+}
+
+void LinkManager::on_network(sim::NodeId from, const Payload& payload,
+                             const sim::LinkTag& tag) {
+  note_heard(from);
+  switch (wire::frame_tag(payload)) {
+    case kAckTag: {
+      try {
+        wire::Reader r{wire::unframe(payload)};
+        (void)r.u8();  // tag
+        handle_ack(from, r);
+      } catch (const wire::WireError&) {
+      }
+      return;  // link control never reaches the node above
+    }
+    case kNackTag: {
+      try {
+        wire::Reader r{wire::unframe(payload)};
+        (void)r.u8();
+        handle_nack(from, r);
+      } catch (const wire::WireError&) {
+      }
+      return;
+    }
+    case kHeartbeatTag: {
+      try {
+        wire::Reader r{wire::unframe(payload)};
+        (void)r.u8();
+        handle_heartbeat(from, r);
+      } catch (const wire::WireError&) {
+      }
+      return;
+    }
+    default: break;
+  }
+  if (tag.present && tag.ack != 0) {
+    if (const auto it = tx_.find(from); it != tx_.end())
+      advance_ack(from, it->second, tag.ack_session, tag.ack);
+  }
+  if (!tag.present || tag.seq == 0) {
+    // Untagged traffic from a best-effort peer passes straight through.
+    deliver_(from, payload);
+    return;
+  }
+  rx_data(from, payload, tag);
+}
+
+void LinkManager::note_heard(sim::NodeId from) {
+  const auto it = watches_.find(from);
+  if (it == watches_.end()) return;
+  it->second.last_heard = scheduler_.now();
+  it->second.misses = 0;
+  it->second.dead = false;  // a revived peer speaks for itself
+}
+
+void LinkManager::rx_data(sim::NodeId from, const Payload& payload,
+                          const sim::LinkTag& tag) {
+  RxState& rx = rx_[from];
+  if (rx.synced && tag.session < rx.session) {
+    // A late duplicate from a superseded stream (sessions are monotonic per
+    // sender, and survive resets). Adopting it would wipe the live stream's
+    // watermark and wedge the link; suppress it instead.
+    ++counters_.duplicates_suppressed;
+    return;
+  }
+  if (!rx.synced || rx.session != tag.session) {
+    // New stream (first contact, or the peer restarted): adopt it. The old
+    // stream's holds die with it — a restart loses in-flight data by design.
+    rx.session = tag.session;
+    rx.synced = true;
+    rx.delivered = 0;
+    rx.last_nacked = 0;
+    for (HoldSlot& slot : rx.hold) slot = HoldSlot{};
+  }
+  if (tag.seq <= rx.delivered) {
+    ++counters_.duplicates_suppressed;
+    arm_ack(from, rx);  // re-ack: our previous ack may have been lost
+    return;
+  }
+  if (tag.seq == rx.delivered + 1) {
+    rx.delivered = tag.seq;
+    arm_ack(from, rx);
+    deliver_(from, payload);
+    // The handler above may have touched the maps; re-resolve before
+    // draining any held successors.
+    release_in_order(from);
+    return;
+  }
+  // Gap: hold the frame for in-order release if it fits the reorder ring.
+  if (tag.seq > rx.delivered + hold_capacity()) {
+    if (rx.delivered == 0) {
+      // Fresh receiver mid-stream (we restarted): ask for a stream restart.
+      send_nack(from, rx, 0);
+    } else {
+      send_nack(from, rx, rx.delivered + 1);
+    }
+    return;
+  }
+  if (rx.hold.size() < hold_capacity()) rx.hold.resize(hold_capacity());
+  HoldSlot& slot = rx.hold[tag.seq % hold_capacity()];
+  if (slot.present && slot.seq == tag.seq) {
+    ++counters_.duplicates_suppressed;
+  } else {
+    slot.payload = payload;
+    slot.seq = tag.seq;
+    slot.present = true;
+    ++counters_.reordered_held;
+  }
+  // A receiver that has released nothing yet cannot tell a reordered
+  // stream start from its own cold restart — but in both cases only a
+  // stream restart is safe to ask for: a plain gap NACK here could name a
+  // seq the sender already retired, and the sender must never confuse that
+  // with a late duplicate NACK (see handle_nack).
+  send_nack(from, rx, rx.delivered == 0 ? 0 : rx.delivered + 1);
+  arm_ack(from, rx);
+}
+
+void LinkManager::release_in_order(sim::NodeId from) {
+  for (;;) {
+    const auto it = rx_.find(from);
+    if (it == rx_.end() || it->second.hold.empty()) return;
+    RxState& rx = it->second;
+    HoldSlot& slot = rx.hold[(rx.delivered + 1) % hold_capacity()];
+    if (!slot.present || slot.seq != rx.delivered + 1) return;
+    const Payload payload = std::move(slot.payload);
+    slot = HoldSlot{};
+    ++rx.delivered;
+    arm_ack(from, rx);
+    deliver_(from, payload);  // may reenter sends; rx reference re-resolved
+  }
+}
+
+void LinkManager::send_nack(sim::NodeId peer, RxState& rx,
+                            std::uint64_t missing) {
+  const sim::Time now = scheduler_.now();
+  if (rx.last_nacked == missing &&
+      now < rx.last_nack_time + options_.nack_min_gap)
+    return;
+  rx.last_nacked = missing;
+  rx.last_nack_time = now;
+  ++counters_.nacks_sent;
+  network_.send(id_, peer, frame_control(kNackTag, Nack{rx.session, missing}));
+}
+
+void LinkManager::arm_ack(sim::NodeId peer, RxState& rx) {
+  if (rx.ack_armed) return;
+  rx.ack_armed = true;
+  scheduler_.schedule_background_after(options_.ack_delay,
+                                       [this, peer] { flush_ack(peer); });
+}
+
+void LinkManager::flush_ack(sim::NodeId peer) {
+  if (detached_) return;
+  const auto it = rx_.find(peer);
+  if (it == rx_.end() || !it->second.ack_armed) return;
+  it->second.ack_armed = false;
+  ++counters_.acks_sent;
+  network_.send(
+      id_, peer,
+      frame_control(kAckTag, Ack{it->second.session, it->second.delivered}));
+}
+
+void LinkManager::arm_retransmit(sim::NodeId peer, TxState& tx) {
+  tx.rto_deadline = scheduler_.now() + rto(tx);
+  if (tx.timer_armed) return;
+  tx.timer_armed = true;
+  scheduler_.schedule_background_after(
+      tx.rto_deadline - scheduler_.now(),
+      [this, peer] { on_retransmit_timer(peer); });
+}
+
+void LinkManager::on_retransmit_timer(sim::NodeId peer) {
+  const auto it = tx_.find(peer);
+  if (it == tx_.end()) return;
+  TxState& tx = it->second;
+  if (!tx.timer_armed) return;
+  if (detached_ || unacked(tx) == 0) {
+    tx.timer_armed = false;
+    return;
+  }
+  const sim::Time now = scheduler_.now();
+  if (now < tx.rto_deadline) {
+    // The deadline moved (an ack arrived); sleep out the remainder.
+    scheduler_.schedule_background_after(
+        tx.rto_deadline - now, [this, peer] { on_retransmit_timer(peer); });
+    return;
+  }
+  // Timeout: retransmit the window base, back off, rearm.
+  const std::uint64_t base = tx.acked + 1;
+  ++counters_.retransmits;
+  if (retransmit_probe_)
+    retransmit_probe_(peer, tx.window[base % options_.window].payload);
+  transmit(peer, tx, base);
+  if (tx.backoff < 16) ++tx.backoff;
+  tx.rto_deadline = now + rto(tx);
+  scheduler_.schedule_background_after(
+      tx.rto_deadline - now, [this, peer] { on_retransmit_timer(peer); });
+}
+
+sim::Time LinkManager::rto(const TxState& tx) {
+  sim::Time base = options_.rto_initial;
+  for (std::uint32_t i = 0; i < tx.backoff && base < options_.rto_max; ++i)
+    base *= 2;
+  base = std::min(base, options_.rto_max);
+  const sim::Time spread = base * options_.rto_jitter_permille / 1000;
+  return base + (spread > 0 ? rng_.below(spread + 1) : 0);
+}
+
+void LinkManager::watch(sim::NodeId peer) {
+  WatchState& w = watches_[peer];
+  w.watched = true;
+  w.dead = false;
+  w.misses = 0;
+  w.last_heard = scheduler_.now();  // grace period starts now
+  arm_heartbeat();
+}
+
+void LinkManager::unwatch(sim::NodeId peer) {
+  const auto it = watches_.find(peer);
+  if (it != watches_.end()) it->second.watched = false;
+}
+
+bool LinkManager::peer_alive(sim::NodeId peer) const noexcept {
+  const auto it = watches_.find(peer);
+  return it == watches_.end() || !it->second.dead;
+}
+
+std::uint32_t LinkManager::heartbeat_misses(sim::NodeId peer) const noexcept {
+  const auto it = watches_.find(peer);
+  return it == watches_.end() ? 0 : it->second.misses;
+}
+
+void LinkManager::arm_heartbeat() {
+  if (heartbeat_armed_ || !reliable()) return;
+  heartbeat_armed_ = true;
+  scheduler_.schedule_background_after(options_.heartbeat_interval,
+                                       [this] { heartbeat_tick(); });
+}
+
+void LinkManager::heartbeat_tick() {
+  heartbeat_armed_ = false;
+  if (detached_) return;
+  const sim::Time now = scheduler_.now();
+  std::vector<sim::NodeId> ping;
+  std::vector<sim::NodeId> dead;
+  for (auto& [peer, w] : watches_) {
+    if (!w.watched || w.dead) continue;
+    if (now >= w.last_heard + options_.heartbeat_interval) {
+      ++w.misses;
+      if (w.misses >= options_.heartbeat_misses) {
+        w.dead = true;
+        ++counters_.peers_declared_dead;
+        dead.push_back(peer);
+      } else {
+        ping.push_back(peer);
+      }
+    } else {
+      w.misses = 0;
+    }
+  }
+  for (const sim::NodeId peer : ping) {
+    ++counters_.heartbeats_sent;
+    network_.send(
+        id_, peer,
+        frame_control(kHeartbeatTag, Heartbeat{0, next_nonce_++, false}));
+  }
+  arm_heartbeat();
+  // Callbacks run last: a peer-down handler may watch/unwatch/forget, which
+  // mutates the map this tick just walked.
+  for (const sim::NodeId peer : dead) {
+    if (peer_down_) peer_down_(peer);
+  }
+}
+
+void LinkManager::handle_ack(sim::NodeId from, wire::Reader& r) {
+  const Ack ack = decode_ack_fields(r);
+  const auto it = tx_.find(from);
+  if (it != tx_.end()) advance_ack(from, it->second, ack.session, ack.cum);
+}
+
+void LinkManager::handle_nack(sim::NodeId from, wire::Reader& r) {
+  const Nack nack = decode_nack_fields(r);
+  const auto it = tx_.find(from);
+  if (it == tx_.end()) return;
+  TxState& tx = it->second;
+  if (nack.session != tx.session) return;  // stale stream
+  if (nack.missing == 0) {
+    // Explicit resync request: the receiver has no state for this stream
+    // (it restarted, or its first glimpse of the stream was mid-flight).
+    // Only a fresh stream can unwedge the pair.
+    reset_stream(from, tx);
+    return;
+  }
+  if (nack.missing <= tx.acked) {
+    // On a live stream our cumulative ack can never outrun the receiver's
+    // release point, so a request for an already-acked seq can only be a
+    // reordered NACK from the past. Resetting on it would re-deliver
+    // everything still in flight under a new session — a duplicate storm
+    // the receiver cannot dedup. Blank receivers signal with missing == 0
+    // instead, so dropping this on the floor is safe.
+    return;
+  }
+  if (nack.missing > tx.acked && nack.missing < tx.next_seq) {
+    ++counters_.retransmits;
+    if (retransmit_probe_)
+      retransmit_probe_(from,
+                        tx.window[nack.missing % options_.window].payload);
+    transmit(from, tx, nack.missing);
+  }
+}
+
+void LinkManager::handle_heartbeat(sim::NodeId from, wire::Reader& r) {
+  const Heartbeat hb = decode_heartbeat_fields(r);
+  if (hb.reply) return;  // pong: note_heard already credited it
+  ++counters_.heartbeats_sent;
+  network_.send(id_, from,
+                frame_control(kHeartbeatTag, Heartbeat{0, hb.nonce, true}));
+}
+
+LinkManager::Payload LinkManager::frame_control(std::uint8_t tag,
+                                                const auto& fields) const {
+  wire::Writer w = wire::Writer::pooled();
+  w.begin_frame();
+  w.u8(tag);
+  encode_fields(w, fields);
+  return w.end_frame();
+}
+
+}  // namespace cake::link

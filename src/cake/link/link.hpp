@@ -1,0 +1,287 @@
+// Per-link reliability and failure detection under the overlay.
+//
+// The paper's soft-state layer (§4.3) repairs *subscriptions* after faults;
+// this module makes the channels themselves dependable, so the matching
+// layer above can assume lossless, in-order, duplicate-free child↔parent
+// links (the SIENA/Gryphon layering). A `LinkManager` sits between a node
+// and `sim::Network`:
+//
+//   * every outbound frame gets a per-(src,dst) sequence number, carried
+//     out-of-band in a `sim::LinkTag` so the frame bytes — and the broker
+//     pass-through fast path — stay untouched;
+//   * the receiver deduplicates, holds reordered frames, and releases them
+//     in order; cumulative ACKs piggyback on reverse traffic with a delayed
+//     standalone ACK (and gap NACKs) as fallback;
+//   * the sender retransmits on timeout with exponential backoff plus
+//     deterministic seeded jitter, entirely Scheduler-driven, so runs are
+//     seed-reproducible;
+//   * the in-flight window is bounded; overflow applies the shed policy —
+//     control packets are never shed, events shed drop-newest;
+//   * idle links exchange heartbeats; a peer missing `heartbeat_misses`
+//     consecutive intervals is declared dead and the link-down callback
+//     fires (the overlay's re-parenting trigger).
+//
+// `Reliability::BestEffort` (the default) bypasses all of it: sends go
+// straight to the network untagged, byte-identical to the pre-link system.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cake/sim/sim.hpp"
+#include "cake/util/rng.hpp"
+#include "cake/wire/wire.hpp"
+
+namespace cake::link {
+
+/// Wire tags of the link-control packets. They extend the routing Tag enum
+/// (protocol.cpp static_asserts the alignment); the values live here so the
+/// link layer can frame its own control packets without depending on
+/// routing.
+inline constexpr std::uint8_t kAckTag = 11;
+inline constexpr std::uint8_t kNackTag = 12;
+inline constexpr std::uint8_t kHeartbeatTag = 13;
+
+/// Cumulative acknowledgement: every seq <= `cum` of stream `session`
+/// arrived. Standalone form of the LinkTag piggyback.
+struct Ack {
+  std::uint32_t session = 0;
+  std::uint64_t cum = 0;
+};
+
+/// Gap report: `missing` is the first sequence the receiver lacks.
+/// `missing == 0` is a resync request — the receiver has no state for the
+/// stream (it restarted); the sender must restart the stream from 1.
+struct Nack {
+  std::uint32_t session = 0;
+  std::uint64_t missing = 0;
+};
+
+/// Liveness probe (`reply == false`) or its echo (`reply == true`).
+struct Heartbeat {
+  std::uint32_t session = 0;
+  std::uint64_t nonce = 0;
+  bool reply = false;
+};
+
+/// Field codecs (the caller writes/consumed the tag byte — routing's
+/// Encoder and `LinkManager`'s standalone framing share these).
+void encode_fields(wire::Writer& w, const Ack& m);
+void encode_fields(wire::Writer& w, const Nack& m);
+void encode_fields(wire::Writer& w, const Heartbeat& m);
+[[nodiscard]] Ack decode_ack_fields(wire::Reader& r);
+[[nodiscard]] Nack decode_nack_fields(wire::Reader& r);
+[[nodiscard]] Heartbeat decode_heartbeat_fields(wire::Reader& r);
+
+enum class Reliability : std::uint8_t {
+  BestEffort,  ///< untagged sends straight to the network (measurement baseline)
+  Reliable,    ///< sequenced, acknowledged, retransmitted, failure-detected
+};
+
+struct LinkOptions {
+  Reliability reliability = Reliability::BestEffort;
+  /// First retransmission timeout; doubles per consecutive expiry.
+  sim::Time rto_initial = 8'000;
+  /// Backoff ceiling. Deliberately a fraction of `heartbeat_interval` (and
+  /// far below any lease TTL): under sustained heavy loss the retransmit
+  /// cadence is what keeps renewals landing before leases expire — a cap
+  /// near the TTL starves the lease pipeline no matter what the overlay
+  /// does, and a flapping link must recover faster than the failure
+  /// detector gives up on it.
+  sim::Time rto_max = 64'000;
+  /// Deterministic jitter added to each RTO: uniform in
+  /// [0, rto * permille / 1000], drawn from the manager's seeded Rng.
+  std::uint32_t rto_jitter_permille = 250;
+  /// Max unacknowledged frames per peer before sends queue.
+  std::size_t window = 64;
+  /// Max queued-behind-the-window frames per peer before the shed policy
+  /// applies (events drop-newest; control is never shed and may exceed it).
+  std::size_t queue_limit = 1024;
+  /// Standalone-ACK flush delay (piggybacking on reverse traffic cancels it).
+  sim::Time ack_delay = 2'000;
+  /// Minimum spacing of gap NACKs per peer.
+  sim::Time nack_min_gap = 8'000;
+  /// Watched peers silent for a full interval accrue one miss.
+  sim::Time heartbeat_interval = 200'000;
+  /// Dead at exactly this many consecutive misses.
+  std::uint32_t heartbeat_misses = 3;
+};
+
+/// Aggregated per-node link counters (metrics::link_table renders them).
+struct LinkCounters {
+  std::uint64_t data_sent = 0;       ///< sequenced frames admitted to the wire
+  std::uint64_t retransmits = 0;
+  std::uint64_t events_shed = 0;     ///< drop-newest on window+queue overflow
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t reordered_held = 0;  ///< frames parked for in-order release
+  std::uint64_t acks_sent = 0;       ///< standalone ACK packets
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t heartbeats_sent = 0; ///< pings and pongs
+  std::uint64_t peers_declared_dead = 0;
+  std::uint64_t stream_resets = 0;   ///< resync restarts of a stream
+
+  LinkCounters& operator+=(const LinkCounters& o) noexcept;
+};
+
+/// One node's end of every link it speaks on.
+class LinkManager {
+public:
+  using Payload = sim::Network::Payload;
+  /// Upward delivery of an in-order, deduplicated data frame.
+  using Deliver = std::function<void(sim::NodeId from, const Payload& payload)>;
+  using PeerDown = std::function<void(sim::NodeId peer)>;
+  /// Observes every retransmitted frame (the trace layer hooks in here to
+  /// stamp Retransmit spans for traced events).
+  using RetransmitProbe =
+      std::function<void(sim::NodeId to, const Payload& payload)>;
+
+  LinkManager(sim::NodeId id, sim::Network& network, sim::Scheduler& scheduler,
+              LinkOptions options, std::uint64_t seed);
+
+  LinkManager(const LinkManager&) = delete;
+  LinkManager& operator=(const LinkManager&) = delete;
+
+  [[nodiscard]] bool reliable() const noexcept {
+    return options_.reliability == Reliability::Reliable;
+  }
+  [[nodiscard]] sim::NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const LinkCounters& counters() const noexcept {
+    return counters_;
+  }
+
+  /// Attaches to the network. Reliable mode installs a tagged handler that
+  /// consumes link control and releases data frames to `deliver`;
+  /// best-effort installs `deliver` directly.
+  void attach(Deliver deliver);
+  /// Detaches from the network (crash). Per-peer state freezes; timers go
+  /// dormant.
+  void detach();
+  /// Clears every stream and watch (cold restart has no disk). Fresh
+  /// streams get new session ids, so peers discard stale state on contact.
+  void reset();
+
+  /// Reliable send of a control-plane packet: sequenced, retransmitted,
+  /// never shed. Best-effort mode forwards untagged.
+  void send_control(sim::NodeId to, Payload payload);
+  /// Reliable send of an event frame: sequenced, retransmitted, but
+  /// sheddable drop-newest when window and queue are full.
+  void send_event(sim::NodeId to, Payload payload);
+
+  /// Starts heartbeat failure detection of `peer`.
+  void watch(sim::NodeId peer);
+  void unwatch(sim::NodeId peer);
+  void set_peer_down(PeerDown cb) { peer_down_ = std::move(cb); }
+  void set_retransmit_probe(RetransmitProbe probe) {
+    retransmit_probe_ = std::move(probe);
+  }
+
+  /// False only while a watched peer stands declared dead.
+  [[nodiscard]] bool peer_alive(sim::NodeId peer) const noexcept;
+  /// Consecutive heartbeat misses accrued against a watched peer.
+  [[nodiscard]] std::uint32_t heartbeat_misses(sim::NodeId peer) const noexcept;
+
+  /// Re-routes every unacknowledged and queued frame bound for `from`
+  /// through `to`, preserving order and shed class (re-parenting: the new
+  /// parent takes over the dead one's stream), then forgets `from`.
+  void redirect(sim::NodeId from, sim::NodeId to);
+  /// Drops all transmit/receive state toward `peer`.
+  void forget(sim::NodeId peer);
+
+  /// Unacknowledged frames currently in flight toward `peer` (tests).
+  [[nodiscard]] std::size_t in_flight(sim::NodeId peer) const noexcept;
+
+private:
+  struct TxFrame {
+    Payload payload;
+    bool event = false;  // sheddable class
+  };
+  struct TxState {
+    std::uint32_t session = 0;
+    std::uint64_t next_seq = 1;  // next sequence to assign
+    std::uint64_t acked = 0;     // cumulative: all <= acked acknowledged
+    // Ring of unacked frames [acked+1, next_seq-1], slot = seq % window.
+    std::vector<TxFrame> window;
+    // Ring of frames waiting behind the window.
+    std::vector<TxFrame> pending;
+    std::size_t pending_head = 0;
+    std::size_t pending_count = 0;
+    std::uint32_t backoff = 0;  // consecutive RTO expiries
+    bool timer_armed = false;
+    sim::Time rto_deadline = 0;
+  };
+  struct HoldSlot {
+    Payload payload;
+    std::uint64_t seq = 0;
+    bool present = false;
+  };
+  struct RxState {
+    std::uint32_t session = 0;
+    bool synced = false;
+    std::uint64_t delivered = 0;  // all <= delivered released upward
+    std::vector<HoldSlot> hold;   // reorder ring, slot = seq % capacity
+    bool ack_armed = false;
+    std::uint64_t last_nacked = 0;
+    sim::Time last_nack_time = 0;
+  };
+  struct WatchState {
+    bool watched = false;
+    bool dead = false;
+    std::uint32_t misses = 0;
+    sim::Time last_heard = 0;
+  };
+
+  [[nodiscard]] std::size_t hold_capacity() const noexcept {
+    return options_.window * 2;
+  }
+  [[nodiscard]] std::size_t unacked(const TxState& tx) const noexcept {
+    return static_cast<std::size_t>(tx.next_seq - 1 - tx.acked);
+  }
+
+  void on_network(sim::NodeId from, const Payload& payload,
+                  const sim::LinkTag& tag);
+  void note_heard(sim::NodeId from);
+  void enqueue(sim::NodeId to, Payload payload, bool event);
+  /// Assigns the next seq and puts `frame` on the wire.
+  void admit(sim::NodeId to, TxState& tx, TxFrame frame);
+  void transmit(sim::NodeId to, TxState& tx, std::uint64_t seq);
+  void advance_ack(sim::NodeId peer, TxState& tx, std::uint32_t session,
+                   std::uint64_t cum);
+  void reset_stream(sim::NodeId peer, TxState& tx);
+  void rx_data(sim::NodeId from, const Payload& payload,
+               const sim::LinkTag& tag);
+  void release_in_order(sim::NodeId from);
+  void send_nack(sim::NodeId peer, RxState& rx, std::uint64_t missing);
+  void arm_ack(sim::NodeId peer, RxState& rx);
+  void flush_ack(sim::NodeId peer);
+  void arm_retransmit(sim::NodeId peer, TxState& tx);
+  void on_retransmit_timer(sim::NodeId peer);
+  [[nodiscard]] sim::Time rto(const TxState& tx);
+  void arm_heartbeat();
+  void heartbeat_tick();
+  void handle_ack(sim::NodeId from, wire::Reader& r);
+  void handle_nack(sim::NodeId from, wire::Reader& r);
+  void handle_heartbeat(sim::NodeId from, wire::Reader& r);
+  [[nodiscard]] Payload frame_control(std::uint8_t tag,
+                                      const auto& fields) const;
+
+  sim::NodeId id_;
+  sim::Network& network_;
+  sim::Scheduler& scheduler_;
+  LinkOptions options_;
+  util::Rng rng_;
+  Deliver deliver_;
+  PeerDown peer_down_;
+  RetransmitProbe retransmit_probe_;
+  bool detached_ = true;
+  bool heartbeat_armed_ = false;
+  std::uint32_t next_session_ = 1;  // unique per stream this node originates
+  std::uint64_t next_nonce_ = 1;
+  std::unordered_map<sim::NodeId, TxState> tx_;
+  std::unordered_map<sim::NodeId, RxState> rx_;
+  std::unordered_map<sim::NodeId, WatchState> watches_;
+  LinkCounters counters_;
+};
+
+}  // namespace cake::link

@@ -157,6 +157,25 @@ util::TextTable trace_stage_table(const std::vector<trace::StageRollup>& rollups
   return table;
 }
 
+util::TextTable link_table(const link::LinkCounters& c, std::uint64_t reparents) {
+  util::TextTable table{{"Link counter", "Count"}};
+  const auto row = [&](const char* name, std::uint64_t value) {
+    table.add_row({name, std::to_string(value)});
+  };
+  row("Data frames sent", c.data_sent);
+  row("Retransmissions", c.retransmits);
+  row("Events shed (queue full)", c.events_shed);
+  row("Duplicates suppressed", c.duplicates_suppressed);
+  row("Out-of-order frames held", c.reordered_held);
+  row("ACKs sent", c.acks_sent);
+  row("NACKs sent", c.nacks_sent);
+  row("Heartbeats sent", c.heartbeats_sent);
+  row("Peers declared dead", c.peers_declared_dead);
+  row("Stream resets", c.stream_resets);
+  row("Re-parent events", reparents);
+  return table;
+}
+
 util::TextTable shard_table(const std::vector<index::ShardStats>& shards) {
   util::TextTable table{{"Shard", "Matches", "Hit rate", "Filters"}};
   for (const index::ShardStats& s : shards) {

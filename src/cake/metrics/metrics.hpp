@@ -111,4 +111,12 @@ struct StageSummary {
 [[nodiscard]] util::TextTable trace_stage_table(
     const std::vector<trace::StageRollup>& rollups);
 
+/// Renders the link-layer resilience rollup: retransmissions, sheds,
+/// duplicates suppressed, failure-detector verdicts, stream resets. Feed it
+/// `Overlay::link_counters()` (or any per-node `link_counters()`); pair it
+/// with `Overlay::total_reparents()` via the `reparents` argument to close
+/// the self-healing story in one table.
+[[nodiscard]] util::TextTable link_table(const link::LinkCounters& counters,
+                                         std::uint64_t reparents = 0);
+
 }  // namespace cake::metrics

@@ -1,10 +1,19 @@
 #include "cake/routing/broker.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <type_traits>
 
 namespace cake::routing {
+
+namespace {
+bool chaos_debug() {
+  static const bool on = std::getenv("CAKE_CHAOS_DEBUG") != nullptr;
+  return on;
+}
+}  // namespace
 
 Broker::Broker(sim::NodeId id, std::size_t stage, sim::Network& network,
                sim::Scheduler& scheduler, const reflect::TypeRegistry& registry,
@@ -16,6 +25,11 @@ Broker::Broker(sim::NodeId id, std::size_t stage, sim::Network& network,
       registry_(registry),
       config_(config),
       rng_(rng),
+      // The link manager draws its retransmit jitter from its own stream,
+      // derived from the node id alone: pulling a seed out of `rng_` here
+      // would shift the placement stream and change best-effort runs.
+      link_(id, network, scheduler, config.link,
+            (static_cast<std::uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL),
       index_(index::make_index(config.engine, registry)) {
   if (stage_ == 0)
     throw std::invalid_argument{"Broker: stage 0 is the subscriber level"};
@@ -27,9 +41,19 @@ void Broker::start() {
 }
 
 void Broker::attach_to_network() {
-  network_.attach(id_, [this](sim::NodeId from, const sim::Network::Payload& p) {
+  link_.attach([this](sim::NodeId from, const sim::Network::Payload& p) {
     on_packet(from, p);
   });
+  if (!link_.reliable()) return;
+  link_.set_peer_down([this](sim::NodeId peer) { on_parent_down(peer); });
+  link_.set_retransmit_probe(
+      [this](sim::NodeId to, const sim::Network::Payload& p) {
+        on_retransmit(to, p);
+      });
+  // The broker watches only its parent: child brokers renew through us and
+  // repair themselves, and watching subscribers would evict durable
+  // detachers. Subscribers watch their hosting broker from their own end.
+  if (parent_ != sim::kNoNode) link_.watch(parent_);
 }
 
 void Broker::schedule_tasks() {
@@ -45,13 +69,19 @@ void Broker::crash() {
   if (crashed_) return;
   crashed_ = true;
   ++epoch_;  // orphan the pending renew/reap closures
-  network_.detach(id_);
+  prev_parent_ = sim::kNoNode;
+  pen_.clear();
+  pen_armed_ = false;
+  link_.detach();
 }
 
 void Broker::restart() {
   if (!crashed_) return;
   crashed_ = false;
   ++epoch_;
+  prev_parent_ = sim::kNoNode;
+  pen_.clear();
+  pen_armed_ = false;
   entries_.clear();
   by_filter_.clear();
   needed_.clear();
@@ -59,6 +89,7 @@ void Broker::restart() {
   schemas_.clear();
   detached_.clear();
   index_ = index::make_index(config_.engine, registry_);
+  link_.reset();  // fresh sessions; peers discard the dead streams on contact
   attach_to_network();
   schedule_tasks();
 }
@@ -365,7 +396,14 @@ void Broker::handle_event_frame(sim::NodeId from,
       target_scratch_.end());
   if (tracer_ != nullptr && trace_id != 0)
     emit_trace_span(trace_id, image_scratch_, from, !target_scratch_.empty());
-  if (target_scratch_.empty()) return;
+  if (target_scratch_.empty()) {
+    if (chaos_debug())
+      std::fprintf(stderr, "[dbg] t=%llu broker=%u event=%llu NO-MATCH from=%u\n",
+                   (unsigned long long)scheduler_.now(), (unsigned)id_,
+                   (unsigned long long)event_id, (unsigned)from);
+    if (config_.match_grace > 0) park_unmatched(payload);
+    return;
+  }
   ++stats_.events_matched;
   for (const sim::NodeId target : target_scratch_) {
     if (const auto buffer = detached_.find(target); buffer != detached_.end()) {
@@ -380,11 +418,11 @@ void Broker::handle_event_frame(sim::NodeId from,
       continue;
     }
     if (config_.forward == ForwardMode::PassThrough) {
-      network_.send(id_, target, payload);  // refcount copy, zero bytes moved
+      link_.send_event(target, payload);  // refcount copy, zero bytes moved
     } else {
-      network_.send(id_, target, encode_event_frame(image_scratch_,
-                                                    published_at, event_id,
-                                                    trace_id));
+      link_.send_event(target, encode_event_frame(image_scratch_,
+                                                  published_at, event_id,
+                                                  trace_id));
     }
     ++stats_.events_forwarded;
   }
@@ -464,12 +502,105 @@ void Broker::resync_active() {
 }
 
 void Broker::send(sim::NodeId to, const Packet& packet) {
-  network_.send(id_, to, encode(packet));
+  // Events are the sheddable link class; everything else is control and is
+  // never shed (losing a ReqInsert costs whole TTLs of soft-state repair).
+  if (std::holds_alternative<EventMsg>(packet))
+    link_.send_event(to, encode(packet));
+  else
+    link_.send_control(to, encode(packet));
 }
 
 void Broker::send_join_at(sim::NodeId subscriber, sim::NodeId target,
                           std::uint64_t token) {
   send(subscriber, JoinAt{target, token});
+}
+
+void Broker::on_parent_down(sim::NodeId peer) {
+  if (crashed_ || peer != parent_ || ancestors_.empty()) return;
+  const sim::Time now = scheduler_.now();
+  // A quiet spell forgives the flap streak: re-parents long past are not
+  // evidence the current link is unstable.
+  if (reparent_streak_ > 0 && now - last_reparent_ > 8 * config_.reparent_backoff)
+    reparent_streak_ = 0;
+  const std::uint64_t epoch = epoch_;
+  if (now >= reparent_allowed_at_) {
+    do_reparent(epoch);
+    return;
+  }
+  // Damping: wait out the backoff, then re-check — the parent may have come
+  // back while we held off, in which case staying put is the whole point.
+  scheduler_.schedule_background_at(
+      reparent_allowed_at_, [this, epoch, peer] {
+        if (epoch != epoch_ || crashed_ || peer != parent_) return;
+        if (link_.peer_alive(peer)) return;
+        do_reparent(epoch);
+      });
+}
+
+void Broker::do_reparent(std::uint64_t epoch) {
+  if (epoch != epoch_ || crashed_ || ancestors_.empty()) return;
+  const sim::NodeId old_parent = parent_;
+  // Advance along the ancestor chain; wrap around so a restarted original
+  // parent is eventually retried instead of abandoned forever.
+  std::size_t idx = ancestor_idx_;
+  for (std::size_t step = 0; step < ancestors_.size(); ++step) {
+    idx = (idx + 1) % ancestors_.size();
+    if (ancestors_[idx] != old_parent) break;
+  }
+  if (ancestors_[idx] == old_parent) return;  // chain has no alternative
+  ancestor_idx_ = idx;
+  parent_ = ancestors_[idx];
+  link_.unwatch(old_parent);
+  // Buffered in-flight and queued frames follow us to the new parent, in
+  // order, keeping their shed class.
+  link_.redirect(old_parent, parent_);
+  link_.watch(parent_);
+  // Replay the aggregated filter table upward — plain renewal-by-
+  // reinsertion, so the new parent needs no special re-parent handling.
+  // Deliberately no Unsub to the old parent: between an Unsub processed
+  // there and a ReqInsert processed here, events down the old path would
+  // match nothing and vanish. The stale entries decay by lease TTL, and
+  // transient dual-path duplicates die at the subscribers' event-id dedup.
+  for (const auto& form : active_) send(parent_, ReqInsert{form, id_});
+  // Make-before-break: remember the old parent and keep renewing its
+  // leases (renew_task) until the new parent has acked the replayed table.
+  // If the death was a heartbeat false positive the old path keeps carrying
+  // events across the handover gap; if the parent is truly dead the extra
+  // renewals are undeliverable noise that stops at the first drained renew.
+  prev_parent_ = old_parent;
+  if (chaos_debug())
+    std::fprintf(stderr, "[dbg] t=%llu broker=%u REPARENT %u -> %u\n",
+                 (unsigned long long)scheduler_.now(), (unsigned)id_,
+                 (unsigned)old_parent, (unsigned)parent_);
+  ++stats_.reparents;
+  last_reparent_ = scheduler_.now();
+  ++reparent_streak_;
+  const std::uint32_t shift = std::min<std::uint32_t>(reparent_streak_, 10);
+  reparent_allowed_at_ =
+      last_reparent_ + (config_.reparent_backoff << shift);
+}
+
+void Broker::on_retransmit(sim::NodeId to, const sim::Network::Payload& payload) {
+  if (tracer_ == nullptr || packet_class(payload) != kEventPacketClass) return;
+  try {
+    wire::Reader r{wire::unframe(payload)};
+    (void)r.u8();      // tag
+    (void)r.varint();  // published_at
+    (void)r.varint();  // event_id
+    const std::uint64_t trace_id = r.varint();
+    if (trace_id == 0) return;
+    trace::TraceSpan span;
+    span.trace_id = trace_id;
+    span.kind = trace::SpanKind::Retransmit;
+    span.node = id_;
+    span.from = to;  // Retransmit spans record the destination here
+    span.stage = stage_;
+    span.ticks = scheduler_.now();
+    tracer_->emit(std::move(span));
+  } catch (const wire::WireError&) {
+    // A frame corrupt enough to defeat the partial decode still gets
+    // retransmitted; it just goes untraced.
+  }
 }
 
 sim::NodeId Broker::random_child() {
@@ -482,8 +613,104 @@ void Broker::renew_task(std::uint64_t epoch) {
   if (parent_ != sim::kNoNode) {
     for (const auto& form : active_) send(parent_, ReqInsert{form, id_});
   }
+  if (prev_parent_ != sim::kNoNode) {
+    if (link_.in_flight(parent_) == 0) {
+      // The new parent has acked everything we sent it — the replayed
+      // ReqInserts included, so its table now covers us. Handover done;
+      // let the old parent's leases lapse by TTL.
+      if (chaos_debug())
+        std::fprintf(stderr, "[dbg] t=%llu broker=%u HANDOVER-DONE prev=%u\n",
+                     (unsigned long long)scheduler_.now(), (unsigned)id_,
+                     (unsigned)prev_parent_);
+      prev_parent_ = sim::kNoNode;
+    } else if (prev_parent_ != parent_) {
+      for (const auto& form : active_) send(prev_parent_, ReqInsert{form, id_});
+    }
+  }
   scheduler_.schedule_background_after(config_.renew_interval,
                                        [this, epoch] { renew_task(epoch); });
+}
+
+void Broker::park_unmatched(const sim::Network::Payload& payload) {
+  if (pen_.size() >= config_.match_grace_limit) pen_.pop_front();
+  pen_.push_back({payload, scheduler_.now()});
+  ++stats_.events_parked;
+  if (pen_armed_) return;
+  pen_armed_ = true;
+  const std::uint64_t epoch = epoch_;
+  scheduler_.schedule_background_after(config_.match_grace / 4,
+                                       [this, epoch] { pen_tick(epoch); });
+}
+
+void Broker::pen_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || crashed_) {
+    pen_armed_ = false;
+    return;
+  }
+  const sim::Time now = scheduler_.now();
+  std::deque<Parked> keep;
+  for (Parked& parked : pen_) {
+    bool rescued = false;
+    try {
+      wire::Reader r{wire::unframe(parked.payload)};
+      (void)r.u8();
+      const sim::Time published_at = r.varint();
+      const std::uint64_t event_id = r.varint();
+      const std::uint64_t trace_id = r.varint();
+      image_scratch_.assign_view(r);
+      index_->match(image_scratch_, match_scratch_, scratch_);
+      target_scratch_.clear();
+      for (const index::FilterId fid : match_scratch_) {
+        const Entry& entry = entries_.at(fid);
+        for (const auto& lease : entry.leases)
+          target_scratch_.push_back(lease.child);
+      }
+      std::sort(target_scratch_.begin(), target_scratch_.end());
+      target_scratch_.erase(
+          std::unique(target_scratch_.begin(), target_scratch_.end()),
+          target_scratch_.end());
+      if (!target_scratch_.empty()) {
+        rescued = true;
+        ++stats_.events_rescued;
+        ++stats_.events_matched;
+        for (const sim::NodeId target : target_scratch_) {
+          if (const auto buffer = detached_.find(target);
+              buffer != detached_.end()) {
+            if (buffer->second.size() >= config_.durable_buffer_limit) {
+              buffer->second.pop_front();
+              ++stats_.buffer_overflows;
+            }
+            buffer->second.push_back(image_scratch_.to_owned());
+            ++stats_.events_buffered;
+            continue;
+          }
+          if (config_.forward == ForwardMode::PassThrough) {
+            link_.send_event(target, parked.payload);
+          } else {
+            link_.send_event(target,
+                             encode_event_frame(image_scratch_, published_at,
+                                                event_id, trace_id));
+          }
+          ++stats_.events_forwarded;
+        }
+      }
+    } catch (const wire::WireError&) {
+      continue;  // cannot happen for a frame that decoded once; drop it
+    }
+    if (!rescued && now - parked.parked_at < config_.match_grace)
+      keep.push_back(std::move(parked));
+    else if (chaos_debug())
+      std::fprintf(stderr, "[dbg] t=%llu broker=%u PEN-%s\n",
+                   (unsigned long long)now, (unsigned)id_,
+                   rescued ? "RESCUE" : "EXPIRE");
+  }
+  pen_ = std::move(keep);
+  if (pen_.empty()) {
+    pen_armed_ = false;
+    return;
+  }
+  scheduler_.schedule_background_after(config_.match_grace / 4,
+                                       [this, epoch] { pen_tick(epoch); });
 }
 
 void Broker::reap_task(std::uint64_t epoch) {
@@ -491,8 +718,14 @@ void Broker::reap_task(std::uint64_t epoch) {
   const sim::Time now = scheduler_.now();
   std::vector<index::FilterId> dead;
   for (auto& [fid, entry] : entries_) {
-    std::erase_if(entry.leases,
-                  [now](const Lease& lease) { return lease.expires <= now; });
+    std::erase_if(entry.leases, [&](const Lease& lease) {
+      if (lease.expires > now) return false;
+      if (chaos_debug())
+        std::fprintf(stderr, "[dbg] t=%llu broker=%u REAP lease child=%u\n",
+                     (unsigned long long)now, (unsigned)id_,
+                     (unsigned)lease.child);
+      return true;
+    });
     if (entry.leases.empty()) dead.push_back(fid);
   }
   for (const index::FilterId fid : dead) remove_entry(fid);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cake/index/sharded.hpp"
+#include "cake/link/link.hpp"
 #include "cake/routing/protocol.hpp"
 #include "cake/sim/sim.hpp"
 #include "cake/trace/trace.hpp"
@@ -79,6 +80,25 @@ struct BrokerConfig {
   ForwardMode forward = ForwardMode::PassThrough;
   index::Engine engine = index::Engine::Naive;
   Placement placement = Placement::CoveringSearch;
+  /// Link-layer options. BestEffort (the default) keeps every send untagged
+  /// and byte-identical to the pre-link-layer system; Reliable turns on
+  /// sequencing, retransmission and heartbeat failure detection of the
+  /// parent link (DESIGN.md §10).
+  link::LinkOptions link;
+  /// Base damping delay between consecutive re-parent attempts. Each
+  /// re-parent in a flap streak doubles it; a quiet spell of 8× this base
+  /// forgives the streak. Keeps a flapping parent link from thrashing the
+  /// broker up and down its ancestor chain.
+  sim::Time reparent_backoff = 250'000;
+  /// Zero-match grace pen (0 = off: unmatched events drop immediately, the
+  /// classic behavior). After a partition heals, a retransmitted event can
+  /// reach a broker moments before the lease renewals that would route it —
+  /// forwarding is memoryless, so that race loses the event forever. With a
+  /// grace, the broker parks events that match nothing and re-matches them
+  /// until the grace expires, closing the heal-time race between event
+  /// retransmissions and lease re-establishment. Bounded, drop-oldest.
+  sim::Time match_grace = 0;
+  std::size_t match_grace_limit = 1024;
 };
 
 /// Counters for LC / RLC / MR (§5.1).
@@ -91,6 +111,9 @@ struct BrokerStats {
   std::uint64_t events_replayed = 0;   ///< flushed on Resume
   std::uint64_t buffer_overflows = 0;  ///< oldest events dropped
   std::uint64_t malformed_packets = 0; ///< corrupt frames dropped
+  std::uint64_t reparents = 0;         ///< parent-death re-attachments
+  std::uint64_t events_parked = 0;     ///< zero-match events held for grace
+  std::uint64_t events_rescued = 0;    ///< parked events matched on retry
   std::size_t filters = 0;             ///< live distinct filters
   std::size_t associations = 0;        ///< live (filter, child) pairs
 };
@@ -107,6 +130,16 @@ public:
   /// Topology wiring; call before start().
   void set_parent(sim::NodeId parent) { parent_ = parent; }
   void add_child(sim::NodeId child) { children_.push_back(child); }
+
+  /// Fallback attachment points, nearest first: [parent, grandparent, …,
+  /// root]. Distributed by the overlay at build time. When the failure
+  /// detector declares the parent dead, the broker advances along this
+  /// chain (wrapping around, so a restarted original parent is eventually
+  /// retried) and replays its aggregated filter table at the new parent.
+  void set_ancestors(std::vector<sim::NodeId> ancestors) {
+    ancestors_ = std::move(ancestors);
+    ancestor_idx_ = 0;
+  }
 
   /// Installs the per-event tracer (null = tracing off, the default; the
   /// only cost left on the event path is one null test per EventMsg).
@@ -139,6 +172,11 @@ public:
     return children_;
   }
   [[nodiscard]] BrokerStats stats() const noexcept;
+  [[nodiscard]] const link::LinkCounters& link_counters() const noexcept {
+    return link_.counters();
+  }
+  /// The broker's end of its links (tests poke failure-detector state).
+  [[nodiscard]] link::LinkManager& link() noexcept { return link_; }
 
   /// Advertised schema for `type_name`, if any reached this broker.
   [[nodiscard]] const weaken::StageSchema* schema_for(std::string_view type_name) const;
@@ -185,6 +223,11 @@ private:
   // Subscriber-bound messages are ignored if misrouted to a broker.
   void handle(JoinAt&&) {}
   void handle(AcceptedAt&&) {}
+  // Link control is consumed below us by the LinkManager; a copy that
+  // reaches the routing layer (best-effort peer, fuzzed frame) is noise.
+  void handle(Ack&&) {}
+  void handle(Nack&&) {}
+  void handle(Heartbeat&&) {}
 
   /// Zero-allocation event path (DESIGN.md §9): decodes the EventMsg frame
   /// into `image_scratch_` with values borrowed from `payload`'s buffer,
@@ -215,12 +258,26 @@ private:
   void send_join_at(sim::NodeId subscriber, sim::NodeId target, std::uint64_t token);
   [[nodiscard]] sim::NodeId random_child();
   void attach_to_network();
+  /// Failure-detector callback: the watched parent missed too many
+  /// heartbeats. Re-parents immediately, or schedules the attempt for when
+  /// the flap-damping backoff expires.
+  void on_parent_down(sim::NodeId peer);
+  /// Advances to the next ancestor, re-routes in-flight frames and replays
+  /// the aggregated filter table there (renewal-by-reinsertion).
+  void do_reparent(std::uint64_t epoch);
+  /// Retransmit-probe hook: stamps a Retransmit trace span when a traced
+  /// event frame goes out again.
+  void on_retransmit(sim::NodeId to, const sim::Network::Payload& payload);
   /// Schedules renew/reap for the current epoch; a task whose captured
   /// epoch is stale (crash or restart happened since) dies silently, so
   /// crash–restart cannot double up the periodic tasks.
   void schedule_tasks();
   void renew_task(std::uint64_t epoch);
   void reap_task(std::uint64_t epoch);
+  /// Parks a zero-match event frame in the grace pen (config_.match_grace).
+  void park_unmatched(const sim::Network::Payload& payload);
+  /// Re-matches parked frames; forwards rescues, drops expired ones.
+  void pen_tick(std::uint64_t epoch);
 
   sim::NodeId id_;
   std::size_t stage_;
@@ -229,9 +286,16 @@ private:
   const reflect::TypeRegistry& registry_;
   BrokerConfig config_;
   util::Rng rng_;
+  link::LinkManager link_;
 
   sim::NodeId parent_ = sim::kNoNode;
   std::vector<sim::NodeId> children_;
+  std::vector<sim::NodeId> ancestors_;  // [parent, grandparent, …, root]
+  std::size_t ancestor_idx_ = 0;        // current attachment point
+  sim::NodeId prev_parent_ = sim::kNoNode;  // renewed until handover acked
+  std::uint32_t reparent_streak_ = 0;   // consecutive recent re-parents
+  sim::Time reparent_allowed_at_ = 0;   // flap-damping gate
+  sim::Time last_reparent_ = 0;
   trace::Tracer* tracer_ = nullptr;
   bool crashed_ = false;
   std::uint64_t epoch_ = 0;  // bumped by crash()/restart()
@@ -244,6 +308,14 @@ private:
   util::StringMap<weaken::StageSchema> schemas_;
   // Buffered events per detached durable subscriber, oldest first.
   std::unordered_map<sim::NodeId, std::deque<event::EventImage>> detached_;
+  // Grace pen: zero-match frames awaiting a table heal, oldest first.
+  // Payloads are refcounted, so parking is a pointer bump, not a copy.
+  struct Parked {
+    sim::Network::Payload payload;
+    sim::Time parked_at;
+  };
+  std::deque<Parked> pen_;
+  bool pen_armed_ = false;
 
   BrokerStats stats_;
   index::MatchScratch scratch_;

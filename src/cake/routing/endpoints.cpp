@@ -1,10 +1,19 @@
 #include "cake/routing/endpoints.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "cake/event/event.hpp"
 
 namespace cake::routing {
+
+namespace {
+bool chaos_debug() {
+  static const bool on = std::getenv("CAKE_CHAOS_DEBUG") != nullptr;
+  return on;
+}
+}  // namespace
 
 SubscriberNode::SubscriberNode(sim::NodeId id, sim::NodeId root,
                                sim::Network& network, sim::Scheduler& scheduler,
@@ -15,7 +24,10 @@ SubscriberNode::SubscriberNode(sim::NodeId id, sim::NodeId root,
       network_(network),
       scheduler_(scheduler),
       registry_(registry),
-      config_(config) {}
+      config_(config),
+      // Seeded from the node id alone; see the Broker constructor note.
+      link_(id, network, scheduler, config.link,
+            (static_cast<std::uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL) {}
 
 void SubscriberNode::start() {
   attach_to_network();
@@ -25,9 +37,55 @@ void SubscriberNode::start() {
 }
 
 void SubscriberNode::attach_to_network() {
-  network_.attach(id_, [this](sim::NodeId from, const sim::Network::Payload& p) {
+  link_.attach([this](sim::NodeId from, const sim::Network::Payload& p) {
     on_packet(from, p);
   });
+  if (link_.reliable())
+    link_.set_peer_down([this](sim::NodeId peer) { on_broker_down(peer); });
+}
+
+void SubscriberNode::sync_watches() {
+  if (!link_.reliable()) return;
+  const std::vector<sim::NodeId> hosts = hosting_nodes();
+  for (const sim::NodeId node : hosts) {
+    // A host already declared dead is not re-armed: its subscriptions are
+    // mid-rejoin and watching it again would only re-fire the detector.
+    if (dead_hosts_.count(node) != 0) continue;
+    if (watched_.insert(node).second) link_.watch(node);
+  }
+  for (auto it = watched_.begin(); it != watched_.end();) {
+    if (std::find(hosts.begin(), hosts.end(), *it) == hosts.end()) {
+      link_.unwatch(*it);
+      it = watched_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SubscriberNode::on_broker_down(sim::NodeId peer) {
+  if (halted_ || detached_) return;
+  link_.unwatch(peer);
+  watched_.erase(peer);
+  // Drop the dead streams; if the broker was only slow, first contact under
+  // its old session triggers a clean stream resync.
+  link_.forget(peer);
+  dead_hosts_.insert(peer);
+  if (chaos_debug())
+    std::fprintf(stderr, "[dbg] t=%llu sub=%u HOST-DEAD %u\n",
+                 (unsigned long long)scheduler_.now(), (unsigned)id_,
+                 (unsigned)peer);
+  for (auto& [token, sub] : subs_) {
+    if (!sub.parent.has_value() || *sub.parent != peer) continue;
+    // Re-enter through the covering search at the root, like any rejoin —
+    // but keep the old lease on the books (make-before-break). Declared
+    // death may be a false positive under heavy loss, and until AcceptedAt
+    // confirms a replacement home the old lease is the only path that can
+    // carry events published in the gap. If the host really is gone the
+    // renewals fall on deaf ears and the lease decays with its broker.
+    ++stats_.rejoins;
+    send(root_, Subscribe{sub.exact, id_, token, sub.durable});
+  }
 }
 
 std::uint64_t SubscriberNode::subscribe(filter::ConjunctiveFilter exact,
@@ -75,7 +133,7 @@ std::vector<sim::NodeId> SubscriberNode::hosting_nodes() const {
 
 void SubscriberNode::halt() {
   halted_ = true;
-  network_.detach(id_);
+  link_.detach();
 }
 
 void SubscriberNode::detach() {
@@ -84,7 +142,7 @@ void SubscriberNode::detach() {
   // Announce first, then actually go offline: in-flight events are lost
   // (or buffered, for durable leases), exactly like a real disconnection.
   for (const sim::NodeId node : hosting_nodes()) send(node, Detach{id_});
-  network_.detach(id_);
+  link_.detach();
 }
 
 void SubscriberNode::resume() {
@@ -100,6 +158,7 @@ void SubscriberNode::unsubscribe(std::uint64_t token) {
   if (it->second.parent.has_value())
     send(*it->second.parent, Unsub{it->second.stored_at_parent, id_});
   subs_.erase(it);
+  sync_watches();
 }
 
 std::optional<sim::NodeId> SubscriberNode::accepted_at(std::uint64_t token) const {
@@ -119,6 +178,9 @@ SubscriberNode::subscription_views() const {
 
 void SubscriberNode::on_packet(sim::NodeId from,
                                const sim::Network::Payload& payload) {
+  // Any arrival is proof of life: a host we declared dead is revived and
+  // becomes watchable again the next time sync_watches runs.
+  dead_hosts_.erase(from);
   Packet packet;
   try {
     packet = decode(payload);
@@ -141,18 +203,36 @@ void SubscriberNode::on_packet(sim::NodeId from,
     if (it == subs_.end()) return;
     // A retried join can be accepted twice (the first AcceptedAt or JoinAt
     // was lost in transit, the retry raced it): keep the newest home and
-    // retract the older lease so events are not delivered twice.
+    // retract the older lease so events are not delivered twice. With the
+    // global event dedup on, the eager retraction is skipped entirely: the
+    // dedup gate already makes dual paths exactly-once, while an Unsub
+    // racing an in-flight event at the old home's ancestors can remove the
+    // only lease that would have routed it — a lost event, not a duplicate.
+    // Superseded leases decay by TTL once renewals stop. (Same reasoning
+    // for a home declared dead: if it revives, its stale lease just
+    // expires.)
     if (it->second.parent.has_value() &&
         (*it->second.parent != accepted->node ||
-         it->second.stored_at_parent != accepted->stored)) {
+         it->second.stored_at_parent != accepted->stored) &&
+        !config_.dedup_events &&
+        dead_hosts_.count(*it->second.parent) == 0) {
       send(*it->second.parent, Unsub{it->second.stored_at_parent, id_});
     }
     it->second.parent = accepted->node;
     it->second.stored_at_parent = std::move(accepted->stored);
+    if (chaos_debug())
+      std::fprintf(stderr, "[dbg] t=%llu sub=%u ACCEPTED-AT %u token=%llu\n",
+                   (unsigned long long)scheduler_.now(), (unsigned)id_,
+                   (unsigned)accepted->node, (unsigned long long)accepted->token);
+    sync_watches();
     return;
   }
 
   if (auto* expired = std::get_if<Expired>(&packet)) {
+    if (chaos_debug())
+      std::fprintf(stderr, "[dbg] t=%llu sub=%u EXPIRED from=%u\n",
+                   (unsigned long long)scheduler_.now(), (unsigned)id_,
+                   (unsigned)from);
     if (!config_.rejoin_on_expired) return;  // injected completeness bug
     // A hosting broker reaped our lease (lost renewals, partition healed):
     // re-run the join protocol for the affected subscriptions.
@@ -163,11 +243,23 @@ void SubscriberNode::on_packet(sim::NodeId from,
       ++stats_.rejoins;
       send(root_, Subscribe{sub.exact, id_, token, sub.durable});
     }
+    sync_watches();
     return;
   }
 
   if (auto* ev = std::get_if<EventMsg>(&packet)) {
     ++stats_.events_received;
+    if (config_.dedup_events) {
+      // Global exactly-once gate: the link layer already dedups per stream,
+      // but a re-parent can briefly leave two paths carrying the same event.
+      if (!seen_events_.insert(ev->event_id).second) return;
+      seen_order_.push_back(ev->event_id);
+      constexpr std::size_t kDedupCapacity = 1 << 16;
+      if (seen_order_.size() > kDedupCapacity) {
+        seen_events_.erase(seen_order_.front());
+        seen_order_.pop_front();
+      }
+    }
     bool delivered = false;
     for (auto& [token, sub] : subs_) {
       if (!sub.exact.matches(ev->image, registry_)) continue;
@@ -245,6 +337,14 @@ void SubscriberNode::renew_task() {
     for (const auto& [token, sub] : subs_) {
       if (sub.parent.has_value()) {
         send(*sub.parent, Renew{sub.stored_at_parent, id_});
+        if (dead_hosts_.count(*sub.parent) != 0) {
+          // The home is presumed dead and the rejoin kicked off by
+          // on_broker_down has not been accepted yet (possibly lost in the
+          // same fault window): keep retrying while the old lease is kept
+          // warm above.
+          ++stats_.rejoins;
+          send(root_, Subscribe{sub.exact, id_, token, sub.durable});
+        }
       } else {
         // Join still pending: the original Subscribe, a JoinAt redirect or
         // the AcceptedAt may have been lost. Retry from the root — the
@@ -260,16 +360,27 @@ void SubscriberNode::renew_task() {
 }
 
 void SubscriberNode::send(sim::NodeId to, const Packet& packet) {
-  network_.send(id_, to, encode(packet));
+  link_.send_control(to, encode(packet));
 }
 
 PublisherNode::PublisherNode(sim::NodeId id, sim::NodeId root,
-                             sim::Network& network,
-                             const sim::Scheduler& scheduler)
-    : id_(id), root_(root), network_(network), scheduler_(scheduler) {}
+                             sim::Network& network, sim::Scheduler& scheduler,
+                             link::LinkOptions link)
+    : id_(id),
+      root_(root),
+      network_(network),
+      scheduler_(scheduler),
+      link_(id, network, scheduler, link,
+            (static_cast<std::uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL) {
+  // A reliable publisher must hear ACKs back from the root, so it attaches
+  // a (discarding) receive handler. Best-effort publishers stay unattached,
+  // exactly like the pre-link-layer system.
+  if (link_.reliable())
+    link_.attach([](sim::NodeId, const sim::Network::Payload&) {});
+}
 
 void PublisherNode::advertise(weaken::StageSchema schema) {
-  network_.send(id_, root_, encode(Advertise{std::move(schema)}));
+  link_.send_control(root_, encode(Advertise{std::move(schema)}));
 }
 
 std::uint64_t PublisherNode::publish(const event::Event& event) {
@@ -294,8 +405,8 @@ std::uint64_t PublisherNode::publish(event::EventImage image) {
   }
   // Serialize once into a pooled frame; every downstream hop that passes
   // through refcounts these exact bytes (DESIGN.md §9).
-  network_.send(id_, root_,
-                encode_event_frame(image, scheduler_.now(), event_id, trace_id));
+  link_.send_event(
+      root_, encode_event_frame(image, scheduler_.now(), event_id, trace_id));
   return event_id;
 }
 

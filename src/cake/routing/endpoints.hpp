@@ -9,11 +9,13 @@
 // their G_c schemas and publishes event images to the root.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cake/link/link.hpp"
 #include "cake/routing/protocol.hpp"
 #include "cake/trace/trace.hpp"
 #include "cake/util/rng.hpp"
@@ -39,6 +41,14 @@ struct SubscriberConfig {
   /// catches it (a subscriber that ignores Expired silently stops
   /// receiving events after its lease is reaped).
   bool rejoin_on_expired = true;
+  /// Link-layer options; Reliable also makes the subscriber heartbeat-watch
+  /// its hosting brokers and re-join through the root when one dies.
+  link::LinkOptions link;
+  /// Suppress events whose event id was already handled, across *all*
+  /// subscriptions (bounded seen-set). Composite groups always dedup;
+  /// this extends it to transient dual-path duplicates during re-parenting,
+  /// which is what makes reliable-mode delivery exactly-once.
+  bool dedup_events = false;
 };
 
 class SubscriberNode {
@@ -103,6 +113,11 @@ public:
 
   [[nodiscard]] sim::NodeId id() const noexcept { return id_; }
   [[nodiscard]] const SubscriberStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const link::LinkCounters& link_counters() const noexcept {
+    return link_.counters();
+  }
+  /// This node's end of its links (tests poke failure-detector state).
+  [[nodiscard]] link::LinkManager& link() noexcept { return link_; }
   /// Publish-to-delivery virtual latency of events this process accepted.
   [[nodiscard]] const util::RunningStats& delivery_latency() const noexcept {
     return latency_;
@@ -137,6 +152,11 @@ private:
 
   void on_packet(sim::NodeId from, const sim::Network::Payload& payload);
   void attach_to_network();
+  /// Aligns the failure-detector watch set with hosting_nodes().
+  void sync_watches();
+  /// A watched hosting broker went silent: drop its dead stream and re-run
+  /// the join protocol for the subscriptions it hosted.
+  void on_broker_down(sim::NodeId peer);
   void renew_task();
   void send(sim::NodeId to, const Packet& packet);
   /// Emits the stage-0 exact-verdict span for a traced event. On a
@@ -152,7 +172,16 @@ private:
   sim::Scheduler& scheduler_;
   const reflect::TypeRegistry& registry_;
   SubscriberConfig config_;
+  link::LinkManager link_;
+  std::unordered_set<sim::NodeId> watched_;  // brokers under heartbeat watch
+  // Hosts declared dead by the failure detector. Their leases are kept
+  // renewed (make-before-break) until a replacement home is confirmed, but
+  // they are not re-watched; any packet from one revives it.
+  std::unordered_set<sim::NodeId> dead_hosts_;
   std::unordered_map<std::uint64_t, Sub> subs_;
+  // Bounded global event-id dedup (config_.dedup_events), FIFO eviction.
+  std::unordered_set<std::uint64_t> seen_events_;
+  std::deque<std::uint64_t> seen_order_;
   // Event ids already handled per composite group (multi-path dedup).
   std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>>
       group_seen_;
@@ -172,7 +201,7 @@ struct PublisherStats {
 class PublisherNode {
 public:
   PublisherNode(sim::NodeId id, sim::NodeId root, sim::Network& network,
-                const sim::Scheduler& scheduler);
+                sim::Scheduler& scheduler, link::LinkOptions link = {});
 
   PublisherNode(const PublisherNode&) = delete;
   PublisherNode& operator=(const PublisherNode&) = delete;
@@ -195,12 +224,16 @@ public:
 
   [[nodiscard]] sim::NodeId id() const noexcept { return id_; }
   [[nodiscard]] const PublisherStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const link::LinkCounters& link_counters() const noexcept {
+    return link_.counters();
+  }
 
 private:
   sim::NodeId id_;
   sim::NodeId root_;
   sim::Network& network_;
-  const sim::Scheduler& scheduler_;
+  sim::Scheduler& scheduler_;
+  link::LinkManager link_;
   trace::Tracer* tracer_ = nullptr;
   std::uint64_t next_seq_ = 0;
   PublisherStats stats_;

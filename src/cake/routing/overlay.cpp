@@ -16,6 +16,13 @@ Overlay::Overlay(OverlayConfig config, const reflect::TypeRegistry& registry)
   if (config_.trace.enabled)
     tracer_ = std::make_unique<trace::Tracer>(config_.trace);
 
+  // One link policy for the whole overlay: a reliable broker sending tagged
+  // frames at a best-effort peer would retransmit into the void forever.
+  config_.broker.link = config_.link;
+  config_.subscriber.link = config_.link;
+  if (config_.link.reliability == link::Reliability::Reliable)
+    config_.subscriber.dedup_events = true;
+
   const std::size_t levels = config_.stage_counts.size();
   for (std::size_t level = 0; level < levels; ++level) {
     stage_offsets_.push_back(brokers_.size());
@@ -39,10 +46,36 @@ Overlay::Overlay(OverlayConfig config, const reflect::TypeRegistry& registry)
     }
   }
 
+  // Distribute the ancestor chains ([parent, grandparent, …, root]) that
+  // self-healing re-parenting climbs when a parent dies.
+  for (const auto& broker : brokers_) {
+    std::vector<sim::NodeId> chain;
+    for (sim::NodeId cur = broker->parent(); cur != sim::kNoNode;) {
+      chain.push_back(cur);
+      const Broker* up = find_broker(cur);
+      cur = up == nullptr ? sim::kNoNode : up->parent();
+    }
+    if (!chain.empty()) broker->set_ancestors(std::move(chain));
+  }
+
   for (const auto& broker : brokers_) {
     broker->set_tracer(tracer_.get());
     broker->start();
   }
+}
+
+link::LinkCounters Overlay::link_counters() const noexcept {
+  link::LinkCounters total;
+  for (const auto& broker : brokers_) total += broker->link_counters();
+  for (const auto& sub : subscribers_) total += sub->link_counters();
+  for (const auto& pub : publishers_) total += pub->link_counters();
+  return total;
+}
+
+std::uint64_t Overlay::total_reparents() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& broker : brokers_) total += broker->stats().reparents;
+  return total;
 }
 
 std::vector<Broker*> Overlay::brokers_at(std::size_t stage) {
@@ -87,7 +120,7 @@ SubscriberNode& Overlay::add_subscriber() {
 
 PublisherNode& Overlay::add_publisher() {
   publishers_.push_back(std::make_unique<PublisherNode>(
-      next_id_++, root().id(), network_, scheduler_));
+      next_id_++, root().id(), network_, scheduler_, config_.link));
   publishers_.back()->set_tracer(tracer_.get());
   return *publishers_.back();
 }

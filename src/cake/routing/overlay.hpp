@@ -19,6 +19,10 @@ struct OverlayConfig {
   SubscriberConfig subscriber;
   sim::Time link_latency = 1000;  // 1 virtual ms per hop
   std::uint64_t seed = 42;
+  /// Link layer for every node in the overlay (brokers, subscribers,
+  /// publishers). Reliable also turns on subscriber-side global event-id
+  /// dedup — the exactly-once guarantee needs both halves.
+  link::LinkOptions link;
   /// Per-event tracing (trace/trace.hpp). Disabled by default: no Tracer is
   /// even constructed, and every node keeps a null tracer pointer.
   trace::TraceConfig trace{};
@@ -81,6 +85,12 @@ public:
 
   /// The per-event tracer; null when `config.trace.enabled` is false.
   [[nodiscard]] trace::Tracer* tracer() noexcept { return tracer_.get(); }
+
+  /// Sum of every node's link-layer counters (brokers, subscribers,
+  /// publishers) — the resilience rollup behind `metrics::link_table`.
+  [[nodiscard]] link::LinkCounters link_counters() const noexcept;
+  /// Total parent-death re-attachments across the broker hierarchy.
+  [[nodiscard]] std::uint64_t total_reparents() const noexcept;
 
 private:
   OverlayConfig config_;

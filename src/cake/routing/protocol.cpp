@@ -15,7 +15,17 @@ enum class Tag : std::uint8_t {
   Expired,
   Detach,
   Resume,
+  Ack,
+  Nack,
+  Heartbeat,
 };
+
+// The link module frames its own control packets on the ack/heartbeat hot
+// paths (pooled, allocation-free); routing only needs to agree on the tag
+// values so decode() and the chaos classifier see one coherent tag space.
+static_assert(static_cast<std::uint8_t>(Tag::Ack) == link::kAckTag);
+static_assert(static_cast<std::uint8_t>(Tag::Nack) == link::kNackTag);
+static_assert(static_cast<std::uint8_t>(Tag::Heartbeat) == link::kHeartbeatTag);
 
 struct Encoder {
   wire::Writer& w;
@@ -75,6 +85,18 @@ struct Encoder {
     w.varint(m.event_id);
     w.varint(m.trace_id);
     m.image.encode(w);
+  }
+  void operator()(const Ack& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::Ack));
+    link::encode_fields(w, m);
+  }
+  void operator()(const Nack& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::Nack));
+    link::encode_fields(w, m);
+  }
+  void operator()(const Heartbeat& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::Heartbeat));
+    link::encode_fields(w, m);
   }
 };
 
@@ -163,6 +185,12 @@ Packet decode(std::span<const std::byte> payload) {
       m.image = event::EventImage::decode(r);
       return m;
     }
+    case Tag::Ack:
+      return link::decode_ack_fields(r);
+    case Tag::Nack:
+      return link::decode_nack_fields(r);
+    case Tag::Heartbeat:
+      return link::decode_heartbeat_fields(r);
   }
   throw wire::WireError{"protocol: unknown message tag"};
 }
@@ -194,6 +222,9 @@ std::string_view packet_class_name(std::uint8_t cls) noexcept {
     case Tag::Expired: return "Expired";
     case Tag::Detach: return "Detach";
     case Tag::Resume: return "Resume";
+    case Tag::Ack: return "Ack";
+    case Tag::Nack: return "Nack";
+    case Tag::Heartbeat: return "Heartbeat";
   }
   return "?";
 }

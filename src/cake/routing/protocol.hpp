@@ -27,6 +27,7 @@
 #include <variant>
 
 #include "cake/filter/filter.hpp"
+#include "cake/link/link.hpp"
 #include "cake/sim/sim.hpp"
 #include "cake/weaken/schema.hpp"
 
@@ -95,8 +96,20 @@ struct EventMsg {
   std::uint64_t trace_id = 0;
 };
 
-using Packet = std::variant<Advertise, Subscribe, JoinAt, AcceptedAt, ReqInsert,
-                            Renew, Unsub, Expired, Detach, Resume, EventMsg>;
+/// Link-layer control packets (PR 5). Owned by `link::` — the link module
+/// frames them itself on its hot paths — and re-exported here so they decode
+/// through the one Packet variant like everything else on the wire:
+///
+///   Ack       — cumulative acknowledgement of a sequenced stream
+///   Nack      — gap report / stream-resync request
+///   Heartbeat — liveness probe and its echo
+using Ack = link::Ack;
+using Nack = link::Nack;
+using Heartbeat = link::Heartbeat;
+
+using Packet =
+    std::variant<Advertise, Subscribe, JoinAt, AcceptedAt, ReqInsert, Renew,
+                 Unsub, Expired, Detach, Resume, EventMsg, Ack, Nack, Heartbeat>;
 
 /// Serializes a packet into a checksummed frame ready for Network::send
 /// (the Payload conversion wraps the vector). Control-path helper; event
@@ -115,7 +128,7 @@ using Packet = std::variant<Advertise, Subscribe, JoinAt, AcceptedAt, ReqInsert,
 [[nodiscard]] Packet decode(std::span<const std::byte> payload);
 
 /// Number of distinct packet classes (== std::variant_size_v<Packet>).
-inline constexpr std::uint8_t kPacketClasses = 11;
+inline constexpr std::uint8_t kPacketClasses = 14;
 
 /// Wire tag of EventMsg frames (checked against the Tag enum in
 /// protocol.cpp). Brokers peek this to route event traffic through the

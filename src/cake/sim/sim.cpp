@@ -43,7 +43,32 @@ void Scheduler::run_until(Time deadline) {
   now_ = std::max(now_, deadline);
 }
 
+namespace {
+
+std::size_t varint_size(std::uint64_t v) noexcept {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::size_t LinkTag::wire_bytes() const noexcept {
+  if (!present) return 0;
+  return 1 + varint_size(session) + varint_size(seq) + varint_size(ack) +
+         varint_size(ack_session);
+}
+
 void Network::attach(NodeId node, Handler handler) {
+  // Adapt to the tagged signature; one wrap allocation at attach time.
+  handlers_[node] = [h = std::move(handler)](NodeId from, const Payload& p,
+                                             const LinkTag&) { h(from, p); };
+}
+
+void Network::attach(NodeId node, TaggedHandler handler) {
   handlers_[node] = std::move(handler);
 }
 
@@ -69,12 +94,18 @@ void Network::set_interceptor(Interceptor interceptor) {
 }
 
 void Network::send(NodeId from, NodeId to, Payload payload) {
+  send(from, to, std::move(payload), LinkTag{});
+}
+
+void Network::send(NodeId from, NodeId to, Payload payload,
+                   const LinkTag& tag) {
   const std::uint64_t k = key(from, to);
+  const std::size_t size = payload.size() + tag.wire_bytes();
   LinkStats& stats = links_[k];
   ++stats.messages;
-  stats.bytes += payload.size();
+  stats.bytes += size;
   ++total_.messages;
-  total_.bytes += payload.size();
+  total_.bytes += size;
 
   if (loss_rate_ > 0.0 && loss_rng_.chance(loss_rate_)) {
     ++dropped_;
@@ -94,12 +125,12 @@ void Network::send(NodeId from, NodeId to, Payload payload) {
       (lat == latency_.end() ? default_latency_ : lat->second) +
       action.extra_latency;
   for (std::uint32_t copy = 0; copy + 1 < action.copies; ++copy)
-    schedule_delivery(from, to, delay, payload);
-  schedule_delivery(from, to, delay, std::move(payload));
+    schedule_delivery(from, to, delay, payload, tag);
+  schedule_delivery(from, to, delay, std::move(payload), tag);
 }
 
 void Network::schedule_delivery(NodeId from, NodeId to, Time delay,
-                                Payload payload) {
+                                Payload payload, const LinkTag& tag) {
   // Park the message in a pooled slot: the closure captures 12 bytes and
   // fits std::function's inline storage, so steady-state delivery never
   // allocates (the slot vector stops growing once it covers the peak
@@ -116,6 +147,7 @@ void Network::schedule_delivery(NodeId from, NodeId to, Time delay,
   d.from = from;
   d.to = to;
   d.payload = std::move(payload);
+  d.tag = tag;
   scheduler_.schedule_after(delay, [this, slot] { deliver(slot); });
 }
 
@@ -132,7 +164,7 @@ void Network::deliver(std::uint32_t slot) {
   }
   ++delivered_;
   ++received_[d.to];
-  handler->second(d.from, d.payload);
+  handler->second(d.from, d.payload, d.tag);
 }
 
 LinkStats Network::link(NodeId from, NodeId to) const noexcept {

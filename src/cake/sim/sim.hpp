@@ -102,6 +102,23 @@ struct LinkStats {
   std::uint64_t bytes = 0;
 };
 
+/// Out-of-band link-layer header riding alongside a payload (the moral
+/// equivalent of a TCP-style header the link module would prepend on a real
+/// socket). Kept out of the frame bytes so pass-through forwarding stays
+/// zero-copy and untagged (best-effort) traffic remains byte-identical to
+/// the pre-link-layer system; the simulated wire still charges for the
+/// header via `wire_bytes()` when the tag is present.
+struct LinkTag {
+  bool present = false;
+  std::uint32_t session = 0;  ///< sender's stream incarnation (resets seq space)
+  std::uint64_t seq = 0;      ///< per-(src,dst) sequence number; 0 = none
+  std::uint64_t ack = 0;      ///< cumulative ack piggyback; 0 = none
+  std::uint32_t ack_session = 0;  ///< stream the piggybacked ack refers to
+
+  /// Bytes this header would occupy on a real wire (flags byte + varints).
+  [[nodiscard]] std::size_t wire_bytes() const noexcept;
+};
+
 /// Byte-payload message network with latency and accounting.
 class Network {
 public:
@@ -110,6 +127,11 @@ public:
   /// unchanged (they pay one wrap allocation — hot paths pass Frames).
   using Payload = wire::Frame;
   using Handler = std::function<void(NodeId from, const Payload& payload)>;
+  /// Handler variant that also receives the link-layer tag. Nodes running a
+  /// reliable link install one of these; `attach(Handler)` adapts plain
+  /// handlers so existing call sites never see tags.
+  using TaggedHandler = std::function<void(NodeId from, const Payload& payload,
+                                           const LinkTag& tag)>;
 
   /// Disposition of one message, decided by a fault interceptor at send
   /// time: `copies == 0` drops it, `copies > 1` injects duplicates, and
@@ -130,6 +152,8 @@ public:
 
   /// Registers (or replaces) the receive handler of `node`.
   void attach(NodeId node, Handler handler);
+  /// Registers (or replaces) a tag-aware receive handler of `node`.
+  void attach(NodeId node, TaggedHandler handler);
 
   /// Removes the handler of `node`: models a crashed or disconnected
   /// process. In-flight and future messages to it are dropped silently —
@@ -166,6 +190,9 @@ public:
   /// latency. Sending to an unattached node counts but delivers nothing
   /// (models a crashed peer; soft-state TTLs clean up after it).
   void send(NodeId from, NodeId to, Payload payload);
+  /// Tagged send: the link-layer header travels out-of-band with the
+  /// payload and its `wire_bytes()` are charged to the link accounting.
+  void send(NodeId from, NodeId to, Payload payload, const LinkTag& tag);
 
   [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_.messages; }
   [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_.bytes; }
@@ -178,7 +205,8 @@ private:
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
-  void schedule_delivery(NodeId from, NodeId to, Time delay, Payload payload);
+  void schedule_delivery(NodeId from, NodeId to, Time delay, Payload payload,
+                         const LinkTag& tag);
   void deliver(std::uint32_t slot);
 
   /// In-flight message parked until its delivery time. Slots are pooled so
@@ -188,6 +216,7 @@ private:
     NodeId from = kNoNode;
     NodeId to = kNoNode;
     Payload payload;
+    LinkTag tag;
   };
 
   Scheduler& scheduler_;
@@ -201,7 +230,7 @@ private:
   std::uint64_t delivered_ = 0;
   std::uint64_t undeliverable_ = 0;
   std::uint64_t duplicated_ = 0;
-  std::unordered_map<NodeId, Handler> handlers_;
+  std::unordered_map<NodeId, TaggedHandler> handlers_;
   std::unordered_map<std::uint64_t, Time> latency_;
   std::unordered_map<std::uint64_t, LinkStats> links_;
   std::unordered_map<NodeId, std::uint64_t> received_;

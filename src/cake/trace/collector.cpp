@@ -37,7 +37,10 @@ std::vector<const TraceSpan*> Journey::broker_spans() const {
 const TraceSpan* Journey::span_at(sim::NodeId node) const noexcept {
   if (publish.has_value() && publish->node == node) return &*publish;
   for (const TraceSpan& s : hops)
-    if (s.node == node) return &s;
+    // Link-layer annotations (Retransmit) are not filtering hops; skipping
+    // them keeps the upstream path walk on broker/subscriber spans even
+    // when a retransmitting broker logged both kinds at one node.
+    if (s.node == node && s.kind != SpanKind::Retransmit) return &s;
   return nullptr;
 }
 
@@ -87,6 +90,7 @@ std::vector<StageRollup> Collector::stage_rollups() const {
   std::map<std::size_t, StageRollup> by_stage;
   for (const auto& [id, journey] : journeys_) {
     for (const TraceSpan& s : journey.hops) {
+      if (s.kind == SpanKind::Retransmit) continue;  // link-layer, not a stage
       StageRollup& roll = by_stage[s.stage];
       roll.stage = s.stage;
       ++roll.hops;
@@ -143,6 +147,14 @@ std::map<std::size_t, std::uint64_t> Collector::rejected_at_stage() const {
       if (deepest != std::numeric_limits<std::size_t>::max()) ++out[deepest];
     }
   }
+  return out;
+}
+
+std::map<std::size_t, std::uint64_t> Collector::retransmits_by_stage() const {
+  std::map<std::size_t, std::uint64_t> out;
+  for (const auto& [id, journey] : journeys_)
+    for (const TraceSpan& s : journey.hops)
+      if (s.kind == SpanKind::Retransmit) ++out[s.stage];
   return out;
 }
 

@@ -96,6 +96,12 @@ public:
   /// the events the weakened pre-filtering stopped early.
   [[nodiscard]] std::map<std::size_t, std::uint64_t> rejected_at_stage() const;
 
+  /// Link-layer retransmissions per stage, counted from Retransmit spans.
+  /// These spans are excluded from path walks and stage rollups (they are
+  /// not filtering hops); this is the one place they surface, so a trace
+  /// dump from a lossy run shows *where* the reliability work happened.
+  [[nodiscard]] std::map<std::size_t, std::uint64_t> retransmits_by_stage() const;
+
   /// One span per line.
   void export_jsonl(std::ostream& os) const;
   /// Parses a JSON-lines stream (blank lines skipped); throws JsonError.

@@ -178,6 +178,7 @@ SpanKind kind_from_string(std::string_view s) {
   if (s == "publish") return SpanKind::Publish;
   if (s == "broker") return SpanKind::Broker;
   if (s == "subscriber") return SpanKind::Subscriber;
+  if (s == "retransmit") return SpanKind::Retransmit;
   throw JsonError{"span: unknown kind '" + std::string{s} + "'"};
 }
 

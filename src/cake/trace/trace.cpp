@@ -10,6 +10,7 @@ std::string_view to_string(SpanKind kind) noexcept {
     case SpanKind::Publish: return "publish";
     case SpanKind::Broker: return "broker";
     case SpanKind::Subscriber: return "subscriber";
+    case SpanKind::Retransmit: return "retransmit";
   }
   return "?";
 }

@@ -47,6 +47,11 @@ enum class SpanKind : std::uint8_t {
   Publish = 0,     ///< publisher edge: the event enters the pipeline
   Broker = 1,      ///< inner broker: weakened (approximate) match
   Subscriber = 2,  ///< stage 0: exact end-to-end verdict
+  /// Link-layer annotation: a reliable link retransmitted this event's
+  /// frame (node = the retransmitting sender, from = the destination).
+  /// Not a filtering hop — journey path walks and stage rollups skip it;
+  /// it exists so `cake_trace replay` shows where a journey's latency went.
+  Retransmit = 3,
 };
 
 [[nodiscard]] std::string_view to_string(SpanKind kind) noexcept;

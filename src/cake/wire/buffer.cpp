@@ -9,9 +9,9 @@ namespace {
 
 std::atomic<bool> g_pooling{true};
 
-// Thread-local free list: each thread returns buffers to its own pool, so
-// cross-thread Frame destruction is safe without locks. Bounded so a burst
-// can't pin unbounded capacity.
+// Thread-local free lists: each thread returns buffers and holder nodes to
+// its own pool, so cross-thread Frame destruction is safe without locks.
+// Bounded so a burst can't pin unbounded capacity.
 constexpr std::size_t kMaxPooled = 64;
 
 std::vector<std::vector<std::byte>>& pool() {
@@ -49,7 +49,57 @@ void release_buffer(std::vector<std::byte>&& buf) noexcept {
   p.push_back(std::move(buf));
 }
 
+namespace {
+
+// Freelist of holder nodes. The wrapper's destructor frees leftovers at
+// thread exit, so the pool never leaks under LeakSanitizer.
+struct HolderFreelist {
+  std::vector<detail::FrameHolder*> nodes;
+  ~HolderFreelist() {
+    for (detail::FrameHolder* h : nodes) delete h;
+  }
+};
+
+std::vector<detail::FrameHolder*>& holder_pool() {
+  thread_local HolderFreelist freelist;
+  return freelist.nodes;
+}
+
+}  // namespace
+
+detail::FrameHolder* Frame::make_holder(std::vector<std::byte> buf) {
+  if (buffer_pooling()) {
+    auto& p = holder_pool();
+    if (!p.empty()) {
+      Holder* h = p.back();
+      p.pop_back();
+      h->buf = std::move(buf);
+      h->refs.store(1, std::memory_order_relaxed);
+      return h;
+    }
+  }
+  Holder* h = new Holder;
+  h->buf = std::move(buf);
+  return h;
+}
+
+void Frame::release(Holder* h) noexcept {
+  // acq_rel: the last releaser must observe every other thread's reads of
+  // the buffer as complete before recycling it.
+  if (h->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  release_buffer(std::move(h->buf));
+  h->buf = {};
+  if (buffer_pooling()) {
+    auto& p = holder_pool();
+    if (p.size() < kMaxPooled) {
+      p.push_back(h);
+      return;
+    }
+  }
+  delete h;
+}
+
 Frame::Frame(std::vector<std::byte> bytes)
-    : holder_(std::make_shared<const Holder>(std::move(bytes))), offset_(0) {}
+    : holder_(make_holder(std::move(bytes))), offset_(0) {}
 
 }  // namespace cake::wire

@@ -6,17 +6,33 @@
 // broker can fan one inbound event frame out to every matching child
 // without touching the bytes (DESIGN.md §9, pass-through forwarding). The
 // backing vectors cycle through a thread-local pool so steady-state
-// encoding does not allocate either.
+// encoding does not allocate either. The refcount is intrusive and the
+// holder nodes themselves are pooled, so producing a fresh Frame in steady
+// state performs zero heap allocations — required by the link layer, which
+// encodes standalone ACK frames on the per-event hot path.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
-#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace cake::wire {
+
+namespace detail {
+// Intrusive refcount node backing a Frame. Nodes cycle through a
+// thread-local freelist and their vector's capacity goes back to the buffer
+// pool on final release, so neither costs an allocation in steady state.
+// Internal to the wire module; only buffer.cpp touches it directly.
+struct FrameHolder {
+  std::vector<std::byte> buf;
+  mutable std::atomic<std::uint32_t> refs{1};
+};
+}  // namespace detail
 
 /// Globally enables/disables buffer pooling (default on). Exists for the
 /// A14 bench arms; pooling off means acquire/release degrade to plain
@@ -41,12 +57,38 @@ void release_buffer(std::vector<std::byte>&& buf) noexcept;
 class Frame {
 public:
   Frame() = default;
-  /// Wraps an existing encoded frame (one refcount allocation). Implicit so
-  /// legacy `encode() -> vector` call sites keep working.
+  /// Wraps an existing encoded frame. Implicit so legacy
+  /// `encode() -> vector` call sites keep working.
   Frame(std::vector<std::byte> bytes);
   /// Literal payloads (tests, hand-rolled packets).
   Frame(std::initializer_list<std::byte> bytes)
       : Frame(std::vector<std::byte>{bytes}) {}
+
+  Frame(const Frame& other) noexcept
+      : holder_(other.holder_), offset_(other.offset_) {
+    if (holder_) retain(holder_);
+  }
+  Frame(Frame&& other) noexcept
+      : holder_(std::exchange(other.holder_, nullptr)),
+        offset_(std::exchange(other.offset_, 0)) {}
+  Frame& operator=(const Frame& other) noexcept {
+    Frame tmp{other};
+    swap(tmp);
+    return *this;
+  }
+  Frame& operator=(Frame&& other) noexcept {
+    Frame tmp{std::move(other)};
+    swap(tmp);
+    return *this;
+  }
+  ~Frame() {
+    if (holder_) release(holder_);
+  }
+
+  void swap(Frame& other) noexcept {
+    std::swap(holder_, other.holder_);
+    std::swap(offset_, other.offset_);
+  }
 
   [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
     if (!holder_) return {};
@@ -78,23 +120,24 @@ public:
 private:
   friend class Writer;
 
-  // On destruction the backing vector's capacity goes back to the pool.
-  struct Holder {
-    std::vector<std::byte> buf;
-    explicit Holder(std::vector<std::byte> b) noexcept : buf(std::move(b)) {}
-    ~Holder() { release_buffer(std::move(buf)); }
-    Holder(const Holder&) = delete;
-    Holder& operator=(const Holder&) = delete;
-  };
+  using Holder = detail::FrameHolder;
 
-  Frame(std::shared_ptr<const Holder> holder, std::size_t offset) noexcept
-      : holder_(std::move(holder)), offset_(offset) {}
+  /// A holder from the thread-local freelist (or a fresh one), owning `buf`
+  /// with an initial refcount of 1.
+  [[nodiscard]] static Holder* make_holder(std::vector<std::byte> buf);
+  static void retain(Holder* h) noexcept {
+    h->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void release(Holder* h) noexcept;
+
+  Frame(Holder* holder, std::size_t offset) noexcept
+      : holder_(holder), offset_(offset) {}
 
   [[nodiscard]] const std::vector<std::byte>& storage() const noexcept {
     return holder_->buf;
   }
 
-  std::shared_ptr<const Holder> holder_;
+  Holder* holder_ = nullptr;
   std::size_t offset_ = 0;
 };
 

@@ -91,7 +91,7 @@ Frame Writer::end_frame() {
   assert(n <= kLenGap);
   const std::size_t offset = kLenGap - n;
   std::memcpy(buf_.data() + offset, prefix, n);
-  return Frame{std::make_shared<const Frame::Holder>(std::move(buf_)), offset};
+  return Frame{Frame::make_holder(std::move(buf_)), offset};
 }
 
 void Reader::need(std::size_t n) const {
@@ -193,6 +193,21 @@ std::vector<std::byte> frame(std::span<const std::byte> payload) {
   for (int i = 0; i < 8; ++i)
     w.u8(static_cast<std::uint8_t>(sum >> (8 * i)));
   return w.take();
+}
+
+std::uint8_t frame_tag(std::span<const std::byte> framed) noexcept {
+  // Walk the leading length varint by hand (no checksum validation, no
+  // throw) and peek the first payload byte — the convention every framed
+  // protocol in this repo follows is "payload starts with a tag byte".
+  std::size_t pos = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos >= framed.size()) return 0xff;
+    const auto b = static_cast<std::uint8_t>(framed[pos++]);
+    if ((b & 0x80) == 0) break;
+    if (shift + 7 >= 64) return 0xff;  // varint too long
+  }
+  if (pos >= framed.size()) return 0xff;  // empty payload
+  return static_cast<std::uint8_t>(framed[pos]);
 }
 
 std::span<const std::byte> unframe(std::span<const std::byte> framed) {

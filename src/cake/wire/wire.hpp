@@ -112,6 +112,11 @@ private:
 /// `end_frame`, which frame in place.
 [[nodiscard]] std::vector<std::byte> frame(std::span<const std::byte> payload);
 
+/// Peeks the first payload byte (by convention, a packet tag) of a
+/// checksummed frame without validating the checksum. Returns 0xff on
+/// truncated or malformed input; never throws.
+[[nodiscard]] std::uint8_t frame_tag(std::span<const std::byte> framed) noexcept;
+
 /// Validates a frame produced by `frame`/`end_frame` and returns a
 /// bounds-checked *view* of its payload (no copy — the view borrows from
 /// `framed`). Throws WireError on truncation or checksum mismatch.

@@ -39,18 +39,24 @@ int replay(const HarnessConfig& cfg, const std::string& trace) {
 }
 
 int sweep(const HarnessConfig& cfg, std::uint64_t start, std::uint64_t seeds,
-          bool shrink, const std::string& fail_file) {
+          bool shrink, bool message_faults, const std::string& fail_file) {
   std::uint64_t failures = 0;
+  std::uint64_t retransmits = 0;
   for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
-    const cake::sim::FaultPlan plan = cake::chaos::plan_for(seed, cfg);
+    const cake::sim::FaultPlan plan =
+        message_faults ? cake::chaos::message_plan_for(seed, cfg)
+                       : cake::chaos::plan_for(seed, cfg);
     const TrialResult result = cake::chaos::run_trial(cfg, plan);
+    retransmits += result.link.retransmits;
     if (result.ok) {
       if (seeds == 1)
         std::cout << "seed " << seed << " OK: " << result.chaos.dropped
                   << " dropped, " << result.chaos.duplicated << " duplicated, "
                   << result.chaos.crashes << " crashes, duplicate peak "
                   << result.duplicate_peak << ", probe deliveries "
-                  << result.expected_deliveries << "\n";
+                  << result.expected_deliveries << ", retransmits "
+                  << result.link.retransmits << ", reparents "
+                  << result.reparents << "\n";
       continue;
     }
     ++failures;
@@ -69,7 +75,9 @@ int sweep(const HarnessConfig& cfg, std::uint64_t start, std::uint64_t seeds,
           << cmd << "\n";
     }
   }
-  std::cout << (seeds - failures) << "/" << seeds << " seeds passed\n";
+  std::cout << (seeds - failures) << "/" << seeds << " seeds passed";
+  if (retransmits != 0) std::cout << " (" << retransmits << " retransmits)";
+  std::cout << "\n";
   return failures == 0 ? 0 : 1;
 }
 
@@ -121,10 +129,17 @@ int curve(HarnessConfig cfg, std::uint64_t seeds) {
 int main(int argc, char** argv) {
   cake::util::CliArgs args{argc, argv};
   args.allow({"seeds", "start", "seed", "trace", "curve", "inject-bug",
-              "no-shrink", "fail-file", "subscribers", "events", "ops"});
+              "no-shrink", "fail-file", "subscribers", "events", "ops",
+              "reliable", "message-faults", "no-restart"});
 
   HarnessConfig cfg;
   cfg.inject_rejoin_bug = args.get("inject-bug", false);
+  // --reliable arms the link layer (and, with --message-faults schedules,
+  // the strict exactly-once oracle); --no-restart additionally leaves
+  // crashed brokers down so only self-healing re-parenting can recover.
+  if (args.get("reliable", false))
+    cfg.reliability = cake::link::Reliability::Reliable;
+  cfg.leave_crashed = args.get("no-restart", false);
   cfg.subscribers =
       static_cast<std::size_t>(args.get("subscribers", std::int64_t{10}));
   cfg.chaos_events =
@@ -152,6 +167,7 @@ int main(int argc, char** argv) {
       seeds = 1;
     }
     return sweep(cfg, start, seeds, !args.get("no-shrink", false),
+                 args.get("message-faults", false),
                  args.get("fail-file", std::string{"chaos_failure.txt"}));
   } catch (const std::exception& e) {
     std::cerr << "cake_chaos: " << e.what() << "\n";

@@ -52,11 +52,22 @@ event::EventImage tag(const event::EventImage& image, std::uint64_t uid) {
 std::string check_fixpoint(routing::Overlay& overlay) {
   std::ostringstream err;
 
-  // Leases → live state (no stale entries survived convergence).
+  // Leases → live state (no stale entries survived convergence). A broker
+  // left crashed (self-healing runs, no restart) is dead weight: its own
+  // table is frozen pre-crash state nobody routes through, so it is
+  // skipped — but any *live* broker still holding a lease for it has
+  // failed to reap, and that is a violation.
   for (const auto& broker : overlay.brokers()) {
+    if (broker->crashed()) continue;
     for (const auto& [filter, children] : broker->table()) {
       for (const sim::NodeId child : children) {
         if (routing::Broker* cb = overlay.find_broker(child)) {
+          if (cb->crashed()) {
+            err << "broker " << broker->id()
+                << " holds stale lease for crashed broker " << child << ": "
+                << filter.to_string();
+            return err.str();
+          }
           const auto up = cb->active_upward();
           if (std::find(up.begin(), up.end(), filter) == up.end()) {
             err << "broker " << broker->id() << " holds stale lease for child broker "
@@ -84,7 +95,9 @@ std::string check_fixpoint(routing::Overlay& overlay) {
   const auto lease_exists = [&](sim::NodeId at, const filter::ConjunctiveFilter& f,
                                 sim::NodeId child) {
     routing::Broker* broker = overlay.find_broker(at);
-    if (broker == nullptr) return false;
+    // A lease at a crashed broker serves nobody; treat it as absent so the
+    // caller reports the dangling live state.
+    if (broker == nullptr || broker->crashed()) return false;
     for (const auto& [filter, children] : broker->table())
       if (filter == f &&
           std::find(children.begin(), children.end(), child) != children.end())
@@ -106,7 +119,7 @@ std::string check_fixpoint(routing::Overlay& overlay) {
     }
   }
   for (const auto& broker : overlay.brokers()) {
-    if (broker->is_root()) continue;
+    if (broker->is_root() || broker->crashed()) continue;
     for (const auto& form : broker->active_upward()) {
       if (!lease_exists(broker->parent(), form, broker->id())) {
         err << "broker " << broker->id() << "'s upward form missing at parent "
@@ -160,6 +173,17 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
   oc.subscriber.rejoin_on_expired = !cfg.inject_rejoin_bug;
   oc.link_latency = cfg.link_latency;
   oc.seed = plan.seed ^ 0x0E11A5ULL;
+  oc.link.reliability = cfg.reliability;
+  if (cfg.reliability == link::Reliability::Reliable) {
+    // The oracle asserts delivery, so shedding must never be the reason an
+    // event went missing: give every sender queue headroom for the whole
+    // workload. (Shed-policy behaviour has its own targeted unit tests.)
+    oc.link.queue_limit = 1u << 20;
+    // Close the heal-time race between retransmitted events and the lease
+    // renewals that route them: a zero-match event waits out a few renew
+    // cycles in the grace pen before the broker gives up on it.
+    oc.broker.match_grace = 3 * cfg.renew_interval;
+  }
   if (cfg.trace_pipeline) {
     oc.trace.enabled = true;
     oc.trace.sample_period = 1;
@@ -231,8 +255,14 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
     op.until += t0;
   }
   sim::Chaos chaos{sch, net, shifted};
+  // With leave_crashed the restart instant is a no-op: the overlay must
+  // heal around the corpse (re-parenting + re-joins), not wait for it.
   chaos.set_crash_hooks([&overlay](sim::NodeId n) { overlay.crash(n); },
-                        [&overlay](sim::NodeId n) { overlay.restart(n); });
+                        cfg.leave_crashed
+                            ? sim::Chaos::CrashHook{[](sim::NodeId) {}}
+                            : sim::Chaos::CrashHook{[&overlay](sim::NodeId n) {
+                                overlay.restart(n);
+                              }});
   chaos.set_classifier([](const sim::Network::Payload& payload) {
     return routing::packet_class(payload);
   });
@@ -295,6 +325,33 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
     }
   }
 
+  // (b') strict oracle: with reliable links and only message-level faults
+  // (drops, duplication, jitter — everything the link layer claims to
+  // mask), the fault window is no excuse. Every event, *including those
+  // published while faults were live*, must reach every matching
+  // subscriber exactly once: retransmission closes the losses, sequencing
+  // plus subscriber dedup closes the duplicates.
+  const bool message_faults_only = std::all_of(
+      plan.ops.begin(), plan.ops.end(), [](const sim::FaultOp& op) {
+        return op.kind == sim::FaultKind::Drop ||
+               op.kind == sim::FaultKind::Duplicate ||
+               op.kind == sim::FaultKind::Jitter;
+      });
+  if (cfg.reliability == link::Reliability::Reliable && message_faults_only) {
+    for (const auto& [uid, expect] : book.expected) {
+      for (const std::size_t key : expect) {
+        const std::uint64_t copies = book.counts[uid][key];
+        if (copies == 1) continue;
+        std::ostringstream err;
+        err << "reliable exactly-once violated: "
+            << (book.phase_of.at(uid) == Phase::Chaos ? "in-window" : "warm-up")
+            << " event " << uid << " delivered " << copies
+            << "x to subscription " << key;
+        return fail(err.str());
+      }
+    }
+  }
+
   // (c) broker tables back to the fault-free fixpoint.
   if (std::string err = check_fixpoint(overlay); !err.empty())
     return fail("fixpoint: " + err);
@@ -316,6 +373,9 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
       return fail(err.str());
     }
   }
+
+  result.link = overlay.link_counters();
+  result.reparents = overlay.total_reparents();
 
   // (d) network accounting: nothing created or lost outside the books.
   if (net.total_messages() + net.duplicated() !=
@@ -390,6 +450,44 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
     }
   }
   return result;
+}
+
+sim::FaultPlan message_plan_for(std::uint64_t seed, const HarnessConfig& cfg) {
+  util::Rng rng{seed ^ 0x5E11AB1EULL};
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  const auto window = [&](sim::FaultOp& op) {
+    op.at = rng.below(std::max<sim::Time>(1, cfg.horizon * 3 / 5));
+    const sim::Time shortest = std::max<sim::Time>(1, cfg.horizon / 10);
+    const sim::Time longest = std::max<sim::Time>(shortest + 1, cfg.horizon * 2 / 5);
+    op.until = std::min<sim::Time>(cfg.horizon,
+                                   op.at + shortest + rng.below(longest - shortest));
+    if (op.until <= op.at) op.until = op.at + 1;
+  };
+  while (plan.ops.size() < std::max<std::size_t>(1, cfg.fault_ops)) {
+    sim::FaultOp op;
+    switch (rng.below(3)) {
+      case 0:  // drop — harsh rates, sometimes event-targeted
+        op.kind = sim::FaultKind::Drop;
+        window(op);
+        if (rng.chance(0.5)) op.type = 7;  // EventMsg, the cargo itself
+        op.permille = 300 + static_cast<std::uint32_t>(rng.below(701));
+        break;
+      case 1:
+        op.kind = sim::FaultKind::Duplicate;
+        window(op);
+        op.permille = 100 + static_cast<std::uint32_t>(rng.below(401));
+        break;
+      default:
+        op.kind = sim::FaultKind::Jitter;
+        window(op);
+        op.permille = 200 + static_cast<std::uint32_t>(rng.below(601));
+        op.jitter = 1 + rng.below(50 * cfg.link_latency);
+        break;
+    }
+    plan.ops.push_back(op);
+  }
+  return plan;
 }
 
 sim::FaultPlan shrink_plan(const HarnessConfig& cfg, sim::FaultPlan plan) {

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "cake/link/link.hpp"
 #include "cake/sim/chaos.hpp"
 #include "cake/workload/generators.hpp"
 
@@ -65,6 +66,22 @@ struct HarnessConfig {
   /// known completeness bug the oracle must catch (acceptance criterion).
   bool inject_rejoin_bug = false;
 
+  /// Link layer for every node in the trial overlay. `Reliable` turns on
+  /// sequencing, retransmission, heartbeat failure detection and
+  /// self-healing re-parenting — and *arms the strict oracle*: for plans
+  /// whose faults are all message-level (Drop/Duplicate/Jitter), even
+  /// events published inside the fault window must reach every matching
+  /// subscriber exactly once. Message loss is no longer an excuse.
+  link::Reliability reliability = link::Reliability::BestEffort;
+
+  /// Leave crashed brokers down instead of cold-restarting them at the
+  /// plan's restart instant. Recovery must then come entirely from the
+  /// self-healing path: children heartbeat-detect the dead parent, climb
+  /// to an ancestor and replay their filter tables; subscribers of a dead
+  /// edge broker re-join through the root. Only meaningful with Reliable
+  /// (best-effort nodes never detect the death).
+  bool leave_crashed = false;
+
   /// Rides the per-event trace pipeline (trace/) along the whole trial,
   /// sampling every event into rings sized for the workload. The trial
   /// then also asserts trace-id conservation — every span belongs to a
@@ -89,6 +106,8 @@ struct TrialResult {
   std::uint64_t duplicate_peak = 0;  ///< max copies of one (event, sub) pair
   std::uint64_t traced_journeys = 0;  ///< with trace_pipeline: journeys seen
   std::uint64_t traced_spans = 0;     ///< with trace_pipeline: spans retained
+  link::LinkCounters link;     ///< overlay-wide link-layer counters
+  std::uint64_t reparents = 0; ///< parent-death re-attachments performed
 };
 
 /// Seed-derived random schedule shaped for `cfg`'s topology: drops target
@@ -96,6 +115,13 @@ struct TrialResult {
 /// id ranges, and ≥ 1 broker crash–restart is always present.
 [[nodiscard]] sim::FaultPlan plan_for(std::uint64_t seed,
                                       const HarnessConfig& cfg);
+
+/// Like `plan_for` but restricted to message-level faults — Drop, Duplicate
+/// and Jitter, no crashes or partitions. This is the schedule shape the
+/// reliable exactly-once sweep runs under: every fault in it is one the
+/// link layer claims to mask completely.
+[[nodiscard]] sim::FaultPlan message_plan_for(std::uint64_t seed,
+                                              const HarnessConfig& cfg);
 
 /// Runs one differential trial of `plan` (times relative to arm instant).
 [[nodiscard]] TrialResult run_trial(const HarnessConfig& cfg,

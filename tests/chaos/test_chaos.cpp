@@ -147,6 +147,69 @@ TEST(ChaosTrial, TraceReplayMatchesOriginalRun) {
   EXPECT_EQ(a.chaos.dropped, b.chaos.dropped);
 }
 
+// ---- reliable links: the strict oracle --------------------------------------
+
+TEST(ChaosReliable, ScriptedMessageFaultsAreMaskedExactlyOnce) {
+  HarnessConfig cfg;
+  cfg.reliability = link::Reliability::Reliable;
+  FaultPlan plan;
+  plan.seed = 41;
+  // Heavy event drops + broad duplication + jitter for the whole horizon:
+  // everything the link layer claims to mask. With Reliable set and no
+  // crash/partition ops, run_trial arms the strict oracle — events
+  // published *inside* this fault window must still be exactly-once.
+  plan.ops.push_back({FaultKind::Drop, 0, cfg.horizon, sim::kNoNode,
+                      sim::kNoNode, 7, 400, 0});
+  plan.ops.push_back({FaultKind::Duplicate, 0, cfg.horizon, sim::kNoNode,
+                      sim::kNoNode, FaultOp::kAnyType, 400, 0});
+  plan.ops.push_back({FaultKind::Jitter, 0, cfg.horizon, sim::kNoNode,
+                      sim::kNoNode, FaultOp::kAnyType, 400, 20'000});
+  const TrialResult result = chaos::run_trial(cfg, plan);
+  EXPECT_TRUE(result.ok) << result.failure;
+  EXPECT_GT(result.chaos.dropped, 0u) << "the drop rule never fired";
+  EXPECT_GT(result.link.retransmits, 0u)
+      << "drops were masked without a single retransmission?";
+  EXPECT_GT(result.link.duplicates_suppressed, 0u);
+}
+
+TEST(ChaosReliable, TenRandomMessageFaultSeedsAreExactlyOnce) {
+  HarnessConfig cfg;
+  cfg.reliability = link::Reliability::Reliable;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const FaultPlan plan = chaos::message_plan_for(seed, cfg);
+    const TrialResult result = chaos::run_trial(cfg, plan);
+    ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.failure
+                           << "\n  replay: " << chaos::replay_command(plan);
+  }
+}
+
+TEST(ChaosReliable, CrashedParentHealsByReparentingWithoutRestart) {
+  HarnessConfig cfg;
+  cfg.reliability = link::Reliability::Reliable;
+  cfg.leave_crashed = true;
+  // Acceptance bar: the filter tables reach their fixpoint within 3 renew
+  // intervals of the heal instant — not the full soft-state window the
+  // relaxed trials allow. Shrink the convergence slack to exactly that.
+  cfg.extra_convergence_slack =
+      static_cast<std::int64_t>(3 * cfg.renew_interval) -
+      static_cast<std::int64_t>(3 * cfg.ttl + 2 * cfg.reap_interval +
+                                6 * cfg.renew_interval);
+  FaultPlan plan;
+  plan.seed = 42;
+  // Broker 1 is a stage-2 node under {1,2,4} with two leaf children: they
+  // must heartbeat-detect the death, climb to the root and replay their
+  // filter tables. The scripted restart instant is a no-op (leave_crashed),
+  // so self-healing is the only road back.
+  plan.ops.push_back({FaultKind::Crash, 500'000, 600'000, 1, 0,
+                      FaultOp::kAnyType, 0, 0});
+  const TrialResult result = chaos::run_trial(cfg, plan);
+  EXPECT_TRUE(result.ok) << result.failure;
+  EXPECT_EQ(result.chaos.crashes, 1u);
+  EXPECT_GT(result.link.peers_declared_dead, 0u)
+      << "nobody noticed the crash";
+  EXPECT_GE(result.reparents, 2u) << "orphaned children never re-attached";
+}
+
 // ---- trace pipeline riding along --------------------------------------------
 
 TEST(ChaosTrace, ScriptedCrashConservesEveryTraceId) {

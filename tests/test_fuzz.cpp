@@ -157,5 +157,109 @@ TEST(Fuzz, LiveBrokerSurvivesGarbageStorm) {
   EXPECT_EQ(count, 1);
 }
 
+/// The three link-control frames, encoded exactly as the link layer puts
+/// them on the wire (routing's Encoder shares link::encode_fields with
+/// LinkManager's standalone framing, which protocol.cpp static_asserts).
+std::vector<std::vector<std::byte>> link_control_seeds() {
+  std::vector<std::vector<std::byte>> seeds;
+  seeds.push_back(routing::encode(
+      routing::Packet{link::Ack{0x0BAD5EED, 0x1234567890ULL}}));
+  seeds.push_back(routing::encode(routing::Packet{link::Nack{7, 0}}));
+  seeds.push_back(
+      routing::encode(routing::Packet{link::Heartbeat{3, 0xFFFFFFFFFFULL, true}}));
+  return seeds;
+}
+
+TEST(Fuzz, LinkControlTruncationAtEveryOffsetThrows) {
+  // A truncated Ack/Nack/Heartbeat must throw, never silently decode as a
+  // shorter message or a different variant: the frame checksum covers the
+  // whole payload, so every strict prefix is rejected.
+  for (const auto& frame : link_control_seeds()) {
+    const std::size_t cls = routing::packet_class(frame);
+    ASSERT_LT(cls, routing::kPacketClasses);
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const std::span<const std::byte> prefix{frame.data(), len};
+      EXPECT_THROW((void)routing::decode(prefix), wire::WireError)
+          << "class " << cls << " truncated to " << len << " bytes";
+    }
+    EXPECT_EQ(routing::decode(frame).index(), cls);  // untouched: round-trips
+  }
+}
+
+TEST(Fuzz, LinkControlBitFlipsNeverCrashOrChangeVariant) {
+  Rng rng{fuzz_seed(0xF428)};
+  const auto seeds = link_control_seeds();
+  int decoded_ok = 0;
+  for (int trial = 0; trial < 20'000; ++trial) {
+    auto frame = seeds[rng.below(seeds.size())];
+    const std::size_t expected = routing::packet_class(frame);
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f)
+      frame[rng.below(frame.size())] ^=
+          static_cast<std::byte>(std::uint8_t{1} << rng.below(8));
+    try {
+      const routing::Packet packet = routing::decode(frame);
+      ++decoded_ok;
+      // A flip that survives the checksum must at least have kept the tag:
+      // the classifier's view of the mutated bytes matches what decoding
+      // actually produced.
+      EXPECT_EQ(routing::packet_class(routing::encode(packet)),
+                routing::packet_class(frame));
+      (void)expected;
+    } catch (const wire::WireError&) {
+      // the overwhelmingly common outcome
+    }
+  }
+  EXPECT_LT(decoded_ok, 20'000);
+}
+
+TEST(Fuzz, PacketClassifierIsInLockstepWithDecode) {
+  // For every variant the overlay can produce, the allocation-free
+  // classifier names the same class that full decoding yields — the chaos
+  // engine's per-class fault filters depend on this never drifting.
+  workload::ensure_types_registered();
+  workload::BiblioGenerator gen{{}, 99};
+  // One frame per class, in wire-tag order (Event sits at tag 7, between
+  // Unsub and Expired — the classifier speaks tags, not variant indices).
+  std::vector<std::vector<std::byte>> frames;
+  frames.push_back(routing::encode(
+      routing::Packet{routing::Advertise{workload::BiblioGenerator::schema()}}));
+  frames.push_back(routing::encode(routing::Packet{
+      routing::Subscribe{gen.next_subscription(), 42, 7, false}}));
+  frames.push_back(routing::encode(routing::Packet{routing::JoinAt{5, 7}}));
+  frames.push_back(routing::encode(
+      routing::Packet{routing::AcceptedAt{4, 7, gen.next_subscription()}}));
+  frames.push_back(routing::encode(
+      routing::Packet{routing::ReqInsert{gen.next_subscription(1), 3}}));
+  frames.push_back(routing::encode(
+      routing::Packet{routing::Renew{gen.next_subscription(), 6}}));
+  frames.push_back(routing::encode(
+      routing::Packet{routing::Unsub{gen.next_subscription(), 6}}));
+  frames.push_back(
+      routing::encode(routing::Packet{routing::EventMsg{gen.next_event()}}));
+  frames.push_back(routing::encode(
+      routing::Packet{routing::Expired{gen.next_subscription()}}));
+  frames.push_back(routing::encode(routing::Packet{routing::Detach{9}}));
+  frames.push_back(routing::encode(routing::Packet{routing::Resume{9}}));
+  for (auto& frame : link_control_seeds()) frames.push_back(std::move(frame));
+  ASSERT_EQ(frames.size(), routing::kPacketClasses);
+
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(routing::packet_class(frames[i]), i)
+        << routing::packet_class_name(static_cast<std::uint8_t>(i));
+    // Full decoding agrees: re-encoding the decoded packet reproduces the
+    // class the classifier named from the raw bytes.
+    const routing::Packet packet = routing::decode(frames[i]);
+    EXPECT_EQ(routing::packet_class(routing::encode(packet)), i)
+        << routing::packet_class_name(static_cast<std::uint8_t>(i));
+  }
+  EXPECT_EQ(routing::kEventPacketClass, 7u);
+  // Garbage keeps the classifier total: anything unframeable is 0xff.
+  EXPECT_EQ(routing::packet_class(std::vector<std::byte>{}), 0xff);
+  EXPECT_EQ(routing::packet_class(
+                std::vector<std::byte>(12, std::byte{0xFF})),
+            0xff);
+}
+
 }  // namespace
 }  // namespace cake
