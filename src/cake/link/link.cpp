@@ -64,7 +64,12 @@ LinkManager::LinkManager(sim::NodeId id, sim::Network& network,
       network_(network),
       scheduler_(scheduler),
       options_(options),
-      rng_(seed) {}
+      rng_(seed) {
+  // Below 2, an idle-but-healthy peer would be declared dead on its first
+  // silent interval before any ping could possibly draw a reply — a
+  // guaranteed false positive on every idle link.
+  options_.heartbeat_misses = std::max<std::uint32_t>(2, options_.heartbeat_misses);
+}
 
 void LinkManager::attach(Deliver deliver) {
   deliver_ = std::move(deliver);
@@ -229,6 +234,25 @@ void LinkManager::forget(sim::NodeId peer) {
 std::size_t LinkManager::in_flight(sim::NodeId peer) const noexcept {
   const auto it = tx_.find(peer);
   return it == tx_.end() ? 0 : unacked(it->second) + it->second.pending_count;
+}
+
+LinkManager::TxMark LinkManager::tx_mark(sim::NodeId peer) const noexcept {
+  const auto it = tx_.find(peer);
+  if (it == tx_.end()) return {};
+  const TxState& tx = it->second;
+  // Queued frames have no sequence yet, but they will take the next
+  // pending_count sequences in order (shedding happens before queueing, so
+  // nothing accepted is ever skipped).
+  return {tx.session, tx.next_seq - 1 + tx.pending_count};
+}
+
+bool LinkManager::tx_reached(sim::NodeId peer, TxMark mark) const noexcept {
+  if (mark.session == 0) return true;  // empty stream at mark time
+  const auto it = tx_.find(peer);
+  if (it == tx_.end()) return true;  // stream forgotten wholesale
+  const TxState& tx = it->second;
+  if (tx.session != mark.session) return false;  // reset since the mark
+  return tx.acked >= mark.seq;
 }
 
 void LinkManager::on_network(sim::NodeId from, const Payload& payload,
@@ -478,12 +502,14 @@ void LinkManager::heartbeat_tick() {
     if (!w.watched || w.dead) continue;
     if (now >= w.last_heard + options_.heartbeat_interval) {
       ++w.misses;
+      // Every silent interval probes — the threshold-reaching one included,
+      // so a false positive gets the fastest possible proof-of-life path
+      // (any arrival revives a declared-dead peer).
+      ping.push_back(peer);
       if (w.misses >= options_.heartbeat_misses) {
         w.dead = true;
         ++counters_.peers_declared_dead;
         dead.push_back(peer);
-      } else {
-        ping.push_back(peer);
       }
     } else {
       w.misses = 0;

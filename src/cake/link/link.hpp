@@ -105,7 +105,10 @@ struct LinkOptions {
   sim::Time nack_min_gap = 8'000;
   /// Watched peers silent for a full interval accrue one miss.
   sim::Time heartbeat_interval = 200'000;
-  /// Dead at exactly this many consecutive misses.
+  /// Dead at exactly this many consecutive misses. Clamped to >= 2 at
+  /// construction: the first silent interval must get a ping out (and a
+  /// reply back) before the verdict can fall, or every idle-but-healthy
+  /// link is a guaranteed false positive.
   std::uint32_t heartbeat_misses = 3;
 };
 
@@ -191,6 +194,25 @@ public:
 
   /// Unacknowledged frames currently in flight toward `peer` (tests).
   [[nodiscard]] std::size_t in_flight(sim::NodeId peer) const noexcept;
+
+  /// Position marker on the tx stream toward a peer: the stream session
+  /// plus the sequence the most recently accepted (admitted or queued)
+  /// frame holds — or will hold, once the window frees up. Sequences are
+  /// dense over accepted frames, so `acked >= seq` under the same session
+  /// means everything accepted up to the mark has been delivered, however
+  /// much newer traffic is still in flight. A default-constructed mark
+  /// (session 0) marks an empty stream and is always reached.
+  struct TxMark {
+    std::uint32_t session = 0;
+    std::uint64_t seq = 0;
+  };
+  /// Marks the current end of the accepted tx stream toward `peer`.
+  [[nodiscard]] TxMark tx_mark(sim::NodeId peer) const noexcept;
+  /// True once every frame accepted toward `peer` at `mark` time has been
+  /// cumulatively acknowledged. A stream reset since the mark (session
+  /// mismatch) reports false — the outstanding frames were re-enqueued
+  /// under a fresh session, so the caller must take a new mark.
+  [[nodiscard]] bool tx_reached(sim::NodeId peer, TxMark mark) const noexcept;
 
 private:
   struct TxFrame {

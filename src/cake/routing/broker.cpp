@@ -70,6 +70,7 @@ void Broker::crash() {
   crashed_ = true;
   ++epoch_;  // orphan the pending renew/reap closures
   prev_parent_ = sim::kNoNode;
+  handover_mark_ = {};
   pen_.clear();
   pen_armed_ = false;
   link_.detach();
@@ -80,6 +81,7 @@ void Broker::restart() {
   crashed_ = false;
   ++epoch_;
   prev_parent_ = sim::kNoNode;
+  handover_mark_ = {};
   pen_.clear();
   pen_armed_ = false;
   entries_.clear();
@@ -567,7 +569,12 @@ void Broker::do_reparent(std::uint64_t epoch) {
   // If the death was a heartbeat false positive the old path keeps carrying
   // events across the handover gap; if the parent is truly dead the extra
   // renewals are undeliverable noise that stops at the first drained renew.
+  // The mark pins the replayed table's position in the new parent's tx
+  // stream; `in_flight == 0` would never hold on a link busy with events
+  // (and renew_task itself refills it every tick), stalling the handover
+  // forever.
   prev_parent_ = old_parent;
+  handover_mark_ = link_.tx_mark(parent_);
   if (chaos_debug())
     std::fprintf(stderr, "[dbg] t=%llu broker=%u REPARENT %u -> %u\n",
                  (unsigned long long)scheduler_.now(), (unsigned)id_,
@@ -610,29 +617,47 @@ sim::NodeId Broker::random_child() {
 
 void Broker::renew_task(std::uint64_t epoch) {
   if (epoch != epoch_) return;  // superseded by a crash or restart
-  if (parent_ != sim::kNoNode) {
-    for (const auto& form : active_) send(parent_, ReqInsert{form, id_});
-  }
   if (prev_parent_ != sim::kNoNode) {
-    if (link_.in_flight(parent_) == 0) {
-      // The new parent has acked everything we sent it — the replayed
-      // ReqInserts included, so its table now covers us. Handover done;
-      // let the old parent's leases lapse by TTL.
+    const link::LinkManager::TxMark cur = link_.tx_mark(parent_);
+    if (cur.session != handover_mark_.session) {
+      // The stream to the new parent was reset underneath us (it cold-
+      // restarted mid-handover); the replayed table was re-enqueued under
+      // the fresh session, so chase the new stream's mark instead.
+      handover_mark_ = cur;
+    }
+    if (link_.tx_reached(parent_, handover_mark_)) {
+      // The new parent has acked the replayed ReqInserts (the mark was
+      // taken right after they were sent), so its table now covers us.
+      // Handover done; let the old parent's leases lapse by TTL and drop
+      // the dead stream's state — without this, renewals still unacked
+      // toward a truly-dead old parent would keep its retransmit timer
+      // firing forever. If the death was a false positive, the old parent
+      // re-syncs our rx stream on its next frame and subscriber event-id
+      // dedup absorbs the transient re-delivery.
       if (chaos_debug())
         std::fprintf(stderr, "[dbg] t=%llu broker=%u HANDOVER-DONE prev=%u\n",
                      (unsigned long long)scheduler_.now(), (unsigned)id_,
                      (unsigned)prev_parent_);
+      if (prev_parent_ != parent_) link_.forget(prev_parent_);
       prev_parent_ = sim::kNoNode;
     } else if (prev_parent_ != parent_) {
       for (const auto& form : active_) send(prev_parent_, ReqInsert{form, id_});
     }
+  }
+  if (parent_ != sim::kNoNode) {
+    for (const auto& form : active_) send(parent_, ReqInsert{form, id_});
   }
   scheduler_.schedule_background_after(config_.renew_interval,
                                        [this, epoch] { renew_task(epoch); });
 }
 
 void Broker::park_unmatched(const sim::Network::Payload& payload) {
-  if (pen_.size() >= config_.match_grace_limit) pen_.pop_front();
+  if (pen_.size() >= config_.match_grace_limit) {
+    // Drop-oldest eviction is a real loss during a heal; count it so a
+    // chaos run can tell an undersized pen from a closed race.
+    ++stats_.events_pen_dropped;
+    pen_.pop_front();
+  }
   pen_.push_back({payload, scheduler_.now()});
   ++stats_.events_parked;
   if (pen_armed_) return;

@@ -114,6 +114,7 @@ struct BrokerStats {
   std::uint64_t reparents = 0;         ///< parent-death re-attachments
   std::uint64_t events_parked = 0;     ///< zero-match events held for grace
   std::uint64_t events_rescued = 0;    ///< parked events matched on retry
+  std::uint64_t events_pen_dropped = 0; ///< oldest parked evicted, pen full
   std::size_t filters = 0;             ///< live distinct filters
   std::size_t associations = 0;        ///< live (filter, child) pairs
 };
@@ -172,6 +173,11 @@ public:
     return children_;
   }
   [[nodiscard]] BrokerStats stats() const noexcept;
+  /// True while make-before-break is still renewing the previous parent's
+  /// leases (a re-parent handover the new parent has not yet acked).
+  [[nodiscard]] bool handover_pending() const noexcept {
+    return prev_parent_ != sim::kNoNode;
+  }
   [[nodiscard]] const link::LinkCounters& link_counters() const noexcept {
     return link_.counters();
   }
@@ -293,6 +299,9 @@ private:
   std::vector<sim::NodeId> ancestors_;  // [parent, grandparent, …, root]
   std::size_t ancestor_idx_ = 0;        // current attachment point
   sim::NodeId prev_parent_ = sim::kNoNode;  // renewed until handover acked
+  // End of the new parent's tx stream right after the filter table was
+  // replayed there (do_reparent); the handover is done once it is acked.
+  link::LinkManager::TxMark handover_mark_;
   std::uint32_t reparent_streak_ = 0;   // consecutive recent re-parents
   sim::Time reparent_allowed_at_ = 0;   // flap-damping gate
   sim::Time last_reparent_ = 0;

@@ -254,8 +254,7 @@ void SubscriberNode::on_packet(sim::NodeId from,
       // but a re-parent can briefly leave two paths carrying the same event.
       if (!seen_events_.insert(ev->event_id).second) return;
       seen_order_.push_back(ev->event_id);
-      constexpr std::size_t kDedupCapacity = 1 << 16;
-      if (seen_order_.size() > kDedupCapacity) {
+      if (seen_order_.size() > config_.dedup_capacity) {
         seen_events_.erase(seen_order_.front());
         seen_order_.pop_front();
       }

@@ -49,6 +49,12 @@ struct SubscriberConfig {
   /// this extends it to transient dual-path duplicates during re-parenting,
   /// which is what makes reliable-mode delivery exactly-once.
   bool dedup_events = false;
+  /// Seen-set bound (FIFO eviction). Exactly-once only holds for a
+  /// duplicate arriving within this many events of the original: size it
+  /// above the maximum dual-path backlog the deployment can accumulate
+  /// (longest partition × event rate, plus the retransmission queue), or
+  /// a late duplicate outlives the entry and is re-delivered.
+  std::size_t dedup_capacity = 1 << 16;
 };
 
 class SubscriberNode {

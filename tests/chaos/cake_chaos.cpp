@@ -56,7 +56,8 @@ int sweep(const HarnessConfig& cfg, std::uint64_t start, std::uint64_t seeds,
                   << result.duplicate_peak << ", probe deliveries "
                   << result.expected_deliveries << ", retransmits "
                   << result.link.retransmits << ", reparents "
-                  << result.reparents << "\n";
+                  << result.reparents << ", pen drops "
+                  << result.pen_dropped << "\n";
       continue;
     }
     ++failures;

@@ -183,6 +183,11 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
     // renewals that route them: a zero-match event waits out a few renew
     // cycles in the grace pen before the broker gives up on it.
     oc.broker.match_grace = 3 * cfg.renew_interval;
+    // The exactly-once oracle leans on subscriber event-id dedup for
+    // dual-path duplicates; with the seen-set at least as large as the
+    // whole workload, FIFO eviction can never re-admit a late duplicate.
+    oc.subscriber.dedup_capacity =
+        cfg.warm_events + cfg.chaos_events + cfg.probe_events;
   }
   if (cfg.trace_pipeline) {
     oc.trace.enabled = true;
@@ -376,6 +381,8 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
 
   result.link = overlay.link_counters();
   result.reparents = overlay.total_reparents();
+  for (const auto& broker : overlay.brokers())
+    result.pen_dropped += broker->stats().events_pen_dropped;
 
   // (d) network accounting: nothing created or lost outside the books.
   if (net.total_messages() + net.duplicated() !=

@@ -108,6 +108,10 @@ struct TrialResult {
   std::uint64_t traced_spans = 0;     ///< with trace_pipeline: spans retained
   link::LinkCounters link;     ///< overlay-wide link-layer counters
   std::uint64_t reparents = 0; ///< parent-death re-attachments performed
+  /// Grace-pen overflow evictions across all brokers: each one is a real
+  /// event loss during a heal (the pen was undersized for the workload),
+  /// distinct from a heal-race the pen closed.
+  std::uint64_t pen_dropped = 0;
 };
 
 /// Seed-derived random schedule shaped for `cfg`'s topology: drops target

@@ -89,6 +89,47 @@ TEST(Resilience, CrashedLeafBrokerStateReapedUpstream) {
     EXPECT_TRUE(mid->table().empty());
 }
 
+TEST(Resilience, ReparentHandoverCompletesWithNonEmptyFilterTable) {
+  // Regression: the handover-done probe once ran right after renew_task had
+  // put this tick's renewals on the wire toward the new parent, so with a
+  // non-empty filter table the link never looked fully acked at probe time
+  // — prev_parent_ never cleared and renewals streamed to the dead old
+  // parent forever. The sequence-watermark condition must break the
+  // make-before-break within a few renew intervals.
+  OverlayConfig config = fast_ttl_config();
+  config.stage_counts = {1, 1, 1};  // fixed chain: 0 (root) <- 1 <- 2
+  config.link.reliability = link::Reliability::Reliable;
+  // Random placement walks the chain to its only leaf; wildcard placement
+  // would host this mostly-unconstrained filter at the root, and a root
+  // never re-parents.
+  config.broker.placement = routing::Placement::Random;
+  Fx fx{config};
+  auto& sub = fx.overlay.add_subscriber();
+  int count = 0;
+  sub.subscribe(FilterBuilder{"Publication"}
+                    .where("year", Op::Eq, Value{2002})
+                    .build(),
+                [&](const EventImage&) { ++count; });
+  fx.overlay.run();
+
+  routing::Broker* leaf = fx.overlay.brokers()[2].get();
+  ASSERT_FALSE(leaf->table().empty());  // the leaf hosts the subscription
+
+  // Kill the leaf's parent; heartbeat detection (3 x 200k) plus a few renew
+  // intervals (400k) fit comfortably in the 5M window.
+  fx.overlay.crash(1);
+  fx.overlay.scheduler().run_until(fx.overlay.scheduler().now() + 5'000'000);
+
+  EXPECT_GE(leaf->stats().reparents, 1u);
+  EXPECT_EQ(leaf->parent(), 0u);  // re-attached to the grandparent (root)
+  EXPECT_FALSE(leaf->handover_pending());
+
+  // The healed path root -> leaf must carry events end-to-end.
+  fx.publisher->publish(pub_event(2002, "ICDCS", "Eugster", "A"));
+  fx.overlay.run();
+  EXPECT_EQ(count, 1);
+}
+
 // ---- message loss -----------------------------------------------------------
 
 TEST(Resilience, RenewalLossIsAbsorbedByRedundantRenewals) {
