@@ -58,11 +58,11 @@ LinkCounters& LinkCounters::operator+=(const LinkCounters& o) noexcept {
 }
 
 LinkManager::LinkManager(sim::NodeId id, sim::Network& network,
-                         sim::Scheduler& scheduler, LinkOptions options,
+                         runtime::Transport& transport, LinkOptions options,
                          std::uint64_t seed)
     : id_(id),
       network_(network),
-      scheduler_(scheduler),
+      transport_(transport),
       options_(options),
       rng_(seed) {
   // Below 2, an idle-but-healthy peer would be declared dead on its first
@@ -183,7 +183,7 @@ void LinkManager::advance_ack(sim::NodeId peer, TxState& tx,
   if (unacked(tx) == 0) {
     tx.timer_armed = false;  // dormant closure sees this and dies
   } else {
-    tx.rto_deadline = scheduler_.now() + rto(tx);
+    tx.rto_deadline = transport_.now() + rto(tx);
   }
 }
 
@@ -303,7 +303,7 @@ void LinkManager::on_network(sim::NodeId from, const Payload& payload,
 void LinkManager::note_heard(sim::NodeId from) {
   const auto it = watches_.find(from);
   if (it == watches_.end()) return;
-  it->second.last_heard = scheduler_.now();
+  it->second.last_heard = transport_.now();
   it->second.misses = 0;
   it->second.dead = false;  // a revived peer speaks for itself
 }
@@ -387,7 +387,7 @@ void LinkManager::release_in_order(sim::NodeId from) {
 
 void LinkManager::send_nack(sim::NodeId peer, RxState& rx,
                             std::uint64_t missing) {
-  const sim::Time now = scheduler_.now();
+  const sim::Time now = transport_.now();
   if (rx.last_nacked == missing &&
       now < rx.last_nack_time + options_.nack_min_gap)
     return;
@@ -400,7 +400,7 @@ void LinkManager::send_nack(sim::NodeId peer, RxState& rx,
 void LinkManager::arm_ack(sim::NodeId peer, RxState& rx) {
   if (rx.ack_armed) return;
   rx.ack_armed = true;
-  scheduler_.schedule_background_after(options_.ack_delay,
+  transport_.schedule_background_after(options_.ack_delay,
                                        [this, peer] { flush_ack(peer); });
 }
 
@@ -416,11 +416,11 @@ void LinkManager::flush_ack(sim::NodeId peer) {
 }
 
 void LinkManager::arm_retransmit(sim::NodeId peer, TxState& tx) {
-  tx.rto_deadline = scheduler_.now() + rto(tx);
+  tx.rto_deadline = transport_.now() + rto(tx);
   if (tx.timer_armed) return;
   tx.timer_armed = true;
-  scheduler_.schedule_background_after(
-      tx.rto_deadline - scheduler_.now(),
+  transport_.schedule_background_after(
+      tx.rto_deadline - transport_.now(),
       [this, peer] { on_retransmit_timer(peer); });
 }
 
@@ -433,10 +433,10 @@ void LinkManager::on_retransmit_timer(sim::NodeId peer) {
     tx.timer_armed = false;
     return;
   }
-  const sim::Time now = scheduler_.now();
+  const sim::Time now = transport_.now();
   if (now < tx.rto_deadline) {
     // The deadline moved (an ack arrived); sleep out the remainder.
-    scheduler_.schedule_background_after(
+    transport_.schedule_background_after(
         tx.rto_deadline - now, [this, peer] { on_retransmit_timer(peer); });
     return;
   }
@@ -448,7 +448,7 @@ void LinkManager::on_retransmit_timer(sim::NodeId peer) {
   transmit(peer, tx, base);
   if (tx.backoff < 16) ++tx.backoff;
   tx.rto_deadline = now + rto(tx);
-  scheduler_.schedule_background_after(
+  transport_.schedule_background_after(
       tx.rto_deadline - now, [this, peer] { on_retransmit_timer(peer); });
 }
 
@@ -466,7 +466,7 @@ void LinkManager::watch(sim::NodeId peer) {
   w.watched = true;
   w.dead = false;
   w.misses = 0;
-  w.last_heard = scheduler_.now();  // grace period starts now
+  w.last_heard = transport_.now();  // grace period starts now
   arm_heartbeat();
 }
 
@@ -488,14 +488,14 @@ std::uint32_t LinkManager::heartbeat_misses(sim::NodeId peer) const noexcept {
 void LinkManager::arm_heartbeat() {
   if (heartbeat_armed_ || !reliable()) return;
   heartbeat_armed_ = true;
-  scheduler_.schedule_background_after(options_.heartbeat_interval,
+  transport_.schedule_background_after(options_.heartbeat_interval,
                                        [this] { heartbeat_tick(); });
 }
 
 void LinkManager::heartbeat_tick() {
   heartbeat_armed_ = false;
   if (detached_) return;
-  const sim::Time now = scheduler_.now();
+  const sim::Time now = transport_.now();
   std::vector<sim::NodeId> ping;
   std::vector<sim::NodeId> dead;
   for (auto& [peer, w] : watches_) {

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cake/runtime/transport.hpp"
 #include "cake/sim/sim.hpp"
 #include "cake/util/rng.hpp"
 #include "cake/wire/wire.hpp"
@@ -140,7 +141,7 @@ public:
   using RetransmitProbe =
       std::function<void(sim::NodeId to, const Payload& payload)>;
 
-  LinkManager(sim::NodeId id, sim::Network& network, sim::Scheduler& scheduler,
+  LinkManager(sim::NodeId id, sim::Network& network, runtime::Transport& transport,
               LinkOptions options, std::uint64_t seed);
 
   LinkManager(const LinkManager&) = delete;
@@ -290,7 +291,7 @@ private:
 
   sim::NodeId id_;
   sim::Network& network_;
-  sim::Scheduler& scheduler_;
+  runtime::Transport& transport_;
   LinkOptions options_;
   util::Rng rng_;
   Deliver deliver_;

@@ -234,12 +234,12 @@ void PeerBroker::send(sim::NodeId to, const PeerPacket& packet) {
 
 PeerSubscriber::PeerSubscriber(sim::NodeId id, sim::NodeId home,
                                sim::Network& network,
-                               const sim::Scheduler& scheduler,
+                               const runtime::Transport& transport,
                                const reflect::TypeRegistry& registry)
     : id_(id),
       home_(home),
       network_(network),
-      scheduler_(scheduler),
+      transport_(transport),
       registry_(registry) {}
 
 void PeerSubscriber::start() {
@@ -283,14 +283,14 @@ void PeerSubscriber::on_packet(sim::NodeId from,
   }
   if (matched) {
     ++delivered_;
-    latency_.add(static_cast<double>(scheduler_.now() - event->published_at));
+    latency_.add(static_cast<double>(transport_.now() - event->published_at));
   }
 }
 
 void PeerPublisher::publish(event::EventImage image) {
   ++published_;
   network_.send(id_, home_,
-                encode(PeerPacket{PeerEvent{std::move(image), scheduler_.now()}}));
+                encode(PeerPacket{PeerEvent{std::move(image), transport_.now()}}));
 }
 
 void PeerPublisher::publish(const event::Event& event) {
@@ -331,7 +331,7 @@ PeerSubscriber& PeerMesh::add_subscriber() {
 
 PeerSubscriber& PeerMesh::add_subscriber(std::size_t broker_index) {
   subscribers_.push_back(std::make_unique<PeerSubscriber>(
-      next_id_++, brokers_.at(broker_index)->id(), network_, scheduler_,
+      next_id_++, brokers_.at(broker_index)->id(), network_, transport_,
       registry_));
   subscribers_.back()->start();
   return *subscribers_.back();
@@ -343,7 +343,7 @@ PeerPublisher& PeerMesh::add_publisher() {
 
 PeerPublisher& PeerMesh::add_publisher(std::size_t broker_index) {
   publishers_.push_back(std::make_unique<PeerPublisher>(
-      next_id_++, brokers_.at(broker_index)->id(), network_, scheduler_));
+      next_id_++, brokers_.at(broker_index)->id(), network_, transport_));
   return *publishers_.back();
 }
 

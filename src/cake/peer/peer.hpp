@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cake/index/index.hpp"
+#include "cake/runtime/sim_transport.hpp"
 #include "cake/sim/sim.hpp"
 #include "cake/util/rng.hpp"
 #include "cake/util/stats.hpp"
@@ -163,7 +164,7 @@ public:
   using Handler = std::function<void(const event::EventImage&)>;
 
   PeerSubscriber(sim::NodeId id, sim::NodeId home, sim::Network& network,
-                 const sim::Scheduler& scheduler,
+                 const runtime::Transport& transport,
                  const reflect::TypeRegistry& registry);
 
   PeerSubscriber(const PeerSubscriber&) = delete;
@@ -189,7 +190,7 @@ private:
   sim::NodeId id_;
   sim::NodeId home_;
   sim::Network& network_;
-  const sim::Scheduler& scheduler_;
+  const runtime::Transport& transport_;
   const reflect::TypeRegistry& registry_;
   std::vector<std::pair<filter::ConjunctiveFilter, Handler>> subs_;
   std::uint64_t received_ = 0;
@@ -201,8 +202,8 @@ private:
 class PeerPublisher {
 public:
   PeerPublisher(sim::NodeId id, sim::NodeId home, sim::Network& network,
-                const sim::Scheduler& scheduler)
-      : id_(id), home_(home), network_(network), scheduler_(scheduler) {}
+                const runtime::Transport& transport)
+      : id_(id), home_(home), network_(network), transport_(transport) {}
 
   void publish(event::EventImage image);
   void publish(const event::Event& event);
@@ -218,7 +219,7 @@ private:
   sim::NodeId id_;
   sim::NodeId home_;
   sim::Network& network_;
-  const sim::Scheduler& scheduler_;
+  const runtime::Transport& transport_;
   std::uint64_t published_ = 0;
 };
 
@@ -253,6 +254,7 @@ private:
   const reflect::TypeRegistry& registry_;
   util::Rng rng_;
   sim::Scheduler scheduler_;
+  runtime::SimTransport transport_{scheduler_};
   sim::Network network_;
   sim::NodeId next_id_ = 0;
   std::size_t next_home_ = 0;

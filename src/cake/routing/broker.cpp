@@ -16,19 +16,19 @@ bool chaos_debug() {
 }  // namespace
 
 Broker::Broker(sim::NodeId id, std::size_t stage, sim::Network& network,
-               sim::Scheduler& scheduler, const reflect::TypeRegistry& registry,
+               runtime::Transport& transport, const reflect::TypeRegistry& registry,
                BrokerConfig config, util::Rng rng)
     : id_(id),
       stage_(stage),
       network_(network),
-      scheduler_(scheduler),
+      transport_(transport),
       registry_(registry),
       config_(config),
       rng_(rng),
       // The link manager draws its retransmit jitter from its own stream,
       // derived from the node id alone: pulling a seed out of `rng_` here
       // would shift the placement stream and change best-effort runs.
-      link_(id, network, scheduler, config.link,
+      link_(id, network, transport, config.link,
             (static_cast<std::uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL),
       index_(index::make_index(config.engine, registry)) {
   if (stage_ == 0)
@@ -59,9 +59,9 @@ void Broker::attach_to_network() {
 void Broker::schedule_tasks() {
   if (!config_.auto_renew) return;
   const std::uint64_t epoch = epoch_;
-  scheduler_.schedule_background_after(config_.renew_interval,
+  transport_.schedule_background_after(config_.renew_interval,
                                        [this, epoch] { renew_task(epoch); });
-  scheduler_.schedule_background_after(config_.reap_interval,
+  transport_.schedule_background_after(config_.reap_interval,
                                        [this, epoch] { reap_task(epoch); });
 }
 
@@ -247,7 +247,7 @@ void Broker::insert_subscriber(const Subscribe& msg) {
 
 void Broker::insert_filter(filter::ConjunctiveFilter stored, sim::NodeId child,
                            bool durable) {
-  const sim::Time expires = scheduler_.now() + 3 * config_.ttl;
+  const sim::Time expires = transport_.now() + 3 * config_.ttl;
   if (const auto it = by_filter_.find(stored); it != by_filter_.end()) {
     Entry& entry = entries_.at(it->second);
     for (auto& lease : entry.leases) {
@@ -289,7 +289,7 @@ void Broker::handle(Renew&& msg) {
   bool found = false;
   for (auto& lease : entry.leases) {
     if (lease.child == msg.child) {
-      lease.expires = scheduler_.now() + 3 * config_.ttl;
+      lease.expires = transport_.now() + 3 * config_.ttl;
       found = true;
     }
   }
@@ -326,7 +326,7 @@ void Broker::handle(Resume&& msg) {
     ++stats_.events_replayed;
   }
   detached_.erase(it);
-  const sim::Time expires = scheduler_.now() + 3 * config_.ttl;
+  const sim::Time expires = transport_.now() + 3 * config_.ttl;
   for (auto& [fid, entry] : entries_) {
     for (auto& lease : entry.leases) {
       if (lease.child == msg.child &&
@@ -401,7 +401,7 @@ void Broker::handle_event_frame(sim::NodeId from,
   if (target_scratch_.empty()) {
     if (chaos_debug())
       std::fprintf(stderr, "[dbg] t=%llu broker=%u event=%llu NO-MATCH from=%u\n",
-                   (unsigned long long)scheduler_.now(), (unsigned)id_,
+                   (unsigned long long)transport_.now(), (unsigned)id_,
                    (unsigned long long)event_id, (unsigned)from);
     if (config_.match_grace > 0) park_unmatched(payload);
     return;
@@ -441,7 +441,7 @@ void Broker::emit_trace_span(std::uint64_t trace_id,
   span.stage = stage_;
   span.filters_evaluated = index_->size();
   span.matched = matched;
-  span.ticks = scheduler_.now();
+  span.ticks = transport_.now();
   // The attributes this stage's schema weakened away: present in the event
   // (stage-0 set) but absent from A_stage — exactly the constraints this
   // broker could not check, i.e. the only possible sources of a spurious
@@ -519,7 +519,7 @@ void Broker::send_join_at(sim::NodeId subscriber, sim::NodeId target,
 
 void Broker::on_parent_down(sim::NodeId peer) {
   if (crashed_ || peer != parent_ || ancestors_.empty()) return;
-  const sim::Time now = scheduler_.now();
+  const sim::Time now = transport_.now();
   // A quiet spell forgives the flap streak: re-parents long past are not
   // evidence the current link is unstable.
   if (reparent_streak_ > 0 && now - last_reparent_ > 8 * config_.reparent_backoff)
@@ -531,7 +531,7 @@ void Broker::on_parent_down(sim::NodeId peer) {
   }
   // Damping: wait out the backoff, then re-check — the parent may have come
   // back while we held off, in which case staying put is the whole point.
-  scheduler_.schedule_background_at(
+  transport_.schedule_background_at(
       reparent_allowed_at_, [this, epoch, peer] {
         if (epoch != epoch_ || crashed_ || peer != parent_) return;
         if (link_.peer_alive(peer)) return;
@@ -577,10 +577,10 @@ void Broker::do_reparent(std::uint64_t epoch) {
   handover_mark_ = link_.tx_mark(parent_);
   if (chaos_debug())
     std::fprintf(stderr, "[dbg] t=%llu broker=%u REPARENT %u -> %u\n",
-                 (unsigned long long)scheduler_.now(), (unsigned)id_,
+                 (unsigned long long)transport_.now(), (unsigned)id_,
                  (unsigned)old_parent, (unsigned)parent_);
   ++stats_.reparents;
-  last_reparent_ = scheduler_.now();
+  last_reparent_ = transport_.now();
   ++reparent_streak_;
   const std::uint32_t shift = std::min<std::uint32_t>(reparent_streak_, 10);
   reparent_allowed_at_ =
@@ -602,7 +602,7 @@ void Broker::on_retransmit(sim::NodeId to, const sim::Network::Payload& payload)
     span.node = id_;
     span.from = to;  // Retransmit spans record the destination here
     span.stage = stage_;
-    span.ticks = scheduler_.now();
+    span.ticks = transport_.now();
     tracer_->emit(std::move(span));
   } catch (const wire::WireError&) {
     // A frame corrupt enough to defeat the partial decode still gets
@@ -636,7 +636,7 @@ void Broker::renew_task(std::uint64_t epoch) {
       // dedup absorbs the transient re-delivery.
       if (chaos_debug())
         std::fprintf(stderr, "[dbg] t=%llu broker=%u HANDOVER-DONE prev=%u\n",
-                     (unsigned long long)scheduler_.now(), (unsigned)id_,
+                     (unsigned long long)transport_.now(), (unsigned)id_,
                      (unsigned)prev_parent_);
       if (prev_parent_ != parent_) link_.forget(prev_parent_);
       prev_parent_ = sim::kNoNode;
@@ -647,7 +647,7 @@ void Broker::renew_task(std::uint64_t epoch) {
   if (parent_ != sim::kNoNode) {
     for (const auto& form : active_) send(parent_, ReqInsert{form, id_});
   }
-  scheduler_.schedule_background_after(config_.renew_interval,
+  transport_.schedule_background_after(config_.renew_interval,
                                        [this, epoch] { renew_task(epoch); });
 }
 
@@ -658,12 +658,12 @@ void Broker::park_unmatched(const sim::Network::Payload& payload) {
     ++stats_.events_pen_dropped;
     pen_.pop_front();
   }
-  pen_.push_back({payload, scheduler_.now()});
+  pen_.push_back({payload, transport_.now()});
   ++stats_.events_parked;
   if (pen_armed_) return;
   pen_armed_ = true;
   const std::uint64_t epoch = epoch_;
-  scheduler_.schedule_background_after(config_.match_grace / 4,
+  transport_.schedule_background_after(config_.match_grace / 4,
                                        [this, epoch] { pen_tick(epoch); });
 }
 
@@ -672,7 +672,7 @@ void Broker::pen_tick(std::uint64_t epoch) {
     pen_armed_ = false;
     return;
   }
-  const sim::Time now = scheduler_.now();
+  const sim::Time now = transport_.now();
   std::deque<Parked> keep;
   for (Parked& parked : pen_) {
     bool rescued = false;
@@ -734,13 +734,13 @@ void Broker::pen_tick(std::uint64_t epoch) {
     pen_armed_ = false;
     return;
   }
-  scheduler_.schedule_background_after(config_.match_grace / 4,
+  transport_.schedule_background_after(config_.match_grace / 4,
                                        [this, epoch] { pen_tick(epoch); });
 }
 
 void Broker::reap_task(std::uint64_t epoch) {
   if (epoch != epoch_) return;
-  const sim::Time now = scheduler_.now();
+  const sim::Time now = transport_.now();
   std::vector<index::FilterId> dead;
   for (auto& [fid, entry] : entries_) {
     std::erase_if(entry.leases, [&](const Lease& lease) {
@@ -754,7 +754,7 @@ void Broker::reap_task(std::uint64_t epoch) {
     if (entry.leases.empty()) dead.push_back(fid);
   }
   for (const index::FilterId fid : dead) remove_entry(fid);
-  scheduler_.schedule_background_after(config_.reap_interval,
+  transport_.schedule_background_after(config_.reap_interval,
                                        [this, epoch] { reap_task(epoch); });
 }
 

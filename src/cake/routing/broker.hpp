@@ -28,6 +28,7 @@
 #include "cake/index/sharded.hpp"
 #include "cake/link/link.hpp"
 #include "cake/routing/protocol.hpp"
+#include "cake/runtime/transport.hpp"
 #include "cake/sim/sim.hpp"
 #include "cake/trace/trace.hpp"
 #include "cake/util/hash.hpp"
@@ -122,7 +123,7 @@ struct BrokerStats {
 class Broker {
 public:
   Broker(sim::NodeId id, std::size_t stage, sim::Network& network,
-         sim::Scheduler& scheduler, const reflect::TypeRegistry& registry,
+         runtime::Transport& transport, const reflect::TypeRegistry& registry,
          BrokerConfig config, util::Rng rng);
 
   Broker(const Broker&) = delete;
@@ -288,7 +289,7 @@ private:
   sim::NodeId id_;
   std::size_t stage_;
   sim::Network& network_;
-  sim::Scheduler& scheduler_;
+  runtime::Transport& transport_;
   const reflect::TypeRegistry& registry_;
   BrokerConfig config_;
   util::Rng rng_;

@@ -16,23 +16,23 @@ bool chaos_debug() {
 }  // namespace
 
 SubscriberNode::SubscriberNode(sim::NodeId id, sim::NodeId root,
-                               sim::Network& network, sim::Scheduler& scheduler,
+                               sim::Network& network, runtime::Transport& transport,
                                const reflect::TypeRegistry& registry,
                                SubscriberConfig config)
     : id_(id),
       root_(root),
       network_(network),
-      scheduler_(scheduler),
+      transport_(transport),
       registry_(registry),
       config_(config),
       // Seeded from the node id alone; see the Broker constructor note.
-      link_(id, network, scheduler, config.link,
+      link_(id, network, transport, config.link,
             (static_cast<std::uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL) {}
 
 void SubscriberNode::start() {
   attach_to_network();
   if (config_.auto_renew)
-    scheduler_.schedule_background_after(config_.renew_interval,
+    transport_.schedule_background_after(config_.renew_interval,
                                          [this] { renew_task(); });
 }
 
@@ -73,7 +73,7 @@ void SubscriberNode::on_broker_down(sim::NodeId peer) {
   dead_hosts_.insert(peer);
   if (chaos_debug())
     std::fprintf(stderr, "[dbg] t=%llu sub=%u HOST-DEAD %u\n",
-                 (unsigned long long)scheduler_.now(), (unsigned)id_,
+                 (unsigned long long)transport_.now(), (unsigned)id_,
                  (unsigned)peer);
   for (auto& [token, sub] : subs_) {
     if (!sub.parent.has_value() || *sub.parent != peer) continue;
@@ -222,7 +222,7 @@ void SubscriberNode::on_packet(sim::NodeId from,
     it->second.stored_at_parent = std::move(accepted->stored);
     if (chaos_debug())
       std::fprintf(stderr, "[dbg] t=%llu sub=%u ACCEPTED-AT %u token=%llu\n",
-                   (unsigned long long)scheduler_.now(), (unsigned)id_,
+                   (unsigned long long)transport_.now(), (unsigned)id_,
                    (unsigned)accepted->node, (unsigned long long)accepted->token);
     sync_watches();
     return;
@@ -231,7 +231,7 @@ void SubscriberNode::on_packet(sim::NodeId from,
   if (auto* expired = std::get_if<Expired>(&packet)) {
     if (chaos_debug())
       std::fprintf(stderr, "[dbg] t=%llu sub=%u EXPIRED from=%u\n",
-                   (unsigned long long)scheduler_.now(), (unsigned)id_,
+                   (unsigned long long)transport_.now(), (unsigned)id_,
                    (unsigned)from);
     if (!config_.rejoin_on_expired) return;  // injected completeness bug
     // A hosting broker reaped our lease (lost renewals, partition healed):
@@ -274,7 +274,7 @@ void SubscriberNode::on_packet(sim::NodeId from,
     }
     if (delivered) {
       ++stats_.events_delivered;
-      latency_.add(static_cast<double>(scheduler_.now() - ev->published_at));
+      latency_.add(static_cast<double>(transport_.now() - ev->published_at));
     }
     if (tracer_ != nullptr && ev->trace_id != 0)
       emit_trace_span(*ev, from, delivered);
@@ -292,7 +292,7 @@ void SubscriberNode::emit_trace_span(const EventMsg& msg, sim::NodeId from,
   span.stage = 0;
   span.filters_evaluated = subs_.size();
   span.matched = delivered;
-  span.ticks = scheduler_.now();
+  span.ticks = transport_.now();
   if (!delivered) {
     // Spurious arrival (Proposition 1's false positive): attribute it. A
     // subscription is culpable when the weakened form its hosting broker
@@ -354,7 +354,7 @@ void SubscriberNode::renew_task() {
       }
     }
   }
-  scheduler_.schedule_background_after(config_.renew_interval,
+  transport_.schedule_background_after(config_.renew_interval,
                                        [this] { renew_task(); });
 }
 
@@ -363,13 +363,13 @@ void SubscriberNode::send(sim::NodeId to, const Packet& packet) {
 }
 
 PublisherNode::PublisherNode(sim::NodeId id, sim::NodeId root,
-                             sim::Network& network, sim::Scheduler& scheduler,
+                             sim::Network& network, runtime::Transport& transport,
                              link::LinkOptions link)
     : id_(id),
       root_(root),
       network_(network),
-      scheduler_(scheduler),
-      link_(id, network, scheduler, link,
+      transport_(transport),
+      link_(id, network, transport, link,
             (static_cast<std::uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL) {
   // A reliable publisher must hear ACKs back from the root, so it attaches
   // a (discarding) receive handler. Best-effort publishers stay unattached,
@@ -399,13 +399,13 @@ std::uint64_t PublisherNode::publish(event::EventImage image) {
     span.kind = trace::SpanKind::Publish;
     span.node = id_;
     span.matched = true;
-    span.ticks = scheduler_.now();
+    span.ticks = transport_.now();
     tracer_->emit(std::move(span));
   }
   // Serialize once into a pooled frame; every downstream hop that passes
   // through refcounts these exact bytes (DESIGN.md §9).
   link_.send_event(
-      root_, encode_event_frame(image, scheduler_.now(), event_id, trace_id));
+      root_, encode_event_frame(image, transport_.now(), event_id, trace_id));
   return event_id;
 }
 

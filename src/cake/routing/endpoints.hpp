@@ -17,6 +17,7 @@
 
 #include "cake/link/link.hpp"
 #include "cake/routing/protocol.hpp"
+#include "cake/runtime/transport.hpp"
 #include "cake/trace/trace.hpp"
 #include "cake/util/rng.hpp"
 #include "cake/util/stats.hpp"
@@ -66,7 +67,7 @@ public:
   using LocalPredicate = std::function<bool(const event::EventImage&)>;
 
   SubscriberNode(sim::NodeId id, sim::NodeId root, sim::Network& network,
-                 sim::Scheduler& scheduler, const reflect::TypeRegistry& registry,
+                 runtime::Transport& transport, const reflect::TypeRegistry& registry,
                  SubscriberConfig config = {});
 
   SubscriberNode(const SubscriberNode&) = delete;
@@ -175,7 +176,7 @@ private:
   sim::NodeId id_;
   sim::NodeId root_;
   sim::Network& network_;
-  sim::Scheduler& scheduler_;
+  runtime::Transport& transport_;
   const reflect::TypeRegistry& registry_;
   SubscriberConfig config_;
   link::LinkManager link_;
@@ -207,7 +208,7 @@ struct PublisherStats {
 class PublisherNode {
 public:
   PublisherNode(sim::NodeId id, sim::NodeId root, sim::Network& network,
-                sim::Scheduler& scheduler, link::LinkOptions link = {});
+                runtime::Transport& transport, link::LinkOptions link = {});
 
   PublisherNode(const PublisherNode&) = delete;
   PublisherNode& operator=(const PublisherNode&) = delete;
@@ -238,7 +239,7 @@ private:
   sim::NodeId id_;
   sim::NodeId root_;
   sim::Network& network_;
-  sim::Scheduler& scheduler_;
+  runtime::Transport& transport_;
   link::LinkManager link_;
   trace::Tracer* tracer_ = nullptr;
   std::uint64_t next_seq_ = 0;

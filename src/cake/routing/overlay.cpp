@@ -29,7 +29,7 @@ Overlay::Overlay(OverlayConfig config, const reflect::TypeRegistry& registry)
     const std::size_t stage = levels - level;  // root has the highest stage
     for (std::size_t i = 0; i < config_.stage_counts[level]; ++i) {
       brokers_.push_back(std::make_unique<Broker>(next_id_++, stage, network_,
-                                                  scheduler_, registry_,
+                                                  transport_, registry_,
                                                   config_.broker, rng_.split()));
     }
   }
@@ -111,7 +111,7 @@ void Overlay::restart(sim::NodeId node) {
 
 SubscriberNode& Overlay::add_subscriber() {
   subscribers_.push_back(std::make_unique<SubscriberNode>(
-      next_id_++, root().id(), network_, scheduler_, registry_,
+      next_id_++, root().id(), network_, transport_, registry_,
       config_.subscriber));
   subscribers_.back()->set_tracer(tracer_.get());
   subscribers_.back()->start();
@@ -120,7 +120,7 @@ SubscriberNode& Overlay::add_subscriber() {
 
 PublisherNode& Overlay::add_publisher() {
   publishers_.push_back(std::make_unique<PublisherNode>(
-      next_id_++, root().id(), network_, scheduler_, config_.link));
+      next_id_++, root().id(), network_, transport_, config_.link));
   publishers_.back()->set_tracer(tracer_.get());
   return *publishers_.back();
 }

@@ -8,6 +8,7 @@
 
 #include "cake/routing/broker.hpp"
 #include "cake/routing/endpoints.hpp"
+#include "cake/runtime/sim_transport.hpp"
 
 namespace cake::routing {
 
@@ -40,6 +41,9 @@ public:
 
   [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
   [[nodiscard]] sim::Network& network() noexcept { return network_; }
+  /// The Transport every node in this overlay runs on (the deterministic
+  /// sim backend — the overlay *is* the oracle configuration).
+  [[nodiscard]] runtime::Transport& transport() noexcept { return transport_; }
   [[nodiscard]] const reflect::TypeRegistry& registry() const noexcept {
     return registry_;
   }
@@ -97,6 +101,7 @@ private:
   const reflect::TypeRegistry& registry_;
   util::Rng rng_;
   sim::Scheduler scheduler_;
+  runtime::SimTransport transport_{scheduler_};  // nodes schedule through this
   sim::Network network_;
   sim::NodeId next_id_ = 0;
   std::unique_ptr<trace::Tracer> tracer_;         // before nodes: they point in

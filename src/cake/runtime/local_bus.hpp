@@ -120,6 +120,13 @@ public:
   /// Per-shard match counters (empty in the serialized baseline mode).
   [[nodiscard]] std::vector<index::ShardStats> shard_stats() const;
 
+  /// Shard this event class's filters live in — the pipeline pins it to a
+  /// transport lane so one class's matching always runs on one worker.
+  /// Always 0 in the serialized baseline mode (one table, one "shard").
+  [[nodiscard]] std::size_t shard_of(std::string_view type_name) const {
+    return sharded_ ? sharded_->shard_of(type_name) : 0;
+  }
+
 private:
   struct Subscription {
     Handler handler;

@@ -1,0 +1,47 @@
+#include "cake/runtime/pipeline.hpp"
+
+namespace cake::runtime {
+
+EventPipeline::EventPipeline(Transport& transport, LocalBus& bus,
+                             PipelineOptions options)
+    : transport_(transport), bus_(bus), options_(options) {
+  options_.batch = std::max<std::size_t>(options_.batch, 1);
+}
+
+EventPipeline::Producer::Producer(EventPipeline& pipeline)
+    : pipeline_(pipeline), staged_(pipeline.lanes()) {
+  for (auto& lane : staged_) lane.reserve(pipeline_.options_.batch);
+}
+
+void EventPipeline::Producer::publish(EventPtr event) {
+  const std::size_t lane = pipeline_.lane_of(*event);
+  auto& buffer = staged_[lane];
+  buffer.push_back(std::move(event));
+  if (buffer.size() >= pipeline_.options_.batch) {
+    std::vector<EventPtr> full;
+    full.reserve(pipeline_.options_.batch);
+    full.swap(buffer);  // buffer keeps its capacity for the next fill
+    pipeline_.post_batch(lane, std::move(full));
+  }
+}
+
+void EventPipeline::Producer::flush() {
+  for (std::size_t lane = 0; lane < staged_.size(); ++lane) {
+    if (staged_[lane].empty()) continue;
+    std::vector<EventPtr> partial;
+    partial.swap(staged_[lane]);
+    pipeline_.post_batch(lane, std::move(partial));
+  }
+}
+
+void EventPipeline::post_batch(std::size_t lane, std::vector<EventPtr> events) {
+  submitted_.fetch_add(events.size(), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  transport_.post(lane, [this, events = std::move(events)] {
+    std::size_t invoked = 0;
+    for (const EventPtr& event : events) invoked += bus_.publish(*event);
+    delivered_.fetch_add(invoked, std::memory_order_relaxed);
+  });
+}
+
+}  // namespace cake::runtime

@@ -1,0 +1,113 @@
+// Batched event pipeline: producers → transport lanes → matching shards.
+//
+// This is the threaded runtime's data plane (DESIGN.md §11). Producers —
+// the link layer's receive path, benchmark load threads — submit
+// refcounted events; the pipeline routes each to the transport lane that
+// owns its event class's shard in the bus's ShardedIndex, staging up to
+// `batch` events per lane and handing each full batch to the transport as
+// ONE task. The cross-thread cost of an event is therefore one shared_ptr
+// refcount bump plus 1/batch of a lock-free queue push — the zero-alloc
+// hot-path arithmetic from the pass-through work survives the thread hop,
+// and queue/wakeup overhead amortizes over the batch.
+//
+// Lane affinity is a performance and ordering property, not a correctness
+// one: the ShardedIndex is thread-safe regardless, but pinning a class to
+// a lane keeps its shard's lock and filter table hot in one core's cache
+// and gives publishes of the same class a total order (same lane ⇒ same
+// worker ⇒ serialized), matching what the sim backend guarantees for free.
+//
+// Threading contract: each producer thread stages through its own
+// `Producer` handle (no shared mutable staging, hence no producer-side
+// locks); `Producer::publish`/`flush` are single-threaded per handle,
+// while any number of handles feed one pipeline concurrently. Handlers run
+// on transport workers; `drain()` waits until every submitted event has
+// been matched and delivered.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "cake/runtime/local_bus.hpp"
+#include "cake/runtime/transport.hpp"
+
+namespace cake::runtime {
+
+using EventPtr = std::shared_ptr<const event::Event>;
+
+struct PipelineOptions {
+  std::size_t batch = 32;  ///< max events staged per lane before handoff
+};
+
+/// Counters; relaxed atomics — monotonic, not cross-consistent.
+struct PipelineStats {
+  std::uint64_t submitted = 0;  ///< events handed to publish()
+  std::uint64_t batches = 0;    ///< tasks posted to the transport
+  std::uint64_t delivered = 0;  ///< handler invocations on workers
+};
+
+class EventPipeline {
+public:
+  EventPipeline(Transport& transport, LocalBus& bus,
+                PipelineOptions options = {});
+
+  EventPipeline(const EventPipeline&) = delete;
+  EventPipeline& operator=(const EventPipeline&) = delete;
+
+  /// Per-producer-thread staging handle. Construct one per producing
+  /// thread; destruction flushes whatever is still staged.
+  class Producer {
+  public:
+    explicit Producer(EventPipeline& pipeline);
+    ~Producer() { flush(); }
+
+    Producer(const Producer&) = delete;
+    Producer& operator=(const Producer&) = delete;
+
+    /// Stages the event on its class's lane; posts the batch to the
+    /// transport when it reaches `batch` events.
+    void publish(EventPtr event);
+
+    /// Posts every non-empty staged batch, regardless of fill level.
+    void flush();
+
+  private:
+    EventPipeline& pipeline_;
+    std::vector<std::vector<EventPtr>> staged_;  // one buffer per lane
+  };
+
+  /// Waits until every event submitted (and flushed) so far has been
+  /// matched and its handlers have returned.
+  void drain() { transport_.drain(); }
+
+  [[nodiscard]] std::size_t lanes() const noexcept {
+    return transport_.workers();
+  }
+
+  /// Lane the event's class pins to: its index shard, folded onto workers.
+  [[nodiscard]] std::size_t lane_of(const event::Event& event) const {
+    return bus_.shard_of(event.type().name()) % lanes();
+  }
+
+  [[nodiscard]] PipelineStats stats() const noexcept {
+    return PipelineStats{submitted_.load(std::memory_order_relaxed),
+                         batches_.load(std::memory_order_relaxed),
+                         delivered_.load(std::memory_order_relaxed)};
+  }
+
+  [[nodiscard]] LocalBus& bus() noexcept { return bus_; }
+
+private:
+  /// Hands one staged batch to the transport as a single task.
+  void post_batch(std::size_t lane, std::vector<EventPtr> events);
+
+  Transport& transport_;
+  LocalBus& bus_;
+  PipelineOptions options_;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+};
+
+}  // namespace cake::runtime

@@ -1,0 +1,19 @@
+#include "cake/runtime/sim_transport.hpp"
+
+namespace cake::runtime {
+
+TimerId SimTransport::schedule_cancellable_after(Time delay, Task fn) {
+  const TimerId id = next_id_++;
+  live_.insert(id);
+  // The guard erases the id on firing, so cancel-after-fire reports false
+  // and a cancelled id can never run: whichever of {fire, cancel} erases
+  // first wins, and the loser sees an absent id.
+  scheduler_.schedule_background_after(
+      delay, [this, id, fn = std::move(fn)] {
+        if (live_.erase(id) == 0) return;  // cancelled while pending
+        fn();
+      });
+  return id;
+}
+
+}  // namespace cake::runtime

@@ -1,0 +1,63 @@
+// Deterministic Transport backend over the virtual-time sim::Scheduler.
+//
+// A thin adapter: posts become zero-delay foreground closures and
+// fire-and-forget timers forward to the Scheduler *untouched* — no wrapper
+// closure, no tracking state — so protocol hot paths (the reliable link's
+// RTO/ACK arming) cost exactly what they cost before the Transport seam
+// existed: zero allocations. Cancellable timers are the opt-in exception:
+// they pay a guard closure plus a liveness-set entry (the Scheduler itself
+// has no cancel — determinism is easier to audit when its queue is
+// append-only, so cancellation is layered here). Single-threaded by
+// definition: calling any method from a second thread is a contract
+// violation, exactly as it is for the Scheduler underneath.
+//
+// This backend is the semantic oracle: the full test suite and the chaos
+// differential harness run on it unchanged, which is what proves the
+// threaded backend refactor preserved protocol behaviour (DESIGN.md §11).
+#pragma once
+
+#include <unordered_set>
+
+#include "cake/runtime/transport.hpp"
+#include "cake/sim/sim.hpp"
+
+namespace cake::runtime {
+
+class SimTransport final : public Transport {
+public:
+  explicit SimTransport(sim::Scheduler& scheduler) noexcept
+      : scheduler_(scheduler) {}
+
+  [[nodiscard]] Time now() const noexcept override { return scheduler_.now(); }
+  [[nodiscard]] std::size_t workers() const noexcept override { return 1; }
+
+  void post(Task fn) override { scheduler_.schedule_after(0, std::move(fn)); }
+  void post(std::size_t /*lane*/, Task fn) override {
+    scheduler_.schedule_after(0, std::move(fn));  // one lane: all serialized
+  }
+
+  void schedule_after(Time delay, Task fn) override {
+    scheduler_.schedule_after(delay, std::move(fn));
+  }
+  void schedule_background_after(Time delay, Task fn) override {
+    scheduler_.schedule_background_after(delay, std::move(fn));
+  }
+  void schedule_background_at(Time at, Task fn) override {
+    scheduler_.schedule_background_at(at, std::move(fn));
+  }
+
+  TimerId schedule_cancellable_after(Time delay, Task fn) override;
+
+  bool cancel(TimerId id) override { return live_.erase(id) > 0; }
+
+  void drain() override { scheduler_.run(); }
+
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
+
+private:
+  sim::Scheduler& scheduler_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_set<TimerId> live_;  // issued, not yet fired or cancelled
+};
+
+}  // namespace cake::runtime

@@ -1,0 +1,265 @@
+#include "cake/runtime/threaded.hpp"
+
+#include <algorithm>
+
+#include "cake/util/env.hpp"
+
+namespace cake::runtime {
+
+namespace {
+
+/// Which lane the current thread is the consumer of, if any. Lets a worker
+/// posting to its own full lane help-drain instead of deadlocking on
+/// itself, and keeps cross-lane posts honest about backpressure.
+thread_local void* t_current_lane = nullptr;
+
+}  // namespace
+
+std::size_t thread_limit() noexcept {
+  if (const auto env = util::env_u64("CAKE_THREADS")) {
+    return std::clamp<std::size_t>(static_cast<std::size_t>(*env), 1,
+                                   kMaxWorkers);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<std::size_t>(hw, kMaxWorkers);
+}
+
+std::size_t resolve_workers(std::size_t requested) noexcept {
+  const std::size_t limit = thread_limit();
+  return requested == 0 ? limit : std::min(requested, limit);
+}
+
+ThreadedTransport::ThreadedTransport(ThreadedOptions options)
+    : options_(options), start_(std::chrono::steady_clock::now()) {
+  const std::size_t n = resolve_workers(options_.workers);
+  options_.workers = n;
+  options_.batch = std::max<std::size_t>(options_.batch, 1);
+  lanes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    lanes_.push_back(std::make_unique<Lane>(options_.queue_capacity));
+  for (auto& lane : lanes_)
+    lane->thread = std::thread([this, l = lane.get()] { worker_loop(*l); });
+  timer_thread_ = std::thread([this] { timer_loop(); });
+}
+
+ThreadedTransport::~ThreadedTransport() { shutdown(); }
+
+Time ThreadedTransport::now() const noexcept {
+  return static_cast<Time>(std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count());
+}
+
+void ThreadedTransport::post(std::size_t lane, Task fn) {
+  if (stop_.load(std::memory_order_acquire)) {
+    posts_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  foreground_.fetch_add(1, std::memory_order_relaxed);
+  enqueue(*lanes_[lane % lanes_.size()], Item{std::move(fn), true});
+}
+
+void ThreadedTransport::enqueue(Lane& lane, Item item) {
+  while (!lane.queue.try_push(std::move(item))) {
+    if (t_current_lane == &lane) {
+      // We are this queue's consumer: make room by running the head task
+      // inline. Order is preserved — the head precedes what we are adding.
+      Item head;
+      if (lane.queue.try_pop(head)) {
+        head.fn();
+        if (head.foreground) finish_foreground(1);
+        lane.tasks.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    std::this_thread::yield();  // backpressure on a foreign full lane
+  }
+  wake(lane);
+}
+
+void ThreadedTransport::wake(Lane& lane) {
+  if (lane.asleep.load(std::memory_order_seq_cst)) {
+    std::lock_guard lock{lane.mutex};
+    lane.cv.notify_one();
+  }
+}
+
+void ThreadedTransport::finish_foreground(std::uint64_t n) noexcept {
+  if (foreground_.fetch_sub(n, std::memory_order_acq_rel) == n) {
+    std::lock_guard lock{drain_mutex_};
+    drain_cv_.notify_all();
+  }
+}
+
+void ThreadedTransport::worker_loop(Lane& lane) {
+  t_current_lane = &lane;
+  std::vector<Item> batch(options_.batch);
+  for (;;) {
+    std::size_t n = 0;
+    while (n < options_.batch && lane.queue.try_pop(batch[n])) ++n;
+    if (n > 0) {
+      std::uint64_t fg = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        batch[i].fn();
+        batch[i].fn = nullptr;  // drop captures before the next sleep
+        if (batch[i].foreground) ++fg;
+      }
+      lane.tasks.fetch_add(n, std::memory_order_relaxed);
+      lane.batches.fetch_add(1, std::memory_order_relaxed);
+      std::uint64_t seen = lane.max_batch.load(std::memory_order_relaxed);
+      while (n > seen &&
+             !lane.max_batch.compare_exchange_weak(seen, n,
+                                                   std::memory_order_relaxed)) {
+      }
+      if (fg > 0) finish_foreground(fg);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      if (lane.queue.empty()) break;  // shutdown drains before exit
+      continue;
+    }
+    std::unique_lock lock{lane.mutex};
+    lane.asleep.store(true, std::memory_order_seq_cst);
+    // Recheck under the flag: a producer that pushed before seeing the
+    // flag is observed here; one that pushed after will notify. The
+    // bounded wait is a belt over the Dekker braces.
+    if (lane.queue.empty() && !stop_.load(std::memory_order_acquire))
+      lane.cv.wait_for(lock, std::chrono::milliseconds(50));
+    lane.asleep.store(false, std::memory_order_relaxed);
+  }
+  t_current_lane = nullptr;
+}
+
+void ThreadedTransport::schedule_after(Time delay, Task fn) {
+  schedule_at_internal(now() + delay, std::move(fn), true);
+}
+
+void ThreadedTransport::schedule_background_after(Time delay, Task fn) {
+  schedule_at_internal(now() + delay, std::move(fn), false);
+}
+
+void ThreadedTransport::schedule_background_at(Time at, Task fn) {
+  schedule_at_internal(std::max(at, now()), std::move(fn), false);
+}
+
+TimerId ThreadedTransport::schedule_cancellable_after(Time delay, Task fn) {
+  return schedule_at_internal(now() + delay, std::move(fn), false);
+}
+
+TimerId ThreadedTransport::schedule_at_internal(Time at, Task fn,
+                                                bool foreground) {
+  if (stop_.load(std::memory_order_acquire)) {
+    posts_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return kNoTimer;
+  }
+  if (foreground) foreground_.fetch_add(1, std::memory_order_relaxed);
+  TimerId id;
+  {
+    std::lock_guard lock{timer_mutex_};
+    id = next_timer_id_++;
+    timers_.push(TimerEntry{at, next_timer_seq_++, id, 0, foreground});
+    timer_tasks_.emplace(id, PendingTimer{std::move(fn), foreground});
+  }
+  timer_cv_.notify_one();
+  return id;
+}
+
+bool ThreadedTransport::cancel(TimerId id) {
+  bool foreground = false;
+  {
+    std::lock_guard lock{timer_mutex_};
+    const auto it = timer_tasks_.find(id);
+    if (it == timer_tasks_.end()) return false;  // fired or already cancelled
+    foreground = it->second.foreground;
+    // The heap entry stays behind as a tombstone; the timer loop skips ids
+    // that are no longer in the map.
+    timer_tasks_.erase(it);
+  }
+  if (foreground) finish_foreground(1);
+  return true;
+}
+
+void ThreadedTransport::timer_loop() {
+  std::unique_lock lock{timer_mutex_};
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (timers_.empty()) {
+      timer_cv_.wait_for(lock, std::chrono::milliseconds(50));
+      continue;
+    }
+    const Time due = timers_.top().at;
+    const Time current = now();
+    if (current < due) {
+      timer_cv_.wait_until(lock,
+                           start_ + std::chrono::microseconds(due));
+      continue;
+    }
+    // Collect everything due, release the lock, then hand off to lanes —
+    // enqueue can block on backpressure and must not hold the timer lock.
+    std::vector<std::pair<TimerEntry, Task>> ready;
+    while (!timers_.empty() && timers_.top().at <= current) {
+      TimerEntry entry = timers_.top();
+      timers_.pop();
+      const auto it = timer_tasks_.find(entry.id);
+      if (it == timer_tasks_.end()) continue;  // cancelled tombstone
+      ready.emplace_back(entry, std::move(it->second.fn));
+      timer_tasks_.erase(it);
+    }
+    lock.unlock();
+    for (auto& [entry, task] : ready) {
+      timers_fired_.fetch_add(1, std::memory_order_relaxed);
+      // Foreground accounting was charged at schedule time and transfers
+      // to the queued item; the worker releases it after execution.
+      enqueue(*lanes_[entry.lane % lanes_.size()],
+              Item{std::move(task), entry.foreground});
+    }
+    lock.lock();
+  }
+  // Shutdown: discard timers that never came due; un-count foreground ones
+  // so a concurrent drain() cannot wait on work that will never run.
+  std::uint64_t orphaned_foreground = 0;
+  for (const auto& [id, pending] : timer_tasks_)
+    if (pending.foreground) ++orphaned_foreground;
+  timer_tasks_.clear();
+  while (!timers_.empty()) timers_.pop();
+  lock.unlock();
+  if (orphaned_foreground > 0) finish_foreground(orphaned_foreground);
+}
+
+void ThreadedTransport::drain() {
+  std::unique_lock lock{drain_mutex_};
+  // The bounded wait covers the notify/recheck race without requiring the
+  // last finisher to hold drain_mutex_ across its counter decrement.
+  while (foreground_.load(std::memory_order_acquire) != 0)
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(50));
+}
+
+void ThreadedTransport::shutdown() {
+  if (joined_) return;
+  joined_ = true;
+  stop_.store(true, std::memory_order_release);
+  timer_cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard lock{lane->mutex};
+      lane->cv.notify_all();
+    }
+    if (lane->thread.joinable()) lane->thread.join();
+  }
+}
+
+ThreadedStats ThreadedTransport::stats() const noexcept {
+  ThreadedStats s;
+  for (const auto& lane : lanes_) {
+    s.tasks += lane->tasks.load(std::memory_order_relaxed);
+    s.batches += lane->batches.load(std::memory_order_relaxed);
+    s.max_batch = std::max(s.max_batch,
+                           lane->max_batch.load(std::memory_order_relaxed));
+  }
+  s.timers_fired = timers_fired_.load(std::memory_order_relaxed);
+  s.posts_rejected = posts_rejected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace cake::runtime

@@ -18,6 +18,7 @@
 #include "cake/routing/broker.hpp"
 #include "cake/routing/protocol.hpp"
 #include "cake/runtime/local_bus.hpp"
+#include "cake/runtime/sim_transport.hpp"
 #include "cake/sim/sim.hpp"
 #include "cake/workload/generators.hpp"
 #include "cake/workload/types.hpp"
@@ -93,11 +94,12 @@ TEST(AllocGuard, BrokerForwardPathIsAllocationFree) {
   const auto& registry = reflect::TypeRegistry::global();
 
   sim::Scheduler scheduler;
+  runtime::SimTransport transport{scheduler};
   sim::Network network{scheduler, 10};
 
   routing::BrokerConfig config;
   config.auto_renew = false;  // static workload: no periodic tasks
-  routing::Broker broker{1, 1, network, scheduler, registry, config,
+  routing::Broker broker{1, 1, network, transport, registry, config,
                          util::Rng{7}};
   broker.start();
 
@@ -151,6 +153,7 @@ TEST(AllocGuard, ReliableForwardPathIsAllocationFree) {
   const auto& registry = reflect::TypeRegistry::global();
 
   sim::Scheduler scheduler;
+  runtime::SimTransport transport{scheduler};
   sim::Network network{scheduler, 10};
 
   link::LinkOptions reliable;
@@ -160,11 +163,11 @@ TEST(AllocGuard, ReliableForwardPathIsAllocationFree) {
   routing::BrokerConfig config;
   config.auto_renew = false;
   config.link = reliable;
-  routing::Broker broker{1, 1, network, scheduler, registry, config,
+  routing::Broker broker{1, 1, network, transport, registry, config,
                          util::Rng{7}};
   broker.start();
 
-  link::LinkManager sink{2, network, scheduler, reliable, 99};
+  link::LinkManager sink{2, network, transport, reliable, 99};
   sink.attach([](sim::NodeId, const sim::Network::Payload&) {});
 
   workload::BiblioGenerator gen{{}, 2002};
@@ -208,12 +211,13 @@ TEST(AllocGuard, ReencodeForwardWithPoolingCostsOneRefcountBlock) {
   const auto& registry = reflect::TypeRegistry::global();
 
   sim::Scheduler scheduler;
+  runtime::SimTransport transport{scheduler};
   sim::Network network{scheduler, 10};
 
   routing::BrokerConfig config;
   config.auto_renew = false;
   config.forward = routing::ForwardMode::Reencode;
-  routing::Broker broker{1, 1, network, scheduler, registry, config,
+  routing::Broker broker{1, 1, network, transport, registry, config,
                          util::Rng{7}};
   broker.start();
   network.attach(2, [](sim::NodeId, const sim::Network::Payload&) {});

@@ -2,6 +2,7 @@
 // handling, Fig. 6 filtering/forwarding, wildcard placement, soft-state
 // leases and unsubscription.
 #include "cake/routing/broker.hpp"
+#include "cake/runtime/sim_transport.hpp"
 
 #include <gtest/gtest.h>
 
@@ -68,7 +69,7 @@ protected:
   /// One broker with a probed parent and `children` probed broker children.
   Broker& make_broker(std::size_t stage, BrokerConfig config = {},
                       std::size_t children = 0, bool with_parent = true) {
-    broker_ = std::make_unique<Broker>(1, stage, net_, sched_,
+    broker_ = std::make_unique<Broker>(1, stage, net_, transport_,
                                        reflect::TypeRegistry::global(), config,
                                        util::Rng{7});
     if (with_parent) broker_->set_parent(kParent);
@@ -96,6 +97,7 @@ protected:
   }
 
   sim::Scheduler sched_;
+  runtime::SimTransport transport_{sched_};
   sim::Network net_{sched_};
   std::unique_ptr<Broker> broker_;
   std::unique_ptr<Probe> parent_;
@@ -105,7 +107,7 @@ protected:
 };
 
 TEST_F(BrokerTest, RejectsStageZero) {
-  EXPECT_THROW(Broker(1, 0, net_, sched_, reflect::TypeRegistry::global(), {},
+  EXPECT_THROW(Broker(1, 0, net_, transport_, reflect::TypeRegistry::global(), {},
                       util::Rng{1}),
                std::invalid_argument);
 }

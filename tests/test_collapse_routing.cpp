@@ -58,7 +58,7 @@ protected:
   void make_broker() {
     BrokerConfig config;
     config.covering_collapse = true;
-    broker_ = std::make_unique<Broker>(1, 1, net_, sched_,
+    broker_ = std::make_unique<Broker>(1, 1, net_, transport_,
                                        reflect::TypeRegistry::global(), config,
                                        util::Rng{3});
     broker_->set_parent(kParent);
@@ -74,6 +74,7 @@ protected:
   }
 
   sim::Scheduler sched_;
+  runtime::SimTransport transport_{sched_};
   sim::Network net_{sched_};
   std::unique_ptr<Broker> broker_;
   std::unique_ptr<Probe> parent_;

@@ -38,13 +38,14 @@ link::LinkOptions reliable_options() {
 
 struct Harness {
   sim::Scheduler scheduler;
+  runtime::SimTransport transport{scheduler};
   sim::Network network{scheduler, /*default_latency=*/1000};
 };
 
 TEST(Link, ExactlyOnceInOrderUnderDuplication) {
   Harness h;
-  link::LinkManager a{1, h.network, h.scheduler, reliable_options(), 11};
-  link::LinkManager b{2, h.network, h.scheduler, reliable_options(), 22};
+  link::LinkManager a{1, h.network, h.transport, reliable_options(), 11};
+  link::LinkManager b{2, h.network, h.transport, reliable_options(), 22};
   a.attach([](sim::NodeId, const sim::Network::Payload&) {});
   std::vector<std::uint64_t> got;
   b.attach([&](sim::NodeId, const sim::Network::Payload& p) {
@@ -68,8 +69,8 @@ TEST(Link, ExactlyOnceInOrderUnderDuplication) {
 
 TEST(Link, RetransmissionRecoversEverythingFromHeavyLoss) {
   Harness h;
-  link::LinkManager a{1, h.network, h.scheduler, reliable_options(), 33};
-  link::LinkManager b{2, h.network, h.scheduler, reliable_options(), 44};
+  link::LinkManager a{1, h.network, h.transport, reliable_options(), 33};
+  link::LinkManager b{2, h.network, h.transport, reliable_options(), 44};
   a.attach([](sim::NodeId, const sim::Network::Payload&) {});
   std::vector<std::uint64_t> got;
   b.attach([&](sim::NodeId, const sim::Network::Payload& p) {
@@ -88,8 +89,8 @@ TEST(Link, RetransmissionRecoversEverythingFromHeavyLoss) {
 
 TEST(Link, JitterReordersOnTheWireButReleasesInOrder) {
   Harness h;
-  link::LinkManager a{1, h.network, h.scheduler, reliable_options(), 55};
-  link::LinkManager b{2, h.network, h.scheduler, reliable_options(), 66};
+  link::LinkManager a{1, h.network, h.transport, reliable_options(), 55};
+  link::LinkManager b{2, h.network, h.transport, reliable_options(), 66};
   a.attach([](sim::NodeId, const sim::Network::Payload&) {});
   std::vector<std::uint64_t> got;
   b.attach([&](sim::NodeId, const sim::Network::Payload& p) {
@@ -116,7 +117,7 @@ TEST(Link, WindowOverflowShedsEventsNewestFirstButNeverControl) {
   link::LinkOptions options = reliable_options();
   options.window = 4;
   options.queue_limit = 2;
-  link::LinkManager a{1, h.network, h.scheduler, options, 77};
+  link::LinkManager a{1, h.network, h.transport, options, 77};
   a.attach([](sim::NodeId, const sim::Network::Payload&) {});
 
   // Peer 2 does not exist yet: nothing is ever acknowledged, so the window
@@ -134,7 +135,7 @@ TEST(Link, WindowOverflowShedsEventsNewestFirstButNeverControl) {
   // comes up; only retransmission can drain what was not shed, in the
   // original order (surviving events first, then control).
   h.scheduler.run_until(50'000);
-  link::LinkManager b{2, h.network, h.scheduler, options, 88};
+  link::LinkManager b{2, h.network, h.transport, options, 88};
   std::vector<std::uint64_t> got;
   b.attach([&](sim::NodeId, const sim::Network::Payload& p) {
     got.push_back(unmark(p));
@@ -154,7 +155,7 @@ TEST(Link, PeerDeclaredDeadAtExactlyThreeMissesAndRevivedByTraffic) {
   ASSERT_EQ(options.heartbeat_misses, 3u);
   const sim::Time interval = options.heartbeat_interval;
 
-  link::LinkManager a{1, h.network, h.scheduler, options, 99};
+  link::LinkManager a{1, h.network, h.transport, options, 99};
   a.attach([](sim::NodeId, const sim::Network::Payload&) {});
   std::vector<sim::NodeId> deaths;
   a.set_peer_down([&](sim::NodeId peer) { deaths.push_back(peer); });
@@ -174,7 +175,7 @@ TEST(Link, PeerDeclaredDeadAtExactlyThreeMissesAndRevivedByTraffic) {
   EXPECT_EQ(deaths[0], 2u);
 
   // Any arrival from the peer is proof of life.
-  link::LinkManager b{2, h.network, h.scheduler, reliable_options(), 111};
+  link::LinkManager b{2, h.network, h.transport, reliable_options(), 111};
   b.attach([](sim::NodeId, const sim::Network::Payload&) {});
   b.send_control(1, marked(0));
   h.scheduler.run_until(h.scheduler.now() + 10'000);
@@ -184,8 +185,8 @@ TEST(Link, PeerDeclaredDeadAtExactlyThreeMissesAndRevivedByTraffic) {
 
 TEST(Link, HeartbeatExchangeKeepsAnIdleLinkAlive) {
   Harness h;
-  link::LinkManager a{1, h.network, h.scheduler, reliable_options(), 123};
-  link::LinkManager b{2, h.network, h.scheduler, reliable_options(), 321};
+  link::LinkManager a{1, h.network, h.transport, reliable_options(), 123};
+  link::LinkManager b{2, h.network, h.transport, reliable_options(), 321};
   a.attach([](sim::NodeId, const sim::Network::Payload&) {});
   b.attach([](sim::NodeId, const sim::Network::Payload&) {});
   a.watch(2);
@@ -202,7 +203,7 @@ TEST(Link, RedirectMovesUnackedAndQueuedFramesInOrder) {
   Harness h;
   link::LinkOptions options = reliable_options();
   options.window = 4;
-  link::LinkManager a{1, h.network, h.scheduler, options, 222};
+  link::LinkManager a{1, h.network, h.transport, options, 222};
   a.attach([](sim::NodeId, const sim::Network::Payload&) {});
 
   // Six controls to a dead peer: four jam the window, two queue behind it.
@@ -210,7 +211,7 @@ TEST(Link, RedirectMovesUnackedAndQueuedFramesInOrder) {
   EXPECT_EQ(a.in_flight(2), 6u);
 
   // Re-parent: node 3 inherits the whole stream, oldest first.
-  link::LinkManager c{3, h.network, h.scheduler, options, 333};
+  link::LinkManager c{3, h.network, h.transport, options, 333};
   std::vector<std::uint64_t> got;
   c.attach([&](sim::NodeId, const sim::Network::Payload& p) {
     got.push_back(unmark(p));
@@ -225,8 +226,8 @@ TEST(Link, RedirectMovesUnackedAndQueuedFramesInOrder) {
 
 TEST(Link, ReceiverColdRestartForcesStreamResyncWithoutDuplicates) {
   Harness h;
-  link::LinkManager a{1, h.network, h.scheduler, reliable_options(), 444};
-  link::LinkManager b{2, h.network, h.scheduler, reliable_options(), 555};
+  link::LinkManager a{1, h.network, h.transport, reliable_options(), 444};
+  link::LinkManager b{2, h.network, h.transport, reliable_options(), 555};
   a.attach([](sim::NodeId, const sim::Network::Payload&) {});
   std::vector<std::uint64_t> got;
   const auto deliver = [&](sim::NodeId, const sim::Network::Payload& p) {
@@ -255,8 +256,8 @@ TEST(Link, ReceiverColdRestartForcesStreamResyncWithoutDuplicates) {
 TEST(Link, BestEffortModeBypassesTheWholeMachine) {
   Harness h;
   link::LinkOptions options;  // BestEffort default
-  link::LinkManager a{1, h.network, h.scheduler, options, 666};
-  link::LinkManager b{2, h.network, h.scheduler, options, 777};
+  link::LinkManager a{1, h.network, h.transport, options, 666};
+  link::LinkManager b{2, h.network, h.transport, options, 777};
   a.attach([](sim::NodeId, const sim::Network::Payload&) {});
   std::vector<std::uint64_t> got;
   b.attach([&](sim::NodeId, const sim::Network::Payload& p) {

@@ -1,0 +1,134 @@
+// Shared fixture for the Transport conformance suite: one `Backend`
+// wrapper per implementation, so every contract test in
+// test_conformance.cpp runs verbatim against the deterministic sim
+// backend (the oracle) and the threaded one (the implementation under
+// test). The only backend-specific code is *how to wait*: the sim
+// advances virtual time, the threaded backend polls wall-clock with a
+// generous slack so CI jitter cannot flake a deadline.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cake/runtime/sim_transport.hpp"
+#include "cake/runtime/threaded.hpp"
+#include "cake/sim/sim.hpp"
+
+namespace cake::transport_tests {
+
+class Backend {
+public:
+  virtual ~Backend() = default;
+  virtual runtime::Transport& transport() = 0;
+  /// Advances (sim) or waits (threaded) until `pred` holds, giving the
+  /// backend at least `budget_us` of its own notion of time. Returns the
+  /// final pred() value.
+  virtual bool wait_for(const std::function<bool()>& pred,
+                        runtime::Time budget_us) = 0;
+  [[nodiscard]] virtual bool threaded() const noexcept = 0;
+};
+
+class SimBackend final : public Backend {
+public:
+  runtime::Transport& transport() override { return transport_; }
+
+  bool wait_for(const std::function<bool()>& pred,
+                runtime::Time budget_us) override {
+    const runtime::Time deadline = scheduler_.now() + budget_us;
+    while (!pred() && scheduler_.now() < deadline)
+      scheduler_.run_until(scheduler_.now() + 1000);
+    return pred();
+  }
+
+  [[nodiscard]] bool threaded() const noexcept override { return false; }
+
+private:
+  sim::Scheduler scheduler_;
+  runtime::SimTransport transport_{scheduler_};
+};
+
+class ThreadedBackend final : public Backend {
+public:
+  runtime::Transport& transport() override { return transport_; }
+
+  bool wait_for(const std::function<bool()>& pred,
+                runtime::Time budget_us) override {
+    // Wall-clock budget plus fixed slack: loaded CI runners stretch
+    // wall-clock delays, never shrink them, so extra waiting is always
+    // sound for "did X happen" predicates.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(budget_us) +
+                          std::chrono::seconds(2);
+    while (!pred() && std::chrono::steady_clock::now() < deadline)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return pred();
+  }
+
+  [[nodiscard]] bool threaded() const noexcept override { return true; }
+
+private:
+  runtime::ThreadedTransport transport_{};
+};
+
+inline std::unique_ptr<Backend> make_backend(const std::string& name) {
+  if (name == "sim") return std::make_unique<SimBackend>();
+  return std::make_unique<ThreadedBackend>();
+}
+
+/// Execution-order recorder, safe to write from transport workers.
+class Recorder {
+public:
+  void add(int value) {
+    const std::lock_guard lock{mutex_};
+    values_.push_back(value);
+  }
+
+  [[nodiscard]] std::vector<int> snapshot() const {
+    const std::lock_guard lock{mutex_};
+    return values_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard lock{mutex_};
+    return values_.size();
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<int> values_;
+};
+
+/// Scoped environment override (for CAKE_THREADS clamp tests).
+class EnvGuard {
+public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_previous_ = true;
+      previous_ = old;
+    }
+    ::setenv(name, value, 1);
+  }
+
+  ~EnvGuard() {
+    if (had_previous_)
+      ::setenv(name_, previous_.c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+private:
+  const char* name_;
+  bool had_previous_ = false;
+  std::string previous_;
+};
+
+}  // namespace cake::transport_tests

@@ -1,0 +1,184 @@
+// Transport contract conformance — every test here runs against BOTH
+// backends (see INSTANTIATE at the bottom). The sim backend is the
+// semantic oracle: whatever it does is by definition correct, and the
+// threaded backend must agree on every observable in this file (timer
+// deadline ordering, FIFO at equal deadlines, cancellation semantics,
+// same-lane serialization, drain()'s foreground/background split,
+// reentrant submission).
+#include <atomic>
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "backend_fixture.hpp"
+
+namespace cake::transport_tests {
+namespace {
+
+using runtime::Time;
+using runtime::kNoTimer;
+
+class TransportConformance : public testing::TestWithParam<std::string> {
+protected:
+  void SetUp() override { backend_ = make_backend(GetParam()); }
+
+  runtime::Transport& transport() { return backend_->transport(); }
+  bool wait_for(const std::function<bool()>& pred, Time budget_us) {
+    return backend_->wait_for(pred, budget_us);
+  }
+
+  std::unique_ptr<Backend> backend_;
+};
+
+TEST_P(TransportConformance, TimersFireInDeadlineOrder) {
+  auto recorder = std::make_shared<Recorder>();
+  auto& t = transport();
+  // Scheduled out of deadline order on purpose.
+  t.schedule_background_after(40'000, [recorder] { recorder->add(40); });
+  t.schedule_background_after(10'000, [recorder] { recorder->add(10); });
+  t.schedule_background_after(25'000, [recorder] { recorder->add(25); });
+  ASSERT_TRUE(wait_for([&] { return recorder->size() == 3; }, 100'000));
+  EXPECT_EQ(recorder->snapshot(), (std::vector<int>{10, 25, 40}));
+}
+
+TEST_P(TransportConformance, EqualDeadlineTimersFireInScheduleOrder) {
+  auto recorder = std::make_shared<Recorder>();
+  auto& t = transport();
+  // One absolute deadline for all three, so even the wall-clock backend
+  // sees byte-identical `at` values and must fall back to the FIFO
+  // tie-break.
+  const Time at = t.now() + 30'000;
+  for (int i = 0; i < 3; ++i)
+    t.schedule_background_at(at, [recorder, i] { recorder->add(i); });
+  ASSERT_TRUE(wait_for([&] { return recorder->size() == 3; }, 100'000));
+  EXPECT_EQ(recorder->snapshot(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST_P(TransportConformance, CancelPreventsTheTaskFromEverRunning) {
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  auto sentinel = std::make_shared<std::atomic<bool>>(false);
+  auto& t = transport();
+  const auto id =
+      t.schedule_cancellable_after(50'000, [fired] { fired->store(true); });
+  ASSERT_NE(id, kNoTimer);
+  EXPECT_TRUE(t.cancel(id));
+  EXPECT_FALSE(t.cancel(id)) << "cancel must return true exactly once";
+  // A later sentinel proves time actually passed the cancelled deadline.
+  t.schedule_background_after(80'000, [sentinel] { sentinel->store(true); });
+  ASSERT_TRUE(wait_for([&] { return sentinel->load(); }, 200'000));
+  EXPECT_FALSE(fired->load()) << "cancelled timer must never run";
+}
+
+TEST_P(TransportConformance, CancelAfterFireReturnsFalse) {
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  auto& t = transport();
+  const auto id =
+      t.schedule_cancellable_after(5'000, [fired] { fired->store(true); });
+  ASSERT_TRUE(wait_for([&] { return fired->load(); }, 100'000));
+  EXPECT_FALSE(t.cancel(id));
+}
+
+TEST_P(TransportConformance, CancelOfUnknownIdsIsSafeAndFalse) {
+  auto& t = transport();
+  EXPECT_FALSE(t.cancel(kNoTimer));
+  EXPECT_FALSE(t.cancel(0xdeadbeef));
+}
+
+TEST_P(TransportConformance, DrainRunsEveryPost) {
+  auto count = std::make_shared<std::atomic<int>>(0);
+  auto& t = transport();
+  for (int i = 0; i < 100; ++i)
+    t.post([count] { count->fetch_add(1); });
+  t.drain();
+  EXPECT_EQ(count->load(), 100);
+}
+
+TEST_P(TransportConformance, DrainWaitsForReentrantPosts) {
+  auto count = std::make_shared<std::atomic<int>>(0);
+  auto& t = transport();
+  t.post([count, &t] {
+    count->fetch_add(1);
+    t.post([count, &t] {
+      count->fetch_add(1);
+      t.post([count] { count->fetch_add(1); });
+    });
+  });
+  t.drain();
+  EXPECT_EQ(count->load(), 3);
+}
+
+TEST_P(TransportConformance, DrainWaitsForForegroundTimers) {
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  auto& t = transport();
+  t.schedule_after(20'000, [fired] { fired->store(true); });
+  t.drain();
+  EXPECT_TRUE(fired->load());
+}
+
+TEST_P(TransportConformance, DrainDoesNotWaitForBackgroundTimers) {
+  auto background = std::make_shared<std::atomic<bool>>(false);
+  auto count = std::make_shared<std::atomic<int>>(0);
+  auto& t = transport();
+  // Far-future background work must not hold quiescence hostage.
+  t.schedule_background_after(10'000'000, [background] {
+    background->store(true);
+  });
+  t.post([count] { count->fetch_add(1); });
+  const auto start = std::chrono::steady_clock::now();
+  t.drain();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(count->load(), 1);
+  EXPECT_FALSE(background->load());
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+TEST_P(TransportConformance, SameLanePostsRunInSubmissionOrder) {
+  auto recorder = std::make_shared<Recorder>();
+  auto& t = transport();
+  for (int i = 0; i < 64; ++i)
+    t.post(0, [recorder, i] { recorder->add(i); });
+  t.drain();
+  const auto values = recorder->snapshot();
+  ASSERT_EQ(values.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(values[i], i);
+}
+
+TEST_P(TransportConformance, LaneIndicesWrapModuloWorkers) {
+  auto count = std::make_shared<std::atomic<int>>(0);
+  auto& t = transport();
+  ASSERT_GE(t.workers(), 1u);
+  for (std::size_t lane = 0; lane < t.workers() * 3; ++lane)
+    t.post(lane, [count] { count->fetch_add(1); });
+  t.drain();
+  EXPECT_EQ(count->load(), static_cast<int>(t.workers() * 3));
+}
+
+TEST_P(TransportConformance, TasksMayScheduleReentrantly) {
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  auto posted = std::make_shared<std::atomic<bool>>(false);
+  auto& t = transport();
+  t.post([&t, fired, posted] {
+    t.schedule_background_after(5'000, [fired] { fired->store(true); });
+    t.post([posted] { posted->store(true); });
+  });
+  ASSERT_TRUE(wait_for(
+      [&] { return fired->load() && posted->load(); }, 100'000));
+}
+
+TEST_P(TransportConformance, NowIsMonotonicAndAdvancesAcrossTimers) {
+  auto& t = transport();
+  const Time before = t.now();
+  auto fired = std::make_shared<std::atomic<bool>>(false);
+  t.schedule_background_after(10'000, [fired] { fired->store(true); });
+  ASSERT_TRUE(wait_for([&] { return fired->load(); }, 100'000));
+  EXPECT_GE(t.now(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
+                         testing::Values("sim", "threaded"),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace cake::transport_tests

@@ -1,0 +1,156 @@
+// Multithreaded delivery oracle for the batched event pipeline: several
+// producer threads publish refcounted events through per-thread Producer
+// handles into a ThreadedTransport-backed LocalBus, and every event must
+// arrive exactly once — no lost events (a batch dropped on a queue edge),
+// no duplicates (a batch posted twice), across batch boundaries, partial
+// flushes, and lane handoff. The same check runs on the sim backend as
+// the single-threaded control.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backend_fixture.hpp"
+#include "cake/filter/filter.hpp"
+#include "cake/runtime/local_bus.hpp"
+#include "cake/runtime/pipeline.hpp"
+#include "cake/workload/types.hpp"
+
+namespace cake::transport_tests {
+namespace {
+
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+
+/// Thread-safe sink recording the unique id carried by each delivery.
+class IdSink {
+public:
+  void record(std::int64_t id) {
+    const std::lock_guard lock{mutex_};
+    ids_.push_back(id);
+  }
+
+  [[nodiscard]] std::vector<std::int64_t> sorted() const {
+    const std::lock_guard lock{mutex_};
+    auto copy = ids_;
+    std::sort(copy.begin(), copy.end());
+    return copy;
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<std::int64_t> ids_;
+};
+
+/// Every producer tags events with globally unique ids; after drain the
+/// sink must hold exactly [0, total) with no gaps and no repeats.
+void expect_exactly_once(const IdSink& sink, std::int64_t total) {
+  const auto ids = sink.sorted();
+  ASSERT_EQ(ids.size(), static_cast<std::size_t>(total))
+      << "lost or duplicated events";
+  for (std::int64_t i = 0; i < total; ++i)
+    ASSERT_EQ(ids[static_cast<std::size_t>(i)], i)
+        << "id " << i << " missing or repeated";
+}
+
+void subscribe_sinks(runtime::LocalBus& bus, IdSink& stocks, IdSink& auctions) {
+  workload::ensure_types_registered();
+  bus.subscribe(
+      FilterBuilder{"Stock"}.where("volume", Op::Ge, Value{std::int64_t{0}}).build(),
+      [&stocks](const event::Event& e) {
+        stocks.record(static_cast<const workload::Stock&>(e).volume());
+      });
+  bus.subscribe(
+      FilterBuilder{"Auction"}.where("price", Op::Ge, Value{0.0}).build(),
+      [&auctions](const event::Event& e) {
+        auctions.record(static_cast<std::int64_t>(
+            static_cast<const workload::Auction&>(e).price()));
+      });
+}
+
+/// Runs `threads` producers × `per_thread` events of each class through
+/// the pipeline and asserts exactly-once delivery for both classes.
+void run_oracle(runtime::Transport& transport, int threads, int per_thread,
+                std::size_t batch) {
+  runtime::LocalBus bus;
+  IdSink stocks;
+  IdSink auctions;
+  subscribe_sinks(bus, stocks, auctions);
+
+  runtime::EventPipeline pipeline{transport, bus,
+                                  runtime::PipelineOptions{.batch = batch}};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < threads; ++p)
+    producers.emplace_back([&pipeline, p, per_thread] {
+      runtime::EventPipeline::Producer producer{pipeline};
+      for (int i = 0; i < per_thread; ++i) {
+        const std::int64_t id = std::int64_t{p} * per_thread + i;
+        producer.publish(std::make_shared<const workload::Stock>(
+            "SYM", 1.0, id));
+        producer.publish(std::make_shared<const workload::Auction>(
+            "lot", static_cast<double>(id)));
+      }
+      // ~Producer flushes the partial tail batches.
+    });
+  for (auto& t : producers) t.join();
+  pipeline.drain();
+
+  const std::int64_t total = std::int64_t{threads} * per_thread;
+  expect_exactly_once(stocks, total);
+  expect_exactly_once(auctions, total);
+
+  const auto stats = pipeline.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(total) * 2);
+  EXPECT_EQ(stats.delivered, static_cast<std::uint64_t>(total) * 2);
+  EXPECT_GE(stats.batches, stats.submitted / batch);
+}
+
+TEST(PipelineOracle, ThreadedExactlyOnceUnderConcurrentProducers) {
+  EnvGuard guard{"CAKE_THREADS", "4"};  // multi-lane even on small hosts
+  runtime::ThreadedTransport transport{};
+  ASSERT_EQ(transport.workers(), 4u);
+  run_oracle(transport, /*threads=*/4, /*per_thread=*/2'000, /*batch=*/16);
+}
+
+TEST(PipelineOracle, ThreadedExactlyOnceWithTinyBatchesAndBackpressure) {
+  EnvGuard guard{"CAKE_THREADS", "2"};
+  // A small ring forces the backpressure path (spin-yield on full lanes).
+  runtime::ThreadedTransport transport{
+      runtime::ThreadedOptions{.queue_capacity = 64, .batch = 4}};
+  run_oracle(transport, /*threads=*/3, /*per_thread=*/1'000, /*batch=*/2);
+}
+
+TEST(PipelineOracle, SimBackendIsTheSingleThreadedControl) {
+  sim::Scheduler scheduler;
+  runtime::SimTransport transport{scheduler};
+  run_oracle(transport, /*threads=*/1, /*per_thread=*/500, /*batch=*/16);
+}
+
+TEST(PipelineOracle, PartialBatchesFlushOnProducerDestruction) {
+  EnvGuard guard{"CAKE_THREADS", "2"};
+  runtime::ThreadedTransport transport{};
+  runtime::LocalBus bus;
+  IdSink stocks;
+  IdSink auctions;
+  subscribe_sinks(bus, stocks, auctions);
+  runtime::EventPipeline pipeline{transport, bus,
+                                  runtime::PipelineOptions{.batch = 1024}};
+  {
+    runtime::EventPipeline::Producer producer{pipeline};
+    // Far fewer events than the batch size: nothing would ever be posted
+    // if flush-on-destruction were broken.
+    for (std::int64_t id = 0; id < 7; ++id)
+      producer.publish(
+          std::make_shared<const workload::Stock>("SYM", 1.0, id));
+  }
+  pipeline.drain();
+  expect_exactly_once(stocks, 7);
+}
+
+}  // namespace
+}  // namespace cake::transport_tests
