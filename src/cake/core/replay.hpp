@@ -1,0 +1,80 @@
+// Replay-driven regression oracle (tools/cake_replay, DESIGN.md §12).
+//
+// A journal of recorded event frames is a complete, deterministic workload
+// description: re-driving the same bytes through a fresh overlay must
+// produce the same delivery multiset, and that multiset is independently
+// checkable against the centralized exact matcher (the same reference model
+// the chaos harness trusts). `record_workload` captures a seeded workload
+// into a journal via the publisher's recorder tap; `replay_workload`
+// re-injects it and diffs deliveries against the matcher. Both report a
+// position-independent fingerprint over the delivery multiset, so two runs
+// — live vs. replayed, or replayed twice — can be compared with one
+// integer.
+//
+// The subscription recipe (`draw_subscriptions`) is shared with the chaos
+// harness: given the same workload seed, subscriber count and Biblio
+// config, `cake_replay` rebuilds the exact subscription set a chaos trial
+// ran under, which is what makes the one-line replay command printed on a
+// chaos failure meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cake/filter/filter.hpp"
+#include "cake/journal/journal.hpp"
+#include "cake/sim/sim.hpp"
+#include "cake/reflect/reflect.hpp"
+#include "cake/util/rng.hpp"
+#include "cake/workload/generators.hpp"
+
+namespace cake::core {
+
+/// The harness subscription recipe: per subscriber, mostly 1–2 wildcards so
+/// filters overlap (the occasional fully-exact filter keeps the narrow path
+/// covered), drawn from `gen`/`rng` *in order* — callers that keep using
+/// `gen` afterwards (the chaos harness draws its events from the same
+/// stream) stay bit-compatible with the pre-refactor inline loop.
+[[nodiscard]] std::vector<filter::ConjunctiveFilter> draw_subscriptions(
+    workload::BiblioGenerator& gen, util::Rng& rng, std::size_t count,
+    const reflect::TypeRegistry& registry);
+
+struct ReplayConfig {
+  std::vector<std::size_t> stage_counts{1, 2, 4};
+  std::size_t subscribers = 10;
+  std::size_t events = 100;  ///< record only; replay reads the journal
+  /// Dense workload so filters overlap — the chaos harness default shape.
+  workload::BiblioConfig biblio{.years = 3, .conferences = 3, .authors = 6};
+  sim::Time event_spacing = 1'000;  ///< virtual µs between injected events
+};
+
+struct ReplayReport {
+  std::uint64_t events_in = 0;        ///< journal Event records scanned
+  std::uint64_t distinct_events = 0;  ///< after event-id dedup
+  std::uint64_t deliveries = 0;       ///< handler fires, summed over subs
+  std::uint64_t expected = 0;         ///< centralized-matcher prediction
+  bool exact = true;                  ///< delivery multiset == prediction
+  std::string diff;                   ///< first mismatch, empty when exact
+  /// Order-independent FNV-1a over the (uid, subscription, count) multiset.
+  std::uint64_t fingerprint = 0;
+};
+
+/// Builds a live overlay for `cfg`, subscribes the seeded subscription set,
+/// publishes `cfg.events` generated events spaced in virtual time with the
+/// recorder tap writing every frame to `journal`, and reports the *live*
+/// delivery multiset (already diffed against the matcher — a recording of a
+/// broken system is flagged at capture time, not at replay).
+ReplayReport record_workload(const ReplayConfig& cfg, std::uint64_t seed,
+                             journal::Journal& journal);
+
+/// Re-drives every Event record in `journal` through a fresh overlay built
+/// for (cfg, seed) — same topology, same subscription set, frames injected
+/// byte-identically on the publisher→root link — and diffs deliveries
+/// against the centralized matcher. Duplicate records (a broker journal
+/// captured under Duplicate faults appends every inbound copy) collapse to
+/// exactly-once via event-id dedup on both the expected and actual side.
+ReplayReport replay_workload(const ReplayConfig& cfg, std::uint64_t seed,
+                             journal::Journal& journal);
+
+}  // namespace cake::core

@@ -1,0 +1,229 @@
+#include "cake/core/trace_tool.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "cake/routing/overlay.hpp"
+#include "cake/trace/collector.hpp"
+#include "cake/trace/json.hpp"
+#include "cake/workload/generators.hpp"
+#include "cake/workload/types.hpp"
+
+namespace cake::core {
+
+namespace {
+
+int usage(std::ostream& err) {
+  err << "usage: cake_trace <command> [options]\n"
+         "  demo    --out <path> [--events N] [--seed S]   run a traced "
+         "overlay, dump its spans\n"
+         "  journey <spans.jsonl> --id <trace-id>          replay one "
+         "event's journey\n"
+         "  summary <spans.jsonl>                          per-stage rollup "
+         "and attribution\n"
+         "  top     <spans.jsonl> [--n N]                  attributes ranked "
+         "by false positives\n";
+  return 1;
+}
+
+/// Pulls `--flag value` pairs out of `args` (past the fixed operands).
+/// Returns false on an unknown flag or a flag missing its value.
+bool parse_flags(const std::vector<std::string>& args, std::size_t first,
+                 std::vector<std::pair<std::string, std::uint64_t*>> numeric,
+                 std::vector<std::pair<std::string, std::string*>> text) {
+  for (std::size_t i = first; i < args.size(); i += 2) {
+    if (i + 1 >= args.size()) return false;
+    bool known = false;
+    for (auto& [flag, slot] : text) {
+      if (args[i] != flag) continue;
+      *slot = args[i + 1];
+      known = true;
+      break;
+    }
+    for (auto& [flag, slot] : numeric) {
+      if (known || args[i] != flag) continue;
+      try {
+        *slot = std::stoull(args[i + 1]);
+      } catch (const std::exception&) {
+        return false;
+      }
+      known = true;
+      break;
+    }
+    if (!known) return false;
+  }
+  return true;
+}
+
+/// Loads a span dump into a collector; reports and fails on any problem.
+std::optional<trace::Collector> load_spans(const std::string& path,
+                                           std::ostream& err) {
+  std::ifstream in{path};
+  if (!in) {
+    err << "cake_trace: cannot open '" << path << "'\n";
+    return std::nullopt;
+  }
+  trace::Collector collector;
+  try {
+    collector.add_all(trace::Collector::import_jsonl(in));
+  } catch (const trace::JsonError& e) {
+    err << "cake_trace: '" << path << "': " << e.what() << "\n";
+    return std::nullopt;
+  }
+  return collector;
+}
+
+int run_demo(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  std::string path;
+  std::uint64_t events = 64;
+  std::uint64_t seed = 42;
+  if (!parse_flags(args, 1, {{"--events", &events}, {"--seed", &seed}},
+                   {{"--out", &path}}) ||
+      path.empty())
+    return usage(err);
+
+  // A small three-stage hierarchy with the paper's §5.2 stage schema:
+  // inner brokers match weakened forms, so some arrivals fail the exact
+  // check at subscribers — the demo dump exercises attribution for real.
+  workload::ensure_types_registered();
+  routing::OverlayConfig config;
+  config.stage_counts = {1, 2, 4};
+  config.seed = seed;
+  config.trace.enabled = true;
+  config.trace.sample_period = 1;  // trace everything: this run IS the dump
+  config.trace.ring_capacity = 1 << 16;
+  routing::Overlay overlay{config};
+
+  auto& publisher = overlay.add_publisher();
+  publisher.advertise(workload::BiblioGenerator::schema());
+  overlay.run();
+  workload::BiblioGenerator gen{{}, seed};
+  for (int i = 0; i < 4; ++i) {
+    auto& sub = overlay.add_subscriber();
+    sub.subscribe(gen.next_subscription(i % 2), {});
+    overlay.run();
+  }
+  for (std::uint64_t e = 0; e < events; ++e)
+    publisher.publish(gen.next_event());
+  overlay.run();
+
+  std::ofstream dump{path};
+  if (!dump) {
+    err << "cake_trace: cannot write '" << path << "'\n";
+    return 1;
+  }
+  trace::Collector collector;
+  collector.add_all(overlay.tracer()->spans());
+  collector.export_jsonl(dump);
+  out << "traced " << collector.journeys().size() << " events ("
+      << collector.span_count() << " spans) -> " << path << "\n";
+  return 0;
+}
+
+int run_journey(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.size() < 2) return usage(err);
+  std::uint64_t id = 0;
+  if (!parse_flags(args, 2, {{"--id", &id}}, {}) || id == 0)
+    return usage(err);
+  const auto collector = load_spans(args[1], err);
+  if (!collector) return 1;
+  const trace::Journey* journey = collector->find(id);
+  if (journey == nullptr) {
+    err << "cake_trace: no journey with trace id " << id << "\n";
+    return 1;
+  }
+
+  out << "journey " << id << ": " << journey->hops.size() << " hops, "
+      << (journey->delivered() ? "delivered" : "not delivered") << ", "
+      << journey->spurious_arrivals() << " spurious\n";
+  if (journey->publish) {
+    out << "  t=" << journey->publish->ticks << "  publish     node "
+        << journey->publish->node << "\n";
+  }
+  for (const trace::TraceSpan& hop : journey->hops) {
+    out << "  t=" << hop.ticks << "  " << trace::to_string(hop.kind);
+    if (hop.kind == trace::SpanKind::Broker)
+      out << " s" << hop.stage << "  node " << hop.node
+          << (hop.matched ? "  forwarded" : "  rejected") << " ("
+          << hop.filters_evaluated << " filters)";
+    else if (hop.kind == trace::SpanKind::Subscriber)
+      out << "  node " << hop.node
+          << (hop.matched ? "  exact match" : "  spurious");
+    else
+      out << "  node " << hop.node << " -> " << hop.from;
+    if (!hop.matched && !hop.weakened_attrs_hit.empty())
+      out << "  blame: " << hop.weakened_attrs_hit.front();
+    out << "\n";
+  }
+  return 0;
+}
+
+int run_summary(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.size() != 2) return usage(err);
+  const auto collector = load_spans(args[1], err);
+  if (!collector) return 1;
+
+  out << collector->journeys().size() << " journeys, "
+      << collector->span_count() << " spans\n\n";
+
+  out << "Per-stage rollup (stage 0 = subscriber edge):\n";
+  for (const trace::StageRollup& stage : collector->stage_rollups()) {
+    out << "  stage " << stage.stage << ": " << stage.hops << " hops, MR "
+        << stage.mr() << ", mean latency " << stage.latency.mean() << " us\n";
+  }
+  for (const auto& [stage, count] : collector->rejected_at_stage())
+    out << "  rejected at stage " << stage << ": " << count << "\n";
+  for (const auto& [stage, count] : collector->retransmits_by_stage())
+    out << "  retransmits at stage " << stage << ": " << count << "\n";
+
+  const trace::Attribution attribution = collector->attribution();
+  out << "\nFalse-positive attribution (" << attribution.total()
+      << " spurious arrivals):\n";
+  for (const auto& [attr, count] : attribution.ranked()) {
+    out << "  " << attr << ": " << count << " spurious";
+    if (const auto it = attribution.spurious_hops_by_attribute.find(attr);
+        it != attribution.spurious_hops_by_attribute.end())
+      out << ", " << it->second << " wasted hops";
+    out << "\n";
+  }
+  return 0;
+}
+
+int run_top(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.size() < 2) return usage(err);
+  std::uint64_t n = 10;
+  if (!parse_flags(args, 2, {{"--n", &n}}, {})) return usage(err);
+  const auto collector = load_spans(args[1], err);
+  if (!collector) return 1;
+
+  const auto ranked = collector->attribution().ranked();
+  out << "top " << std::min<std::size_t>(n, ranked.size())
+      << " weakened attributes by false positives:\n";
+  for (std::size_t i = 0; i < ranked.size() && i < n; ++i)
+    out << "  " << (i + 1) << ". " << ranked[i].first << "  ("
+        << ranked[i].second << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int run_trace_tool(std::vector<std::string> args, std::ostream& out,
+                   std::ostream& err) {
+  if (args.empty()) return usage(err);
+  const std::string& command = args.front();
+  if (command == "demo") return run_demo(args, out, err);
+  if (command == "journey") return run_journey(args, out, err);
+  if (command == "summary") return run_summary(args, out, err);
+  if (command == "top") return run_top(args, out, err);
+  err << "cake_trace: unknown command '" << command << "'\n";
+  return usage(err);
+}
+
+}  // namespace cake::core

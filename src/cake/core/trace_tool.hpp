@@ -1,0 +1,26 @@
+// The `cake_trace` CLI: run a traced demo overlay, then replay and roll up
+// the span dump it (or any traced run) produced.
+//
+//   cake_trace demo    --out spans.jsonl [--events N] [--seed S]
+//   cake_trace journey spans.jsonl --id <trace-id>
+//   cake_trace summary spans.jsonl
+//   cake_trace top     spans.jsonl [--n N]
+//
+// The logic lives here, behind stream parameters, so the unit tests drive
+// the whole pipeline (demo → dump → journey/summary/top) without spawning
+// a process; tools/cake_trace.cpp is a thin argv shim.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cake::core {
+
+/// Runs one CLI invocation. Returns the process exit code: 0 on success,
+/// 1 on usage errors, unknown commands/flags, or unreadable span files
+/// (diagnostics go to `err`).
+int run_trace_tool(std::vector<std::string> args, std::ostream& out,
+                   std::ostream& err);
+
+}  // namespace cake::core

@@ -23,6 +23,15 @@
 //
 // `Reliability::BestEffort` (the default) bypasses all of it: sends go
 // straight to the network untagged, byte-identical to the pre-link system.
+//
+// Durable (journaled) brokers deliberately re-send event frames this layer
+// already delivered once: journal replay after a restart, pen bounces, and
+// recovery-window relays all re-drive the same frame bytes over *fresh*
+// sessions, which this dedup cannot pair with the pre-crash copies. That is
+// by design — link dedup only collapses retransmissions within one stream
+// session; cross-crash duplicates are collapsed one layer up by the
+// subscriber-side event-id dedup (SubscriberConfig::dedup_events). Keep
+// that layering in mind before "fixing" either side.
 #pragma once
 
 #include <cstdint>

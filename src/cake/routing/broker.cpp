@@ -30,6 +30,7 @@ Broker::Broker(sim::NodeId id, std::size_t stage, sim::Network& network,
       // would shift the placement stream and change best-effort runs.
       link_(id, network, transport, config.link,
             (static_cast<std::uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL),
+      journal_sync_(transport),
       index_(index::make_index(config.engine, registry)) {
   if (stage_ == 0)
     throw std::invalid_argument{"Broker: stage 0 is the subscriber level"};
@@ -57,6 +58,10 @@ void Broker::attach_to_network() {
 }
 
 void Broker::schedule_tasks() {
+  // Journal flushing is a background chore, never an event-path cost.
+  if (journal_ != nullptr && config_.journal_sync_interval > 0)
+    journal_sync_.start(config_.journal_sync_interval,
+                        [this] { journal_->sync(); });
   if (!config_.auto_renew) return;
   const std::uint64_t epoch = epoch_;
   transport_.schedule_background_after(config_.renew_interval,
@@ -73,6 +78,9 @@ void Broker::crash() {
   handover_mark_ = {};
   pen_.clear();
   pen_armed_ = false;
+  bounced_.clear();
+  bounced_order_.clear();
+  journal_sync_.stop();
   link_.detach();
 }
 
@@ -90,10 +98,23 @@ void Broker::restart() {
   active_.clear();
   schemas_.clear();
   detached_.clear();
+  durable_cursor_.clear();
+  pending_resume_.clear();
   index_ = index::make_index(config_.engine, registry_);
   link_.reset();  // fresh sessions; peers discard the dead streams on contact
   attach_to_network();
   schedule_tasks();
+  // The soft state above is gone for good — a real restart has no memory —
+  // but with a journal attached the *events* are not: re-drive them so the
+  // crash window loses nothing (DESIGN.md §12).
+  if (journal_ != nullptr && config_.journal_replay_on_restart) {
+    replay_journal();
+    // Arm the recovery window: leases re-inserted while the table heals are
+    // served the journal range appended after this point (see insert_filter).
+    recovery_offset_ = journal_->next_offset();
+    recovery_until_ =
+        transport_.now() + 3 * config_.ttl + 2 * config_.match_grace;
+  }
 }
 
 BrokerStats Broker::stats() const noexcept {
@@ -156,7 +177,14 @@ void Broker::on_packet(sim::NodeId from, const sim::Network::Payload& payload) {
     ++stats_.malformed_packets;  // corrupt frame: drop, never crash a node
     return;
   }
-  if (!std::holds_alternative<EventMsg>(packet)) ++stats_.control_received;
+  if (!std::holds_alternative<EventMsg>(packet)) {
+    ++stats_.control_received;
+  } else if (journal_ != nullptr && !replaying_) {
+    // The owning-decode arm (borrowed_decode off) journals here; the fast
+    // path journals inside handle_event_frame, after frame validation.
+    journal_->append_event(payload);
+    ++stats_.events_journaled;
+  }
   std::visit(
       [this, from](auto&& msg) {
         // Only the event path cares who sent the packet (trace spans link
@@ -243,6 +271,21 @@ void Broker::insert_subscriber(const Subscribe& msg) {
   filter::ConjunctiveFilter stored = weaken_for(msg.filter, stage_);
   insert_filter(stored, msg.subscriber, msg.durable);
   send(msg.subscriber, AcceptedAt{id_, msg.token, std::move(stored)});
+  if (journal_ == nullptr) return;
+  // Late-joiner catch-up: replay the journal tail the subscriber asked for.
+  if (msg.replay_from != kNoReplay)
+    replay_range_to(msg.subscriber, msg.replay_from);
+  // A Resume that beat this durable re-join (post-restart) is served now
+  // that the lease exists and the replay can match.
+  if (msg.durable && pending_resume_.erase(msg.subscriber) > 0) {
+    if (const auto cur = durable_cursor_.find(msg.subscriber);
+        cur != durable_cursor_.end()) {
+      detached_.erase(msg.subscriber);
+      replay_range_to(msg.subscriber, cur->second);
+      journal_->append_cursor_clear(msg.subscriber);
+      durable_cursor_.erase(cur);
+    }
+  }
 }
 
 void Broker::insert_filter(filter::ConjunctiveFilter stored, sim::NodeId child,
@@ -258,6 +301,7 @@ void Broker::insert_filter(filter::ConjunctiveFilter stored, sim::NodeId child,
       }
     }
     entry.leases.push_back({child, expires, durable});
+    serve_recovery_window(child);
     return;
   }
 
@@ -265,12 +309,24 @@ void Broker::insert_filter(filter::ConjunctiveFilter stored, sim::NodeId child,
   entry.filter = stored;
   entry.parent_form = weaken_for(stored, stage_ + 1);
   entry.leases.push_back({child, expires, durable});
-
   const index::FilterId fid = index_->add(stored);
   by_filter_.emplace(std::move(stored), fid);
 
   submit_need(entry.parent_form);
   entries_.emplace(fid, std::move(entry));
+  serve_recovery_window(child);
+}
+
+void Broker::serve_recovery_window(sim::NodeId child) {
+  // A lease that lands while the post-restart table is still healing may
+  // have missed events that *partially* matched (forwarded to already
+  // re-inserted children, skipped this one, never parked). Re-serve the
+  // journal range appended since the restart; replay_range_to re-matches
+  // each record against the now-updated table and only sends hits, and the
+  // subscriber-side event-id dedup absorbs anything already delivered.
+  if (journal_ == nullptr || replaying_) return;
+  if (transport_.now() >= recovery_until_) return;
+  replay_range_to(child, recovery_offset_);
 }
 
 void Broker::handle(ReqInsert&& msg) {
@@ -308,6 +364,14 @@ void Broker::handle(Unsub&& msg) {
 void Broker::handle(Detach&& msg) {
   if (!has_durable_lease(msg.child)) return;  // nothing durable: ignore
   detached_.try_emplace(msg.child);
+  if (journal_ != nullptr) {
+    // Durable cursor: the subscriber resumes from the log position at the
+    // moment it detached. Persisted as a Cursor record so the position
+    // itself survives a broker crash (rebuilt by replay_journal).
+    const std::uint64_t at = journal_->next_offset();
+    durable_cursor_[msg.child] = at;
+    journal_->append_cursor(msg.child, at);
+  }
   // Freeze the durable leases: a detached durable subscriber must survive
   // missing its renewals.
   for (auto& [fid, entry] : entries_) {
@@ -319,6 +383,31 @@ void Broker::handle(Detach&& msg) {
 }
 
 void Broker::handle(Resume&& msg) {
+  if (journal_ != nullptr) {
+    if (const auto cur = durable_cursor_.find(msg.child);
+        cur != durable_cursor_.end()) {
+      if (!has_durable_lease(msg.child)) {
+        // Post-restart race: the cursor survived the crash but the lease
+        // table did not, and this subscriber has not re-joined yet. Serve
+        // the replay when its durable Subscribe lands (insert_subscriber).
+        pending_resume_.insert(msg.child);
+        return;
+      }
+      detached_.erase(msg.child);
+      replay_range_to(msg.child, cur->second);
+      journal_->append_cursor_clear(msg.child);
+      durable_cursor_.erase(cur);
+      const sim::Time expires = transport_.now() + 3 * config_.ttl;
+      for (auto& [fid, entry] : entries_) {
+        for (auto& lease : entry.leases) {
+          if (lease.child == msg.child &&
+              lease.expires == std::numeric_limits<sim::Time>::max())
+            lease.expires = expires;
+        }
+      }
+      return;
+    }
+  }
   const auto it = detached_.find(msg.child);
   if (it == detached_.end()) return;
   for (event::EventImage& image : it->second) {
@@ -363,6 +452,10 @@ void Broker::handle(EventMsg&& msg, sim::NodeId from) {
   ++stats_.events_matched;
   for (const sim::NodeId target : target_scratch_) {
     if (const auto buffer = detached_.find(target); buffer != detached_.end()) {
+      if (journal_ != nullptr) {
+        ++stats_.events_buffered;  // served from the log on Resume
+        continue;
+      }
       if (buffer->second.size() >= config_.durable_buffer_limit) {
         buffer->second.pop_front();  // bound memory: drop the oldest
         ++stats_.buffer_overflows;
@@ -384,6 +477,15 @@ void Broker::handle_event_frame(sim::NodeId from,
   const std::uint64_t event_id = r.varint();
   const std::uint64_t trace_id = r.varint();
   image_scratch_.assign_view(r);  // borrows names and strings from `payload`
+
+  // Journal the inbound frame *before* matching: the bytes already exist
+  // (refcounted frame), so durability is one append of them — and a crash
+  // at any later point of this function can lose nothing. Corrupt frames
+  // threw above and never reach the log.
+  if (journal_ != nullptr && !replaying_) {
+    journal_->append_event(payload);
+    ++stats_.events_journaled;
+  }
 
   ++stats_.events_received;
   index_->match(image_scratch_, match_scratch_, scratch_);
@@ -409,6 +511,12 @@ void Broker::handle_event_frame(sim::NodeId from,
   ++stats_.events_matched;
   for (const sim::NodeId target : target_scratch_) {
     if (const auto buffer = detached_.find(target); buffer != detached_.end()) {
+      if (journal_ != nullptr) {
+        // The frame is already in the journal; the detached subscriber's
+        // cursor replay serves it on Resume. No copy, no bounded buffer.
+        ++stats_.events_buffered;
+        continue;
+      }
       // Never pass borrowed views into a buffer that outlives the frame:
       // durable buffering takes an owning deep copy (§9 exclusion rule).
       if (buffer->second.size() >= config_.durable_buffer_limit) {
@@ -427,6 +535,21 @@ void Broker::handle_event_frame(sim::NodeId from,
                                                   trace_id));
     }
     ++stats_.events_forwarded;
+  }
+  // Recovery-window relay: a restarted broker's table can be *permanently*
+  // missing leases for subscribers that re-homed elsewhere while it was
+  // down — a frame that partially matches here forwards past the pen and
+  // silently skips them. While the window is open, hand a copy back to the
+  // parent to re-match against a healthy table; subscriber dedup absorbs
+  // the paths that already delivered, and the shared bounce budget stops a
+  // stale parent lease from ping-ponging the frame.
+  if (journal_ != nullptr && !replaying_ && parent_ != sim::kNoNode &&
+      transport_.now() < recovery_until_ && take_bounce_budget(event_id)) {
+    if (chaos_debug())
+      std::fprintf(stderr, "[dbg] t=%llu broker=%u RECOVERY-RELAY %llu\n",
+                   (unsigned long long)transport_.now(), (unsigned)id_,
+                   (unsigned long long)event_id);
+    link_.send_event(parent_, payload);
   }
 }
 
@@ -676,11 +799,12 @@ void Broker::pen_tick(std::uint64_t epoch) {
   std::deque<Parked> keep;
   for (Parked& parked : pen_) {
     bool rescued = false;
+    std::uint64_t event_id = 0;
     try {
       wire::Reader r{wire::unframe(parked.payload)};
       (void)r.u8();
       const sim::Time published_at = r.varint();
-      const std::uint64_t event_id = r.varint();
+      event_id = r.varint();
       const std::uint64_t trace_id = r.varint();
       image_scratch_.assign_view(r);
       index_->match(image_scratch_, match_scratch_, scratch_);
@@ -701,6 +825,10 @@ void Broker::pen_tick(std::uint64_t epoch) {
         for (const sim::NodeId target : target_scratch_) {
           if (const auto buffer = detached_.find(target);
               buffer != detached_.end()) {
+            if (journal_ != nullptr) {
+              ++stats_.events_buffered;  // served from the log on Resume
+              continue;
+            }
             if (buffer->second.size() >= config_.durable_buffer_limit) {
               buffer->second.pop_front();
               ++stats_.buffer_overflows;
@@ -722,9 +850,38 @@ void Broker::pen_tick(std::uint64_t epoch) {
     } catch (const wire::WireError&) {
       continue;  // cannot happen for a frame that decoded once; drop it
     }
-    if (!rescued && now - parked.parked_at < config_.match_grace)
+    if (!rescued && now - parked.parked_at < config_.match_grace) {
       keep.push_back(std::move(parked));
-    else if (chaos_debug())
+      continue;
+    }
+    // Durable recovery: an event that outlived the grace window with no
+    // local match may be one a crash stranded here — matched to this
+    // broker while its children were re-parenting away, or replayed from
+    // the journal after they left. Hand the frame back to the parent to
+    // re-match against the *healed* table (subscriber dedup absorbs the
+    // copies that did arrive another way); a parentless root re-parks it
+    // for another grace round instead, since post-restart its table heals
+    // only as fast as the children's renewals get through. One budget
+    // covers both: the parent may still hold a lease pointing right back
+    // at a freshly restarted child (stale for up to 3×TTL), and a root's
+    // heal can span several grace windows under sustained loss — while a
+    // routine weakening false positive burns its budget and then drops
+    // instead of circulating forever.
+    if (!rescued && journal_ != nullptr && take_bounce_budget(event_id)) {
+      if (chaos_debug())
+        std::fprintf(stderr, "[dbg] t=%llu broker=%u PEN-%s %llu\n",
+                     (unsigned long long)now, (unsigned)id_,
+                     parent_ != sim::kNoNode ? "BOUNCE" : "REPARK",
+                     (unsigned long long)event_id);
+      if (parent_ != sim::kNoNode) {
+        link_.send_event(parent_, parked.payload);
+      } else {
+        parked.parked_at = now;
+        keep.push_back(std::move(parked));
+      }
+      continue;
+    }
+    if (chaos_debug())
       std::fprintf(stderr, "[dbg] t=%llu broker=%u PEN-%s\n",
                    (unsigned long long)now, (unsigned)id_,
                    rescued ? "RESCUE" : "EXPIRE");
@@ -738,13 +895,112 @@ void Broker::pen_tick(std::uint64_t epoch) {
                                        [this, epoch] { pen_tick(epoch); });
 }
 
+bool Broker::take_bounce_budget(std::uint64_t event_id) {
+  // One budget across every durable-recovery resend path (pen bounce, root
+  // re-park, recovery-window relay): a stale lease pointing back at a
+  // freshly restarted broker can return a frame for up to 3×TTL, so a
+  // single round is not enough — but a frame must not circulate forever
+  // either. Eight rounds outlast any heal observed under sustained loss.
+  constexpr std::uint32_t kPenBounceBudget = 8;
+  auto& count = bounced_[event_id];
+  if (count >= kPenBounceBudget) return false;
+  if (count++ == 0) {
+    bounced_order_.push_back(event_id);
+    if (bounced_order_.size() > 4 * config_.match_grace_limit) {
+      bounced_.erase(bounced_order_.front());
+      bounced_order_.pop_front();
+    }
+  }
+  ++stats_.events_bounced;
+  return true;
+}
+
+void Broker::replay_journal() {
+  replaying_ = true;
+  journal_->scan(journal_->first_offset(), [this](const journal::Record& rec) {
+    ++stats_.journal_replays;
+    if (rec.kind == journal::RecordKind::Cursor) {
+      const auto cursor = journal::Journal::parse_cursor(rec.payload);
+      if (!cursor) return;  // unreachable past the CRC, but stay safe
+      if (cursor->active) {
+        durable_cursor_[static_cast<sim::NodeId>(cursor->subscriber)] =
+            cursor->offset;
+        detached_.try_emplace(static_cast<sim::NodeId>(cursor->subscriber));
+      } else {
+        durable_cursor_.erase(static_cast<sim::NodeId>(cursor->subscriber));
+        detached_.erase(static_cast<sim::NodeId>(cursor->subscriber));
+      }
+      return;
+    }
+    // Re-drive the event through the normal matcher. The post-restart table
+    // is empty, so these land in the grace pen and get forwarded as the
+    // children re-insert their filters (renewal-by-reinsertion) — exactly
+    // the heal-time race machinery, now fed from disk instead of from a
+    // lucky retransmission. Duplicate deliveries on paths that already
+    // carried the event pre-crash die at the subscribers' event-id dedup.
+    const sim::Network::Payload payload{
+        std::vector<std::byte>{rec.payload.begin(), rec.payload.end()}};
+    try {
+      handle_event_frame(id_, payload);
+    } catch (const wire::WireError&) {
+      ++stats_.malformed_packets;  // CRC-valid record, frame still hostile
+    }
+  });
+  replaying_ = false;
+}
+
+void Broker::replay_range_to(sim::NodeId child, std::uint64_t from) {
+  journal_->scan(from, [this, child](const journal::Record& rec) {
+    if (rec.kind != journal::RecordKind::Event) return;
+    const sim::Network::Payload payload{
+        std::vector<std::byte>{rec.payload.begin(), rec.payload.end()}};
+    try {
+      wire::Reader r{wire::unframe(payload)};
+      (void)r.u8();      // tag
+      (void)r.varint();  // published_at
+      (void)r.varint();  // event_id
+      (void)r.varint();  // trace_id
+      image_scratch_.assign_view(r);
+      index_->match(image_scratch_, match_scratch_, scratch_);
+      bool hit = false;
+      for (const index::FilterId fid : match_scratch_) {
+        for (const auto& lease : entries_.at(fid).leases) {
+          if (lease.child == child) {
+            hit = true;
+            break;
+          }
+        }
+        if (hit) break;
+      }
+      if (!hit) return;
+      // Pass-through serve: the journaled bytes are the frame the
+      // publisher built, so replay forwards are byte-identical to live
+      // ones and the subscriber's dedup treats them as the same event.
+      link_.send_event(child, payload);
+      ++stats_.events_replayed;
+    } catch (const wire::WireError&) {
+      ++stats_.malformed_packets;
+    }
+  });
+}
+
 void Broker::reap_task(std::uint64_t epoch) {
   if (epoch != epoch_) return;
   const sim::Time now = transport_.now();
+  // Durable mode keeps expired leases as lame ducks for one match_grace:
+  // a renewal delayed by loss (head-of-line blocked behind event frames in
+  // the in-order stream) refreshes the lease instead of round-tripping an
+  // Expired re-insert, and events that arrive meanwhile still forward to
+  // the child. Without this an event that *partially* matches — some live
+  // target plus one reaped lease — is under-delivered silently: the pen
+  // only catches zero-match arrivals. Duplicated forwards are absorbed by
+  // subscriber dedup; frames to genuinely dead peers stop at the link's
+  // failure detector.
+  const sim::Time lame_duck = journal_ != nullptr ? config_.match_grace : 0;
   std::vector<index::FilterId> dead;
   for (auto& [fid, entry] : entries_) {
     std::erase_if(entry.leases, [&](const Lease& lease) {
-      if (lease.expires > now) return false;
+      if (lease.expires + lame_duck > now) return false;
       if (chaos_debug())
         std::fprintf(stderr, "[dbg] t=%llu broker=%u REAP lease child=%u\n",
                      (unsigned long long)now, (unsigned)id_,

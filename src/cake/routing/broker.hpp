@@ -26,8 +26,10 @@
 #include <vector>
 
 #include "cake/index/sharded.hpp"
+#include "cake/journal/journal.hpp"
 #include "cake/link/link.hpp"
 #include "cake/routing/protocol.hpp"
+#include "cake/runtime/background.hpp"
 #include "cake/runtime/transport.hpp"
 #include "cake/sim/sim.hpp"
 #include "cake/trace/trace.hpp"
@@ -100,6 +102,15 @@ struct BrokerConfig {
   /// retransmissions and lease re-establishment. Bounded, drop-oldest.
   sim::Time match_grace = 0;
   std::size_t match_grace_limit = 1024;
+  /// With a journal attached (set_journal), restart() replays the journaled
+  /// event frames through the matcher so a crash loses nothing (DESIGN.md
+  /// §12). Off = recover tables and cursors only — the regression knob the
+  /// durable chaos oracle uses to prove it detects real event loss.
+  bool journal_replay_on_restart = true;
+  /// Interval of the background journal sync chore (flush toward storage).
+  /// The append itself happens inline — it is a memcpy into the storage
+  /// layer — but flushing is deferred off the event path.
+  sim::Time journal_sync_interval = 250'000;
 };
 
 /// Counters for LC / RLC / MR (§5.1).
@@ -116,6 +127,9 @@ struct BrokerStats {
   std::uint64_t events_parked = 0;     ///< zero-match events held for grace
   std::uint64_t events_rescued = 0;    ///< parked events matched on retry
   std::uint64_t events_pen_dropped = 0; ///< oldest parked evicted, pen full
+  std::uint64_t events_journaled = 0;  ///< frames appended to the journal
+  std::uint64_t journal_replays = 0;   ///< records re-driven by restart()
+  std::uint64_t events_bounced = 0;    ///< expired pen frames sent to parent
   std::size_t filters = 0;             ///< live distinct filters
   std::size_t associations = 0;        ///< live (filter, child) pairs
 };
@@ -146,6 +160,13 @@ public:
   /// Installs the per-event tracer (null = tracing off, the default; the
   /// only cost left on the event path is one null test per EventMsg).
   void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Attaches the durable journal (null = durability off, the default; the
+  /// only cost left on the event path is one null test per EventMsg). The
+  /// journal must outlive the broker's use of it; after a crash the owner
+  /// re-opens a Journal over the same storage (running recovery) and calls
+  /// this again before restart().
+  void set_journal(journal::Journal* journal) noexcept { journal_ = journal; }
 
   /// Attaches to the network and schedules the soft-state tasks.
   void start();
@@ -285,6 +306,18 @@ private:
   void park_unmatched(const sim::Network::Payload& payload);
   /// Re-matches parked frames; forwards rescues, drops expired ones.
   void pen_tick(std::uint64_t epoch);
+  /// Crash recovery (DESIGN.md §12): re-drives every retained journal
+  /// record through the matcher. Cursor records rebuild the durable-
+  /// subscription cursors; event records re-match against the (still
+  /// empty) post-restart table and land in the grace pen until children
+  /// re-insert their filters.
+  void replay_journal();
+  /// Replays journaled event frames with offset >= `from` that match
+  /// `child` (late-joiner catch-up and durable-cursor resume). Serves the
+  /// frames pass-through, preserving the §9 forward path.
+  void replay_range_to(sim::NodeId child, std::uint64_t from);
+  void serve_recovery_window(sim::NodeId child);
+  bool take_bounce_budget(std::uint64_t event_id);
 
   sim::NodeId id_;
   std::size_t stage_;
@@ -310,6 +343,23 @@ private:
   bool crashed_ = false;
   std::uint64_t epoch_ = 0;  // bumped by crash()/restart()
 
+  journal::Journal* journal_ = nullptr;
+  bool replaying_ = false;  // guards against re-journaling replayed frames
+  // Post-restart recovery window: while the rebuilt table heals, events can
+  // *partially* match (some children re-inserted, some not) and forward past
+  // the pen, silently skipping the late child. Each genuinely new lease that
+  // lands before recovery_until_ is served the journal range appended since
+  // the restart (recovery_offset_), closing that gap.
+  std::uint64_t recovery_offset_ = 0;
+  sim::Time recovery_until_ = 0;
+  // Durable-subscription cursors: journal offset each detached subscriber
+  // resumes from. Rebuilt from Cursor records by replay_journal().
+  std::unordered_map<sim::NodeId, std::uint64_t> durable_cursor_;
+  // Resumes that arrived before the subscriber's durable lease was
+  // re-established post-restart; served when the Subscribe lands.
+  std::unordered_set<sim::NodeId> pending_resume_;
+  runtime::PeriodicTask journal_sync_;
+
   std::unique_ptr<index::MatchIndex> index_;
   std::unordered_map<index::FilterId, Entry> entries_;
   std::unordered_map<filter::ConjunctiveFilter, index::FilterId> by_filter_;
@@ -326,6 +376,15 @@ private:
   };
   std::deque<Parked> pen_;
   bool pen_armed_ = false;
+  // Durable recovery bounce (journal mode only): per-event-id count of
+  // hand-backs to the parent. A budget (not bounce-once) because the
+  // parent can re-match against a lease still pointing at this freshly
+  // restarted broker — the frame comes straight back and needs another
+  // try once that stale lease reaps (≤ 3×TTL), while a routine weakening
+  // false positive burns its budget and drops instead of ping-ponging
+  // forever. Bounded FIFO; RAM state, wiped by crash() like any table.
+  std::unordered_map<std::uint64_t, std::uint32_t> bounced_;
+  std::deque<std::uint64_t> bounced_order_;
 
   BrokerStats stats_;
   index::MatchScratch scratch_;

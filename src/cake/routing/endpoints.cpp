@@ -90,7 +90,8 @@ void SubscriberNode::on_broker_down(sim::NodeId peer) {
 
 std::uint64_t SubscriberNode::subscribe(filter::ConjunctiveFilter exact,
                                         Handler handler, LocalPredicate local,
-                                        bool durable) {
+                                        bool durable,
+                                        std::uint64_t replay_from) {
   // §4.4: convert to standard form so wildcard attributes are explicit and
   // constraints follow the most-general-first attribute order.
   if (const reflect::TypeInfo* type = registry_.find(exact.type().name))
@@ -98,8 +99,8 @@ std::uint64_t SubscriberNode::subscribe(filter::ConjunctiveFilter exact,
 
   const std::uint64_t token = next_token_++;
   subs_.emplace(token, Sub{exact, std::move(handler), std::move(local),
-                           durable, /*group=*/0, std::nullopt, {}});
-  send(root_, Subscribe{std::move(exact), id_, token, durable});
+                           durable, /*group=*/0, std::nullopt, {}, replay_from});
+  send(root_, Subscribe{std::move(exact), id_, token, durable, replay_from});
   return token;
 }
 
@@ -193,8 +194,10 @@ void SubscriberNode::on_packet(sim::NodeId from,
     const auto it = subs_.find(join->token);
     if (it == subs_.end()) return;  // unsubscribed mid-handshake
     ++stats_.join_redirects;
+    // The replay request follows the covering-search redirects: whichever
+    // broker finally accepts the join serves it.
     send(join->target, Subscribe{it->second.exact, id_, join->token,
-                                 it->second.durable});
+                                 it->second.durable, it->second.replay_from});
     return;
   }
 
@@ -220,6 +223,9 @@ void SubscriberNode::on_packet(sim::NodeId from,
     }
     it->second.parent = accepted->node;
     it->second.stored_at_parent = std::move(accepted->stored);
+    // The accepting broker has served any requested replay; clear it so
+    // renewals, rejoins and duplicate-accept retries never re-request it.
+    it->second.replay_from = kNoReplay;
     if (chaos_debug())
       std::fprintf(stderr, "[dbg] t=%llu sub=%u ACCEPTED-AT %u token=%llu\n",
                    (unsigned long long)transport_.now(), (unsigned)id_,
@@ -348,9 +354,10 @@ void SubscriberNode::renew_task() {
         // Join still pending: the original Subscribe, a JoinAt redirect or
         // the AcceptedAt may have been lost. Retry from the root — the
         // covering search is idempotent, and a duplicate accept is
-        // reconciled above.
+        // reconciled above. A still-unserved replay request rides along.
         ++stats_.rejoins;
-        send(root_, Subscribe{sub.exact, id_, token, sub.durable});
+        send(root_,
+             Subscribe{sub.exact, id_, token, sub.durable, sub.replay_from});
       }
     }
   }
@@ -404,8 +411,12 @@ std::uint64_t PublisherNode::publish(event::EventImage image) {
   }
   // Serialize once into a pooled frame; every downstream hop that passes
   // through refcounts these exact bytes (DESIGN.md §9).
-  link_.send_event(
-      root_, encode_event_frame(image, transport_.now(), event_id, trace_id));
+  const sim::Network::Payload payload =
+      encode_event_frame(image, transport_.now(), event_id, trace_id);
+  // Recorder tap: capture the exact wire bytes, so a replay re-drives
+  // byte-identical frames (same event ids, same published_at stamps).
+  if (record_journal_ != nullptr) record_journal_->append_event(payload);
+  link_.send_event(root_, payload);
   return event_id;
 }
 

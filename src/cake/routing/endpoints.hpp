@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cake/journal/journal.hpp"
 #include "cake/link/link.hpp"
 #include "cake/routing/protocol.hpp"
 #include "cake/runtime/transport.hpp"
@@ -84,8 +85,13 @@ public:
   /// subscription. The handler fires only for events matching the exact
   /// filter and, when given, the local predicate. With `durable`, the
   /// hosting broker buffers matching events across detach()/resume().
+  /// `replay_from` (against a journal-backed broker) asks the accepting
+  /// broker to replay matching journaled events from that log offset —
+  /// late-joiner catch-up; kNoReplay requests none. The request rides only
+  /// the initial join: renewals and rejoins never re-request it.
   std::uint64_t subscribe(filter::ConjunctiveFilter exact, Handler handler,
-                          LocalPredicate local = {}, bool durable = false);
+                          LocalPredicate local = {}, bool durable = false,
+                          std::uint64_t replay_from = kNoReplay);
 
   /// Disjunctive (composite) subscription: one logical subscription whose
   /// interest is the OR of `disjuncts`. Each disjunct is routed through the
@@ -152,6 +158,9 @@ private:
     std::uint64_t group = 0;  // non-zero: member of a composite subscription
     std::optional<sim::NodeId> parent;           // set by AcceptedAt
     filter::ConjunctiveFilter stored_at_parent;  // weakened form, for renewals
+    // Pending replay-from-offset request; cleared once a join is accepted
+    // (the broker served it), so retries cannot double-replay.
+    std::uint64_t replay_from = kNoReplay;
   };
 
   /// Distinct nodes currently hosting at least one accepted subscription.
@@ -221,6 +230,13 @@ public:
   /// trace id and every downstream hop just propagates it.
   void set_tracer(trace::Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// Recorder tap (tools/cake_replay): every published frame is also
+  /// appended to `journal`, capturing the workload for deterministic
+  /// replay. Null = off, the default. The journal must outlive the tap.
+  void set_record_journal(journal::Journal* journal) noexcept {
+    record_journal_ = journal;
+  }
+
   /// Publishes a typed event (image extracted via reflection — the user
   /// never marshals). Returns the event id carried on the wire (and used
   /// as the trace id when the event is sampled).
@@ -242,6 +258,7 @@ private:
   runtime::Transport& transport_;
   link::LinkManager link_;
   trace::Tracer* tracer_ = nullptr;
+  journal::Journal* record_journal_ = nullptr;
   std::uint64_t next_seq_ = 0;
   PublisherStats stats_;
 };

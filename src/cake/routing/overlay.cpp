@@ -58,6 +58,19 @@ Overlay::Overlay(OverlayConfig config, const reflect::TypeRegistry& registry)
     if (!chain.empty()) broker->set_ancestors(std::move(chain));
   }
 
+  // Durable mode: give every broker its own "disk" (a MemStorage that
+  // survives crash()) and an open journal over it.
+  if (config_.durability == Durability::Journal) {
+    for (const auto& broker : brokers_) {
+      auto storage = std::make_unique<journal::MemStorage>();
+      auto journal =
+          std::make_unique<journal::Journal>(*storage, config_.journal);
+      broker->set_journal(journal.get());
+      storage_.emplace(broker->id(), std::move(storage));
+      journals_.emplace(broker->id(), std::move(journal));
+    }
+  }
+
   for (const auto& broker : brokers_) {
     broker->set_tracer(tracer_.get());
     broker->start();
@@ -106,7 +119,26 @@ void Overlay::restart(sim::NodeId node) {
   Broker* broker = find_broker(node);
   if (broker == nullptr)
     throw std::invalid_argument{"Overlay::restart: not a broker id"};
+  if (const auto it = storage_.find(node); it != storage_.end()) {
+    // Re-open the journal over the surviving storage — this runs the
+    // recovery scan (torn-tail truncation included), exactly what a real
+    // process would do on boot — then let the broker replay it.
+    auto journal =
+        std::make_unique<journal::Journal>(*it->second, config_.journal);
+    broker->set_journal(journal.get());
+    journals_[node] = std::move(journal);
+  }
   broker->restart();
+}
+
+journal::Journal* Overlay::journal_for(sim::NodeId node) noexcept {
+  const auto it = journals_.find(node);
+  return it == journals_.end() ? nullptr : it->second.get();
+}
+
+journal::MemStorage* Overlay::storage_for(sim::NodeId node) noexcept {
+  const auto it = storage_.find(node);
+  return it == storage_.end() ? nullptr : it->second.get();
 }
 
 SubscriberNode& Overlay::add_subscriber() {

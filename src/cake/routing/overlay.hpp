@@ -4,13 +4,23 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "cake/journal/journal.hpp"
 #include "cake/routing/broker.hpp"
 #include "cake/routing/endpoints.hpp"
 #include "cake/runtime/sim_transport.hpp"
 
 namespace cake::routing {
+
+/// Whether brokers persist event frames to a write-ahead journal
+/// (DESIGN.md §12). Off keeps every send byte-identical to the pre-journal
+/// system — the zero-cost default every existing benchmark arm runs under.
+enum class Durability {
+  Off,      ///< soft state only; crash() loses in-pen events (the classic)
+  Journal,  ///< per-broker WAL; crash() + restart() replays, zero loss
+};
 
 struct OverlayConfig {
   /// Broker counts per stage, root first: {1, 10, 100} builds the paper's
@@ -27,6 +37,15 @@ struct OverlayConfig {
   /// Per-event tracing (trace/trace.hpp). Disabled by default: no Tracer is
   /// even constructed, and every node keeps a null tracer pointer.
   trace::TraceConfig trace{};
+  /// Durable journaling. With Durability::Journal the overlay owns one
+  /// MemStorage + Journal per broker ("disk" that survives crash()), and
+  /// restart(node) re-opens the journal — running recovery — before the
+  /// broker cold-starts. Durable mode pairs with Reliable links: journal
+  /// replay re-serves frames that may also still be in flight, and the
+  /// subscriber event-id dedup is what collapses those paths to
+  /// exactly-once.
+  Durability durability = Durability::Off;
+  journal::JournalConfig journal{};
 };
 
 /// Owns the simulation and every node in it.
@@ -96,6 +115,12 @@ public:
   /// Total parent-death re-attachments across the broker hierarchy.
   [[nodiscard]] std::uint64_t total_reparents() const noexcept;
 
+  /// The broker's journal / backing storage (Durability::Journal only;
+  /// nullptr otherwise or for non-broker ids). Tests inspect and corrupt
+  /// these directly.
+  [[nodiscard]] journal::Journal* journal_for(sim::NodeId node) noexcept;
+  [[nodiscard]] journal::MemStorage* storage_for(sim::NodeId node) noexcept;
+
 private:
   OverlayConfig config_;
   const reflect::TypeRegistry& registry_;
@@ -105,6 +130,11 @@ private:
   sim::Network network_;
   sim::NodeId next_id_ = 0;
   std::unique_ptr<trace::Tracer> tracer_;         // before nodes: they point in
+  // Durable storage outlives broker crash()/restart() cycles — it is the
+  // "disk" of each broker machine. Declared before brokers_ so journals are
+  // destroyed after the brokers pointing at them.
+  std::unordered_map<sim::NodeId, std::unique_ptr<journal::MemStorage>> storage_;
+  std::unordered_map<sim::NodeId, std::unique_ptr<journal::Journal>> journals_;
   std::vector<std::unique_ptr<Broker>> brokers_;  // breadth-first, root first
   std::vector<std::size_t> stage_offsets_;        // index of first broker per level
   std::vector<std::unique_ptr<SubscriberNode>> subscribers_;

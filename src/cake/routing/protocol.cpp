@@ -40,6 +40,9 @@ struct Encoder {
     w.varint(m.subscriber);
     w.varint(m.token);
     w.u8(m.durable ? 1 : 0);
+    // Optional trailing field: absent == kNoReplay, so subscriptions that
+    // request no replay encode byte-identically to the pre-journal format.
+    if (m.replay_from != kNoReplay) w.varint(m.replay_from);
   }
   void operator()(const JoinAt& m) const {
     w.u8(static_cast<std::uint8_t>(Tag::JoinAt));
@@ -138,6 +141,7 @@ Packet decode(std::span<const std::byte> payload) {
       m.subscriber = static_cast<sim::NodeId>(r.varint());
       m.token = r.varint();
       m.durable = r.u8() != 0;
+      if (!r.done()) m.replay_from = r.varint();
       return m;
     }
     case Tag::JoinAt: {

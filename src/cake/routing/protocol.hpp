@@ -37,11 +37,18 @@ struct Advertise {
   weaken::StageSchema schema;
 };
 
+/// "No replay requested" sentinel for Subscribe::replay_from. Encoded as an
+/// *absent* trailing field, so pre-journal peers stay byte-compatible.
+inline constexpr std::uint64_t kNoReplay = ~0ull;
+
 struct Subscribe {
   filter::ConjunctiveFilter filter;  // exact, standard form
   sim::NodeId subscriber = sim::kNoNode;
   std::uint64_t token = 0;  // correlates the join conversation
   bool durable = false;     // buffer events while the subscriber is detached
+  /// Journal offset to replay matching events from once the subscription is
+  /// accepted (late-joiner catch-up, DESIGN.md §12). kNoReplay = none.
+  std::uint64_t replay_from = kNoReplay;
 };
 
 struct JoinAt {

@@ -1,0 +1,61 @@
+// Self-rearming periodic background work on a Transport.
+//
+// Brokers run standing chores — lease reaping, pen expiry, and now journal
+// sync — as background timers that re-arm themselves. Each caller used to
+// hand-roll the epoch idiom (transport timers are fire-and-forget, so a
+// stale closure must notice it was superseded and die silently). This
+// helper packages that idiom once: `start()` bumps a generation and arms;
+// `stop()` bumps the generation so any in-flight closure no-ops; the timer
+// chain holds only `this`, so the owner must outlive pending firings — the
+// same ownership rule every Transport user already obeys (transport.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "cake/runtime/transport.hpp"
+
+namespace cake::runtime {
+
+class PeriodicTask {
+public:
+  explicit PeriodicTask(Transport& transport) noexcept
+      : transport_(transport) {}
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Runs `fn` every `interval` (first firing one interval from now) until
+  /// `stop()` or a subsequent `start()` supersedes it.
+  void start(Time interval, std::function<void()> fn) {
+    ++generation_;
+    interval_ = interval;
+    fn_ = std::move(fn);
+    arm(generation_);
+  }
+
+  /// Orphans any pending firing; the stored callback is released.
+  void stop() {
+    ++generation_;
+    fn_ = nullptr;
+  }
+
+  [[nodiscard]] bool running() const noexcept { return fn_ != nullptr; }
+
+private:
+  void arm(std::uint64_t gen) {
+    transport_.schedule_background_after(interval_, [this, gen] {
+      if (gen != generation_) return;  // superseded; let the chain die
+      fn_();
+      arm(gen);
+    });
+  }
+
+  Transport& transport_;
+  Time interval_ = 0;
+  std::uint64_t generation_ = 0;
+  std::function<void()> fn_;
+};
+
+}  // namespace cake::runtime

@@ -1,0 +1,34 @@
+#include "cake/wire/crc32c.hpp"
+
+#include <array>
+
+namespace cake::wire {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit)
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> bytes,
+                     std::uint32_t crc) noexcept {
+  crc = ~crc;
+  for (const std::byte b : bytes)
+    crc = (crc >> 8) ^
+          kTable[(crc ^ static_cast<std::uint32_t>(b)) & 0xffu];
+  return ~crc;
+}
+
+}  // namespace cake::wire

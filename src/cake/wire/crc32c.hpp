@@ -1,0 +1,22 @@
+// CRC32C (Castagnoli) checksum.
+//
+// The journal's record headers need a checksum with better burst-error
+// detection than the frame layer's FNV-1a: a torn tail or a flipped disk
+// bit must never validate. CRC32C is the standard choice for storage
+// formats (iSCSI, ext4, LevelDB); this is the reflected table-driven
+// software implementation (polynomial 0x1EDC6F41, reflected 0x82F63B78).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cake::wire {
+
+/// CRC32C of `bytes`, seeded by `crc` (pass a previous result to extend a
+/// running checksum over discontiguous ranges). The empty range returns
+/// `crc` unchanged; crc32c({}) == 0.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> bytes,
+                                   std::uint32_t crc = 0) noexcept;
+
+}  // namespace cake::wire

@@ -4,6 +4,9 @@
 //   cake_chaos --seed 17                 # one seed, verbose
 //   cake_chaos --trace 'seed=17;C,...'   # replay an exact fault schedule
 //   cake_chaos --curve                   # convergence-time vs drop rate
+//   cake_chaos --durable --seeds 50      # journaled brokers, zero-loss oracle
+//   cake_chaos --durable --record-dir D  # failing seeds also dump a workload
+//                                        # journal + one-line cake_replay cmd
 //
 // Environment (same contract as the fuzz/soak suites):
 //   CAKE_SEED         overrides the seed range with a single seed
@@ -12,10 +15,12 @@
 // On failure the seed's shrunk trace is printed as a one-line replay
 // command and written to --fail-file (default chaos_failure.txt) for CI to
 // upload as an artifact. Exit code 1 on any failing seed.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "cake/journal/journal.hpp"
 #include "cake/util/cli.hpp"
 #include "cake/util/env.hpp"
 #include "differential.hpp"
@@ -38,14 +43,38 @@ int replay(const HarnessConfig& cfg, const std::string& trace) {
   return 1;
 }
 
+// Failing durable seeds additionally record the shrunk plan's workload to
+// `record_dir`/seed-N (a real on-disk journal) and print the one-line
+// `cake_replay` command that re-drives it against the reference matcher.
+void record_failure(const HarnessConfig& cfg, const cake::sim::FaultPlan& plan,
+                    std::uint64_t seed, const std::string& record_dir,
+                    std::ostream& fail_out) {
+  const std::string dir = record_dir + "/seed-" + std::to_string(seed);
+  std::filesystem::remove_all(dir);  // a stale journal would pollute the log
+  cake::journal::FileStorage storage{dir};
+  cake::journal::Journal journal{storage};
+  HarnessConfig rcfg = cfg;
+  rcfg.record_journal = &journal;
+  (void)cake::chaos::run_trial(rcfg, plan);
+  journal.sync();
+  const std::string cmd = "cake_replay replay --dir " + dir + " --seed " +
+                          std::to_string(seed) + " --subscribers " +
+                          std::to_string(cfg.subscribers);
+  std::cout << "  workload journal: " << dir << "\n  replay workload: " << cmd
+            << "\n";
+  fail_out << cmd << "\n";
+}
+
 int sweep(const HarnessConfig& cfg, std::uint64_t start, std::uint64_t seeds,
-          bool shrink, bool message_faults, const std::string& fail_file) {
+          bool shrink, bool message_faults, const std::string& fail_file,
+          const std::string& record_dir) {
   std::uint64_t failures = 0;
   std::uint64_t retransmits = 0;
   for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
     const cake::sim::FaultPlan plan =
-        message_faults ? cake::chaos::message_plan_for(seed, cfg)
-                       : cake::chaos::plan_for(seed, cfg);
+        cfg.durability ? cake::chaos::durable_plan_for(seed, cfg)
+        : message_faults ? cake::chaos::message_plan_for(seed, cfg)
+                         : cake::chaos::plan_for(seed, cfg);
     const TrialResult result = cake::chaos::run_trial(cfg, plan);
     retransmits += result.link.retransmits;
     if (result.ok) {
@@ -70,11 +99,14 @@ int sweep(const HarnessConfig& cfg, std::uint64_t start, std::uint64_t seeds,
     }
     const std::string cmd = cake::chaos::replay_command(minimal);
     std::cout << "  replay: " << cmd << "\n";
+    std::ofstream out;
     if (!fail_file.empty()) {
-      std::ofstream out{fail_file, std::ios::app};
+      out.open(fail_file, std::ios::app);
       out << "seed " << seed << ": " << result.failure << "\n"
           << cmd << "\n";
     }
+    if (!record_dir.empty())
+      record_failure(cfg, minimal, seed, record_dir, out);
   }
   std::cout << (seeds - failures) << "/" << seeds << " seeds passed";
   if (retransmits != 0) std::cout << " (" << retransmits << " retransmits)";
@@ -131,7 +163,8 @@ int main(int argc, char** argv) {
   cake::util::CliArgs args{argc, argv};
   args.allow({"seeds", "start", "seed", "trace", "curve", "inject-bug",
               "no-shrink", "fail-file", "subscribers", "events", "ops",
-              "reliable", "message-faults", "no-restart"});
+              "reliable", "message-faults", "no-restart", "durable",
+              "inject-replay-bug", "record-dir"});
 
   HarnessConfig cfg;
   cfg.inject_rejoin_bug = args.get("inject-bug", false);
@@ -140,6 +173,13 @@ int main(int argc, char** argv) {
   // crashed brokers down so only self-healing re-parenting can recover.
   if (args.get("reliable", false))
     cfg.reliability = cake::link::Reliability::Reliable;
+  // --durable arms journaled brokers, the crash-heavy durable schedules and
+  // the strict zero-loss oracle. Durable mode pairs with reliable links
+  // (the subscriber dedup collapses journal-replay/in-flight dual paths),
+  // so it implies --reliable.
+  cfg.durability = args.get("durable", false);
+  if (cfg.durability) cfg.reliability = cake::link::Reliability::Reliable;
+  cfg.inject_replay_bug = args.get("inject-replay-bug", false);
   cfg.leave_crashed = args.get("no-restart", false);
   cfg.subscribers =
       static_cast<std::size_t>(args.get("subscribers", std::int64_t{10}));
@@ -169,7 +209,8 @@ int main(int argc, char** argv) {
     }
     return sweep(cfg, start, seeds, !args.get("no-shrink", false),
                  args.get("message-faults", false),
-                 args.get("fail-file", std::string{"chaos_failure.txt"}));
+                 args.get("fail-file", std::string{"chaos_failure.txt"}),
+                 args.get("record-dir", std::string{}));
   } catch (const std::exception& e) {
     std::cerr << "cake_chaos: " << e.what() << "\n";
     return 2;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cake/core/replay.hpp"
 #include "cake/routing/overlay.hpp"
 #include "cake/trace/oracle.hpp"
 #include "cake/util/rng.hpp"
@@ -189,6 +190,12 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
     oc.subscriber.dedup_capacity =
         cfg.warm_events + cfg.chaos_events + cfg.probe_events;
   }
+  if (cfg.durability) {
+    // Durable brokers journal every inbound event frame and replay the log
+    // on restart; the satellite bug knob severs exactly that replay.
+    oc.durability = routing::Durability::Journal;
+    oc.broker.journal_replay_on_restart = !cfg.inject_replay_bug;
+  }
   if (cfg.trace_pipeline) {
     oc.trace.enabled = true;
     oc.trace.sample_period = 1;
@@ -204,6 +211,8 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
 
   routing::PublisherNode& publisher = overlay.add_publisher();
   publisher.advertise(workload::BiblioGenerator::schema());
+  if (cfg.record_journal != nullptr)
+    publisher.set_record_journal(cfg.record_journal);
   overlay.run();
 
   // --- workload ------------------------------------------------------------
@@ -215,14 +224,13 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
   Bookkeeping book;
   std::vector<SubRec> subs;
   subs.reserve(cfg.subscribers);
-  for (std::size_t i = 0; i < cfg.subscribers; ++i) {
+  // The subscription recipe is shared with core::replay — that is what lets
+  // `cake_replay --seed <plan seed>` rebuild this exact subscription set
+  // from a recorded journal. `gen` keeps drawing the event stream below.
+  const std::vector<filter::ConjunctiveFilter> filters =
+      core::draw_subscriptions(gen, rng, cfg.subscribers, registry);
+  for (const filter::ConjunctiveFilter& exact : filters) {
     routing::SubscriberNode& node = overlay.add_subscriber();
-    // Mostly 1–2 wildcards so filters overlap and most events match someone;
-    // the occasional fully-exact filter keeps the narrow path covered.
-    const std::size_t wildcards = rng.below(4) == 0 ? 0 : 1 + rng.below(2);
-    filter::ConjunctiveFilter exact = gen.next_subscription(wildcards);
-    if (const reflect::TypeInfo* type = registry.find(exact.type().name))
-      exact = exact.standard_form(*type);
     const std::size_t key = subs.size();
     node.subscribe(exact, [&book, key](const event::EventImage& image) {
       const value::Value* uid = image.find("uid");
@@ -342,13 +350,27 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
                op.kind == sim::FaultKind::Duplicate ||
                op.kind == sim::FaultKind::Jitter;
       });
-  if (cfg.reliability == link::Reliability::Reliable && message_faults_only) {
+  // With durable journaled brokers the claim widens to crashes: a restarted
+  // broker replays its log, so not even a crash window excuses a loss.
+  // (Partitions stay excluded — a partitioned best-effort publisher edge
+  // can genuinely prevent an event from ever reaching a broker.)
+  const bool durable_recoverable =
+      cfg.durability && !cfg.leave_crashed &&
+      std::all_of(plan.ops.begin(), plan.ops.end(), [](const sim::FaultOp& op) {
+        return op.kind == sim::FaultKind::Drop ||
+               op.kind == sim::FaultKind::Duplicate ||
+               op.kind == sim::FaultKind::Jitter ||
+               op.kind == sim::FaultKind::Crash;
+      });
+  if (cfg.reliability == link::Reliability::Reliable &&
+      (message_faults_only || durable_recoverable)) {
     for (const auto& [uid, expect] : book.expected) {
       for (const std::size_t key : expect) {
         const std::uint64_t copies = book.counts[uid][key];
         if (copies == 1) continue;
         std::ostringstream err;
-        err << "reliable exactly-once violated: "
+        err << (message_faults_only ? "reliable" : "durable")
+            << " exactly-once violated: "
             << (book.phase_of.at(uid) == Phase::Chaos ? "in-window" : "warm-up")
             << " event " << uid << " delivered " << copies
             << "x to subscription " << key;
@@ -492,6 +514,30 @@ sim::FaultPlan message_plan_for(std::uint64_t seed, const HarnessConfig& cfg) {
         op.jitter = 1 + rng.below(50 * cfg.link_latency);
         break;
     }
+    plan.ops.push_back(op);
+  }
+  return plan;
+}
+
+sim::FaultPlan durable_plan_for(std::uint64_t seed, const HarnessConfig& cfg) {
+  sim::FaultPlan plan = message_plan_for(seed, cfg);
+  // Layer 1–2 staggered broker crash–restarts on top of the message faults.
+  // Downtimes are kept inside the horizon (the trial's heal instant covers
+  // them) and crashes never overlap, so at most one broker is down at a
+  // time — the regime the single-journal-per-broker recovery claims to
+  // mask. Overlapping crashes of a parent+child pair are a different (and
+  // currently unclaimed) guarantee.
+  util::Rng rng{seed ^ 0xD0ABCEULL};
+  std::size_t brokers = 0;
+  for (const std::size_t n : cfg.stage_counts) brokers += n;
+  const std::size_t crashes = 1 + rng.below(2);
+  const sim::Time slot = cfg.horizon / (crashes + 1);
+  for (std::size_t i = 0; i < crashes; ++i) {
+    sim::FaultOp op;
+    op.kind = sim::FaultKind::Crash;
+    op.a = static_cast<sim::NodeId>(rng.below(brokers));
+    op.at = slot * (i + 1) + rng.below(std::max<sim::Time>(1, slot / 4));
+    op.until = op.at + std::max<sim::Time>(1, slot / 4) + rng.below(slot / 4 + 1);
     plan.ops.push_back(op);
   }
   return plan;

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "cake/journal/journal.hpp"
 #include "cake/link/link.hpp"
 #include "cake/sim/chaos.hpp"
 #include "cake/workload/generators.hpp"
@@ -82,6 +83,28 @@ struct HarnessConfig {
   /// (best-effort nodes never detect the death).
   bool leave_crashed = false;
 
+  /// Durable brokers (routing::Durability::Journal): every broker journals
+  /// inbound event frames to a crash-surviving store and replays it on
+  /// restart, so a crash loses nothing that had reached the broker — the
+  /// pen-loss window soft-state recovery alone cannot close. Pairs with
+  /// Reliable links, and *extends the strict oracle to crashes*: for plans
+  /// whose faults are all in {Drop, Duplicate, Jitter, Crash} (no
+  /// partitions, restarts enabled), even events published while a broker
+  /// was down must reach every matching subscriber exactly once.
+  bool durability = false;
+
+  /// Satellite knob: disable journal replay on restart — the known
+  /// zero-loss bug the durable oracle must catch. With the replay gone, an
+  /// event parked in a crashed broker's grace pen (or detached-child
+  /// cursor range) vanishes with the process, and the strict in-window
+  /// exactly-once check fails on it.
+  bool inject_replay_bug = false;
+
+  /// Recorder tap (tools/cake_replay): when set, every frame the trial's
+  /// publisher sends is also appended here, capturing the exact workload
+  /// for offline replay. The journal must outlive the trial.
+  journal::Journal* record_journal = nullptr;
+
   /// Rides the per-event trace pipeline (trace/) along the whole trial,
   /// sampling every event into rings sized for the workload. The trial
   /// then also asserts trace-id conservation — every span belongs to a
@@ -125,6 +148,13 @@ struct TrialResult {
 /// reliable exactly-once sweep runs under: every fault in it is one the
 /// link layer claims to mask completely.
 [[nodiscard]] sim::FaultPlan message_plan_for(std::uint64_t seed,
+                                              const HarnessConfig& cfg);
+
+/// `message_plan_for` plus 1–2 staggered broker crash–restarts: the
+/// schedule shape the durable exactly-once sweep runs under. Every fault in
+/// it is one the journal + reliable-link pair claims to mask completely —
+/// crashes included, which is the whole point of the durability tier.
+[[nodiscard]] sim::FaultPlan durable_plan_for(std::uint64_t seed,
                                               const HarnessConfig& cfg);
 
 /// Runs one differential trial of `plan` (times relative to arm instant).

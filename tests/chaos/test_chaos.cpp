@@ -10,6 +10,7 @@
 
 #include <set>
 
+#include "cake/core/replay.hpp"
 #include "differential.hpp"
 
 namespace cake {
@@ -208,6 +209,98 @@ TEST(ChaosReliable, CrashedParentHealsByReparentingWithoutRestart) {
   EXPECT_GT(result.link.peers_declared_dead, 0u)
       << "nobody noticed the crash";
   EXPECT_GE(result.reparents, 2u) << "orphaned children never re-attached";
+}
+
+// ---- durable journaled brokers: the zero-loss oracle ------------------------
+
+TEST(ChaosDurable, ScriptedCrashIsExactlyOnceInWindow) {
+  HarnessConfig cfg;
+  cfg.reliability = link::Reliability::Reliable;
+  cfg.durability = true;
+  FaultPlan plan;
+  plan.seed = 51;
+  // Crash the stage-2 broker 1 for a sixth of the horizon while event drops
+  // hammer the rest of the overlay. Every fault is in the recoverable set,
+  // so the strict oracle arms: even events published while the broker was
+  // a corpse must land exactly once — the journal replay re-parks what the
+  // crash swallowed, and subscriber dedup absorbs the replayed duplicates.
+  plan.ops.push_back({FaultKind::Crash, 2'000'000, 3'500'000, 1, 0,
+                      FaultOp::kAnyType, 0, 0});
+  plan.ops.push_back({FaultKind::Drop, 0, cfg.horizon, sim::kNoNode,
+                      sim::kNoNode, 7, 300, 0});
+  const TrialResult result = chaos::run_trial(cfg, plan);
+  EXPECT_TRUE(result.ok) << result.failure;
+  EXPECT_EQ(result.chaos.crashes, 1u);
+  EXPECT_EQ(result.chaos.restarts, 1u);
+}
+
+TEST(ChaosDurable, FiftyDurableSeedsAreZeroLossAcrossCrashes) {
+  HarnessConfig cfg;
+  cfg.reliability = link::Reliability::Reliable;
+  cfg.durability = true;
+  std::uint64_t crashes = 0;
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    const FaultPlan plan = chaos::durable_plan_for(seed, cfg);
+    const TrialResult result = chaos::run_trial(cfg, plan);
+    ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.failure
+                           << "\n  replay: " << chaos::replay_command(plan);
+    crashes += result.chaos.crashes;
+  }
+  // The sweep is vacuous unless the crash path was genuinely exercised.
+  EXPECT_GE(crashes, kSweepSeeds);
+}
+
+TEST(ChaosDurable, SeveredJournalReplayIsCaughtAndShrinks) {
+  HarnessConfig cfg;
+  cfg.reliability = link::Reliability::Reliable;
+  cfg.durability = true;
+  cfg.inject_replay_bug = true;
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    const FaultPlan plan = chaos::durable_plan_for(seed, cfg);
+    const TrialResult result = chaos::run_trial(cfg, plan);
+    if (result.ok) continue;
+
+    // Caught: a restarted broker that skips journal replay loses whatever
+    // the crash swallowed. The shrunk plan must still fail and the same
+    // schedule must pass once replay is restored — the bug is in the
+    // recovery path, not the harness.
+    const FaultPlan minimal = chaos::shrink_plan(cfg, plan);
+    EXPECT_LE(minimal.ops.size(), plan.ops.size());
+    EXPECT_FALSE(chaos::run_trial(cfg, minimal).ok)
+        << "shrunk plan no longer reproduces the failure";
+    HarnessConfig fixed = cfg;
+    fixed.inject_replay_bug = false;
+    const TrialResult clean = chaos::run_trial(fixed, minimal);
+    EXPECT_TRUE(clean.ok) << clean.failure;
+    return;
+  }
+  FAIL() << "the severed journal replay survived " << kSweepSeeds
+         << " seeds undetected";
+}
+
+TEST(ChaosDurable, RecordedWorkloadReplaysExactlyAgainstTheMatcher) {
+  // The recorder tap captures a whole trial's workload; cake_replay's
+  // engine re-drives it through a fresh overlay and must reproduce the
+  // reference delivery multiset exactly (the subscription set is rebuilt
+  // from the same seed through the shared recipe).
+  HarnessConfig cfg;
+  journal::MemStorage storage;
+  journal::Journal journal{storage};
+  cfg.record_journal = &journal;
+  FaultPlan plan;
+  plan.seed = 61;  // fault-free: the recording itself must be clean
+  const TrialResult live = chaos::run_trial(cfg, plan);
+  ASSERT_TRUE(live.ok) << live.failure;
+  ASSERT_EQ(journal.size(),
+            cfg.warm_events + cfg.chaos_events + cfg.probe_events);
+
+  const core::ReplayConfig rc;
+  const core::ReplayReport report =
+      core::replay_workload(rc, plan.seed, journal);
+  EXPECT_EQ(report.events_in, journal.size());
+  EXPECT_TRUE(report.exact) << report.diff;
+  EXPECT_GT(report.deliveries, 0u);
+  EXPECT_EQ(report.deliveries, report.expected);
 }
 
 // ---- trace pipeline riding along --------------------------------------------

@@ -8,6 +8,8 @@ Reads the three benchmark artifacts the CI smoke lane produces —
   BENCH_threaded.json   (A16: pipeline events/sec per worker count)
   BENCH_resilience.json (A15: delivery rate / latency / retransmits per
                          {loss, mode} arm; virtual-time, so deterministic)
+  BENCH_durability.json (A17: journal append throughput, cold recovery
+                         time, and the recorder/replayer round-trip)
 
 — and fails (exit 1) when any gated metric regresses past its per-metric
 threshold relative to the baseline copy of the same file.
@@ -61,6 +63,20 @@ RULES = {
              direction="higher", rel=0.05, abs_slack=0.05),
         dict(key="arms", match=("loss", "mode"), metric="latency_p99_us",
              direction="higher", rel=0.05, abs_slack=50.0),
+    ],
+    "BENCH_durability.json": [
+        # Append throughput is wall-clock (FileStorage touches the real
+        # filesystem), so it gets the standard relative band.
+        dict(key="arms", match=("name",), metric="events_per_sec",
+             direction="lower", rel=0.10, abs_slack=0.0),
+        # Cold-recovery time: relative band plus an absolute floor so a
+        # few-ms baseline doesn't turn scheduler noise into failures.
+        dict(key="recovery", match=(), metric="recovery_ms",
+             direction="higher", rel=0.10, abs_slack=5.0),
+        # Virtual-time and fully deterministic: the replayed delivery
+        # multiset may never move at all.
+        dict(key="replay", match=(), metric="deliveries",
+             direction="exact", rel=0.0, abs_slack=0.0),
     ],
 }
 

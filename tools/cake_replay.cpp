@@ -1,0 +1,113 @@
+// cake_replay: record / replay / verify event workloads through the
+// durable journal (DESIGN.md §12, EXPERIMENTS.md A17).
+//
+//   cake_replay record --dir D --seed 17 [--events N] [--subscribers K]
+//       Runs a seeded workload live, recording every published frame into
+//       a fresh on-disk journal at D. Fails (exit 1) if the live run is
+//       not exactly-once against the centralized matcher.
+//
+//   cake_replay replay --dir D --seed 17 [--subscribers K]
+//       Re-drives the journal at D through a fresh overlay and diffs the
+//       delivery multiset against the centralized matcher. This is the
+//       one-line command cake_chaos prints for a failing durable seed.
+//
+//   cake_replay verify --dir D --seed 17 [--runs N]
+//       Replays the same journal N times (default 2) and checks the
+//       delivery fingerprints are identical — the determinism oracle.
+//
+// Exit codes: 0 exact, 1 mismatch (diff on stdout), 2 usage/IO error.
+#include <iostream>
+#include <string>
+
+#include "cake/core/replay.hpp"
+#include "cake/journal/journal.hpp"
+#include "cake/util/cli.hpp"
+
+namespace {
+
+using cake::core::ReplayConfig;
+using cake::core::ReplayReport;
+
+void print_report(const char* verb, const ReplayReport& report) {
+  std::cout << verb << ": events_in=" << report.events_in
+            << " distinct=" << report.distinct_events
+            << " deliveries=" << report.deliveries
+            << " expected=" << report.expected << " fingerprint=0x" << std::hex
+            << report.fingerprint << std::dec
+            << (report.exact ? " EXACT" : " MISMATCH") << "\n";
+  if (!report.exact) std::cout << "  diff: " << report.diff << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: cake_replay record|replay|verify --dir D --seed N"
+                 " [--events N] [--subscribers K] [--runs N]\n";
+    return 2;
+  }
+  const std::string verb = argv[1];
+  cake::util::CliArgs args{argc - 1, argv + 1};
+  args.allow({"dir", "seed", "events", "subscribers", "runs"});
+
+  try {
+    const std::string dir = args.get("dir", std::string{});
+    if (dir.empty()) {
+      std::cerr << "cake_replay: --dir is required\n";
+      return 2;
+    }
+    const auto seed =
+        static_cast<std::uint64_t>(args.get("seed", std::int64_t{0}));
+    ReplayConfig cfg;
+    cfg.events =
+        static_cast<std::size_t>(args.get("events", std::int64_t{100}));
+    cfg.subscribers =
+        static_cast<std::size_t>(args.get("subscribers", std::int64_t{10}));
+
+    cake::journal::FileStorage storage{dir};
+    cake::journal::Journal journal{storage};
+
+    if (verb == "record") {
+      if (journal.size() != 0) {
+        std::cerr << "cake_replay: " << dir
+                  << " already holds a journal; refusing to append a second"
+                     " workload over it\n";
+        return 2;
+      }
+      const ReplayReport report = cake::core::record_workload(cfg, seed, journal);
+      print_report("record", report);
+      return report.exact ? 0 : 1;
+    }
+    if (verb == "replay") {
+      const ReplayReport report = cake::core::replay_workload(cfg, seed, journal);
+      print_report("replay", report);
+      return report.exact ? 0 : 1;
+    }
+    if (verb == "verify") {
+      const auto runs = static_cast<std::uint64_t>(
+          args.get("runs", std::int64_t{2}));
+      std::uint64_t first = 0;
+      for (std::uint64_t run = 0; run < runs; ++run) {
+        const ReplayReport report =
+            cake::core::replay_workload(cfg, seed, journal);
+        print_report("verify", report);
+        if (!report.exact) return 1;
+        if (run == 0) {
+          first = report.fingerprint;
+        } else if (report.fingerprint != first) {
+          std::cout << "  non-deterministic: run " << run << " fingerprint 0x"
+                    << std::hex << report.fingerprint << " != run 0 0x" << first
+                    << std::dec << "\n";
+          return 1;
+        }
+      }
+      std::cout << "deterministic across " << runs << " runs\n";
+      return 0;
+    }
+    std::cerr << "cake_replay: unknown subcommand '" << verb << "'\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "cake_replay: " << e.what() << "\n";
+    return 2;
+  }
+}
