@@ -43,6 +43,7 @@ public:
 private:
   friend class CountingIndex;
   friend class ShardedIndex;
+  friend class AggregatedIndex;
 
   /// Predicate-hit counters for one counting index, epoch-stamped so a
   /// reused scratch needs no O(filters) clearing between matches.
@@ -59,6 +60,7 @@ private:
 
   std::unordered_map<const void*, CountingState> counting_;
   std::vector<FilterId> shard_ids_;  // ShardedIndex: inner-id buffer
+  std::vector<FilterId> agg_ids_;    // AggregatedIndex: group-rep id buffer
 };
 
 /// Incremental many-filters-to-one-event matcher.

@@ -176,6 +176,50 @@ util::TextTable link_table(const link::LinkCounters& c, std::uint64_t reparents)
   return table;
 }
 
+std::vector<index::AggregateStats> broker_aggregation(
+    const routing::Overlay& overlay) {
+  std::vector<index::AggregateStats> stats;
+  for (const auto& broker : overlay.brokers())
+    stats.push_back(broker->aggregate_stats());
+  return stats;
+}
+
+util::TextTable aggregation_table(
+    const std::vector<index::AggregateStats>& brokers) {
+  util::TextTable table{{"Broker", "Subs", "Entries", "Entries/sub",
+                         "Merge ratio", "Merges", "Widened", "Un-merges",
+                         "Reclustered", "Rejected"}};
+  index::AggregateStats total;
+  for (std::size_t i = 0; i < brokers.size(); ++i) {
+    const index::AggregateStats& s = brokers[i];
+    table.add_row({std::to_string(i), std::to_string(s.constituents),
+                   std::to_string(s.groups),
+                   util::format_number(s.entries_per_subscription()),
+                   util::format_number(s.merge_ratio()),
+                   std::to_string(s.merges), std::to_string(s.widening_merges),
+                   std::to_string(s.unmerges),
+                   std::to_string(s.recluster_merges),
+                   std::to_string(s.rejected)});
+    total.constituents += s.constituents;
+    total.groups += s.groups;
+    total.merges += s.merges;
+    total.widening_merges += s.widening_merges;
+    total.unmerges += s.unmerges;
+    total.recluster_merges += s.recluster_merges;
+    total.rejected += s.rejected;
+  }
+  table.add_row({"total", std::to_string(total.constituents),
+                 std::to_string(total.groups),
+                 util::format_number(total.entries_per_subscription()),
+                 util::format_number(total.merge_ratio()),
+                 std::to_string(total.merges),
+                 std::to_string(total.widening_merges),
+                 std::to_string(total.unmerges),
+                 std::to_string(total.recluster_merges),
+                 std::to_string(total.rejected)});
+  return table;
+}
+
 util::TextTable shard_table(const std::vector<index::ShardStats>& shards) {
   util::TextTable table{{"Shard", "Matches", "Hit rate", "Filters"}};
   for (const index::ShardStats& s : shards) {

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "cake/index/aggregate.hpp"
 #include "cake/index/sharded.hpp"
 #include "cake/routing/overlay.hpp"
 #include "cake/trace/collector.hpp"
@@ -97,6 +98,19 @@ struct StageSummary {
 /// Renders per-shard match counters: shard id, match calls, hit rate and
 /// live filters — the contention observability for ShardedIndex.
 [[nodiscard]] util::TextTable shard_table(const std::vector<index::ShardStats>& shards);
+
+/// Per-broker aggregation counters of an overlay (broker order; all-zero
+/// rows when aggregation is off). Feed it to `aggregation_table`.
+[[nodiscard]] std::vector<index::AggregateStats> broker_aggregation(
+    const routing::Overlay& overlay);
+
+/// Renders the subscription-aggregation rollup (DESIGN.md §13): per broker,
+/// live constituents vs merged entries (entries/subscription is the
+/// table-compression headline), the merge ratio, and the churn counters
+/// (widening merges, un-merges, re-cluster fusions, cost-gate rejections).
+/// A totals row closes the table.
+[[nodiscard]] util::TextTable aggregation_table(
+    const std::vector<index::AggregateStats>& brokers);
 
 /// Renders the false-positive attribution rollup from traced journeys:
 /// per weakened attribute, the spurious stage-0 deliveries charged to it

@@ -30,10 +30,44 @@ Broker::Broker(sim::NodeId id, std::size_t stage, sim::Network& network,
       // would shift the placement stream and change best-effort runs.
       link_(id, network, transport, config.link,
             (static_cast<std::uint64_t>(id) + 1) * 0x9e3779b97f4a7c15ULL),
-      journal_sync_(transport),
-      index_(index::make_index(config.engine, registry)) {
+      journal_sync_(transport) {
   if (stage_ == 0)
     throw std::invalid_argument{"Broker: stage 0 is the subscriber level"};
+  build_index();
+}
+
+void Broker::build_index() {
+  if (config_.aggregate.enabled) {
+    index::AggregateConfig agg_config = config_.aggregate;
+    agg_config.engine = config_.engine;  // broker's engine runs inside
+    auto aggregated =
+        std::make_unique<index::AggregatedIndex>(agg_config, registry_);
+    agg_ = aggregated.get();
+    aggregated->set_listener(
+        [this](const index::AggregatedIndex::GroupUpdate& update) {
+          on_group_update(update);
+        });
+    index_ = std::move(aggregated);
+  } else {
+    agg_ = nullptr;
+    index_ = index::make_index(config_.engine, registry_);
+  }
+}
+
+void Broker::on_group_update(const index::AggregatedIndex::GroupUpdate& update) {
+  // Submit before drop: a representative swap whose weakened forms coincide
+  // must not transiently unsubscribe the form upward.
+  if (update.added != nullptr) {
+    AggForm& slot = agg_forms_[*update.added];
+    if (slot.count++ == 0) slot.form = weaken_for(*update.added, stage_ + 1);
+    submit_need(slot.form);
+  }
+  if (update.removed != nullptr) {
+    const auto it = agg_forms_.find(*update.removed);
+    if (it == agg_forms_.end()) return;  // restart raced the retirement
+    drop_need(it->second.form);
+    if (--it->second.count == 0) agg_forms_.erase(it);
+  }
 }
 
 void Broker::start() {
@@ -96,11 +130,12 @@ void Broker::restart() {
   by_filter_.clear();
   needed_.clear();
   active_.clear();
+  agg_forms_.clear();
   schemas_.clear();
   detached_.clear();
   durable_cursor_.clear();
   pending_resume_.clear();
-  index_ = index::make_index(config_.engine, registry_);
+  build_index();
   link_.reset();  // fresh sessions; peers discard the dead streams on contact
   attach_to_network();
   schedule_tasks();
@@ -128,6 +163,10 @@ BrokerStats Broker::stats() const noexcept {
 std::vector<index::ShardStats> Broker::shard_stats() const {
   const auto* sharded = dynamic_cast<const index::ShardedIndex*>(index_.get());
   return sharded ? sharded->shard_stats() : std::vector<index::ShardStats>{};
+}
+
+index::AggregateStats Broker::aggregate_stats() const {
+  return agg_ != nullptr ? agg_->stats() : index::AggregateStats{};
 }
 
 const weaken::StageSchema* Broker::schema_for(std::string_view type_name) const {
@@ -309,10 +348,12 @@ void Broker::insert_filter(filter::ConjunctiveFilter stored, sim::NodeId child,
   entry.filter = stored;
   entry.parent_form = weaken_for(stored, stage_ + 1);
   entry.leases.push_back({child, expires, durable});
+  // With aggregation on, add() fires the group listener, which submits the
+  // merged representative's form upward — the per-entry form stays local.
   const index::FilterId fid = index_->add(stored);
   by_filter_.emplace(std::move(stored), fid);
 
-  submit_need(entry.parent_form);
+  if (agg_ == nullptr) submit_need(entry.parent_form);
   entries_.emplace(fid, std::move(entry));
   serve_recovery_window(child);
 }
@@ -583,9 +624,11 @@ void Broker::emit_trace_span(std::uint64_t trace_id,
 void Broker::remove_entry(index::FilterId fid) {
   const auto it = entries_.find(fid);
   if (it == entries_.end()) return;
+  // With aggregation, remove() un-merges: the group listener releases the
+  // retired (or re-derived) representative's upward form.
   index_->remove(fid);
   by_filter_.erase(it->second.filter);
-  drop_need(it->second.parent_form);
+  if (agg_ == nullptr) drop_need(it->second.parent_form);
   entries_.erase(it);
 }
 
@@ -740,6 +783,11 @@ sim::NodeId Broker::random_child() {
 
 void Broker::renew_task(std::uint64_t epoch) {
   if (epoch != epoch_) return;  // superseded by a crash or restart
+  // Incremental re-clustering rides the renew tick: bounded work per tick
+  // (config_.aggregate.rebalance_budget groups examined), so aggregation
+  // quality tracks lease-table churn without a stop-the-world pass.
+  if (agg_ != nullptr && config_.aggregate.rebalance_budget > 0)
+    agg_->rebalance(config_.aggregate.rebalance_budget);
   if (prev_parent_ != sim::kNoNode) {
     const link::LinkManager::TxMark cur = link_.tx_mark(parent_);
     if (cur.session != handover_mark_.session) {

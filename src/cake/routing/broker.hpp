@@ -25,6 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cake/index/aggregate.hpp"
 #include "cake/index/sharded.hpp"
 #include "cake/journal/journal.hpp"
 #include "cake/link/link.hpp"
@@ -82,6 +83,13 @@ struct BrokerConfig {
   /// ids and published_at all travel inside the frame, never per-hop).
   ForwardMode forward = ForwardMode::PassThrough;
   index::Engine engine = index::Engine::Naive;
+  /// Online subscription aggregation (DESIGN.md §13). When enabled, the
+  /// filter table groups mutually-covered child filters under one merged
+  /// entry (their least-general upper bound), `engine` becomes the inner
+  /// engine matching the representatives, and the broker re-advertises the
+  /// LUB upward instead of every child form. Off = one entry per filter,
+  /// byte-identical to the pre-aggregation system.
+  index::AggregateConfig aggregate;
   Placement placement = Placement::CoveringSearch;
   /// Link-layer options. BestEffort (the default) keeps every send untagged
   /// and byte-identical to the pre-link-layer system; Reliable turns on
@@ -221,6 +229,14 @@ public:
   /// (config.engine == Engine::ShardedCounting); empty otherwise.
   [[nodiscard]] std::vector<index::ShardStats> shard_stats() const;
 
+  /// Aggregation counters when this broker merges its table
+  /// (config.aggregate.enabled); default-constructed otherwise.
+  [[nodiscard]] index::AggregateStats aggregate_stats() const;
+
+  /// The merging index, or nullptr when aggregation is off (tests drive
+  /// its structural fixpoint check and re-clustering directly).
+  [[nodiscard]] index::AggregatedIndex* aggregated() noexcept { return agg_; }
+
   /// Weakens `f` for stage `stage` per the advertised schema of its type;
   /// identity when no schema is known (sound fallback).
   [[nodiscard]] filter::ConjunctiveFilter weaken_for(
@@ -276,6 +292,16 @@ private:
   /// True when `child` holds at least one durable lease here.
   [[nodiscard]] bool has_durable_lease(sim::NodeId child) const;
   void remove_entry(index::FilterId fid);
+  /// Builds (or rebuilds, on restart) the matching engine: the configured
+  /// engine directly, or an AggregatedIndex wrapping it when aggregation
+  /// is on — in which case `agg_` points at it and its group-lifecycle
+  /// listener drives the upward LUB advertisement.
+  void build_index();
+  /// A merged-entry representative entered/left the inner table: register
+  /// or release upward demand for its weakened form. The submitted form is
+  /// remembered per representative (agg_forms_) so the later release drops
+  /// exactly what was submitted even if the stage schema changed meanwhile.
+  void on_group_update(const index::AggregatedIndex::GroupUpdate& update);
   /// Registers/releases demand for a parent-stage form and reconciles the
   /// set actually submitted upward (the covering antichain when
   /// covering_collapse is on, every needed form otherwise).
@@ -361,6 +387,15 @@ private:
   runtime::PeriodicTask journal_sync_;
 
   std::unique_ptr<index::MatchIndex> index_;
+  index::AggregatedIndex* agg_ = nullptr;  // owned by index_; null when off
+  // Upward form submitted per live representative (refcounted: distinct
+  // groups can momentarily share a rep). Guarantees submit/drop symmetry
+  // for the group-lifecycle listener.
+  struct AggForm {
+    filter::ConjunctiveFilter form;
+    std::size_t count = 0;
+  };
+  std::unordered_map<filter::ConjunctiveFilter, AggForm> agg_forms_;
   std::unordered_map<index::FilterId, Entry> entries_;
   std::unordered_map<filter::ConjunctiveFilter, index::FilterId> by_filter_;
   std::unordered_map<filter::ConjunctiveFilter, std::size_t> needed_;  // refcounts

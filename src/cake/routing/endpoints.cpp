@@ -332,6 +332,36 @@ void SubscriberNode::emit_trace_span(const EventMsg& msg, sim::NodeId from,
                     blame) == span.weakened_attrs_hit.end())
         span.weakened_attrs_hit.push_back(std::move(blame));
     }
+    if (span.weakened_attrs_hit.empty() && config_.merge_blame) {
+      // No hosted weakened form matches, so stage weakening cannot explain
+      // this forward: the hosting broker's *merged* table entry (a LUB
+      // covering this subscription plus others) matched instead. Blame the
+      // first stored constraint the event fails of the lowest-token
+      // subscription hosted at the forwarding broker — the constraint the
+      // merge weakened away — with a "⊔" prefix so attribution separates
+      // merge cost from weakening cost. Deterministic, and it keeps the
+      // span attributed: sums still reconcile against
+      // metrics::spurious_deliveries with zero kUnattributed rows.
+      for (const std::uint64_t token : tokens) {
+        const Sub& sub = subs_.at(token);
+        if (!sub.parent.has_value() || *sub.parent != from) continue;
+        std::string blame;
+        if (!sub.stored_at_parent.type().matches(msg.image.type_name(),
+                                                 registry_)) {
+          blame = "(class)";
+        } else {
+          for (const auto& c : sub.stored_at_parent.constraints()) {
+            if (!c.matches(msg.image)) {
+              blame = c.name;
+              break;
+            }
+          }
+        }
+        if (blame.empty()) continue;  // unreachable: the form failed above
+        span.weakened_attrs_hit.push_back("⊔" + blame);
+        break;
+      }
+    }
   }
   tracer_->emit(std::move(span));
 }

@@ -57,6 +57,13 @@ struct SubscriberConfig {
   /// (longest partition × event rate, plus the retransmission queue), or
   /// a late duplicate outlives the entry and is re-delivered.
   std::size_t dedup_capacity = 1 << 16;
+  /// Attribute merge-induced spurious arrivals (broker aggregation,
+  /// DESIGN.md §13): when a spurious event matches *no* hosted weakened
+  /// form — the forward was caused by a merged table entry upstream, not
+  /// by stage weakening — blame the first *stored* constraint the event
+  /// fails, prefixed "⊔", instead of leaving the span unattributed. The
+  /// Overlay turns this on automatically when broker aggregation is on.
+  bool merge_blame = false;
 };
 
 class SubscriberNode {

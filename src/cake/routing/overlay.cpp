@@ -22,6 +22,10 @@ Overlay::Overlay(OverlayConfig config, const reflect::TypeRegistry& registry)
   config_.subscriber.link = config_.link;
   if (config_.link.reliability == link::Reliability::Reliable)
     config_.subscriber.dedup_events = true;
+  // Aggregated tables cause spurious forwards the stage schema cannot
+  // explain; the subscriber-side "⊔" blame keeps them attributed so the
+  // trace reconciliation stays exact (zero unattributed).
+  if (config_.broker.aggregate.enabled) config_.subscriber.merge_blame = true;
 
   const std::size_t levels = config_.stage_counts.size();
   for (std::size_t level = 0; level < levels; ++level) {

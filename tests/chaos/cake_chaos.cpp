@@ -164,7 +164,7 @@ int main(int argc, char** argv) {
   args.allow({"seeds", "start", "seed", "trace", "curve", "inject-bug",
               "no-shrink", "fail-file", "subscribers", "events", "ops",
               "reliable", "message-faults", "no-restart", "durable",
-              "inject-replay-bug", "record-dir"});
+              "inject-replay-bug", "record-dir", "aggregate"});
 
   HarnessConfig cfg;
   cfg.inject_rejoin_bug = args.get("inject-bug", false);
@@ -181,6 +181,10 @@ int main(int argc, char** argv) {
   if (cfg.durability) cfg.reliability = cake::link::Reliability::Reliable;
   cfg.inject_replay_bug = args.get("inject-replay-bug", false);
   cfg.leave_crashed = args.get("no-restart", false);
+  // --aggregate merges broker filter tables (DESIGN.md §13): the delivery
+  // multiset must be unchanged and every broker's merge structure must
+  // hold its fixpoint through the schedule's churn.
+  cfg.aggregate = args.get("aggregate", false);
   cfg.subscribers =
       static_cast<std::size_t>(args.get("subscribers", std::int64_t{10}));
   cfg.chaos_events =

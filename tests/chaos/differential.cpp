@@ -172,6 +172,7 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
   oc.broker.engine = index::Engine::ShardedCounting;
   oc.subscriber.renew_interval = cfg.renew_interval;
   oc.subscriber.rejoin_on_expired = !cfg.inject_rejoin_bug;
+  oc.broker.aggregate.enabled = cfg.aggregate;
   oc.link_latency = cfg.link_latency;
   oc.seed = plan.seed ^ 0x0E11A5ULL;
   oc.link.reliability = cfg.reliability;
@@ -382,6 +383,20 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
   // (c) broker tables back to the fault-free fixpoint.
   if (std::string err = check_fixpoint(overlay); !err.empty())
     return fail("fixpoint: " + err);
+
+  // (c') with aggregation on, the merge structures must also be internally
+  // consistent — reverse map, canonical folds, buckets and inner engine in
+  // exact agreement after all the churn the schedule caused.
+  if (cfg.aggregate) {
+    for (const auto& broker : overlay.brokers()) {
+      if (broker->aggregated() == nullptr)
+        return fail("aggregate: broker lost its aggregated index");
+      if (std::string err = broker->aggregated()->check_invariants();
+          !err.empty())
+        return fail("aggregate fixpoint (broker " +
+                    std::to_string(broker->id()) + "): " + err);
+    }
+  }
 
   // (a) probe events after convergence: exactly once, no false negatives.
   const std::uint64_t first_probe = book.next_uid;

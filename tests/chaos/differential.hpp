@@ -67,6 +67,15 @@ struct HarnessConfig {
   /// known completeness bug the oracle must catch (acceptance criterion).
   bool inject_rejoin_bug = false;
 
+  /// Broker-side subscription aggregation (DESIGN.md §13): every broker
+  /// merges covered/joinable filters under LUB representatives. The
+  /// delivery multiset the oracle asserts must be *unchanged* — merging
+  /// may only add spurious broker forwards, never lose or duplicate a
+  /// delivery — and after every trial each broker's merge structure must
+  /// still pass its structural fixpoint check under the churn the faults
+  /// induced (lease expiry, crash–restart table rebuilds, re-joins).
+  bool aggregate = false;
+
   /// Link layer for every node in the trial overlay. `Reliable` turns on
   /// sequencing, retransmission, heartbeat failure detection and
   /// self-healing re-parenting — and *arms the strict oracle*: for plans

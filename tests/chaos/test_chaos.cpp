@@ -371,6 +371,26 @@ TEST(ChaosSweep, FiftyRandomSeedsPassTheDifferentialOracle) {
   EXPECT_GT(total_expected, kSweepSeeds);
 }
 
+// Aggregation rides the full random fault sweep: merged broker tables may
+// add spurious forwards but must preserve the delivery multiset exactly —
+// drops, partitions, duplication, crash–restarts and all — and every
+// broker's merge structure must end each trial at its structural fixpoint
+// (run_trial checks it alongside the table fixpoint).
+TEST(ChaosSweep, FiftyAggregatedSeedsPreserveTheDeliveryMultiset) {
+  HarnessConfig cfg;
+  cfg.aggregate = true;
+  std::uint64_t total_expected = 0;
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    const FaultPlan plan = chaos::plan_for(seed, cfg);
+    const TrialResult result = chaos::run_trial(cfg, plan);
+    ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.failure
+                           << "\n  replay: " << chaos::replay_command(plan)
+                           << " --aggregate";
+    total_expected += result.expected_deliveries;
+  }
+  EXPECT_GT(total_expected, kSweepSeeds);
+}
+
 TEST(ChaosSweep, InjectedRejoinBugIsCaughtAndShrinks) {
   HarnessConfig cfg;
   cfg.inject_rejoin_bug = true;

@@ -10,6 +10,9 @@ Reads the three benchmark artifacts the CI smoke lane produces —
                          {loss, mode} arm; virtual-time, so deterministic)
   BENCH_durability.json (A17: journal append throughput, cold recovery
                          time, and the recorder/replayer round-trip)
+  BENCH_scaling.json    (A18: aggregated vs plain filter-table arms —
+                         entries/subscription, match throughput, churn
+                         throughput, and the superset-soundness counter)
 
 — and fails (exit 1) when any gated metric regresses past its per-metric
 threshold relative to the baseline copy of the same file.
@@ -63,6 +66,27 @@ RULES = {
              direction="higher", rel=0.05, abs_slack=0.05),
         dict(key="arms", match=("loss", "mode"), metric="latency_p99_us",
              direction="higher", rel=0.05, abs_slack=50.0),
+    ],
+    "BENCH_scaling.json": [
+        # Table compression is deterministic for a fixed workload seed, but
+        # entries/subscription moves when merge heuristics are tuned — give
+        # it a small relative band. Growth (higher) is the bad direction.
+        dict(key="arms", match=("name",), metric="entries_per_sub",
+             direction="higher", rel=0.10, abs_slack=0.0),
+        dict(key="arms", match=("name",), metric="index_bytes_per_sub",
+             direction="higher", rel=0.10, abs_slack=0.0),
+        # Wall-clock throughputs: standard relative bands. Churn gets a
+        # wider one — un-merge refolds are the noisiest phase.
+        dict(key="arms", match=("name",), metric="match_events_per_sec",
+             direction="lower", rel=0.10, abs_slack=0.0),
+        dict(key="arms", match=("name",), metric="churn_ops_per_sec",
+             direction="lower", rel=0.15, abs_slack=0.0),
+        # The probe phase is seeded: the delivery multiset and the
+        # superset-soundness counter (always 0) may never move.
+        dict(key="arms", match=("name",), metric="deliveries",
+             direction="exact", rel=0.0, abs_slack=0.0),
+        dict(key="arms", match=("name",), metric="superset_violations",
+             direction="exact", rel=0.0, abs_slack=0.0),
     ],
     "BENCH_durability.json": [
         # Append throughput is wall-clock (FileStorage touches the real
@@ -219,6 +243,33 @@ def selftest():
          all(ok for ok, _ in compare_file(
              "BENCH_hotpath.json", {"arms": base["arms"]},
              {"arms": base["arms"]}))),
+    ]
+
+    scaling = {
+        "arms": [
+            {"name": "counting-200k-agg", "entries_per_sub": 0.07,
+             "index_bytes_per_sub": 31.0, "match_events_per_sec": 1500.0,
+             "churn_ops_per_sec": 15000.0, "deliveries": 24600000,
+             "superset_violations": 0},
+        ],
+    }
+
+    def scaling_verdicts(**overrides):
+        cur = json.loads(json.dumps(scaling))
+        cur["arms"][0].update(overrides)
+        return [ok for ok, _ in compare_file("BENCH_scaling.json",
+                                             scaling, cur)]
+
+    checks += [
+        ("scaling identical run passes", all(scaling_verdicts())),
+        ("scaling compression loss fails",
+         not all(scaling_verdicts(entries_per_sub=0.09))),
+        ("scaling deeper compression passes",
+         all(scaling_verdicts(entries_per_sub=0.05))),
+        ("scaling churn jitter passes",
+         all(scaling_verdicts(churn_ops_per_sec=13500.0))),
+        ("scaling soundness counter change fails",
+         not all(scaling_verdicts(superset_violations=1))),
     ]
     failed = [label for label, ok in checks if not ok]
     for label, ok in checks:
