@@ -1,0 +1,56 @@
+// Per-lane counter slots, aggregated at read time.
+//
+// A plain shared uint64 counter on the forward path becomes a data race
+// (and then a cache-line ping-pong) the moment two lanes match
+// concurrently. LaneCounter gives each executor lane its own
+// cache-line-padded relaxed-atomic slot: a lane increments only its slot,
+// so the hot path never contends, and readers sum the slots on demand.
+// Relaxed ordering is deliberate — each slot is monotonic, so a read is a
+// valid (if slightly stale) snapshot; cross-counter consistency is not
+// promised, same contract as ThreadedStats.
+//
+// Threads that are not lane workers (main thread during setup, tests)
+// share one extra overflow slot — still an atomic, so always safe, merely
+// contended, and cold by construction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace cake::metrics {
+
+class LaneCounter {
+public:
+  /// One slot per executor lane plus the shared non-worker slot.
+  explicit LaneCounter(std::size_t lanes)
+      : lanes_(lanes), slots_(std::make_unique<Slot[]>(lanes + 1)) {}
+
+  /// Adds to `lane`'s slot. Any lane index >= lanes() (including
+  /// runtime::kNoLane) lands on the shared overflow slot.
+  void add(std::size_t lane, std::uint64_t n = 1) noexcept {
+    slots_[lane < lanes_ ? lane : lanes_].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all slots. Safe from any thread at any time.
+  [[nodiscard]] std::uint64_t read() const noexcept {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i <= lanes_; ++i)
+      total += slots_[i].value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+
+private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  std::size_t lanes_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace cake::metrics

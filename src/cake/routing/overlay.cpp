@@ -13,6 +13,21 @@ Overlay::Overlay(OverlayConfig config, const reflect::TypeRegistry& registry)
     throw std::invalid_argument{
         "Overlay: stage_counts must start with a single root"};
 
+  if (config_.backend == OverlayBackend::Threaded) {
+    if (config_.trace.enabled)
+      throw std::invalid_argument{
+          "Overlay: tracing is sim-backend-only (run the oracle config)"};
+    threaded_ = std::make_unique<runtime::ThreadedTransport>(config_.threaded);
+    // Delivery fabric: every frame to node n lands on lane n % workers as
+    // a refcounted handoff, so n's handler always runs on its own lane.
+    network_.bind_lanes(
+        *threaded_,
+        [workers = threaded_->workers()](sim::NodeId node) {
+          return static_cast<std::size_t>(node) % workers;
+        },
+        config_.handoff_batch);
+  }
+
   if (config_.trace.enabled)
     tracer_ = std::make_unique<trace::Tracer>(config_.trace);
 
@@ -33,7 +48,7 @@ Overlay::Overlay(OverlayConfig config, const reflect::TypeRegistry& registry)
     const std::size_t stage = levels - level;  // root has the highest stage
     for (std::size_t i = 0; i < config_.stage_counts[level]; ++i) {
       brokers_.push_back(std::make_unique<Broker>(next_id_++, stage, network_,
-                                                  transport_, registry_,
+                                                  transport(), registry_,
                                                   config_.broker, rng_.split()));
     }
   }
@@ -77,8 +92,44 @@ Overlay::Overlay(OverlayConfig config, const reflect::TypeRegistry& registry)
 
   for (const auto& broker : brokers_) {
     broker->set_tracer(tracer_.get());
-    broker->start();
+    // start() attaches the network handler and arms the broker's standing
+    // timers. On the threaded backend it must run on the broker's own lane
+    // so those timers (and every future callback) inherit the broker's
+    // lane affinity; the per-broker drain inside run_on also serializes
+    // the handler-table writes across lanes.
+    run_on(broker->id(), [&b = *broker] { b.start(); });
   }
+}
+
+Overlay::~Overlay() {
+  // Stop lanes and timers while every node is still alive: queued tasks
+  // capture raw broker/endpoint pointers.
+  if (threaded_) threaded_->shutdown();
+}
+
+std::size_t Overlay::run() {
+  if (threaded_) {
+    threaded_->drain();
+    return 0;
+  }
+  return scheduler_.run();
+}
+
+void Overlay::run_on(sim::NodeId node, std::function<void()> fn) {
+  if (!threaded_) {
+    fn();
+    return;
+  }
+  threaded_->post(lane_of(node), std::move(fn));
+  threaded_->drain();
+}
+
+void Overlay::post_on(sim::NodeId node, std::function<void()> fn) {
+  if (!threaded_) {
+    fn();
+    return;
+  }
+  threaded_->post(lane_of(node), std::move(fn));
 }
 
 link::LinkCounters Overlay::link_counters() const noexcept {
@@ -113,6 +164,9 @@ Broker* Overlay::find_broker(sim::NodeId node) noexcept {
 }
 
 void Overlay::crash(sim::NodeId node) {
+  if (threaded_)
+    throw std::logic_error{
+        "Overlay::crash: sim-backend-only (chaos runs on the oracle)"};
   Broker* broker = find_broker(node);
   if (broker == nullptr)
     throw std::invalid_argument{"Overlay::crash: not a broker id"};
@@ -120,6 +174,9 @@ void Overlay::crash(sim::NodeId node) {
 }
 
 void Overlay::restart(sim::NodeId node) {
+  if (threaded_)
+    throw std::logic_error{
+        "Overlay::restart: sim-backend-only (chaos runs on the oracle)"};
   Broker* broker = find_broker(node);
   if (broker == nullptr)
     throw std::invalid_argument{"Overlay::restart: not a broker id"};
@@ -147,16 +204,19 @@ journal::MemStorage* Overlay::storage_for(sim::NodeId node) noexcept {
 
 SubscriberNode& Overlay::add_subscriber() {
   subscribers_.push_back(std::make_unique<SubscriberNode>(
-      next_id_++, root().id(), network_, transport_, registry_,
+      next_id_++, root().id(), network_, transport(), registry_,
       config_.subscriber));
-  subscribers_.back()->set_tracer(tracer_.get());
-  subscribers_.back()->start();
-  return *subscribers_.back();
+  SubscriberNode& sub = *subscribers_.back();
+  sub.set_tracer(tracer_.get());
+  // Threaded backend: setup-time only (network attach must not race
+  // in-flight traffic); start on the owning lane for timer affinity.
+  run_on(sub.id(), [&sub] { sub.start(); });
+  return sub;
 }
 
 PublisherNode& Overlay::add_publisher() {
   publishers_.push_back(std::make_unique<PublisherNode>(
-      next_id_++, root().id(), network_, transport_, config_.link));
+      next_id_++, root().id(), network_, transport(), config_.link));
   publishers_.back()->set_tracer(tracer_.get());
   return *publishers_.back();
 }

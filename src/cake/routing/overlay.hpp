@@ -1,8 +1,10 @@
 // Overlay construction: an arbitrarily-deep broker hierarchy plus the
-// user-level endpoints, all sharing one virtual-time scheduler and one
-// counted network (paper §4, Fig. 4).
+// user-level endpoints, all sharing one counted network and one Transport —
+// either the virtual-time scheduler (the deterministic oracle) or the
+// threaded per-lane executor (paper §4, Fig. 4; DESIGN.md §14).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -11,6 +13,7 @@
 #include "cake/routing/broker.hpp"
 #include "cake/routing/endpoints.hpp"
 #include "cake/runtime/sim_transport.hpp"
+#include "cake/runtime/threaded.hpp"
 
 namespace cake::routing {
 
@@ -20,6 +23,19 @@ namespace cake::routing {
 enum class Durability {
   Off,      ///< soft state only; crash() loses in-pen events (the classic)
   Journal,  ///< per-broker WAL; crash() + restart() replays, zero loss
+};
+
+/// Which Transport drives the overlay (DESIGN.md §14).
+enum class OverlayBackend {
+  /// Deterministic single-threaded virtual time — the semantic oracle.
+  /// Chaos faults, latency modelling, tracing, crash()/restart() all live
+  /// here.
+  Sim,
+  /// Real worker threads: every node is pinned to the lane
+  /// `id % workers`, so all of a node's state (broker filter table, link
+  /// streams, lease timers, journal) stays single-writer, and cross-node
+  /// frames travel the network's lane fabric as refcounted handoffs.
+  Threaded,
 };
 
 struct OverlayConfig {
@@ -46,6 +62,13 @@ struct OverlayConfig {
   /// exactly-once.
   Durability durability = Durability::Off;
   journal::JournalConfig journal{};
+  /// Execution backend. Threaded excludes sim-only machinery: tracing,
+  /// loss/interceptor chaos, latency modelling, crash()/restart().
+  OverlayBackend backend = OverlayBackend::Sim;
+  /// Worker/queue options for the Threaded backend (ignored under Sim).
+  runtime::ThreadedOptions threaded{};
+  /// Frames per cross-lane delivery drain task (Threaded backend).
+  std::size_t handoff_batch = 64;
 };
 
 /// Owns the simulation and every node in it.
@@ -58,11 +81,35 @@ public:
   Overlay(const Overlay&) = delete;
   Overlay& operator=(const Overlay&) = delete;
 
+  ~Overlay();
+
   [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
   [[nodiscard]] sim::Network& network() noexcept { return network_; }
-  /// The Transport every node in this overlay runs on (the deterministic
-  /// sim backend — the overlay *is* the oracle configuration).
-  [[nodiscard]] runtime::Transport& transport() noexcept { return transport_; }
+  /// The Transport every node in this overlay runs on: the deterministic
+  /// sim backend by default (the overlay *is* the oracle configuration),
+  /// or the owned ThreadedTransport under OverlayBackend::Threaded.
+  [[nodiscard]] runtime::Transport& transport() noexcept {
+    return threaded_ ? static_cast<runtime::Transport&>(*threaded_)
+                     : static_cast<runtime::Transport&>(transport_);
+  }
+  [[nodiscard]] bool threaded_backend() const noexcept {
+    return threaded_ != nullptr;
+  }
+
+  /// Lane owning `node` on the threaded backend (0 under Sim — one lane).
+  [[nodiscard]] std::size_t lane_of(sim::NodeId node) const noexcept {
+    return threaded_ ? static_cast<std::size_t>(node) % threaded_->workers()
+                     : 0;
+  }
+
+  /// Runs `fn` on the lane owning `node` and waits for quiescence
+  /// (threaded backend); inline call under Sim. Control-plane helper:
+  /// subscribes, publishes and any other poke at a node's state must
+  /// execute on the node's lane to keep it single-writer.
+  void run_on(sim::NodeId node, std::function<void()> fn);
+  /// Fire-and-forget variant: posts to the owning lane without waiting
+  /// (inline under Sim). The bulk-publish path of benches.
+  void post_on(sim::NodeId node, std::function<void()> fn);
   [[nodiscard]] const reflect::TypeRegistry& registry() const noexcept {
     return registry_;
   }
@@ -103,8 +150,10 @@ public:
     return publishers_;
   }
 
-  /// Drains the scheduler (runs the simulation to quiescence).
-  std::size_t run() { return scheduler_.run(); }
+  /// Runs to quiescence: drains the scheduler under Sim (returns closures
+  /// executed), waits for all foreground lane work under Threaded
+  /// (returns 0 — real threads do not count steps).
+  std::size_t run();
 
   /// The per-event tracer; null when `config.trace.enabled` is false.
   [[nodiscard]] trace::Tracer* tracer() noexcept { return tracer_.get(); }
@@ -127,6 +176,9 @@ private:
   util::Rng rng_;
   sim::Scheduler scheduler_;
   runtime::SimTransport transport_{scheduler_};  // nodes schedule through this
+  // Threaded backend, when configured. Shut down in ~Overlay before any
+  // node is destroyed so no lane task or timer can touch a dead broker.
+  std::unique_ptr<runtime::ThreadedTransport> threaded_;
   sim::Network network_;
   sim::NodeId next_id_ = 0;
   std::unique_ptr<trace::Tracer> tracer_;         // before nodes: they point in

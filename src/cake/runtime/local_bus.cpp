@@ -116,16 +116,16 @@ std::size_t LocalBus::publish(const event::Event& event) {
     }
   }
 
-  events_published_.fetch_add(1, std::memory_order_relaxed);
-  if (!targets.empty()) events_matched_.fetch_add(1, std::memory_order_relaxed);
-  deliveries_.fetch_add(invoked, std::memory_order_relaxed);
+  const std::size_t lane = current_lane();
+  events_published_.add(lane, 1);
+  if (!targets.empty()) events_matched_.add(lane, 1);
+  if (invoked > 0) deliveries_.add(lane, invoked);
   return invoked;
 }
 
 BusStats LocalBus::stats() const {
-  return BusStats{events_published_.load(std::memory_order_relaxed),
-                  events_matched_.load(std::memory_order_relaxed),
-                  deliveries_.load(std::memory_order_relaxed),
+  return BusStats{events_published_.read(), events_matched_.read(),
+                  deliveries_.read(),
                   subscription_count_.load(std::memory_order_relaxed)};
 }
 

@@ -35,6 +35,8 @@
 #include <shared_mutex>
 
 #include "cake/index/sharded.hpp"
+#include "cake/metrics/lane_counters.hpp"
+#include "cake/runtime/threaded.hpp"
 
 namespace cake::runtime {
 
@@ -146,9 +148,12 @@ private:
   Token next_token_ = 1;
   std::unordered_map<Token, index::FilterId> by_token_;
 
-  std::atomic<std::uint64_t> events_published_{0};
-  std::atomic<std::uint64_t> events_matched_{0};
-  std::atomic<std::uint64_t> deliveries_{0};
+  // Per-event counters bumped by every publishing lane: one shared atomic
+  // here is a cache line ping-ponging across workers (the A16 flatline).
+  // Per-lane slots keep the hot path contention-free; stats() sums them.
+  metrics::LaneCounter events_published_{runtime::kMaxWorkers};
+  metrics::LaneCounter events_matched_{runtime::kMaxWorkers};
+  metrics::LaneCounter deliveries_{runtime::kMaxWorkers};
   std::atomic<std::size_t> subscription_count_{0};
 };
 

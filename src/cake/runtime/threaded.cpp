@@ -37,8 +37,10 @@ ThreadedTransport::ThreadedTransport(ThreadedOptions options)
   lanes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     lanes_.push_back(std::make_unique<Lane>(options_.queue_capacity));
-  for (auto& lane : lanes_)
-    lane->thread = std::thread([this, l = lane.get()] { worker_loop(*l); });
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane* l = lanes_[i].get();
+    l->thread = std::thread([this, l, i] { worker_loop(*l, i); });
+  }
   timer_thread_ = std::thread([this] { timer_loop(); });
 }
 
@@ -91,8 +93,9 @@ void ThreadedTransport::finish_foreground(std::uint64_t n) noexcept {
   }
 }
 
-void ThreadedTransport::worker_loop(Lane& lane) {
+void ThreadedTransport::worker_loop(Lane& lane, std::size_t index) {
   t_current_lane = &lane;
+  detail::t_lane_index = index;
   std::vector<Item> batch(options_.batch);
   for (;;) {
     std::size_t n = 0;
@@ -128,6 +131,7 @@ void ThreadedTransport::worker_loop(Lane& lane) {
     lane.asleep.store(false, std::memory_order_relaxed);
   }
   t_current_lane = nullptr;
+  detail::t_lane_index = kNoLane;
 }
 
 void ThreadedTransport::schedule_after(Time delay, Task fn) {
@@ -153,11 +157,16 @@ TimerId ThreadedTransport::schedule_at_internal(Time at, Task fn,
     return kNoTimer;
   }
   if (foreground) foreground_.fetch_add(1, std::memory_order_relaxed);
+  // Lane affinity: a timer fires on the lane that scheduled it, so a
+  // broker's lease/RTO/heartbeat callbacks stay serialized with the rest of
+  // that broker's work — the single-writer invariant the sim backend gives
+  // for free with one lane. Non-worker threads (main, tests) get lane 0.
+  const std::size_t lane = current_lane() == kNoLane ? 0 : current_lane();
   TimerId id;
   {
     std::lock_guard lock{timer_mutex_};
     id = next_timer_id_++;
-    timers_.push(TimerEntry{at, next_timer_seq_++, id, 0, foreground});
+    timers_.push(TimerEntry{at, next_timer_seq_++, id, lane, foreground});
     timer_tasks_.emplace(id, PendingTimer{std::move(fn), foreground});
   }
   timer_cv_.notify_one();

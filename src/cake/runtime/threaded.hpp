@@ -6,8 +6,9 @@
 // so queue/wakeup costs amortize over N tasks — the same batching the
 // event pipeline (runtime/pipeline.hpp) applies a level up, where one task
 // carries N matched events. A dedicated timer thread keeps a deadline heap
-// and posts due tasks onto their lane, so timer callbacks run serialized
-// with the lane's other work exactly as they do on the sim backend.
+// and posts due tasks onto the lane that *scheduled* them (lane affinity),
+// so a broker's timer callbacks run serialized with the rest of that
+// broker's work exactly as they do on the sim backend.
 //
 // Worker count resolution (satellite: deterministic, never oversubscribed):
 // the limit is `CAKE_THREADS` when set (clamped to [1, 64]), else
@@ -117,7 +118,7 @@ private:
     }
   };
 
-  void worker_loop(Lane& lane);
+  void worker_loop(Lane& lane, std::size_t index);
   void timer_loop();
   /// Blocking enqueue with backpressure; runs queued work inline when a
   /// worker posts to its own full lane (it *is* that queue's consumer).

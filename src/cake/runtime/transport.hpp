@@ -59,6 +59,25 @@ using TimerId = std::uint64_t;
 
 inline constexpr TimerId kNoTimer = 0;
 
+/// Sentinel lane index: the calling thread is not an executor-lane worker.
+inline constexpr std::size_t kNoLane = static_cast<std::size_t>(-1);
+
+namespace detail {
+/// Set by ThreadedTransport worker threads for their lifetime; kNoLane
+/// everywhere else (main thread, timer thread, all sim-backend code).
+/// Inline thread_local so header-only consumers (sim's delivery fabric)
+/// need no link-time dependency on the threaded backend.
+inline thread_local std::size_t t_lane_index = kNoLane;
+}  // namespace detail
+
+/// Index of the ThreadedTransport lane the calling thread serves, or
+/// kNoLane when the caller is not a lane worker. Lets shared facilities
+/// (per-lane counters, the network delivery fabric) pick the
+/// contention-free slot for the current thread.
+[[nodiscard]] inline std::size_t current_lane() noexcept {
+  return detail::t_lane_index;
+}
+
 class Transport {
 public:
   virtual ~Transport() = default;

@@ -1,6 +1,8 @@
 #include "cake/sim/sim.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <thread>
 
 namespace cake::sim {
 
@@ -81,6 +83,8 @@ bool Network::attached(NodeId node) const noexcept {
 }
 
 void Network::set_loss_rate(double rate, std::uint64_t seed) {
+  if (fabric_ && rate > 0.0)
+    throw std::logic_error{"sim: loss process is sim-only, not fabric mode"};
   loss_rate_ = rate;
   loss_rng_ = util::Rng{seed};
 }
@@ -90,7 +94,29 @@ void Network::set_latency(NodeId from, NodeId to, Time latency) {
 }
 
 void Network::set_interceptor(Interceptor interceptor) {
+  if (fabric_ && interceptor)
+    throw std::logic_error{"sim: interceptors are sim-only, not fabric mode"};
   interceptor_ = std::move(interceptor);
+}
+
+void Network::bind_lanes(runtime::Transport& transport,
+                         std::function<std::size_t(NodeId)> lane_of,
+                         std::size_t batch, std::size_t inbox_capacity) {
+  if (fabric_) throw std::logic_error{"sim: lanes already bound"};
+  if (loss_rate_ > 0.0 || interceptor_)
+    throw std::logic_error{
+        "sim: fabric mode excludes loss/interceptors (chaos runs on the "
+        "virtual-time oracle)"};
+  const std::size_t lanes = std::max<std::size_t>(transport.workers(), 1);
+  auto fabric = std::make_unique<Fabric>(lanes);
+  fabric->transport = &transport;
+  fabric->lane_of = std::move(lane_of);
+  fabric->batch = std::max<std::size_t>(batch, 1);
+  fabric->inboxes.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i)
+    fabric->inboxes.push_back(std::make_unique<LaneInbox>(inbox_capacity));
+  fabric->send_slots = std::vector<SendSlot>(lanes + 1);
+  fabric_ = std::move(fabric);
 }
 
 void Network::send(NodeId from, NodeId to, Payload payload) {
@@ -99,6 +125,10 @@ void Network::send(NodeId from, NodeId to, Payload payload) {
 
 void Network::send(NodeId from, NodeId to, Payload payload,
                    const LinkTag& tag) {
+  if (fabric_) {
+    threaded_send(from, to, std::move(payload), tag);
+    return;
+  }
   const std::uint64_t k = key(from, to);
   const std::size_t size = payload.size() + tag.wire_bytes();
   LinkStats& stats = links_[k];
@@ -151,6 +181,82 @@ void Network::schedule_delivery(NodeId from, NodeId to, Time delay,
   scheduler_.schedule_after(delay, [this, slot] { deliver(slot); });
 }
 
+void Network::threaded_send(NodeId from, NodeId to, Payload payload,
+                            const LinkTag& tag) {
+  Fabric& f = *fabric_;
+  const std::size_t lanes = f.inboxes.size();
+  const std::size_t size = payload.size() + tag.wire_bytes();
+  const std::size_t self = runtime::current_lane();
+
+  f.messages.add(self, 1);
+  f.bytes.add(self, size);
+  LinkStats& stats = f.send_slots[self < lanes ? self : lanes].links[key(from, to)];
+  ++stats.messages;
+  stats.bytes += size;
+
+  const std::size_t dst = f.lane_of(to) % lanes;
+  LaneInbox& inbox = *f.inboxes[dst];
+  Delivery d;
+  d.from = from;
+  d.to = to;
+  d.payload = std::move(payload);
+  d.tag = tag;
+  while (!inbox.ring.try_push(std::move(d))) {
+    // Full ring. The arming invariant guarantees its consumer is scheduled,
+    // so waiting is productive — but a cycle of lane workers all blocked on
+    // full rings would deadlock, so a worker makes room by help-draining
+    // its *own* inbox (it is that ring's only legal consumer) while it
+    // waits. Non-worker threads (setup traffic from main) just yield.
+    if (self < lanes) {
+      LaneInbox& mine = *f.inboxes[self];
+      Delivery head;
+      if (mine.ring.try_pop(head)) {
+        mine.pending.fetch_sub(1, std::memory_order_acq_rel);
+        deliver_on_lane(mine, std::move(head));
+        continue;
+      }
+    }
+    std::this_thread::yield();
+  }
+  // Push-then-count: once the increment lands, the cell publish above is
+  // visible to whoever reads the counter (release/acquire RMW chain), so a
+  // drain task observing pending > 0 can always pop that many items.
+  if (inbox.pending.fetch_add(1, std::memory_order_acq_rel) == 0)
+    f.transport->post(dst, [this, dst] { drain_inbox(dst); });
+}
+
+void Network::drain_inbox(std::size_t lane) {
+  Fabric& f = *fabric_;
+  LaneInbox& inbox = *f.inboxes[lane];
+  std::size_t n = 0;
+  Delivery d;
+  while (n < f.batch && inbox.ring.try_pop(d)) {
+    ++n;
+    deliver_on_lane(inbox, std::move(d));
+  }
+  const std::int64_t left =
+      inbox.pending.fetch_sub(static_cast<std::int64_t>(n),
+                              std::memory_order_acq_rel) -
+      static_cast<std::int64_t>(n);
+  // Leftovers (batch cap hit, or items raced in after we saw empty): keep
+  // the arming invariant by rescheduling ourselves before retiring.
+  if (left > 0)
+    f.transport->post(lane, [this, lane] { drain_inbox(lane); });
+}
+
+void Network::deliver_on_lane(LaneInbox& inbox, Delivery d) {
+  // handlers_ is read-only during fabric traffic (attach/detach are
+  // setup-time operations), so the lookup needs no lock.
+  const auto handler = handlers_.find(d.to);
+  if (handler == handlers_.end()) {
+    ++inbox.undeliverable;
+    return;
+  }
+  ++inbox.delivered;
+  ++inbox.received[d.to];
+  handler->second(d.from, d.payload, d.tag);
+}
+
 void Network::deliver(std::uint32_t slot) {
   // Move the record out and recycle the slot *before* running the handler:
   // handlers send more messages, which may claim it again.
@@ -167,12 +273,53 @@ void Network::deliver(std::uint32_t slot) {
   handler->second(d.from, d.payload, d.tag);
 }
 
+std::uint64_t Network::total_messages() const noexcept {
+  return fabric_ ? fabric_->messages.read() : total_.messages;
+}
+
+std::uint64_t Network::total_bytes() const noexcept {
+  return fabric_ ? fabric_->bytes.read() : total_.bytes;
+}
+
+std::uint64_t Network::delivered() const noexcept {
+  if (!fabric_) return delivered_;
+  std::uint64_t total = 0;
+  for (const auto& inbox : fabric_->inboxes) total += inbox->delivered;
+  return total;
+}
+
+std::uint64_t Network::undeliverable() const noexcept {
+  if (!fabric_) return undeliverable_;
+  std::uint64_t total = 0;
+  for (const auto& inbox : fabric_->inboxes) total += inbox->undeliverable;
+  return total;
+}
+
 LinkStats Network::link(NodeId from, NodeId to) const noexcept {
+  if (fabric_) {
+    LinkStats merged;
+    for (const SendSlot& slot : fabric_->send_slots) {
+      const auto it = slot.links.find(key(from, to));
+      if (it != slot.links.end()) {
+        merged.messages += it->second.messages;
+        merged.bytes += it->second.bytes;
+      }
+    }
+    return merged;
+  }
   const auto it = links_.find(key(from, to));
   return it == links_.end() ? LinkStats{} : it->second;
 }
 
 std::uint64_t Network::received_by(NodeId node) const noexcept {
+  if (fabric_) {
+    std::uint64_t total = 0;
+    for (const auto& inbox : fabric_->inboxes) {
+      const auto it = inbox->received.find(node);
+      if (it != inbox->received.end()) total += it->second;
+    }
+    return total;
+  }
   const auto it = received_.find(node);
   return it == received_.end() ? 0 : it->second;
 }

@@ -11,14 +11,19 @@
 // copy a pointer, never the bytes (DESIGN.md §9).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <queue>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "cake/metrics/lane_counters.hpp"
+#include "cake/runtime/mpsc.hpp"
+#include "cake/runtime/transport.hpp"
 #include "cake/util/rng.hpp"
 #include "cake/wire/buffer.hpp"
 
@@ -177,9 +182,9 @@ public:
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
   /// Physical copies handed to an attached receive handler.
-  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t delivered() const noexcept;
   /// Copies that reached an unattached (crashed/detached) node and vanished.
-  [[nodiscard]] std::uint64_t undeliverable() const noexcept { return undeliverable_; }
+  [[nodiscard]] std::uint64_t undeliverable() const noexcept;
   /// Extra copies injected by the interceptor (beyond one per send).
   [[nodiscard]] std::uint64_t duplicated() const noexcept { return duplicated_; }
 
@@ -194,8 +199,27 @@ public:
   /// payload and its `wire_bytes()` are charged to the link accounting.
   void send(NodeId from, NodeId to, Payload payload, const LinkTag& tag);
 
-  [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_.messages; }
-  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_.bytes; }
+  /// Threaded delivery fabric (DESIGN.md §14). After binding, send() hands
+  /// the refcounted payload to the destination node's lane: each lane owns
+  /// a bounded MPSC inbox ring, and deliveries run as batched tasks posted
+  /// to that lane, so every handler stays serialized with the rest of its
+  /// lane's work (the single-writer invariant for node state). `lane_of`
+  /// must be pure and stable; it is reduced modulo `transport.workers()`.
+  ///
+  /// Fabric-mode restrictions: virtual-time latency modelling, the loss
+  /// process, and fault interceptors are sim-only (chaos runs on the
+  /// virtual-time oracle) — binding with either active throws, as does
+  /// installing one afterwards. attach/detach become setup-time operations
+  /// (before traffic or after Transport::drain()), and the accounting
+  /// accessors give exact totals only at quiescence; the per-event
+  /// counters underneath are per-lane slots aggregated at read.
+  void bind_lanes(runtime::Transport& transport,
+                  std::function<std::size_t(NodeId)> lane_of,
+                  std::size_t batch = 64, std::size_t inbox_capacity = 8192);
+  [[nodiscard]] bool lanes_bound() const noexcept { return fabric_ != nullptr; }
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept;
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
   [[nodiscard]] LinkStats link(NodeId from, NodeId to) const noexcept;
   /// Messages delivered *into* each node (for per-node load metrics).
   [[nodiscard]] std::uint64_t received_by(NodeId node) const noexcept;
@@ -219,6 +243,47 @@ private:
     LinkTag tag;
   };
 
+  /// One executor lane's delivery inbox in fabric mode. The ring is MPSC
+  /// (any lane sends, only the owning lane's worker pops); `pending` is
+  /// items pushed minus items popped and carries the arming invariant:
+  /// whoever raises it from zero posts the drain task, and a drain task
+  /// that leaves it positive reposts itself — so pending > 0 always
+  /// implies a consumer is scheduled or running, and Transport::drain()
+  /// (which waits on posted tasks) cannot miss in-flight deliveries.
+  /// The plain fields are written only by the owning lane's worker and are
+  /// exact at quiescence.
+  struct alignas(64) LaneInbox {
+    explicit LaneInbox(std::size_t capacity) : ring(capacity) {}
+    runtime::BoundedMpscQueue<Delivery> ring;
+    std::atomic<std::int64_t> pending{0};
+    std::uint64_t delivered = 0;
+    std::uint64_t undeliverable = 0;
+    std::unordered_map<NodeId, std::uint64_t> received;
+  };
+
+  /// Send-side per-link accounting slot: slot i is written only by lane
+  /// i's worker (the overflow slot only by non-worker threads during
+  /// setup), merged at read.
+  struct alignas(64) SendSlot {
+    std::unordered_map<std::uint64_t, LinkStats> links;
+  };
+
+  struct Fabric {
+    explicit Fabric(std::size_t lanes) : messages(lanes), bytes(lanes) {}
+    runtime::Transport* transport = nullptr;
+    std::function<std::size_t(NodeId)> lane_of;
+    std::size_t batch = 64;
+    std::vector<std::unique_ptr<LaneInbox>> inboxes;
+    std::vector<SendSlot> send_slots;  // workers + 1 overflow
+    metrics::LaneCounter messages;
+    metrics::LaneCounter bytes;
+  };
+
+  void threaded_send(NodeId from, NodeId to, Payload payload,
+                     const LinkTag& tag);
+  void drain_inbox(std::size_t lane);
+  void deliver_on_lane(LaneInbox& inbox, Delivery d);
+
   Scheduler& scheduler_;
   Time default_latency_;
   double loss_rate_ = 0.0;
@@ -237,6 +302,7 @@ private:
   LinkStats total_;
   std::vector<Delivery> delivery_slots_;
   std::vector<std::uint32_t> free_slots_;
+  std::unique_ptr<Fabric> fabric_;
 };
 
 }  // namespace cake::sim

@@ -31,12 +31,14 @@ struct Symbol {
   }
 };
 
-/// Interns `text`, returning its symbol. Idempotent; allocation-free when
-/// the name is already in the table (shared-lock lookup). Thread-safe.
+/// Interns `text`, returning its symbol. Idempotent; allocation-free and
+/// wait-free when the name is already in the table (atomic-snapshot probe,
+/// no lock on the read path — lanes matching concurrently never serialize
+/// here). Only first-sight inserts take the writer mutex. Thread-safe.
 [[nodiscard]] Symbol intern(std::string_view text);
 
-/// The stable text of an interned id. Throws std::out_of_range for ids that
-/// were never handed out.
+/// The stable text of an interned id. Wait-free (atomic chunk-directory
+/// load). Throws std::out_of_range for ids that were never handed out.
 [[nodiscard]] std::string_view name(Id id);
 
 /// Number of distinct names interned so far (>= 1: the empty string).

@@ -19,6 +19,7 @@
 #include "cake/routing/protocol.hpp"
 #include "cake/runtime/local_bus.hpp"
 #include "cake/runtime/sim_transport.hpp"
+#include "cake/runtime/threaded.hpp"
 #include "cake/sim/sim.hpp"
 #include "cake/workload/generators.hpp"
 #include "cake/workload/types.hpp"
@@ -271,6 +272,70 @@ TEST(AllocGuard, LocalBusPublishCostsAFixedSmallConstant) {
     EXPECT_EQ(news() - start, per_publish) << "iteration " << i;
   }
   EXPECT_EQ(delivered, 64 + 1 + 256);
+}
+
+// Threaded fabric forward path (DESIGN.md §14): the cross-lane handoff —
+// ring push, pending counter, batched drain task — rides on pooled frames
+// and SBO-sized closures, so its overhead over the zero-alloc sim forward
+// path must stay under 0.25 allocations per event. The interposer counts
+// across every thread (g_news is atomic), so the budget covers the whole
+// pipeline: main-thread sends, the broker lane's forwards, the sink lane's
+// deliveries.
+TEST(AllocGuard, ThreadedFabricForwardOverheadStaysUnderQuarterAllocPerEvent) {
+  workload::ensure_types_registered();
+  const auto& registry = reflect::TypeRegistry::global();
+
+  runtime::ThreadedTransport transport{};
+  sim::Scheduler scheduler;  // fabric mode never runs it; Network wants one
+  sim::Network network{scheduler, 10};
+  network.bind_lanes(transport, [&transport](sim::NodeId node) {
+    return static_cast<std::size_t>(node) % transport.workers();
+  });
+
+  routing::BrokerConfig config;
+  config.auto_renew = false;
+  // Real threads run on the wall clock: push every periodic deadline far
+  // past the test so no lease machinery fires mid-measurement.
+  config.ttl = 3'600'000'000;
+  config.renew_interval = 1'800'000'000;
+  config.reap_interval = 1'800'000'000;
+  routing::Broker broker{1, 1, network, transport, registry, config,
+                         util::Rng{7}};
+  network.attach(2, [](sim::NodeId, const sim::Network::Payload&) {});
+  // Start on the broker's own lane: timers inherit lane affinity and the
+  // handler attach is serialized before any traffic reaches the lane.
+  transport.post(1 % transport.workers(), [&broker] { broker.start(); });
+  transport.drain();
+
+  workload::BiblioGenerator gen{{}, 2002};
+  const event::EventImage image = gen.next_event();
+  const auto filter = FilterBuilder{"Publication"}
+                          .where("year", Op::Eq, *image.find("year"))
+                          .build();
+  ASSERT_TRUE(filter.matches(image, registry));
+  network.send(2, 1,
+               routing::encode(routing::Packet{routing::ReqInsert{filter, 2}}));
+  transport.drain();
+
+  const sim::Network::Payload frame =
+      routing::encode_event_frame(image, 0, 1, 0);
+
+  for (int i = 0; i < 128; ++i) network.send(0, 1, frame);  // warm-up
+  transport.drain();
+  const std::uint64_t forwarded_before = broker.stats().events_forwarded;
+
+  constexpr std::uint64_t kEvents = 512;
+  const std::uint64_t before = news();
+  for (std::uint64_t i = 0; i < kEvents; ++i) network.send(0, 1, frame);
+  transport.drain();
+  const std::uint64_t after = news();
+
+  EXPECT_LE(after - before, kEvents / 4)
+      << "threaded handoff overhead exceeded 0.25 allocs/event: "
+      << (after - before) << " allocs over " << kEvents << " events";
+  EXPECT_EQ(broker.stats().events_forwarded, forwarded_before + kEvents);
+  EXPECT_EQ(network.undeliverable(), 0u);
+  transport.shutdown();
 }
 
 }  // namespace

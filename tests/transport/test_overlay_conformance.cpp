@@ -1,0 +1,286 @@
+// Two-backend overlay conformance (DESIGN.md §14): the same seeded
+// workload driven through a Sim-backed overlay and a Threaded-backed
+// overlay must agree on every order-independent observable — the delivery
+// multiset per subscriber, the broker-table fixpoint, and the network's
+// conservation law. The sim run is the oracle; the threaded run must
+// reproduce it while TSan watches (this file carries the blocking
+// `threaded` ctest label).
+//
+// What is deliberately NOT compared: anything arrival-order dependent.
+// Join redirects draw from each broker's rng, so with fan-out > 1 the
+// *hosting leaf* of a subscription may differ across backends — the
+// delivery multiset cannot (exact end-to-end filters are per-event
+// deterministic), and on a chain topology (fan-out 1) the full table
+// contents must match byte for byte.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cake/event/event.hpp"
+#include "cake/filter/filter.hpp"
+#include "cake/routing/overlay.hpp"
+#include "cake/workload/generators.hpp"
+#include "cake/workload/types.hpp"
+
+namespace cake::routing {
+namespace {
+
+using filter::FilterBuilder;
+using filter::Op;
+using value::Value;
+
+struct SubSpec {
+  const char* symbol;
+  double max_price;
+};
+
+constexpr SubSpec kSubs[] = {
+    {"AAA", 50.0}, {"BBB", 25.0}, {"CCC", 75.0},
+    {"DDD", 100.0}, {"AAA", 10.0}, {"BBB", 90.0},
+};
+constexpr const char* kSymbols[] = {"AAA", "BBB", "CCC", "DDD"};
+constexpr int kEvents = 240;
+
+/// Order-independent observables of one workload run.
+struct RunResult {
+  std::vector<std::vector<std::int64_t>> delivered;  // per subscriber, sorted
+  std::vector<std::string> tables;                   // canonical, per broker
+  std::uint64_t fabric_messages = 0;
+  std::uint64_t fabric_delivered = 0;
+  std::uint64_t fabric_undeliverable = 0;
+  std::vector<SubscriberNode::SubscriptionView> views;  // all subscribers
+  std::vector<sim::NodeId> view_owner;                  // parallel to views
+};
+
+OverlayConfig conformance_config(OverlayBackend backend,
+                                 link::Reliability reliability,
+                                 std::vector<std::size_t> stages) {
+  OverlayConfig config;
+  config.stage_counts = std::move(stages);
+  config.backend = backend;
+  config.link.reliability = reliability;
+  // The threaded backend runs on the wall clock, so push every soft-state
+  // deadline far past the test's lifetime: lease churn, renewals and
+  // failure detection are pinned by the sim-only chaos suites, and letting
+  // them fire mid-run would make the two backends diverge on timing alone.
+  config.broker.ttl = 3'600'000'000;
+  config.broker.renew_interval = 1'800'000'000;
+  config.broker.reap_interval = 1'800'000'000;
+  config.subscriber.renew_interval = 1'800'000'000;
+  config.subscriber.auto_renew = false;
+  config.link.heartbeat_interval = 1'800'000'000;
+  // Reliable arm: drain() waits for foreground work only, and a frame pended
+  // on a full send window is released by a *background* ACK timer — so size
+  // the window past the whole workload and push RTO out of reach. The arm
+  // then pins the tagged seq/ack/dedup path itself, with no wall-clock timer
+  // in the loop.
+  config.link.window = 8192;
+  config.link.rto_initial = 1'800'000'000;
+  config.link.rto_max = 3'600'000'000;
+  return config;
+}
+
+std::string canonical_table(Broker& broker) {
+  std::vector<std::string> rows;
+  for (auto& [form, children] : broker.table()) {
+    std::vector<sim::NodeId> kids = children;
+    std::sort(kids.begin(), kids.end());
+    std::string row = form.to_string();
+    for (const sim::NodeId kid : kids) {
+      row += '|';
+      row += std::to_string(kid);
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  for (const std::string& row : rows) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+RunResult run_workload(OverlayBackend backend, link::Reliability reliability,
+                       std::vector<std::size_t> stages) {
+  workload::ensure_types_registered();
+  Overlay overlay{conformance_config(backend, reliability, std::move(stages))};
+
+  PublisherNode& pub_a = overlay.add_publisher();
+  PublisherNode& pub_b = overlay.add_publisher();
+  overlay.run_on(pub_a.id(),
+                 [&] { pub_a.advertise(workload::StockGenerator::schema()); });
+  overlay.run_on(pub_b.id(),
+                 [&] { pub_b.advertise(workload::StockGenerator::schema()); });
+  overlay.run();
+
+  const std::size_t n_subs = std::size(kSubs);
+  std::vector<SubscriberNode*> subs;
+  // One sink per subscriber, written only by that subscriber's handler
+  // (its own lane); read back through run_on after quiescence.
+  auto sinks = std::make_unique<std::vector<std::int64_t>[]>(n_subs);
+  for (std::size_t s = 0; s < n_subs; ++s) {
+    SubscriberNode& sub = overlay.add_subscriber();
+    subs.push_back(&sub);
+    std::vector<std::int64_t>* sink = &sinks[s];
+    overlay.run_on(sub.id(), [&sub, sink, s] {
+      sub.subscribe(FilterBuilder{"Stock"}
+                        .where("symbol", Op::Eq, Value{kSubs[s].symbol})
+                        .where("price", Op::Lt, Value{kSubs[s].max_price})
+                        .build(),
+                    [sink](const event::EventImage& e) {
+                      sink->push_back(e.find("volume")->as_int());
+                    });
+    });
+  }
+  overlay.run();  // join handshakes settle
+
+  for (int i = 0; i < kEvents; ++i) {
+    const char* symbol = kSymbols[i % std::size(kSymbols)];
+    const double price = static_cast<double>((i * 7) % 101);
+    PublisherNode& pub = (i % 2 == 0) ? pub_a : pub_b;
+    overlay.post_on(pub.id(), [&pub, symbol, price, i] {
+      pub.publish(event::image_of(workload::Stock{symbol, price, i}));
+    });
+  }
+  overlay.run();
+
+  RunResult result;
+  for (std::size_t s = 0; s < n_subs; ++s) {
+    // Read on the owning lane: the sink and the subscription views belong
+    // to the subscriber's single-writer state.
+    overlay.run_on(subs[s]->id(), [&, s] {
+      std::vector<std::int64_t> sorted = sinks[s];
+      std::sort(sorted.begin(), sorted.end());
+      result.delivered.push_back(std::move(sorted));
+      for (auto& view : subs[s]->subscription_views()) {
+        result.views.push_back(std::move(view));
+        result.view_owner.push_back(subs[s]->id());
+      }
+    });
+  }
+  for (const auto& broker : overlay.brokers()) {
+    overlay.run_on(broker->id(), [&result, &b = *broker] {
+      result.tables.push_back(canonical_table(b));
+    });
+  }
+  // The lane-local inbox counters are exact only at quiescence. Best-effort
+  // runs are quiescent after drain(); reliable runs may still have
+  // background ACK/RTO timers firing, so skip the read there (no test
+  // consumes it for the reliable arm).
+  if (reliability == link::Reliability::BestEffort) {
+    result.fabric_messages = overlay.network().total_messages();
+    result.fabric_delivered = overlay.network().delivered();
+    result.fabric_undeliverable = overlay.network().undeliverable();
+  }
+  return result;
+}
+
+/// True when some row of `table` (canonical form above) stores `form` with
+/// `owner` among its children. Children are `|`-delimited, so the owner id
+/// must match a whole token, not a digit prefix.
+bool table_hosts(const std::string& table, const std::string& form,
+                 sim::NodeId owner) {
+  const std::string token = '|' + std::to_string(owner);
+  std::size_t pos = 0;
+  while (pos < table.size()) {
+    std::size_t end = table.find('\n', pos);
+    if (end == std::string::npos) end = table.size();
+    const std::string_view line{table.data() + pos, end - pos};
+    pos = end + 1;
+    if (line.size() <= form.size() || line.substr(0, form.size()) != form ||
+        line[form.size()] != '|')
+      continue;
+    const std::string_view kids = line.substr(form.size());
+    for (std::size_t p = kids.find(token); p != std::string_view::npos;
+         p = kids.find(token, p + 1)) {
+      const std::size_t after = p + token.size();
+      if (after == kids.size() || kids[after] == '|') return true;
+    }
+  }
+  return false;
+}
+
+/// Expected per-subscriber volumes computed directly from the specs — an
+/// oracle independent of either backend.
+std::vector<std::vector<std::int64_t>> expected_deliveries() {
+  std::vector<std::vector<std::int64_t>> expected(std::size(kSubs));
+  for (int i = 0; i < kEvents; ++i) {
+    const char* symbol = kSymbols[i % std::size(kSymbols)];
+    const double price = static_cast<double>((i * 7) % 101);
+    for (std::size_t s = 0; s < std::size(kSubs); ++s)
+      if (symbol == std::string_view{kSubs[s].symbol} &&
+          price < kSubs[s].max_price)
+        expected[s].push_back(i);
+  }
+  return expected;
+}
+
+TEST(OverlayConformance, DeliveryMultisetMatchesSimOracleBestEffort) {
+  const RunResult sim = run_workload(OverlayBackend::Sim,
+                                     link::Reliability::BestEffort, {1, 2, 4});
+  const RunResult threaded = run_workload(
+      OverlayBackend::Threaded, link::Reliability::BestEffort, {1, 2, 4});
+  EXPECT_EQ(sim.delivered, expected_deliveries());
+  EXPECT_EQ(threaded.delivered, sim.delivered);
+}
+
+TEST(OverlayConformance, DeliveryMultisetMatchesSimOracleReliable) {
+  const RunResult sim = run_workload(OverlayBackend::Sim,
+                                     link::Reliability::Reliable, {1, 2, 4});
+  const RunResult threaded = run_workload(
+      OverlayBackend::Threaded, link::Reliability::Reliable, {1, 2, 4});
+  EXPECT_EQ(sim.delivered, expected_deliveries());
+  EXPECT_EQ(threaded.delivered, sim.delivered);
+}
+
+TEST(OverlayConformance, ChainTopologyTablesReachTheSameFixpoint) {
+  // Fan-out 1 at every stage removes the rng from join routing, so the
+  // broker tables themselves — not just the deliveries — must be
+  // byte-identical across backends.
+  const RunResult sim = run_workload(
+      OverlayBackend::Sim, link::Reliability::BestEffort, {1, 1, 1});
+  const RunResult threaded = run_workload(
+      OverlayBackend::Threaded, link::Reliability::BestEffort, {1, 1, 1});
+  EXPECT_EQ(threaded.tables, sim.tables);
+  EXPECT_EQ(threaded.delivered, sim.delivered);
+}
+
+TEST(OverlayConformance, ThreadedTablesSatisfyTheFixpointInvariant) {
+  // Fan-out topology: hosting leaves may differ from the sim run, but the
+  // chaos-style fixpoint must hold *within* the threaded run — every
+  // accepted subscription's (parent, stored form) appears in that parent's
+  // table with the subscriber as a child.
+  const RunResult threaded = run_workload(
+      OverlayBackend::Threaded, link::Reliability::BestEffort, {1, 2, 4});
+  ASSERT_FALSE(threaded.views.empty());
+  for (std::size_t v = 0; v < threaded.views.size(); ++v) {
+    const auto& view = threaded.views[v];
+    ASSERT_TRUE(view.parent.has_value());
+    const std::string form = view.stored.to_string();
+    bool found = false;
+    for (const std::string& table : threaded.tables)
+      found |= table_hosts(table, form, threaded.view_owner[v]);
+    EXPECT_TRUE(found) << "no broker table hosts " << form << " for subscriber "
+                       << threaded.view_owner[v];
+  }
+}
+
+TEST(OverlayConformance, FabricAccountingObeysConservation) {
+  const RunResult threaded = run_workload(
+      OverlayBackend::Threaded, link::Reliability::BestEffort, {1, 2, 4});
+  // No loss, no duplication, no detached nodes in fabric mode: every
+  // message sent is delivered.
+  EXPECT_GT(threaded.fabric_messages, 0u);
+  EXPECT_EQ(threaded.fabric_delivered + threaded.fabric_undeliverable,
+            threaded.fabric_messages);
+  EXPECT_EQ(threaded.fabric_undeliverable, 0u);
+}
+
+}  // namespace
+}  // namespace cake::routing

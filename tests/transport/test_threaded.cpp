@@ -213,6 +213,28 @@ TEST(ThreadedTransportTest, DistinctLanesMakeProgressIndependently) {
   transport.drain();
 }
 
+TEST(ThreadedTransportTest, TimersFireOnTheLaneThatScheduledThem) {
+  // The single-writer contract for overlay nodes hangs on this: a broker's
+  // lease/RTO/heartbeat callbacks must come back to the broker's own lane.
+  EnvGuard guard{"CAKE_THREADS", "4"};
+  ThreadedTransport transport{};
+  ASSERT_EQ(transport.workers(), 4u);
+  std::atomic<int> mismatches{0};
+  std::atomic<int> fired{0};
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    transport.post(lane, [&transport, &mismatches, &fired, lane] {
+      ASSERT_EQ(runtime::current_lane(), lane);
+      transport.schedule_after(1'000, [&mismatches, &fired, lane] {
+        if (runtime::current_lane() != lane) mismatches.fetch_add(1);
+        fired.fetch_add(1);
+      });
+    });
+  }
+  transport.drain();
+  EXPECT_EQ(fired.load(), 4);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 TEST(ThreadedTransportTest, TimersFiredStatCounts) {
   ThreadedTransport transport{};
   std::atomic<int> fired{0};

@@ -6,6 +6,10 @@ Reads the three benchmark artifacts the CI smoke lane produces —
   BENCH_hotpath.json    (A14: per-arm events/sec + allocs/event + deliveries,
                          plus the threaded pipeline arm)
   BENCH_threaded.json   (A16: pipeline events/sec per worker count)
+  BENCH_overlay.json    (A19: broker overlay end-to-end on ThreadedTransport
+                         — events/sec, delivered, allocs/event per worker
+                         count; the delivery multiset is pinned against a
+                         Sim-backend control inside the bench itself)
   BENCH_resilience.json (A15: delivery rate / latency / retransmits per
                          {loss, mode} arm; virtual-time, so deterministic)
   BENCH_durability.json (A17: journal append throughput, cold recovery
@@ -58,6 +62,19 @@ RULES = {
              direction="lower", rel=0.10, abs_slack=0.0),
         dict(key="arms", match=("workers",), metric="delivered",
              direction="exact", rel=0.0, abs_slack=0.0),
+    ],
+    "BENCH_overlay.json": [
+        # A19: the broker overlay end-to-end on ThreadedTransport. The
+        # delivery count is pinned inside the bench against a Sim control
+        # of the same seed, so across CI runs it may never move at all;
+        # throughput gets the standard wall-clock band, and allocs/event
+        # the tight deterministic band with a near-zero additive floor.
+        dict(key="arms", match=("workers",), metric="events_per_sec",
+             direction="lower", rel=0.10, abs_slack=0.0),
+        dict(key="arms", match=("workers",), metric="delivered",
+             direction="exact", rel=0.0, abs_slack=0.0),
+        dict(key="arms", match=("workers",), metric="allocs_per_event",
+             direction="higher", rel=0.02, abs_slack=0.05),
     ],
     "BENCH_resilience.json": [
         dict(key="arms", match=("loss", "mode"), metric="delivery_rate",
@@ -270,6 +287,33 @@ def selftest():
          all(scaling_verdicts(churn_ops_per_sec=13500.0))),
         ("scaling soundness counter change fails",
          not all(scaling_verdicts(superset_violations=1))),
+    ]
+    overlay = {
+        "arms": [
+            {"workers": 4, "events_per_sec": 500000.0, "delivered": 2993,
+             "allocs_per_event": 9.1},
+        ],
+        "speedup_4_workers_vs_1": 1.8,
+    }
+
+    def overlay_verdicts(**overrides):
+        cur = json.loads(json.dumps(overlay))
+        cur["arms"][0].update(overrides)
+        return [ok for ok, _ in compare_file("BENCH_overlay.json",
+                                             overlay, cur)]
+
+    checks += [
+        ("overlay identical run passes", all(overlay_verdicts())),
+        ("overlay 9% slowdown passes",
+         all(overlay_verdicts(events_per_sec=455000.0))),
+        ("overlay 11% slowdown fails",
+         not all(overlay_verdicts(events_per_sec=445000.0))),
+        ("overlay delivery drift fails",
+         not all(overlay_verdicts(delivered=2992))),
+        ("overlay alloc jitter within floor passes",
+         all(overlay_verdicts(allocs_per_event=9.14))),
+        ("overlay alloc regression fails",
+         not all(overlay_verdicts(allocs_per_event=9.6))),
     ]
     failed = [label for label, ok in checks if not ok]
     for label, ok in checks:
