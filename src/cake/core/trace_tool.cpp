@@ -182,6 +182,34 @@ int run_summary(const std::vector<std::string>& args, std::ostream& out,
   for (const auto& [stage, count] : collector->retransmits_by_stage())
     out << "  retransmits at stage " << stage << ": " << count << "\n";
 
+  // Drop accounting: classify every journey by where it ended. A journey
+  // with no subscriber arrival is benign only if every broker on its path
+  // rejected it; a matched broker hop with nothing downstream means the
+  // forward vanished in flight (link shed, quarantine pen, stall eviction —
+  // the ledger reasons a span dump cannot tell apart, but can conserve).
+  std::uint64_t delivered = 0, spurious_only = 0, filtered = 0, dropped = 0;
+  for (const auto& [id, journey] : collector->journeys()) {
+    if (!journey.subscriber_spans().empty()) {
+      ++(journey.delivered() ? delivered : spurious_only);
+      continue;
+    }
+    bool forwarded_below = false;
+    for (const trace::TraceSpan* broker : journey.broker_spans()) {
+      if (!broker->matched) continue;
+      bool reached_lower = false;
+      for (const trace::TraceSpan& hop : journey.hops)
+        if (hop.stage < broker->stage) reached_lower = true;
+      if (!reached_lower) forwarded_below = true;
+    }
+    ++(forwarded_below ? dropped : filtered);
+  }
+  out << "\nDrop accounting (" << collector->journeys().size()
+      << " journeys):\n"
+      << "  delivered: " << delivered << "\n"
+      << "  spurious-only arrivals: " << spurious_only << "\n"
+      << "  filtered in network: " << filtered << "\n"
+      << "  dropped in flight: " << dropped << "\n";
+
   const trace::Attribution attribution = collector->attribution();
   out << "\nFalse-positive attribution (" << attribution.total()
       << " spurious arrivals):\n";

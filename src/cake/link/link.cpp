@@ -21,6 +21,11 @@ void encode_fields(wire::Writer& w, const Heartbeat& m) {
   w.u8(m.reply ? 1 : 0);
 }
 
+void encode_fields(wire::Writer& w, const Credit& m) {
+  w.varint(m.session);
+  w.varint(m.limit);
+}
+
 Ack decode_ack_fields(wire::Reader& r) {
   Ack m;
   m.session = static_cast<std::uint32_t>(r.varint());
@@ -43,6 +48,13 @@ Heartbeat decode_heartbeat_fields(wire::Reader& r) {
   return m;
 }
 
+Credit decode_credit_fields(wire::Reader& r) {
+  Credit m;
+  m.session = static_cast<std::uint32_t>(r.varint());
+  m.limit = r.varint();
+  return m;
+}
+
 LinkCounters& LinkCounters::operator+=(const LinkCounters& o) noexcept {
   data_sent += o.data_sent;
   retransmits += o.retransmits;
@@ -54,6 +66,8 @@ LinkCounters& LinkCounters::operator+=(const LinkCounters& o) noexcept {
   heartbeats_sent += o.heartbeats_sent;
   peers_declared_dead += o.peers_declared_dead;
   stream_resets += o.stream_resets;
+  credits_sent += o.credits_sent;
+  credit_stalls += o.credit_stalls;
   return *this;
 }
 
@@ -112,33 +126,53 @@ void LinkManager::enqueue(sim::NodeId to, Payload payload, bool event) {
     return;
   }
   TxState& tx = tx_[to];
-  if (tx.session == 0) tx.session = next_session_++;
-  if (unacked(tx) < options_.window) {
-    admit(to, tx, TxFrame{std::move(payload), event});
+  if (tx.session == 0) {
+    tx.session = next_session_++;
+    tx.credit_limit = options_.credit_window;  // implicit initial grant
+  }
+  if (!event) {
+    // Control is never shed and never waits behind events — the queue
+    // grows instead, because a lost Subscribe/ReqInsert is a correctness
+    // hole the soft-state layer would take whole TTLs to repair.
+    if (unacked(tx) < options_.window && tx.pending_ctrl.empty()) {
+      admit(to, tx, TxFrame{std::move(payload), false});
+      return;
+    }
+    tx.pending_ctrl.push_back(TxFrame{std::move(payload), false});
     return;
   }
-  // Window full: queue behind it. Events are sheddable drop-newest past the
-  // queue limit; control is never shed — the queue grows instead, because a
-  // lost Subscribe/ReqInsert is a correctness hole the soft-state layer
-  // would take whole TTLs to repair.
-  if (event && tx.pending_count >= options_.queue_limit) {
+  if (unacked(tx) < options_.window && tx.pending_events.empty() &&
+      event_admissible(tx)) {
+    admit(to, tx, TxFrame{std::move(payload), true});
+    return;
+  }
+  // Window or credit exhausted: queue behind it, sheddable drop-newest
+  // past the queue limit.
+  if (tx.pending_events.size() >= options_.queue_limit) {
     ++counters_.events_shed;
     return;
   }
-  if (tx.pending_count == tx.pending.size()) {
-    // Grow the pending ring (unwrap into a fresh vector, oldest first).
-    std::vector<TxFrame> grown;
-    grown.reserve(std::max<std::size_t>(16, tx.pending.size() * 2));
-    for (std::size_t i = 0; i < tx.pending_count; ++i)
-      grown.push_back(std::move(
-          tx.pending[(tx.pending_head + i) % tx.pending.size()]));
-    grown.resize(grown.capacity());
-    tx.pending = std::move(grown);
-    tx.pending_head = 0;
+  if (unacked(tx) < options_.window && !event_admissible(tx))
+    ++counters_.credit_stalls;
+  tx.pending_events.push_back(TxFrame{std::move(payload), true});
+}
+
+void LinkManager::drain_pending(sim::NodeId to, TxState& tx) {
+  while (unacked(tx) < options_.window) {
+    if (!tx.pending_ctrl.empty()) {
+      TxFrame frame = std::move(tx.pending_ctrl.front());
+      tx.pending_ctrl.pop_front();
+      admit(to, tx, std::move(frame));
+      continue;
+    }
+    if (!tx.pending_events.empty() && event_admissible(tx)) {
+      TxFrame frame = std::move(tx.pending_events.front());
+      tx.pending_events.pop_front();
+      admit(to, tx, std::move(frame));
+      continue;
+    }
+    break;
   }
-  tx.pending[(tx.pending_head + tx.pending_count) % tx.pending.size()] =
-      TxFrame{std::move(payload), event};
-  ++tx.pending_count;
 }
 
 void LinkManager::admit(sim::NodeId to, TxState& tx, TxFrame frame) {
@@ -173,13 +207,8 @@ void LinkManager::advance_ack(sim::NodeId peer, TxState& tx,
     tx.window[tx.acked % options_.window].payload = Payload{};  // recycle
   }
   tx.backoff = 0;
-  // Admit queued frames into the freed window.
-  while (tx.pending_count > 0 && unacked(tx) < options_.window) {
-    TxFrame frame = std::move(tx.pending[tx.pending_head]);
-    tx.pending_head = (tx.pending_head + 1) % tx.pending.size();
-    --tx.pending_count;
-    admit(peer, tx, std::move(frame));
-  }
+  // Admit queued frames into the freed window (control first, always).
+  drain_pending(peer, tx);
   if (unacked(tx) == 0) {
     tx.timer_armed = false;  // dormant closure sees this and dies
   } else {
@@ -192,17 +221,19 @@ void LinkManager::reset_stream(sim::NodeId peer, TxState& tx) {
   // seq 1 under a fresh session, outstanding frames first, queue after.
   ++counters_.stream_resets;
   std::vector<TxFrame> outstanding;
-  outstanding.reserve(unacked(tx) + tx.pending_count);
+  outstanding.reserve(unacked(tx) + tx.pending_ctrl.size() +
+                      tx.pending_events.size());
   for (std::uint64_t seq = tx.acked + 1; seq < tx.next_seq; ++seq)
     outstanding.push_back(std::move(tx.window[seq % options_.window]));
-  for (std::size_t i = 0; i < tx.pending_count; ++i)
-    outstanding.push_back(
-        std::move(tx.pending[(tx.pending_head + i) % tx.pending.size()]));
+  for (TxFrame& frame : tx.pending_ctrl) outstanding.push_back(std::move(frame));
+  for (TxFrame& frame : tx.pending_events)
+    outstanding.push_back(std::move(frame));
   tx.session = next_session_++;
   tx.next_seq = 1;
   tx.acked = 0;
-  tx.pending_head = 0;
-  tx.pending_count = 0;
+  tx.pending_ctrl.clear();
+  tx.pending_events.clear();
+  tx.credit_limit = options_.credit_window;  // fresh stream, fresh budget
   tx.backoff = 0;
   tx.timer_armed = false;
   for (TxFrame& frame : outstanding) enqueue(peer, std::move(frame.payload),
@@ -219,10 +250,10 @@ void LinkManager::redirect(sim::NodeId from, sim::NodeId to) {
     TxFrame& frame = tx.window[seq % options_.window];
     enqueue(to, std::move(frame.payload), frame.event);
   }
-  for (std::size_t i = 0; i < tx.pending_count; ++i) {
-    TxFrame& frame = tx.pending[(tx.pending_head + i) % tx.pending.size()];
+  for (TxFrame& frame : tx.pending_ctrl)
     enqueue(to, std::move(frame.payload), frame.event);
-  }
+  for (TxFrame& frame : tx.pending_events)
+    enqueue(to, std::move(frame.payload), frame.event);
 }
 
 void LinkManager::forget(sim::NodeId peer) {
@@ -233,17 +264,52 @@ void LinkManager::forget(sim::NodeId peer) {
 
 std::size_t LinkManager::in_flight(sim::NodeId peer) const noexcept {
   const auto it = tx_.find(peer);
-  return it == tx_.end() ? 0 : unacked(it->second) + it->second.pending_count;
+  if (it == tx_.end()) return 0;
+  return unacked(it->second) + it->second.pending_ctrl.size() +
+         it->second.pending_events.size();
+}
+
+std::size_t LinkManager::queued_events(sim::NodeId peer) const noexcept {
+  const auto it = tx_.find(peer);
+  return it == tx_.end() ? 0 : it->second.pending_events.size();
+}
+
+bool LinkManager::credit_starved(sim::NodeId peer) const noexcept {
+  if (!options_.credit) return false;
+  const auto it = tx_.find(peer);
+  if (it == tx_.end()) return false;
+  const TxState& tx = it->second;
+  return !tx.pending_events.empty() && unacked(tx) < options_.window &&
+         !event_admissible(tx);
+}
+
+std::vector<LinkManager::Payload> LinkManager::take_pending_events(
+    sim::NodeId peer) {
+  std::vector<Payload> taken;
+  const auto it = tx_.find(peer);
+  if (it == tx_.end()) return taken;
+  taken.reserve(it->second.pending_events.size());
+  for (TxFrame& frame : it->second.pending_events)
+    taken.push_back(std::move(frame.payload));
+  it->second.pending_events.clear();
+  return taken;
+}
+
+void LinkManager::set_credit_paused(bool paused) {
+  credit_paused_ = paused;
+  if (paused || !options_.credit) return;
+  for (auto& [peer, rx] : rx_) grant_credit(peer, rx, /*force=*/true);
 }
 
 LinkManager::TxMark LinkManager::tx_mark(sim::NodeId peer) const noexcept {
   const auto it = tx_.find(peer);
   if (it == tx_.end()) return {};
   const TxState& tx = it->second;
-  // Queued frames have no sequence yet, but they will take the next
-  // pending_count sequences in order (shedding happens before queueing, so
-  // nothing accepted is ever skipped).
-  return {tx.session, tx.next_seq - 1 + tx.pending_count};
+  // Queued frames have no sequence yet, but every accepted frame will take
+  // one of the next queued-count sequences (shedding happens before
+  // queueing, so nothing accepted is ever skipped).
+  return {tx.session, tx.next_seq - 1 + tx.pending_ctrl.size() +
+                          tx.pending_events.size()};
 }
 
 bool LinkManager::tx_reached(sim::NodeId peer, TxMark mark) const noexcept {
@@ -282,6 +348,15 @@ void LinkManager::on_network(sim::NodeId from, const Payload& payload,
         wire::Reader r{wire::unframe(payload)};
         (void)r.u8();
         handle_heartbeat(from, r);
+      } catch (const wire::WireError&) {
+      }
+      return;
+    }
+    case kCreditTag: {
+      try {
+        wire::Reader r{wire::unframe(payload)};
+        (void)r.u8();
+        handle_credit(from, r);
       } catch (const wire::WireError&) {
       }
       return;
@@ -325,6 +400,9 @@ void LinkManager::rx_data(sim::NodeId from, const Payload& payload,
     rx.synced = true;
     rx.delivered = 0;
     rx.last_nacked = 0;
+    // The sender starts a fresh stream with an implicit credit_window
+    // budget; record it so the first explicit grant extends, not repeats.
+    rx.credit_granted = options_.credit_window;
     for (HoldSlot& slot : rx.hold) slot = HoldSlot{};
   }
   if (tag.seq <= rx.delivered) {
@@ -398,6 +476,9 @@ void LinkManager::send_nack(sim::NodeId peer, RxState& rx,
 }
 
 void LinkManager::arm_ack(sim::NodeId peer, RxState& rx) {
+  // Every release point advance is also a potential credit refresh; the
+  // grant has its own quantum check, so calling it here is cheap.
+  grant_credit(peer, rx, /*force=*/false);
   if (rx.ack_armed) return;
   rx.ack_armed = true;
   transport_.schedule_background_after(options_.ack_delay,
@@ -572,6 +653,33 @@ void LinkManager::handle_heartbeat(sim::NodeId from, wire::Reader& r) {
   ++counters_.heartbeats_sent;
   network_.send(id_, from,
                 frame_control(kHeartbeatTag, Heartbeat{0, hb.nonce, true}));
+}
+
+void LinkManager::grant_credit(sim::NodeId peer, RxState& rx, bool force) {
+  if (!options_.credit || credit_paused_ || detached_ || !rx.synced) return;
+  const std::uint64_t target = rx.delivered + options_.credit_window;
+  if (target <= rx.credit_granted) return;
+  // Batch grants into half-budget quanta so a fast consumer doesn't turn
+  // every release into a control frame; a forced grant (resume after a
+  // pause) always goes out.
+  if (!force &&
+      target - rx.credit_granted < (options_.credit_window + 1) / 2)
+    return;
+  rx.credit_granted = target;
+  ++counters_.credits_sent;
+  network_.send(id_, peer,
+                frame_control(kCreditTag, Credit{rx.session, target}));
+}
+
+void LinkManager::handle_credit(sim::NodeId from, wire::Reader& r) {
+  const Credit credit = decode_credit_fields(r);
+  const auto it = tx_.find(from);
+  if (it == tx_.end()) return;
+  TxState& tx = it->second;
+  if (credit.session != tx.session) return;      // stale stream
+  if (credit.limit <= tx.credit_limit) return;   // reordered / duplicate
+  tx.credit_limit = credit.limit;
+  drain_pending(from, tx);
 }
 
 LinkManager::Payload LinkManager::frame_control(std::uint8_t tag,

@@ -35,6 +35,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -53,6 +54,7 @@ namespace cake::link {
 inline constexpr std::uint8_t kAckTag = 11;
 inline constexpr std::uint8_t kNackTag = 12;
 inline constexpr std::uint8_t kHeartbeatTag = 13;
+inline constexpr std::uint8_t kCreditTag = 14;
 
 /// Cumulative acknowledgement: every seq <= `cum` of stream `session`
 /// arrived. Standalone form of the LinkTag piggyback.
@@ -76,14 +78,28 @@ struct Heartbeat {
   bool reply = false;
 };
 
+/// Receiver credit grant for stream `session`: the sender may admit event
+/// frames with sequence numbers up to and including `limit`. Grants are
+/// cumulative and idempotent — the sender keeps the max it has seen, so a
+/// lost or reordered Credit frame costs pacing, never correctness. Control
+/// frames are exempt: they are admitted past the credit limit so a stalled
+/// consumer can never starve Subscribe/Renew/Ack/Heartbeat traffic
+/// (the structural priority rule, DESIGN.md §15).
+struct Credit {
+  std::uint32_t session = 0;
+  std::uint64_t limit = 0;
+};
+
 /// Field codecs (the caller writes/consumed the tag byte — routing's
 /// Encoder and `LinkManager`'s standalone framing share these).
 void encode_fields(wire::Writer& w, const Ack& m);
 void encode_fields(wire::Writer& w, const Nack& m);
 void encode_fields(wire::Writer& w, const Heartbeat& m);
+void encode_fields(wire::Writer& w, const Credit& m);
 [[nodiscard]] Ack decode_ack_fields(wire::Reader& r);
 [[nodiscard]] Nack decode_nack_fields(wire::Reader& r);
 [[nodiscard]] Heartbeat decode_heartbeat_fields(wire::Reader& r);
+[[nodiscard]] Credit decode_credit_fields(wire::Reader& r);
 
 enum class Reliability : std::uint8_t {
   BestEffort,  ///< untagged sends straight to the network (measurement baseline)
@@ -120,6 +136,16 @@ struct LinkOptions {
   /// reply back) before the verdict can fall, or every idle-but-healthy
   /// link is a guaranteed false positive.
   std::uint32_t heartbeat_misses = 3;
+  /// Credit-based flow control for event frames (off by default — the wire
+  /// behavior is then byte-identical to the pre-credit layer). When on,
+  /// each receiver grants the sender a cumulative sequence-space budget;
+  /// events beyond it queue at the sender instead of blind-firing into RTO
+  /// retransmit storms. Control frames always bypass credit.
+  bool credit = false;
+  /// Sequence-space headroom each grant extends past the receiver's
+  /// release point (and the sender's implicit initial budget on a fresh
+  /// stream). A new grant goes out once half the budget is consumed.
+  std::size_t credit_window = 64;
 };
 
 /// Aggregated per-node link counters (metrics::link_table renders them).
@@ -134,6 +160,8 @@ struct LinkCounters {
   std::uint64_t heartbeats_sent = 0; ///< pings and pongs
   std::uint64_t peers_declared_dead = 0;
   std::uint64_t stream_resets = 0;   ///< resync restarts of a stream
+  std::uint64_t credits_sent = 0;    ///< standalone Credit grants
+  std::uint64_t credit_stalls = 0;   ///< events queued awaiting credit
 
   LinkCounters& operator+=(const LinkCounters& o) noexcept;
 };
@@ -205,6 +233,27 @@ public:
   /// Unacknowledged frames currently in flight toward `peer` (tests).
   [[nodiscard]] std::size_t in_flight(sim::NodeId peer) const noexcept;
 
+  /// Event frames queued toward `peer` behind the window or an exhausted
+  /// credit budget — the broker's slow-child signal (DESIGN.md §15).
+  [[nodiscard]] std::size_t queued_events(sim::NodeId peer) const noexcept;
+  /// True while events toward `peer` are queueing on an exhausted credit
+  /// budget specifically (window space exists but the grant ran out):
+  /// credit starvation, the second half of the slow-child signal.
+  [[nodiscard]] bool credit_starved(sim::NodeId peer) const noexcept;
+
+  /// Removes and returns every *queued* (not yet sequenced) event frame
+  /// toward `peer`, oldest first. Queued control frames are untouched —
+  /// only the sheddable class can be quarantined. The broker's slow-child
+  /// path moves these into its pen so a stalled subscriber stops pinning
+  /// sender-side memory and dragging siblings.
+  [[nodiscard]] std::vector<Payload> take_pending_events(sim::NodeId peer);
+
+  /// Stops granting credit on every receive stream (stalled consumer):
+  /// senders drain their remaining budget and then queue. `false` resumes
+  /// and immediately re-grants on every synced stream. No-op unless
+  /// `LinkOptions::credit` is on.
+  void set_credit_paused(bool paused);
+
   /// Position marker on the tx stream toward a peer: the stream session
   /// plus the sequence the most recently accepted (admitted or queued)
   /// frame holds — or will hold, once the window frees up. Sequences are
@@ -235,10 +284,15 @@ private:
     std::uint64_t acked = 0;     // cumulative: all <= acked acknowledged
     // Ring of unacked frames [acked+1, next_seq-1], slot = seq % window.
     std::vector<TxFrame> window;
-    // Ring of frames waiting behind the window.
-    std::vector<TxFrame> pending;
-    std::size_t pending_head = 0;
-    std::size_t pending_count = 0;
+    // Frames waiting behind the window, split by class so the priority
+    // rule is structural: queued control always drains before queued
+    // events, and only the event queue is subject to credit and shedding.
+    std::deque<TxFrame> pending_ctrl;
+    std::deque<TxFrame> pending_events;
+    // Highest event-admissible sequence granted by the receiver (credit
+    // mode). Initialized to credit_window on stream start; Credit frames
+    // max-merge into it.
+    std::uint64_t credit_limit = 0;
     std::uint32_t backoff = 0;  // consecutive RTO expiries
     bool timer_armed = false;
     sim::Time rto_deadline = 0;
@@ -256,6 +310,7 @@ private:
     bool ack_armed = false;
     std::uint64_t last_nacked = 0;
     sim::Time last_nack_time = 0;
+    std::uint64_t credit_granted = 0;  // last limit sent (credit mode)
   };
   struct WatchState {
     bool watched = false;
@@ -271,12 +326,22 @@ private:
     return static_cast<std::size_t>(tx.next_seq - 1 - tx.acked);
   }
 
+  /// Events are admissible while the receiver's credit budget covers the
+  /// next sequence (always true with credit off). Control ignores this.
+  [[nodiscard]] bool event_admissible(const TxState& tx) const noexcept {
+    return !options_.credit || tx.next_seq <= tx.credit_limit;
+  }
+
   void on_network(sim::NodeId from, const Payload& payload,
                   const sim::LinkTag& tag);
   void note_heard(sim::NodeId from);
   void enqueue(sim::NodeId to, Payload payload, bool event);
   /// Assigns the next seq and puts `frame` on the wire.
   void admit(sim::NodeId to, TxState& tx, TxFrame frame);
+  /// Admits queued frames while the window (and, for events, credit) has
+  /// room: control first, always — the structural priority rule.
+  void drain_pending(sim::NodeId to, TxState& tx);
+  void grant_credit(sim::NodeId peer, RxState& rx, bool force);
   void transmit(sim::NodeId to, TxState& tx, std::uint64_t seq);
   void advance_ack(sim::NodeId peer, TxState& tx, std::uint32_t session,
                    std::uint64_t cum);
@@ -295,6 +360,7 @@ private:
   void handle_ack(sim::NodeId from, wire::Reader& r);
   void handle_nack(sim::NodeId from, wire::Reader& r);
   void handle_heartbeat(sim::NodeId from, wire::Reader& r);
+  void handle_credit(sim::NodeId from, wire::Reader& r);
   [[nodiscard]] Payload frame_control(std::uint8_t tag,
                                       const auto& fields) const;
 
@@ -308,6 +374,7 @@ private:
   RetransmitProbe retransmit_probe_;
   bool detached_ = true;
   bool heartbeat_armed_ = false;
+  bool credit_paused_ = false;
   std::uint32_t next_session_ = 1;  // unique per stream this node originates
   std::uint64_t next_nonce_ = 1;
   std::unordered_map<sim::NodeId, TxState> tx_;

@@ -176,6 +176,51 @@ util::TextTable link_table(const link::LinkCounters& c, std::uint64_t reparents)
   return table;
 }
 
+ShedLedger shed_ledger(routing::Overlay& overlay) {
+  ShedLedger ledger;
+  for (const auto& publisher : overlay.publishers())
+    ledger.published += publisher->stats().events_published;
+  for (const auto& subscriber : overlay.subscribers()) {
+    const routing::SubscriberStats& s = subscriber->stats();
+    ledger.delivered += s.events_delivered;
+    ledger.stall_dropped += s.stall_inbox_dropped;
+  }
+  for (const auto& broker : overlay.brokers()) {
+    const routing::BrokerStats s = broker->stats();
+    ledger.pen_dropped += s.events_pen_dropped;
+    ledger.quarantine_dropped += s.events_quarantine_dropped;
+    ledger.buffer_overflows += s.buffer_overflows;
+    ledger.quarantine_parked += broker->quarantine_pen_size();
+  }
+  ledger.link_shed = overlay.link_counters().events_shed;
+  ledger.undeliverable = overlay.network().undeliverable();
+  return ledger;
+}
+
+util::TextTable shed_table(const ShedLedger& ledger) {
+  util::TextTable table{{"Conservation ledger", "Count"}};
+  const auto row = [&](const char* name, std::uint64_t value) {
+    table.add_row({name, std::to_string(value)});
+  };
+  row("Events published", ledger.published);
+  row("Events delivered (stage 0)", ledger.delivered);
+  row("Shed: link queue full", ledger.link_shed);
+  row("Shed: grace pen evicted", ledger.pen_dropped);
+  row("Shed: quarantine pen evicted", ledger.quarantine_dropped);
+  row("Shed: stall inbox evicted", ledger.stall_dropped);
+  row("Shed: durable buffer evicted", ledger.buffer_overflows);
+  row("Parked in quarantine pens", ledger.quarantine_parked);
+  row("Undeliverable (dead peers)", ledger.undeliverable);
+  // Fan-out makes this signed: delivered counts per-subscriber copies, so
+  // a multi-subscriber workload drives it negative. The overload oracle
+  // checks the identity per subscriber, where it is exact.
+  table.add_row({"Balance (pub - del - shed)",
+                 std::to_string(static_cast<std::int64_t>(ledger.published) -
+                                static_cast<std::int64_t>(ledger.delivered) -
+                                static_cast<std::int64_t>(ledger.total_shed()))});
+  return table;
+}
+
 std::vector<index::AggregateStats> broker_aggregation(
     const routing::Overlay& overlay) {
   std::vector<index::AggregateStats> stats;

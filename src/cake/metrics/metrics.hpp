@@ -133,4 +133,42 @@ struct StageSummary {
 [[nodiscard]] util::TextTable link_table(const link::LinkCounters& counters,
                                          std::uint64_t reparents = 0);
 
+/// Unified drop accounting (DESIGN.md §15). Every place the system can
+/// intentionally lose or park an event — link queue shedding, grace-pen
+/// eviction, slow-child quarantine, stalled-consumer inboxes, durable
+/// buffer overflow, frames to crashed peers — rolls up here, so the
+/// conservation identity
+///
+///   published == delivered + shed (by reason) + in_flight
+///
+/// is checkable from one snapshot instead of scattered counters. The
+/// chaos overload oracle asserts it exactly; `cake_trace summary` and
+/// `cake_chaos` print the table for operators.
+struct ShedLedger {
+  std::uint64_t published = 0;     ///< events handed to publishers
+  std::uint64_t delivered = 0;     ///< exact-filter deliveries at stage 0
+  std::uint64_t link_shed = 0;     ///< link tx queue full, drop-newest
+  std::uint64_t pen_dropped = 0;   ///< grace-pen eviction (oldest)
+  std::uint64_t quarantine_dropped = 0;  ///< slow-child pen eviction
+  std::uint64_t quarantine_parked = 0;   ///< still penned (in-flight)
+  std::uint64_t stall_dropped = 0;       ///< stalled-consumer inbox eviction
+  std::uint64_t buffer_overflows = 0;    ///< durable detach buffer eviction
+  std::uint64_t undeliverable = 0;  ///< frames to crashed/detached nodes
+
+  /// Every accounted intentional loss (excludes the parked in-flight).
+  [[nodiscard]] std::uint64_t total_shed() const noexcept {
+    return link_shed + pen_dropped + quarantine_dropped + stall_dropped +
+           buffer_overflows;
+  }
+};
+
+/// Snapshots the ledger from every node's counters plus the network's
+/// undeliverable count. Non-const: Network's accounting accessors are
+/// aggregation reads over per-lane slots.
+[[nodiscard]] ShedLedger shed_ledger(routing::Overlay& overlay);
+
+/// Renders the ledger, one reason per row, closing with the balance line
+/// `published - delivered - total_shed` (in-flight + spurious margin).
+[[nodiscard]] util::TextTable shed_table(const ShedLedger& ledger);
+
 }  // namespace cake::metrics

@@ -114,6 +114,8 @@ void Broker::crash() {
   pen_armed_ = false;
   bounced_.clear();
   bounced_order_.clear();
+  child_health_.clear();
+  quarantine_armed_ = false;
   journal_sync_.stop();
   link_.detach();
 }
@@ -126,6 +128,8 @@ void Broker::restart() {
   handover_mark_ = {};
   pen_.clear();
   pen_armed_ = false;
+  child_health_.clear();
+  quarantine_armed_ = false;
   entries_.clear();
   by_filter_.clear();
   needed_.clear();
@@ -379,6 +383,7 @@ void Broker::handle(Renew&& msg) {
   if (it == by_filter_.end()) {
     // The lease was reaped (lost renewals, partition): tell the child so it
     // can re-run the join protocol instead of renewing into the void.
+    ++stats_.expired_notices;
     send(msg.child, Expired{std::move(msg.filter)});
     return;
   }
@@ -390,7 +395,10 @@ void Broker::handle(Renew&& msg) {
       found = true;
     }
   }
-  if (!found) send(msg.child, Expired{std::move(msg.filter)});
+  if (!found) {
+    ++stats_.expired_notices;
+    send(msg.child, Expired{std::move(msg.filter)});
+  }
 }
 
 void Broker::handle(Unsub&& msg) {
@@ -505,7 +513,7 @@ void Broker::handle(EventMsg&& msg, sim::NodeId from) {
       ++stats_.events_buffered;
       continue;
     }
-    send(target, msg);
+    forward_event(target, encode(msg));
     ++stats_.events_forwarded;
   }
 }
@@ -569,11 +577,10 @@ void Broker::handle_event_frame(sim::NodeId from,
       continue;
     }
     if (config_.forward == ForwardMode::PassThrough) {
-      link_.send_event(target, payload);  // refcount copy, zero bytes moved
+      forward_event(target, payload);  // refcount copy, zero bytes moved
     } else {
-      link_.send_event(target, encode_event_frame(image_scratch_,
-                                                  published_at, event_id,
-                                                  trace_id));
+      forward_event(target, encode_event_frame(image_scratch_, published_at,
+                                               event_id, trace_id));
     }
     ++stats_.events_forwarded;
   }
@@ -886,11 +893,11 @@ void Broker::pen_tick(std::uint64_t epoch) {
             continue;
           }
           if (config_.forward == ForwardMode::PassThrough) {
-            link_.send_event(target, parked.payload);
+            forward_event(target, parked.payload);
           } else {
-            link_.send_event(target,
-                             encode_event_frame(image_scratch_, published_at,
-                                                event_id, trace_id));
+            forward_event(target,
+                          encode_event_frame(image_scratch_, published_at,
+                                             event_id, trace_id));
           }
           ++stats_.events_forwarded;
         }
@@ -941,6 +948,109 @@ void Broker::pen_tick(std::uint64_t epoch) {
   }
   transport_.schedule_background_after(config_.match_grace / 4,
                                        [this, epoch] { pen_tick(epoch); });
+}
+
+void Broker::forward_event(sim::NodeId target,
+                           const sim::Network::Payload& payload) {
+  if (!config_.quarantine) {
+    link_.send_event(target, payload);
+    return;
+  }
+  const auto [it, inserted] = child_health_.try_emplace(target);
+  ChildHealth& ch = it->second;
+  if (inserted) ch.health = health::QueueHealth{config_.child_queue};
+  if (ch.quarantined) {
+    park_quarantined(ch, payload);
+    return;
+  }
+  link_.send_event(target, payload);
+  observe_child(target, ch);
+}
+
+void Broker::observe_child(sim::NodeId target, ChildHealth& ch) {
+  const health::NodeState state =
+      ch.health.observe(link_.queued_events(target));
+  if (state == health::NodeState::Healthy) {
+    ch.above_since = 0;
+    return;
+  }
+  // Clamp to 1 so t=0 is distinguishable from the "not above" sentinel.
+  const sim::Time now = std::max<sim::Time>(transport_.now(), 1);
+  if (ch.above_since == 0) ch.above_since = now;
+  // Quarantine on a sustained backlog — or immediately when the queue hits
+  // capacity, so per-child link state never outgrows the watermark bound.
+  if (state == health::NodeState::Shedding ||
+      now - ch.above_since >= config_.quarantine_after)
+    quarantine_child(target, ch);
+}
+
+void Broker::quarantine_child(sim::NodeId target, ChildHealth& ch) {
+  ch.quarantined = true;
+  ++stats_.children_quarantined;
+  if (chaos_debug())
+    std::fprintf(stderr, "[dbg] t=%llu broker=%u QUARANTINE child=%u depth=%zu\n",
+                 (unsigned long long)transport_.now(), (unsigned)id_,
+                 (unsigned)target, link_.queued_events(target));
+  // Pull the backlog out of the link: the stream keeps only its in-flight
+  // window and control traffic, so lease renewals toward the slow child
+  // are never head-of-line blocked behind a wall of stalled events.
+  for (sim::Network::Payload& payload : link_.take_pending_events(target))
+    park_quarantined(ch, payload);
+  if (quarantine_armed_) return;
+  quarantine_armed_ = true;
+  const std::uint64_t epoch = epoch_;
+  transport_.schedule_background_after(
+      config_.quarantine_drain_interval,
+      [this, epoch] { quarantine_tick(epoch); });
+}
+
+void Broker::park_quarantined(ChildHealth& ch,
+                              const sim::Network::Payload& payload) {
+  if (ch.pen.size() >= config_.quarantine_pen_limit) {
+    ch.pen.pop_front();  // bound memory: drop the oldest, and account for it
+    ++ch.dropped;
+    ++stats_.events_quarantine_dropped;
+  }
+  ch.pen.push_back(payload);
+  ++stats_.events_quarantined;
+}
+
+void Broker::quarantine_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || crashed_) {
+    quarantine_armed_ = false;
+    return;
+  }
+  bool active = false;
+  for (auto& [child, ch] : child_health_) {
+    if (!ch.quarantined) continue;
+    // Paced re-feed: top the link queue up to the low watermark and no
+    // further. A still-stalled child caps its link state at `low` frames;
+    // a recovering one drains those, and the next tick feeds more.
+    while (!ch.pen.empty() &&
+           link_.queued_events(child) < config_.child_queue.low) {
+      link_.send_event(child, ch.pen.front());
+      ch.pen.pop_front();
+    }
+    if (ch.pen.empty() &&
+        link_.queued_events(child) < config_.child_queue.low) {
+      if (chaos_debug())
+        std::fprintf(stderr, "[dbg] t=%llu broker=%u UNQUARANTINE child=%u\n",
+                     (unsigned long long)transport_.now(), (unsigned)id_,
+                     (unsigned)child);
+      ch.quarantined = false;
+      ch.health = health::QueueHealth{config_.child_queue};
+      ch.above_since = 0;
+      continue;
+    }
+    active = true;
+  }
+  if (!active) {
+    quarantine_armed_ = false;
+    return;
+  }
+  transport_.schedule_background_after(
+      config_.quarantine_drain_interval,
+      [this, epoch] { quarantine_tick(epoch); });
 }
 
 bool Broker::take_bounce_budget(std::uint64_t event_id) {
@@ -1024,7 +1134,7 @@ void Broker::replay_range_to(sim::NodeId child, std::uint64_t from) {
       // Pass-through serve: the journaled bytes are the frame the
       // publisher built, so replay forwards are byte-identical to live
       // ones and the subscriber's dedup treats them as the same event.
-      link_.send_event(child, payload);
+      forward_event(child, payload);
       ++stats_.events_replayed;
     } catch (const wire::WireError&) {
       ++stats_.malformed_packets;

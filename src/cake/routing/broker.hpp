@@ -25,6 +25,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cake/health/health.hpp"
 #include "cake/index/aggregate.hpp"
 #include "cake/index/sharded.hpp"
 #include "cake/journal/journal.hpp"
@@ -119,6 +120,21 @@ struct BrokerConfig {
   /// The append itself happens inline — it is a memcpy into the storage
   /// layer — but flushing is deferred off the event path.
   sim::Time journal_sync_interval = 250'000;
+  /// Slow-child quarantine (DESIGN.md §15; off by default). When a child's
+  /// link queue of *event* frames sits above `child_queue.high` for
+  /// `quarantine_after`, or hits `child_queue.capacity` at all, the broker
+  /// stops feeding the link: the queued event frames move into a bounded
+  /// per-child pen (drop-oldest, counted) and later forwards park there
+  /// too, so one stalled subscriber cannot grow unbounded link state or
+  /// starve its siblings' fan-out. A background tick drains the pen back
+  /// into the link as the child recovers and lifts the quarantine once the
+  /// pen is empty. Control traffic is untouched throughout — leases keep
+  /// renewing across the stall.
+  bool quarantine = false;
+  health::Watermarks child_queue;
+  sim::Time quarantine_after = 500'000;
+  sim::Time quarantine_drain_interval = 100'000;
+  std::size_t quarantine_pen_limit = 1024;
 };
 
 /// Counters for LC / RLC / MR (§5.1).
@@ -138,6 +154,10 @@ struct BrokerStats {
   std::uint64_t events_journaled = 0;  ///< frames appended to the journal
   std::uint64_t journal_replays = 0;   ///< records re-driven by restart()
   std::uint64_t events_bounced = 0;    ///< expired pen frames sent to parent
+  std::uint64_t expired_notices = 0;   ///< Expired sent to renewing children
+  std::uint64_t children_quarantined = 0;   ///< slow-child pens opened
+  std::uint64_t events_quarantined = 0;     ///< frames parked in child pens
+  std::uint64_t events_quarantine_dropped = 0;  ///< oldest penned evicted
   std::size_t filters = 0;             ///< live distinct filters
   std::size_t associations = 0;        ///< live (filter, child) pairs
 };
@@ -214,6 +234,25 @@ public:
   /// The broker's end of its links (tests poke failure-detector state).
   [[nodiscard]] link::LinkManager& link() noexcept { return link_; }
 
+  /// True while `child` is penned as a slow consumer (config_.quarantine).
+  [[nodiscard]] bool quarantined(sim::NodeId child) const noexcept {
+    const auto it = child_health_.find(child);
+    return it != child_health_.end() && it->second.quarantined;
+  }
+  /// Frames currently parked across every slow-child pen.
+  [[nodiscard]] std::size_t quarantine_pen_size() const noexcept {
+    std::size_t total = 0;
+    for (const auto& [child, ch] : child_health_) total += ch.pen.size();
+    return total;
+  }
+  /// Frames evicted from `child`'s pen (drop-oldest), attributable to that
+  /// child alone — the per-subscriber conservation oracle needs the split
+  /// the aggregate stats_ counter cannot provide.
+  [[nodiscard]] std::uint64_t quarantine_dropped(sim::NodeId child) const noexcept {
+    const auto it = child_health_.find(child);
+    return it == child_health_.end() ? 0 : it->second.dropped;
+  }
+
   /// Advertised schema for `type_name`, if any reached this broker.
   [[nodiscard]] const weaken::StageSchema* schema_for(std::string_view type_name) const;
 
@@ -272,6 +311,7 @@ private:
   void handle(Ack&&) {}
   void handle(Nack&&) {}
   void handle(Heartbeat&&) {}
+  void handle(Credit&&) {}
 
   /// Zero-allocation event path (DESIGN.md §9): decodes the EventMsg frame
   /// into `image_scratch_` with values borrowed from `payload`'s buffer,
@@ -344,6 +384,21 @@ private:
   void replay_range_to(sim::NodeId child, std::uint64_t from);
   void serve_recovery_window(sim::NodeId child);
   bool take_bounce_budget(std::uint64_t event_id);
+  /// Single choke point for event fan-out toward one child. Without
+  /// quarantine this is exactly `link_.send_event`; with it, frames to a
+  /// penned child park instead, and every live send observes the child's
+  /// link queue depth to drive the health state machine.
+  void forward_event(sim::NodeId target, const sim::Network::Payload& payload);
+  struct ChildHealth;
+  void observe_child(sim::NodeId target, ChildHealth& ch);
+  /// Opens the pen: pulls the queued event frames back out of the link
+  /// (control stays) and arms the drain tick.
+  void quarantine_child(sim::NodeId target, ChildHealth& ch);
+  void park_quarantined(ChildHealth& ch, const sim::Network::Payload& payload);
+  /// Paced drain: each tick feeds penned frames back into the link until
+  /// its queue reaches the low watermark; lifts the quarantine when the
+  /// pen empties.
+  void quarantine_tick(std::uint64_t epoch);
 
   sim::NodeId id_;
   std::size_t stage_;
@@ -420,6 +475,18 @@ private:
   // forever. Bounded FIFO; RAM state, wiped by crash() like any table.
   std::unordered_map<std::uint64_t, std::uint32_t> bounced_;
   std::deque<std::uint64_t> bounced_order_;
+
+  // Slow-child quarantine state (config_.quarantine). One entry per child
+  // the fan-out has touched; RAM state, wiped by crash() like any table.
+  struct ChildHealth {
+    health::QueueHealth health;
+    sim::Time above_since = 0;  // 0 = not currently above the high mark
+    bool quarantined = false;
+    std::uint64_t dropped = 0;  // pen evictions charged to this child
+    std::deque<sim::Network::Payload> pen;  // oldest first, refcounted
+  };
+  std::unordered_map<sim::NodeId, ChildHealth> child_health_;
+  bool quarantine_armed_ = false;
 
   BrokerStats stats_;
   index::MatchScratch scratch_;

@@ -153,6 +153,33 @@ void SubscriberNode::resume() {
   for (const sim::NodeId node : hosting_nodes()) send(node, Resume{id_});
 }
 
+void SubscriberNode::stall() {
+  if (stalled_ || halted_ || detached_) return;
+  stalled_ = true;
+  // Stop granting receive credit: upstream senders drain their remaining
+  // budget, then queue — the hosting broker's slow-child detector fires on
+  // that backlog. Control (renewals, ACKs) keeps flowing both ways.
+  link_.set_credit_paused(true);
+  if (chaos_debug())
+    std::fprintf(stderr, "[dbg] t=%llu sub=%u STALL\n",
+                 (unsigned long long)transport_.now(), (unsigned)id_);
+}
+
+void SubscriberNode::unstall() {
+  if (!stalled_) return;
+  stalled_ = false;
+  link_.set_credit_paused(false);
+  if (chaos_debug())
+    std::fprintf(stderr, "[dbg] t=%llu sub=%u UNSTALL parked=%zu\n",
+                 (unsigned long long)transport_.now(), (unsigned)id_,
+                 stall_inbox_.size());
+  // Drain through the normal delivery path; swap first so a re-entrant
+  // stall() mid-drain parks into a fresh inbox instead of this loop.
+  std::deque<std::pair<sim::NodeId, sim::Network::Payload>> parked;
+  parked.swap(stall_inbox_);
+  for (auto& [from, payload] : parked) on_packet(from, payload);
+}
+
 void SubscriberNode::unsubscribe(std::uint64_t token) {
   const auto it = subs_.find(token);
   if (it == subs_.end()) return;
@@ -182,6 +209,18 @@ void SubscriberNode::on_packet(sim::NodeId from,
   // Any arrival is proof of life: a host we declared dead is revived and
   // becomes watchable again the next time sync_watches runs.
   dead_hosts_.erase(from);
+  if (stalled_ && packet_class(payload) == kEventPacketClass) {
+    // Stalled consumer: the protocol stack is alive but the application
+    // stopped draining. Park the frame in the bounded inbox; control
+    // traffic (joins, Expired, renewal replies) is handled normally.
+    if (stall_inbox_.size() >= config_.stall_inbox_limit) {
+      stall_inbox_.pop_front();  // bound memory: drop the oldest, counted
+      ++stats_.stall_inbox_dropped;
+    }
+    stall_inbox_.emplace_back(from, payload);
+    ++stats_.events_stalled;
+    return;
+  }
   Packet packet;
   try {
     packet = decode(payload);

@@ -32,6 +32,8 @@ struct SubscriberStats {
   std::uint64_t join_redirects = 0;    ///< JoinAt hops during subscriptions
   std::uint64_t rejoins = 0;           ///< re-subscriptions after Expired
   std::uint64_t malformed_packets = 0; ///< corrupt frames dropped
+  std::uint64_t events_stalled = 0;    ///< events parked in the stall inbox
+  std::uint64_t stall_inbox_dropped = 0;  ///< oldest parked evicted, inbox full
 };
 
 struct SubscriberConfig {
@@ -64,6 +66,10 @@ struct SubscriberConfig {
   /// fails, prefixed "⊔", instead of leaving the span unattributed. The
   /// Overlay turns this on automatically when broker aggregation is on.
   bool merge_blame = false;
+  /// Events the stall inbox holds while the consumer is stalled (stall()),
+  /// before the oldest are dropped and counted. Models the bounded
+  /// application-side queue of a consumer whose handler stopped draining.
+  std::size_t stall_inbox_limit = 1024;
 };
 
 class SubscriberNode {
@@ -127,6 +133,20 @@ public:
   void halt();
 
   [[nodiscard]] bool halted() const noexcept { return halted_; }
+
+  /// Simulates a stalled consumer (DESIGN.md §15): the process stays up —
+  /// renewals, joins and link ACKs all keep running, so its leases never
+  /// expire — but the application stops draining events. Arriving event
+  /// frames park in a bounded inbox (drop-oldest, counted) and the link
+  /// stops granting receive credit, so upstream senders exhaust their
+  /// budget and the hosting broker's slow-child detector takes over.
+  void stall();
+
+  /// Ends the stall: credit grants resume and the parked inbox drains
+  /// through the normal delivery path (dedup, handlers, latency stats).
+  void unstall();
+
+  [[nodiscard]] bool stalled() const noexcept { return stalled_; }
 
   /// Explicit unsubscription (§4.3 optimization); stops renewals either way.
   void unsubscribe(std::uint64_t token);
@@ -212,6 +232,10 @@ private:
   std::uint64_t next_group_ = 1;
   bool detached_ = false;
   bool halted_ = false;
+  bool stalled_ = false;
+  // Event frames parked while stalled, oldest first, with their sender
+  // (the drain re-enters on_packet, which needs `from` for tracing).
+  std::deque<std::pair<sim::NodeId, sim::Network::Payload>> stall_inbox_;
   trace::Tracer* tracer_ = nullptr;
   SubscriberStats stats_;
   util::RunningStats latency_;

@@ -69,6 +69,15 @@ struct OverlayConfig {
   runtime::ThreadedOptions threaded{};
   /// Frames per cross-lane delivery drain task (Threaded backend).
   std::size_t handoff_batch = 64;
+  /// Startup validation of the documented soft-state invariants
+  /// (health::validate_*): rto_max ≪ lease TTL, heartbeat_misses ≥ 2, the
+  /// dedup-capacity sizing rule, and watermark ordering wherever watermarks
+  /// are enabled. Throws std::invalid_argument with an actionable message
+  /// naming the offending values. Opt out only for harnesses that
+  /// deliberately push timers past the run's lifetime (the backend
+  /// conformance suite pins rto_max == ttl to keep wall-clock timers out of
+  /// the loop).
+  bool validate = true;
 };
 
 /// Owns the simulation and every node in it.

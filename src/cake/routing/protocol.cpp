@@ -18,6 +18,7 @@ enum class Tag : std::uint8_t {
   Ack,
   Nack,
   Heartbeat,
+  Credit,
 };
 
 // The link module frames its own control packets on the ack/heartbeat hot
@@ -26,6 +27,7 @@ enum class Tag : std::uint8_t {
 static_assert(static_cast<std::uint8_t>(Tag::Ack) == link::kAckTag);
 static_assert(static_cast<std::uint8_t>(Tag::Nack) == link::kNackTag);
 static_assert(static_cast<std::uint8_t>(Tag::Heartbeat) == link::kHeartbeatTag);
+static_assert(static_cast<std::uint8_t>(Tag::Credit) == link::kCreditTag);
 
 struct Encoder {
   wire::Writer& w;
@@ -99,6 +101,10 @@ struct Encoder {
   }
   void operator()(const Heartbeat& m) const {
     w.u8(static_cast<std::uint8_t>(Tag::Heartbeat));
+    link::encode_fields(w, m);
+  }
+  void operator()(const Credit& m) const {
+    w.u8(static_cast<std::uint8_t>(Tag::Credit));
     link::encode_fields(w, m);
   }
 };
@@ -195,6 +201,8 @@ Packet decode(std::span<const std::byte> payload) {
       return link::decode_nack_fields(r);
     case Tag::Heartbeat:
       return link::decode_heartbeat_fields(r);
+    case Tag::Credit:
+      return link::decode_credit_fields(r);
   }
   throw wire::WireError{"protocol: unknown message tag"};
 }
@@ -229,6 +237,7 @@ std::string_view packet_class_name(std::uint8_t cls) noexcept {
     case Tag::Ack: return "Ack";
     case Tag::Nack: return "Nack";
     case Tag::Heartbeat: return "Heartbeat";
+    case Tag::Credit: return "Credit";
   }
   return "?";
 }

@@ -110,13 +110,15 @@ struct EventMsg {
 ///   Ack       — cumulative acknowledgement of a sequenced stream
 ///   Nack      — gap report / stream-resync request
 ///   Heartbeat — liveness probe and its echo
+///   Credit    — receiver flow-control grant for event frames (PR 10)
 using Ack = link::Ack;
 using Nack = link::Nack;
 using Heartbeat = link::Heartbeat;
+using Credit = link::Credit;
 
-using Packet =
-    std::variant<Advertise, Subscribe, JoinAt, AcceptedAt, ReqInsert, Renew,
-                 Unsub, Expired, Detach, Resume, EventMsg, Ack, Nack, Heartbeat>;
+using Packet = std::variant<Advertise, Subscribe, JoinAt, AcceptedAt,
+                            ReqInsert, Renew, Unsub, Expired, Detach, Resume,
+                            EventMsg, Ack, Nack, Heartbeat, Credit>;
 
 /// Serializes a packet into a checksummed frame ready for Network::send
 /// (the Payload conversion wraps the vector). Control-path helper; event
@@ -135,7 +137,7 @@ using Packet =
 [[nodiscard]] Packet decode(std::span<const std::byte> payload);
 
 /// Number of distinct packet classes (== std::variant_size_v<Packet>).
-inline constexpr std::uint8_t kPacketClasses = 14;
+inline constexpr std::uint8_t kPacketClasses = 15;
 
 /// Wire tag of EventMsg frames (checked against the Tag enum in
 /// protocol.cpp). Brokers peek this to route event traffic through the

@@ -1,11 +1,17 @@
 #include "cake/runtime/pipeline.hpp"
 
+#include <thread>
+
 namespace cake::runtime {
 
 EventPipeline::EventPipeline(Transport& transport, LocalBus& bus,
                              PipelineOptions options)
-    : transport_(transport), bus_(bus), options_(options) {
+    : transport_(transport),
+      bus_(bus),
+      options_(options),
+      outstanding_(std::max<std::size_t>(transport.workers(), 1)) {
   options_.batch = std::max<std::size_t>(options_.batch, 1);
+  if (options_.watermarks) options_.lane.validate("pipeline lane");
 }
 
 EventPipeline::Producer::Producer(EventPipeline& pipeline)
@@ -15,6 +21,10 @@ EventPipeline::Producer::Producer(EventPipeline& pipeline)
 
 void EventPipeline::Producer::publish(EventPtr event) {
   const std::size_t lane = pipeline_.lane_of(*event);
+  // Counted before admission: a shed event is still a submission, so the
+  // conservation identity submitted == delivered + shed survives drain.
+  pipeline_.submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (pipeline_.options_.watermarks && !pipeline_.admit(lane)) return;
   auto& buffer = staged_[lane];
   buffer.push_back(std::move(event));
   if (buffer.size() >= pipeline_.options_.batch) {
@@ -34,13 +44,34 @@ void EventPipeline::Producer::flush() {
   }
 }
 
+bool EventPipeline::admit(std::size_t lane) {
+  std::atomic<std::size_t>& depth = outstanding_[lane % outstanding_.size()].counter;
+  if (depth.load(std::memory_order_relaxed) < options_.lane.high) return true;
+  if (options_.policy == health::OverloadPolicy::Shed) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Block: only a concurrent transport can drain the lane underneath us;
+  // the sim backend runs its queue on this very thread at drain time, so
+  // spinning there would deadlock — admit instead (still lossless, and the
+  // deterministic drain empties the lane before anything observes depth).
+  if (!transport_.concurrent()) return true;
+  blocks_.fetch_add(1, std::memory_order_relaxed);
+  while (depth.load(std::memory_order_relaxed) >= options_.lane.high)
+    std::this_thread::yield();
+  return true;
+}
+
 void EventPipeline::post_batch(std::size_t lane, std::vector<EventPtr> events) {
-  submitted_.fetch_add(events.size(), std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
-  transport_.post(lane, [this, events = std::move(events)] {
+  const std::size_t count = events.size();
+  std::atomic<std::size_t>& depth = outstanding_[lane % outstanding_.size()].counter;
+  depth.fetch_add(count, std::memory_order_relaxed);
+  transport_.post(lane, [this, &depth, count, events = std::move(events)] {
     std::size_t invoked = 0;
     for (const EventPtr& event : events) invoked += bus_.publish(*event);
     delivered_.fetch_add(invoked, std::memory_order_relaxed);
+    depth.fetch_sub(count, std::memory_order_relaxed);
   });
 }
 

@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "cake/health/health.hpp"
 #include "cake/runtime/local_bus.hpp"
 #include "cake/runtime/transport.hpp"
 
@@ -37,6 +38,18 @@ using EventPtr = std::shared_ptr<const event::Event>;
 
 struct PipelineOptions {
   std::size_t batch = 32;  ///< max events staged per lane before handoff
+  /// Per-lane outstanding-event watermarks (DESIGN.md §15; off by default,
+  /// zero hot-path cost beyond one branch). When on, each publish observes
+  /// how many events its lane has posted but not yet delivered:
+  ///   Block — at `lane.high`, spin-yield until the lane drains below it.
+  ///           Lossless; only meaningful on a concurrent transport (the
+  ///           sim backend admits instead — blocking its one thread would
+  ///           deadlock the drain that consumes the queue).
+  ///   Shed  — at `lane.high`, drop the event and count it. The lane's
+  ///           outstanding depth then never exceeds the watermark bound.
+  bool watermarks = false;
+  health::Watermarks lane{};
+  health::OverloadPolicy policy = health::OverloadPolicy::Block;
 };
 
 /// Counters; relaxed atomics — monotonic, not cross-consistent.
@@ -44,6 +57,8 @@ struct PipelineStats {
   std::uint64_t submitted = 0;  ///< events handed to publish()
   std::uint64_t batches = 0;    ///< tasks posted to the transport
   std::uint64_t delivered = 0;  ///< handler invocations on workers
+  std::uint64_t shed = 0;       ///< events dropped at the high watermark
+  std::uint64_t blocks = 0;     ///< publishes that waited for a lane drain
 };
 
 class EventPipeline {
@@ -92,7 +107,15 @@ public:
   [[nodiscard]] PipelineStats stats() const noexcept {
     return PipelineStats{submitted_.load(std::memory_order_relaxed),
                          batches_.load(std::memory_order_relaxed),
-                         delivered_.load(std::memory_order_relaxed)};
+                         delivered_.load(std::memory_order_relaxed),
+                         shed_.load(std::memory_order_relaxed),
+                         blocks_.load(std::memory_order_relaxed)};
+  }
+
+  /// Events posted to `lane` whose handlers have not yet returned.
+  [[nodiscard]] std::size_t outstanding(std::size_t lane) const noexcept {
+    return outstanding_[lane % outstanding_.size()].counter.load(
+        std::memory_order_relaxed);
   }
 
   [[nodiscard]] LocalBus& bus() noexcept { return bus_; }
@@ -100,6 +123,9 @@ public:
 private:
   /// Hands one staged batch to the transport as a single task.
   void post_batch(std::size_t lane, std::vector<EventPtr> events);
+  /// Watermark gate for one event bound for `lane`; returns false when the
+  /// Shed policy dropped it (already counted).
+  [[nodiscard]] bool admit(std::size_t lane);
 
   Transport& transport_;
   LocalBus& bus_;
@@ -108,6 +134,14 @@ private:
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> blocks_{0};
+  // One cache line per lane: the producers hammer their own lane's counter
+  // and must not false-share with their neighbours'.
+  struct alignas(64) LaneDepth {
+    std::atomic<std::size_t> counter{0};
+  };
+  std::vector<LaneDepth> outstanding_;
 };
 
 }  // namespace cake::runtime

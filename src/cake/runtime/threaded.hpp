@@ -66,6 +66,7 @@ public:
   [[nodiscard]] std::size_t workers() const noexcept override {
     return lanes_.size();
   }
+  [[nodiscard]] bool concurrent() const noexcept override { return true; }
 
   void post(Task fn) override { post(0, std::move(fn)); }
   void post(std::size_t lane, Task fn) override;

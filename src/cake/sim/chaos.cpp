@@ -14,6 +14,7 @@ char kind_letter(FaultKind kind) {
     case FaultKind::Duplicate: return 'U';
     case FaultKind::Jitter: return 'J';
     case FaultKind::Crash: return 'C';
+    case FaultKind::Stall: return 'S';
   }
   return '?';
 }
@@ -25,6 +26,7 @@ FaultKind kind_of(char letter) {
     case 'U': return FaultKind::Duplicate;
     case 'J': return FaultKind::Jitter;
     case 'C': return FaultKind::Crash;
+    case 'S': return FaultKind::Stall;
   }
   throw std::invalid_argument{"FaultPlan: unknown op kind"};
 }
@@ -181,6 +183,11 @@ void Chaos::set_crash_hooks(CrashHook crash, CrashHook restart) {
   restart_ = std::move(restart);
 }
 
+void Chaos::set_stall_hooks(CrashHook stall, CrashHook unstall) {
+  stall_ = std::move(stall);
+  unstall_ = std::move(unstall);
+}
+
 void Chaos::set_classifier(PacketClassifier classifier) {
   classifier_ = std::move(classifier);
 }
@@ -191,15 +198,25 @@ void Chaos::arm() {
         return intercept(from, to, payload);
       });
   for (const FaultOp& op : plan_.ops) {
-    if (op.kind != FaultKind::Crash) continue;
-    scheduler_.schedule_at(op.at, [this, node = op.a] {
-      ++stats_.crashes;
-      if (crash_) crash_(node);
-    });
-    scheduler_.schedule_at(op.until, [this, node = op.a] {
-      ++stats_.restarts;
-      if (restart_) restart_(node);
-    });
+    if (op.kind == FaultKind::Crash) {
+      scheduler_.schedule_at(op.at, [this, node = op.a] {
+        ++stats_.crashes;
+        if (crash_) crash_(node);
+      });
+      scheduler_.schedule_at(op.until, [this, node = op.a] {
+        ++stats_.restarts;
+        if (restart_) restart_(node);
+      });
+    } else if (op.kind == FaultKind::Stall) {
+      scheduler_.schedule_at(op.at, [this, node = op.a] {
+        ++stats_.stalls;
+        if (stall_) stall_(node);
+      });
+      scheduler_.schedule_at(op.until, [this, node = op.a] {
+        ++stats_.unstalls;
+        if (unstall_) unstall_(node);
+      });
+    }
   }
 }
 
@@ -257,6 +274,7 @@ Network::FaultAction Chaos::intercept(NodeId from, NodeId to,
         }
         break;
       case FaultKind::Crash:
+      case FaultKind::Stall:
         break;  // handled by the scheduled hooks, not per message
     }
   }

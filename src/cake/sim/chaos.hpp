@@ -31,6 +31,7 @@ enum class FaultKind : std::uint8_t {
   Duplicate,  ///< inject one extra copy with probability p
   Jitter,     ///< add uniform extra latency in (0, jitter] with probability p
   Crash,      ///< crash node `a` at `at`, restart it cold at `until`
+  Stall,      ///< stall node `a`'s consumer at `at`, unstall it at `until`
 };
 
 /// One scripted fault. Windows are half-open [at, until) in virtual time;
@@ -96,6 +97,8 @@ struct ChaosStats {
   std::uint64_t delayed = 0;     ///< messages given extra latency
   std::uint64_t crashes = 0;
   std::uint64_t restarts = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t unstalls = 0;
 };
 
 /// Arms a FaultPlan against a simulation. Construction is passive; call
@@ -115,6 +118,10 @@ public:
   Chaos& operator=(const Chaos&) = delete;
 
   void set_crash_hooks(CrashHook crash, CrashHook restart);
+  /// Hooks for Stall ops (overload mode): the owning layer stalls/unstalls
+  /// the node's consumer (routing::SubscriberNode::stall). Unset = Stall
+  /// ops are inert, like Crash ops without crash hooks.
+  void set_stall_hooks(CrashHook stall, CrashHook unstall);
   void set_classifier(PacketClassifier classifier);
 
   /// Installs the interceptor and schedules every Crash/restart instant
@@ -142,6 +149,8 @@ private:
   util::Rng rng_;
   CrashHook crash_;
   CrashHook restart_;
+  CrashHook stall_;
+  CrashHook unstall_;
   PacketClassifier classifier_;
   ChaosStats stats_;
 };

@@ -212,6 +212,7 @@ void Network::threaded_send(NodeId from, NodeId to, Payload payload,
       Delivery head;
       if (mine.ring.try_pop(head)) {
         mine.pending.fetch_sub(1, std::memory_order_acq_rel);
+        ++mine.help_drained;
         deliver_on_lane(mine, std::move(head));
         continue;
       }
@@ -292,6 +293,13 @@ std::uint64_t Network::undeliverable() const noexcept {
   if (!fabric_) return undeliverable_;
   std::uint64_t total = 0;
   for (const auto& inbox : fabric_->inboxes) total += inbox->undeliverable;
+  return total;
+}
+
+std::uint64_t Network::help_drained() const noexcept {
+  if (!fabric_) return 0;
+  std::uint64_t total = 0;
+  for (const auto& inbox : fabric_->inboxes) total += inbox->help_drained;
   return total;
 }
 

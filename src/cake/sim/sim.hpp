@@ -185,6 +185,10 @@ public:
   [[nodiscard]] std::uint64_t delivered() const noexcept;
   /// Copies that reached an unattached (crashed/detached) node and vanished.
   [[nodiscard]] std::uint64_t undeliverable() const noexcept;
+  /// Fabric mode: deliveries a blocked sender popped from its *own* full
+  /// ring while waiting for room in the destination's (the help-drain path
+  /// that keeps a cycle of full rings from deadlocking). 0 in sim mode.
+  [[nodiscard]] std::uint64_t help_drained() const noexcept;
   /// Extra copies injected by the interceptor (beyond one per send).
   [[nodiscard]] std::uint64_t duplicated() const noexcept { return duplicated_; }
 
@@ -258,6 +262,7 @@ private:
     std::atomic<std::int64_t> pending{0};
     std::uint64_t delivered = 0;
     std::uint64_t undeliverable = 0;
+    std::uint64_t help_drained = 0;  ///< popped by the full-ring help path
     std::unordered_map<NodeId, std::uint64_t> received;
   };
 

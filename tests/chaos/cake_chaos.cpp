@@ -7,6 +7,8 @@
 //   cake_chaos --durable --seeds 50      # journaled brokers, zero-loss oracle
 //   cake_chaos --durable --record-dir D  # failing seeds also dump a workload
 //                                        # journal + one-line cake_replay cmd
+//   cake_chaos --overload --seeds 50     # publish storm + stalled consumer,
+//                                        # graceful-degradation oracle
 //
 // Environment (same contract as the fuzz/soak suites):
 //   CAKE_SEED         overrides the seed range with a single seed
@@ -21,6 +23,7 @@
 #include <string>
 
 #include "cake/journal/journal.hpp"
+#include "cake/metrics/metrics.hpp"
 #include "cake/util/cli.hpp"
 #include "cake/util/env.hpp"
 #include "differential.hpp"
@@ -72,13 +75,14 @@ int sweep(const HarnessConfig& cfg, std::uint64_t start, std::uint64_t seeds,
   std::uint64_t retransmits = 0;
   for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
     const cake::sim::FaultPlan plan =
-        cfg.durability ? cake::chaos::durable_plan_for(seed, cfg)
+        cfg.overload     ? cake::chaos::overload_plan_for(seed, cfg)
+        : cfg.durability ? cake::chaos::durable_plan_for(seed, cfg)
         : message_faults ? cake::chaos::message_plan_for(seed, cfg)
                          : cake::chaos::plan_for(seed, cfg);
     const TrialResult result = cake::chaos::run_trial(cfg, plan);
     retransmits += result.link.retransmits;
     if (result.ok) {
-      if (seeds == 1)
+      if (seeds == 1) {
         std::cout << "seed " << seed << " OK: " << result.chaos.dropped
                   << " dropped, " << result.chaos.duplicated << " duplicated, "
                   << result.chaos.crashes << " crashes, duplicate peak "
@@ -87,6 +91,15 @@ int sweep(const HarnessConfig& cfg, std::uint64_t start, std::uint64_t seeds,
                   << result.link.retransmits << ", reparents "
                   << result.reparents << ", pen drops "
                   << result.pen_dropped << "\n";
+        if (cfg.overload) {
+          std::cout << "  stalls " << result.chaos.stalls << ", quarantines "
+                    << result.quarantines << ", stalled frames "
+                    << result.events_stalled << ", peak pen "
+                    << result.peak_pen << ", peak child queue "
+                    << result.peak_child_queue << "\n";
+          cake::metrics::shed_table(result.ledger).print(std::cout);
+        }
+      }
       continue;
     }
     ++failures;
@@ -164,7 +177,7 @@ int main(int argc, char** argv) {
   args.allow({"seeds", "start", "seed", "trace", "curve", "inject-bug",
               "no-shrink", "fail-file", "subscribers", "events", "ops",
               "reliable", "message-faults", "no-restart", "durable",
-              "inject-replay-bug", "record-dir", "aggregate"});
+              "inject-replay-bug", "record-dir", "aggregate", "overload"});
 
   HarnessConfig cfg;
   cfg.inject_rejoin_bug = args.get("inject-bug", false);
@@ -185,6 +198,12 @@ int main(int argc, char** argv) {
   // multiset must be unchanged and every broker's merge structure must
   // hold its fixpoint through the schedule's churn.
   cfg.aggregate = args.get("aggregate", false);
+  // --overload swaps the fault-masking oracle for the graceful-degradation
+  // set (DESIGN.md §15): publish storm, stalled consumer, credit flow
+  // control, slow-child quarantine, exact arrival conservation. Implies
+  // reliable links (run_trial forces them either way).
+  cfg.overload = args.get("overload", false);
+  if (cfg.overload) cfg.reliability = cake::link::Reliability::Reliable;
   cfg.subscribers =
       static_cast<std::size_t>(args.get("subscribers", std::int64_t{10}));
   cfg.chaos_events =

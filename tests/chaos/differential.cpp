@@ -164,6 +164,15 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
     return result;
   };
 
+  // Overload rides the reliable stack unconditionally: credit is what turns
+  // a stalled consumer into sender-side backlog the broker can see, and the
+  // accounting oracle needs loss confined to the counted pens.
+  const link::Reliability reliability = cfg.overload
+                                            ? link::Reliability::Reliable
+                                            : cfg.reliability;
+  const std::size_t chaos_events =
+      cfg.overload ? cfg.chaos_events * cfg.storm_multiplier : cfg.chaos_events;
+
   routing::OverlayConfig oc;
   oc.stage_counts = cfg.stage_counts;
   oc.broker.ttl = cfg.ttl;
@@ -175,8 +184,8 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
   oc.broker.aggregate.enabled = cfg.aggregate;
   oc.link_latency = cfg.link_latency;
   oc.seed = plan.seed ^ 0x0E11A5ULL;
-  oc.link.reliability = cfg.reliability;
-  if (cfg.reliability == link::Reliability::Reliable) {
+  oc.link.reliability = reliability;
+  if (reliability == link::Reliability::Reliable) {
     // The oracle asserts delivery, so shedding must never be the reason an
     // event went missing: give every sender queue headroom for the whole
     // workload. (Shed-policy behaviour has its own targeted unit tests.)
@@ -188,8 +197,16 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
     // The exactly-once oracle leans on subscriber event-id dedup for
     // dual-path duplicates; with the seen-set at least as large as the
     // whole workload, FIFO eviction can never re-admit a late duplicate.
-    oc.subscriber.dedup_capacity =
-        cfg.warm_events + cfg.chaos_events + cfg.probe_events;
+    oc.subscriber.dedup_capacity = std::max<std::size_t>(
+        cfg.warm_events + chaos_events + cfg.probe_events, oc.link.window);
+  }
+  if (cfg.overload) {
+    oc.link.credit = true;
+    oc.broker.quarantine = true;
+    oc.broker.child_queue = cfg.child_queue;
+    oc.broker.quarantine_after = cfg.quarantine_after;
+    oc.broker.quarantine_pen_limit = cfg.quarantine_pen_limit;
+    oc.subscriber.stall_inbox_limit = cfg.stall_inbox_limit;
   }
   if (cfg.durability) {
     // Durable brokers journal every inbound event frame and replay the log
@@ -203,7 +220,7 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
     // Per-node headroom: every event can cross a node several times under
     // duplication; overflow is a harness sizing bug and fails the trial.
     oc.trace.ring_capacity =
-        (cfg.warm_events + cfg.chaos_events + cfg.probe_events) * 64;
+        (cfg.warm_events + chaos_events + cfg.probe_events) * 64;
   }
   routing::Overlay overlay{oc};
   const reflect::TypeRegistry& registry = overlay.registry();
@@ -245,12 +262,28 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
     return fail("setup: a subscription never completed its join");
   }
 
+  // Overload conservation runs in *arrival* terms: what the hosting broker
+  // fans out to a subscriber is whatever matches the stored (stage-weakened)
+  // lease filter, spurious forwards included — so the reference side of the
+  // identity must match against the stored form, not the exact one. Captured
+  // once after setup; overload plans have no churn to move a lease.
+  std::vector<filter::ConjunctiveFilter> stored_forms;
+  std::vector<std::uint64_t> expected_arrivals(subs.size(), 0);
+  if (cfg.overload) {
+    stored_forms.reserve(subs.size());
+    for (const SubRec& sub : subs)
+      stored_forms.push_back(sub.node->subscription_views().front().stored);
+  }
+
   const auto publish_one = [&](Phase phase) {
     const std::uint64_t uid = book.next_uid++;
     const event::EventImage image = gen.next_event();
     auto& expect = book.expected[uid];
     for (std::size_t key = 0; key < subs.size(); ++key)
       if (subs[key].exact.matches(image, registry)) expect.push_back(key);
+    if (cfg.overload)
+      for (std::size_t key = 0; key < subs.size(); ++key)
+        if (stored_forms[key].matches(image, registry)) ++expected_arrivals[key];
     book.phase_of[uid] = phase;
     book.trace_of[uid] = publisher.publish(tag(image, uid));
   };
@@ -280,11 +313,38 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
   chaos.set_classifier([](const sim::Network::Payload& payload) {
     return routing::packet_class(payload);
   });
+  chaos.set_stall_hooks(
+      [&overlay](sim::NodeId n) {
+        for (const auto& sub : overlay.subscribers())
+          if (sub->id() == n) sub->stall();
+      },
+      [&overlay](sim::NodeId n) {
+        for (const auto& sub : overlay.subscribers())
+          if (sub->id() == n) sub->unstall();
+      });
   chaos.arm();
 
-  for (std::size_t i = 0; i < cfg.chaos_events; ++i) {
-    const sim::Time at = t0 + (i + 1) * cfg.horizon / (cfg.chaos_events + 1);
+  for (std::size_t i = 0; i < chaos_events; ++i) {
+    const sim::Time at = t0 + (i + 1) * cfg.horizon / (chaos_events + 1);
     sch.schedule_at(at, [&publish_one] { publish_one(Phase::Chaos); });
+  }
+
+  // Overload mode: sample per-child broker state across the storm — the
+  // memory-bound oracle gates on the peaks, not just the quiescent end
+  // state (a pen that ballooned and drained would otherwise pass).
+  if (cfg.overload) {
+    for (std::size_t i = 1; i <= 128; ++i) {
+      sch.schedule_at(t0 + i * cfg.horizon / 128, [&overlay, &result] {
+        for (const auto& broker : overlay.brokers()) {
+          result.peak_pen = std::max<std::uint64_t>(
+              result.peak_pen, broker->quarantine_pen_size());
+          for (const auto& sub : overlay.subscribers())
+            result.peak_child_queue = std::max<std::uint64_t>(
+                result.peak_child_queue,
+                broker->link().queued_events(sub->id()));
+        }
+      });
+    }
   }
 
   const sim::Time heal = t0 + std::max(plan.heal_time(), cfg.horizon);
@@ -416,6 +476,103 @@ TrialResult run_trial(const HarnessConfig& cfg, const sim::FaultPlan& plan) {
     }
   }
 
+  // (f–i) overload oracle: graceful degradation, not fault masking.
+  if (cfg.overload) {
+    for (const auto& broker : overlay.brokers()) {
+      const routing::BrokerStats bs = broker->stats();
+      result.expired_notices += bs.expired_notices;
+      result.quarantines += bs.children_quarantined;
+      if (broker->quarantine_pen_size() != 0)
+        return fail("overload: quarantine pen not drained at quiescence");
+    }
+    for (const auto& sub : overlay.subscribers()) {
+      result.rejoins += sub->stats().rejoins;
+      result.events_stalled += sub->stats().events_stalled;
+      if (sub->stalled())
+        return fail("overload: subscriber still stalled at quiescence");
+    }
+    if (result.chaos.stalls == 0 || result.chaos.unstalls == 0)
+      return fail("overload: plan carried no stall window");
+
+    // (f) the storm never costs a lease: a stalled consumer's protocol
+    // stack keeps renewing, so no broker ever reaps it.
+    if (result.expired_notices != 0) {
+      std::ostringstream err;
+      err << "overload: " << result.expired_notices
+          << " lease expiries under the storm (renewals starved)";
+      return fail(err.str());
+    }
+    if (result.rejoins != 0) {
+      std::ostringstream err;
+      err << "overload: " << result.rejoins << " forced rejoins under the storm";
+      return fail(err.str());
+    }
+
+    // (g) healthy subscribers ride through untouched: exactly-once on the
+    // reference multiset — which *is* the no-storm control's outcome, since
+    // the workload and subscription draw are deterministic in the seed.
+    std::unordered_set<std::size_t> stalled_keys;
+    for (const sim::FaultOp& op : plan.ops) {
+      if (op.kind != sim::FaultKind::Stall) continue;
+      for (std::size_t key = 0; key < subs.size(); ++key)
+        if (subs[key].node->id() == op.a) stalled_keys.insert(key);
+    }
+    if (stalled_keys.empty())
+      return fail("overload: plan stalls no subscriber of this trial");
+    for (const auto& [uid, expect] : book.expected) {
+      for (const std::size_t key : expect) {
+        const std::uint64_t copies = book.counts[uid][key];
+        if (copies > 1) {
+          std::ostringstream err;
+          err << "overload: event " << uid << " delivered " << copies
+              << "x to subscription " << key;
+          return fail(err.str());
+        }
+        if (copies == 0 && !stalled_keys.contains(key)) {
+          std::ostringstream err;
+          err << "overload: healthy subscription " << key << " lost event "
+              << uid << " to someone else's storm";
+          return fail(err.str());
+        }
+      }
+    }
+
+    // (h) the conservation identity, exact, per subscriber and in arrival
+    // terms: every event the stored lease filter admits either reached the
+    // process or sits in exactly one shed counter charged to that child.
+    for (std::size_t key = 0; key < subs.size(); ++key) {
+      const routing::SubscriberNode& node = *subs[key].node;
+      std::uint64_t shed = node.stats().stall_inbox_dropped;
+      for (const auto& broker : overlay.brokers())
+        shed += broker->quarantine_dropped(node.id());
+      const std::uint64_t arrived = node.stats().events_received;
+      if (expected_arrivals[key] != arrived + shed) {
+        std::ostringstream err;
+        err << "overload: conservation violated at subscription " << key
+            << (stalled_keys.contains(key) ? " (stalled)" : " (healthy)")
+            << ": expected " << expected_arrivals[key] << " arrivals, got "
+            << arrived << " + " << shed << " shed";
+        return fail(err.str());
+      }
+    }
+
+    // (i) bounded state throughout the storm, not just at the end.
+    if (result.peak_pen > cfg.quarantine_pen_limit) {
+      std::ostringstream err;
+      err << "overload: pen peaked at " << result.peak_pen << " frames, limit "
+          << cfg.quarantine_pen_limit;
+      return fail(err.str());
+    }
+    if (result.peak_child_queue > cfg.child_queue.capacity) {
+      std::ostringstream err;
+      err << "overload: child queue peaked at " << result.peak_child_queue
+          << " frames, capacity " << cfg.child_queue.capacity;
+      return fail(err.str());
+    }
+
+    result.ledger = metrics::shed_ledger(overlay);
+  }
+
   result.link = overlay.link_counters();
   result.reparents = overlay.total_reparents();
   for (const auto& broker : overlay.brokers())
@@ -531,6 +688,25 @@ sim::FaultPlan message_plan_for(std::uint64_t seed, const HarnessConfig& cfg) {
     }
     plan.ops.push_back(op);
   }
+  return plan;
+}
+
+sim::FaultPlan overload_plan_for(std::uint64_t seed, const HarnessConfig& cfg) {
+  util::Rng rng{seed ^ 0x0E10ADULL};
+  std::size_t brokers = 0;
+  for (const std::size_t n : cfg.stage_counts) brokers += n;
+  sim::FaultPlan plan;
+  plan.seed = seed;
+  sim::FaultOp op;
+  op.kind = sim::FaultKind::Stall;
+  // Ids are assigned brokers-first, then one publisher, then subscribers.
+  op.a = static_cast<sim::NodeId>(brokers + 1 + rng.below(cfg.subscribers));
+  // Stall early and unstall well before the heal instant: the drain (credit
+  // resume, pen pacing) must finish inside the trial's own horizon, not
+  // lean on the convergence window.
+  op.at = cfg.horizon / 10;
+  op.until = cfg.horizon * 7 / 10;
+  plan.ops.push_back(op);
   return plan;
 }
 

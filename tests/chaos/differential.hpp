@@ -31,8 +31,10 @@
 #include <string>
 #include <vector>
 
+#include "cake/health/health.hpp"
 #include "cake/journal/journal.hpp"
 #include "cake/link/link.hpp"
+#include "cake/metrics/metrics.hpp"
 #include "cake/sim/chaos.hpp"
 #include "cake/workload/generators.hpp"
 
@@ -124,6 +126,32 @@ struct HarnessConfig {
   /// probe-phase journeys pass the trace oracle end to end.
   bool trace_pipeline = false;
 
+  /// Overload mode (DESIGN.md §15): the plan stalls subscriber consumers
+  /// (FaultKind::Stall) while a publish storm — `chaos_events ×
+  /// storm_multiplier` — runs against the reliable stack with credit flow
+  /// control and broker slow-child quarantine armed. The oracle swaps the
+  /// fault-masking checks for the graceful-degradation set:
+  ///
+  ///   * zero lease expiries and zero rejoins — a stalled consumer's
+  ///     protocol stack keeps renewing, so the storm never costs a lease;
+  ///   * healthy subscribers ride through untouched: exactly-once on the
+  ///     reference multiset (precisely the no-storm control's outcome);
+  ///   * the conservation identity holds *exactly* per subscriber, in
+  ///     arrival terms: events matching the stored (stage-weakened) lease
+  ///     filter == frames received + quarantine-pen evictions charged to
+  ///     that child + stall-inbox evictions (pens empty at quiescence);
+  ///   * bounded state throughout the storm: per-child link queues never
+  ///     observed past `child_queue.capacity`, pens never past
+  ///     `quarantine_pen_limit`.
+  bool overload = false;
+  std::size_t storm_multiplier = 10;
+  /// Per-child queue watermarks the slow-child detector runs on —
+  /// deliberately tiny so storms trip quarantine well inside the horizon.
+  health::Watermarks child_queue{.low = 8, .high = 24, .capacity = 48};
+  sim::Time quarantine_after = 400'000;    ///< sustained-above-high fuse
+  std::size_t quarantine_pen_limit = 256;  ///< frames parked per child
+  std::size_t stall_inbox_limit = 256;     ///< frames parked at a stalled sub
+
   /// Dense workload so filters overlap and most events match someone.
   workload::BiblioConfig biblio{.years = 3, .conferences = 3, .authors = 6};
   std::uint64_t workload_seed = 0;  ///< 0 = derive from the plan seed
@@ -144,6 +172,16 @@ struct TrialResult {
   /// event loss during a heal (the pen was undersized for the workload),
   /// distinct from a heal-race the pen closed.
   std::uint64_t pen_dropped = 0;
+
+  /// Overload mode: the conservation ledger snapshot at quiescence plus the
+  /// degradation counters the oracle gates on (all zero otherwise).
+  metrics::ShedLedger ledger;
+  std::uint64_t expired_notices = 0;   ///< broker→child Expired sends
+  std::uint64_t rejoins = 0;           ///< subscriber re-joins after Expired
+  std::uint64_t quarantines = 0;       ///< slow-child pens opened
+  std::uint64_t events_stalled = 0;    ///< frames parked at stalled consumers
+  std::uint64_t peak_pen = 0;          ///< max frames penned at once (sampled)
+  std::uint64_t peak_child_queue = 0;  ///< max per-subscriber link queue depth
 };
 
 /// Seed-derived random schedule shaped for `cfg`'s topology: drops target
@@ -158,6 +196,13 @@ struct TrialResult {
 /// link layer claims to mask completely.
 [[nodiscard]] sim::FaultPlan message_plan_for(std::uint64_t seed,
                                               const HarnessConfig& cfg);
+
+/// Overload schedule: one Stall op pinning a random subscriber's consumer
+/// for most of the horizon — no message faults, no crashes. Paired with
+/// `cfg.overload = true`, which supplies the storm itself (the publish rate
+/// is workload, not fault, so it lives in the config, not the plan).
+[[nodiscard]] sim::FaultPlan overload_plan_for(std::uint64_t seed,
+                                               const HarnessConfig& cfg);
 
 /// `message_plan_for` plus 1–2 staggered broker crash–restarts: the
 /// schedule shape the durable exactly-once sweep runs under. Every fault in

@@ -391,6 +391,47 @@ TEST(ChaosSweep, FiftyAggregatedSeedsPreserveTheDeliveryMultiset) {
   EXPECT_GT(total_expected, kSweepSeeds);
 }
 
+// ---- overload: graceful degradation under a publish storm -------------------
+
+TEST(ChaosOverload, StalledSubscriberIsQuarantinedAndEveryLossAccounted) {
+  HarnessConfig cfg;
+  cfg.overload = true;
+  const FaultPlan plan = chaos::overload_plan_for(7, cfg);
+  const TrialResult result = chaos::run_trial(cfg, plan);
+  ASSERT_TRUE(result.ok) << result.failure
+                         << "\n  replay: " << chaos::replay_command(plan)
+                         << " --overload";
+  EXPECT_EQ(result.chaos.stalls, 1u);
+  EXPECT_EQ(result.chaos.unstalls, 1u);
+  EXPECT_EQ(result.expired_notices, 0u);
+  EXPECT_EQ(result.rejoins, 0u);
+  // The conservation ledger rode along and balances to the same picture the
+  // per-subscriber oracle asserted: nothing parked, losses only where the
+  // pens say so.
+  EXPECT_EQ(result.ledger.quarantine_parked, 0u);
+  EXPECT_EQ(result.ledger.link_shed, 0u);
+}
+
+TEST(ChaosOverload, FiftyStormSeedsDegradeGracefully) {
+  HarnessConfig cfg;
+  cfg.overload = true;
+  std::uint64_t quarantines = 0;
+  std::uint64_t stalled_frames = 0;
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    const FaultPlan plan = chaos::overload_plan_for(seed, cfg);
+    const TrialResult result = chaos::run_trial(cfg, plan);
+    ASSERT_TRUE(result.ok) << "seed " << seed << ": " << result.failure
+                           << "\n  replay: " << chaos::replay_command(plan)
+                           << " --overload";
+    quarantines += result.quarantines;
+    stalled_frames += result.events_stalled;
+  }
+  // The sweep is vacuous unless the storm actually tripped the machinery
+  // somewhere: pens must have opened and stall inboxes must have parked.
+  EXPECT_GT(quarantines, 0u);
+  EXPECT_GT(stalled_frames, 0u);
+}
+
 TEST(ChaosSweep, InjectedRejoinBugIsCaughtAndShrinks) {
   HarnessConfig cfg;
   cfg.inject_rejoin_bug = true;

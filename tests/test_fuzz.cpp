@@ -157,7 +157,7 @@ TEST(Fuzz, LiveBrokerSurvivesGarbageStorm) {
   EXPECT_EQ(count, 1);
 }
 
-/// The three link-control frames, encoded exactly as the link layer puts
+/// The four link-control frames, encoded exactly as the link layer puts
 /// them on the wire (routing's Encoder shares link::encode_fields with
 /// LinkManager's standalone framing, which protocol.cpp static_asserts).
 std::vector<std::vector<std::byte>> link_control_seeds() {
@@ -167,6 +167,8 @@ std::vector<std::vector<std::byte>> link_control_seeds() {
   seeds.push_back(routing::encode(routing::Packet{link::Nack{7, 0}}));
   seeds.push_back(
       routing::encode(routing::Packet{link::Heartbeat{3, 0xFFFFFFFFFFULL, true}}));
+  seeds.push_back(
+      routing::encode(routing::Packet{link::Credit{5, 0x123456789ULL}}));
   return seeds;
 }
 

@@ -1,0 +1,121 @@
+// Overload-control vocabulary tests (DESIGN.md §15): watermark validation,
+// the QueueHealth hysteresis ladder, and the startup-invariant validators
+// the overlay runs at construction. The state machine's contract is strict:
+// escalation at the exact boundary, recovery only at the low watermark, and
+// Quarantining opaque to depth observations (the broker imposes and lifts
+// it; the queue can never wander out on its own).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cake/health/health.hpp"
+#include "cake/routing/overlay.hpp"
+
+namespace cake {
+namespace {
+
+using health::NodeState;
+using health::QueueHealth;
+using health::Watermarks;
+
+TEST(Health, WatermarkOrderingIsValidatedWithAnActionableName) {
+  Watermarks ok{.low = 1, .high = 2, .capacity = 3};
+  EXPECT_NO_THROW(ok.validate("ok queue"));
+
+  const Watermarks bad[] = {
+      {.low = 0, .high = 2, .capacity = 3},   // low must be positive
+      {.low = 2, .high = 2, .capacity = 3},   // low < high strictly
+      {.low = 1, .high = 3, .capacity = 3},   // high < capacity strictly
+      {.low = 5, .high = 4, .capacity = 3},   // fully inverted
+  };
+  for (const Watermarks& marks : bad) {
+    try {
+      marks.validate("child queue");
+      FAIL() << "expected invalid_argument for low=" << marks.low;
+    } catch (const std::invalid_argument& e) {
+      // The message must name the queue and echo the offending values.
+      EXPECT_NE(std::string{e.what()}.find("child queue"), std::string::npos);
+      EXPECT_NE(std::string{e.what()}.find(std::to_string(marks.low)),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(Health, HysteresisLadderEscalatesAtBoundsAndRecoversOnlyAtLow) {
+  QueueHealth health{Watermarks{.low = 4, .high = 10, .capacity = 20}};
+  EXPECT_EQ(health.state(), NodeState::Healthy);
+
+  // Below high: still healthy, no matter how close.
+  EXPECT_EQ(health.observe(9), NodeState::Healthy);
+  // At high exactly: backpressure engages.
+  EXPECT_EQ(health.observe(10), NodeState::Backpressured);
+  EXPECT_EQ(health.escalations(), 1u);
+
+  // Dipping below high but above low must NOT recover (no flapping).
+  EXPECT_EQ(health.observe(9), NodeState::Backpressured);
+  EXPECT_EQ(health.observe(5), NodeState::Backpressured);
+  // At low exactly: recovery.
+  EXPECT_EQ(health.observe(4), NodeState::Healthy);
+
+  // Straight to Shedding when a burst jumps past both marks at once.
+  EXPECT_EQ(health.observe(20), NodeState::Shedding);
+  EXPECT_EQ(health.escalations(), 2u);
+  // The band between low and capacity keeps defending the bound...
+  EXPECT_EQ(health.observe(9), NodeState::Shedding);
+  // ...and recovery from Shedding skips Backpressured entirely.
+  EXPECT_EQ(health.observe(3), NodeState::Healthy);
+
+  // Backpressured escalates to Shedding at capacity (counted separately).
+  EXPECT_EQ(health.observe(10), NodeState::Backpressured);
+  EXPECT_EQ(health.observe(20), NodeState::Shedding);
+  EXPECT_EQ(health.escalations(), 4u);
+}
+
+TEST(Health, QuarantiningIsOpaqueToDepthObservations) {
+  // observe() never enters Quarantining — only the broker's slow-child
+  // detector imposes it — and never leaves it either.
+  QueueHealth health{Watermarks{.low = 2, .high = 4, .capacity = 8}};
+  for (std::size_t depth : {0u, 4u, 8u, 100u})
+    EXPECT_NE(health.observe(depth), NodeState::Quarantining);
+}
+
+TEST(Health, StartupValidatorsRejectTheDocumentedFootguns) {
+  // rto_max must leave 4 retransmit attempts inside one lease TTL.
+  EXPECT_NO_THROW(health::validate_rto_vs_ttl(64'000, 1'000'000));
+  EXPECT_NO_THROW(health::validate_rto_vs_ttl(250'000, 1'000'000));
+  EXPECT_THROW(health::validate_rto_vs_ttl(250'001, 1'000'000),
+               std::invalid_argument);
+
+  EXPECT_NO_THROW(health::validate_heartbeat_misses(2));
+  EXPECT_THROW(health::validate_heartbeat_misses(1), std::invalid_argument);
+  EXPECT_THROW(health::validate_heartbeat_misses(0), std::invalid_argument);
+
+  // The dedup ring must cover at least one in-flight link window.
+  EXPECT_NO_THROW(health::validate_dedup_capacity(64, 64));
+  EXPECT_THROW(health::validate_dedup_capacity(63, 64), std::invalid_argument);
+}
+
+TEST(Health, OverlayConstructionRunsTheValidators) {
+  // A reliable overlay whose rto_max crowds the lease TTL must refuse to
+  // start — the misconfiguration used to surface only as mysterious lease
+  // expiries under loss.
+  routing::OverlayConfig config;
+  config.stage_counts = {1};
+  config.link.reliability = link::Reliability::Reliable;
+  config.link.rto_max = config.broker.ttl;  // hopeless: one attempt per TTL
+  EXPECT_THROW(routing::Overlay{config}, std::invalid_argument);
+
+  // The documented escape hatch for harnesses that pin timers on purpose.
+  config.validate = false;
+  EXPECT_NO_THROW(routing::Overlay{config});
+
+  // Quarantine-enabled brokers validate their child-queue watermarks.
+  routing::OverlayConfig qc;
+  qc.stage_counts = {1};
+  qc.broker.quarantine = true;
+  qc.broker.child_queue = {.low = 8, .high = 8, .capacity = 8};
+  EXPECT_THROW(routing::Overlay{qc}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cake

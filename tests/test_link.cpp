@@ -132,8 +132,10 @@ TEST(Link, WindowOverflowShedsEventsNewestFirstButNeverControl) {
   EXPECT_EQ(a.in_flight(2), 16u);
 
   // Let the first transmissions evaporate against the absent peer before it
-  // comes up; only retransmission can drain what was not shed, in the
-  // original order (surviving events first, then control).
+  // comes up; only retransmission can drain what was not shed, in
+  // class-priority order: the window's in-flight events keep their original
+  // sequences, then every queued control frame — control is never starved
+  // behind events — then the surviving queued events.
   h.scheduler.run_until(50'000);
   link::LinkManager b{2, h.network, h.transport, options, 88};
   std::vector<std::uint64_t> got;
@@ -143,8 +145,9 @@ TEST(Link, WindowOverflowShedsEventsNewestFirstButNeverControl) {
   h.scheduler.run_until(5'000'000);
 
   ASSERT_EQ(got.size(), 16u);
-  for (std::uint64_t i = 0; i < 6; ++i) EXPECT_EQ(got[i], 100 + i);
-  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(got[6 + i], 200 + i);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(got[i], 100 + i);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(got[4 + i], 200 + i);
+  for (std::uint64_t i = 0; i < 2; ++i) EXPECT_EQ(got[14 + i], 104 + i);
   EXPECT_EQ(a.in_flight(2), 0u);
   EXPECT_GT(a.counters().retransmits, 0u);
 }
@@ -271,6 +274,91 @@ TEST(Link, BestEffortModeBypassesTheWholeMachine) {
   const link::LinkCounters& c = a.counters();
   EXPECT_EQ(c.data_sent, 0u);  // nothing was sequenced
   EXPECT_EQ(c.retransmits + c.acks_sent + c.heartbeats_sent, 0u);
+}
+
+link::LinkOptions credit_options() {
+  link::LinkOptions options = reliable_options();
+  options.credit = true;
+  options.credit_window = 8;
+  return options;
+}
+
+TEST(LinkCredit, ExhaustedBudgetQueuesEventsAndGrantResumesInOrder) {
+  Harness h;
+  link::LinkManager a{1, h.network, h.transport, credit_options(), 12};
+  link::LinkManager b{2, h.network, h.transport, credit_options(), 21};
+  a.attach([](sim::NodeId, const sim::Network::Payload&) {});
+  std::vector<std::uint64_t> got;
+  b.attach([&](sim::NodeId, const sim::Network::Payload& p) {
+    got.push_back(unmark(p));
+  });
+
+  // The consumer stalls before any traffic flows: the sender gets only its
+  // implicit initial budget of credit_window frames, then must queue —
+  // never blind-fire into retransmit storms, never shed.
+  b.set_credit_paused(true);
+  for (std::uint64_t i = 0; i < 20; ++i) a.send_event(2, marked(i));
+  h.scheduler.run_until(2'000'000);
+
+  EXPECT_EQ(got.size(), 8u);
+  EXPECT_TRUE(a.credit_starved(2));
+  EXPECT_EQ(a.queued_events(2), 12u);
+  EXPECT_GT(a.counters().credit_stalls, 0u);
+  EXPECT_EQ(a.counters().events_shed, 0u);
+
+  // Recovery re-grants immediately; the backlog drains in order, complete.
+  b.set_credit_paused(false);
+  h.scheduler.run_until(4'000'000);
+  ASSERT_EQ(got.size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_FALSE(a.credit_starved(2));
+  EXPECT_EQ(a.queued_events(2), 0u);
+  EXPECT_GT(b.counters().credits_sent, 0u);
+}
+
+TEST(LinkCredit, ControlBypassesAnExhaustedBudget) {
+  Harness h;
+  link::LinkManager a{1, h.network, h.transport, credit_options(), 34};
+  link::LinkManager b{2, h.network, h.transport, credit_options(), 43};
+  a.attach([](sim::NodeId, const sim::Network::Payload&) {});
+  std::vector<std::uint64_t> got;
+  b.attach([&](sim::NodeId, const sim::Network::Payload& p) {
+    got.push_back(unmark(p));
+  });
+
+  b.set_credit_paused(true);
+  for (std::uint64_t i = 0; i < 12; ++i) a.send_event(2, marked(100 + i));
+  h.scheduler.run_until(1'000'000);
+  ASSERT_EQ(got.size(), 8u);  // budget exhausted, 4 events parked
+
+  // Control admitted past the exhausted budget: a stalled consumer's
+  // protocol stack (renewals, acks, heartbeats) keeps breathing.
+  for (std::uint64_t i = 0; i < 5; ++i) a.send_control(2, marked(200 + i));
+  h.scheduler.run_until(2'000'000);
+
+  ASSERT_EQ(got.size(), 13u);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(got[i], 100 + i);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(got[8 + i], 200 + i);
+  EXPECT_EQ(a.queued_events(2), 4u);
+}
+
+TEST(LinkCredit, DisabledCreditNeverEmitsGrantsOrStalls) {
+  Harness h;
+  link::LinkManager a{1, h.network, h.transport, reliable_options(), 56};
+  link::LinkManager b{2, h.network, h.transport, reliable_options(), 65};
+  a.attach([](sim::NodeId, const sim::Network::Payload&) {});
+  std::vector<std::uint64_t> got;
+  b.attach([&](sim::NodeId, const sim::Network::Payload& p) {
+    got.push_back(unmark(p));
+  });
+
+  b.set_credit_paused(true);  // documented no-op with credit off
+  for (std::uint64_t i = 0; i < 100; ++i) a.send_event(2, marked(i));
+  h.scheduler.run_until(5'000'000);
+
+  ASSERT_EQ(got.size(), 100u);
+  EXPECT_EQ(a.counters().credit_stalls, 0u);
+  EXPECT_EQ(b.counters().credits_sent, 0u);
 }
 
 TEST(Link, FlappingAncestryDampsReparentChurn) {

@@ -1,0 +1,199 @@
+// Overload-control integration units (DESIGN.md §15): the subscriber's
+// stalled-consumer inbox and the broker's slow-child quarantine, each
+// asserted against the conservation identity the chaos harness gates on —
+// every event is delivered, parked, or counted as an accounted eviction;
+// nothing silently vanishes and the control plane never starves.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "cake/routing/overlay.hpp"
+#include "cake/workload/generators.hpp"
+
+namespace cake {
+namespace {
+
+using event::EventImage;
+using filter::FilterBuilder;
+using routing::Overlay;
+using routing::OverlayConfig;
+
+OverlayConfig overload_config() {
+  OverlayConfig config;
+  config.stage_counts = {1};
+  config.link.reliability = link::Reliability::Reliable;
+  config.link.credit = true;
+  return config;
+}
+
+struct Fixture {
+  explicit Fixture(const OverlayConfig& config) : overlay(config) {
+    workload::ensure_types_registered();
+    publisher = &overlay.add_publisher();
+    publisher->advertise(workload::BiblioGenerator::schema());
+    overlay.run();
+  }
+
+  /// Publishes `n` events in one burst at the current virtual instant.
+  void publish_burst(std::size_t n) {
+    workload::BiblioGenerator gen{{}, 7};
+    for (std::size_t i = 0; i < n; ++i) publisher->publish(gen.next_event());
+  }
+
+  /// Publishes `n` events spaced `gap` µs apart — a sustained rate a
+  /// healthy consumer keeps up with, not an instantaneous wall.
+  void publish_paced(std::size_t n, sim::Time gap) {
+    workload::BiblioGenerator gen{{}, 7};
+    for (std::size_t i = 0; i < n; ++i) {
+      publisher->publish(gen.next_event());
+      overlay.scheduler().run_until(overlay.scheduler().now() + gap);
+    }
+  }
+
+  Overlay overlay;
+  routing::PublisherNode* publisher = nullptr;
+};
+
+TEST(Overload, StalledConsumerParksEventsAndReplaysOnRecovery) {
+  Fixture fx{overload_config()};
+  std::uint64_t received = 0;
+  auto& sub = fx.overlay.add_subscriber();
+  sub.subscribe(FilterBuilder{"Publication"}.build(),
+                [&received](const EventImage&) { ++received; });
+  fx.overlay.run();
+
+  sub.stall();
+  fx.publish_burst(10);
+  fx.overlay.run();
+
+  // The process is up — frames arrive (the initial credit budget covers
+  // the burst) and park — but the handler is silent.
+  EXPECT_EQ(received, 0u);
+  EXPECT_TRUE(sub.stalled());
+  EXPECT_EQ(sub.stats().events_stalled, 10u);
+  EXPECT_EQ(sub.stats().stall_inbox_dropped, 0u);
+
+  // Recovery replays the parked inbox in arrival order, exactly once.
+  sub.unstall();
+  fx.overlay.run();
+  EXPECT_EQ(received, 10u);
+  EXPECT_EQ(sub.stats().events_received, 10u);
+}
+
+TEST(Overload, StallInboxBoundEvictsOldestAndAccountsForIt) {
+  OverlayConfig config = overload_config();
+  config.subscriber.stall_inbox_limit = 4;
+  Fixture fx{config};
+  std::uint64_t received = 0;
+  auto& sub = fx.overlay.add_subscriber();
+  sub.subscribe(FilterBuilder{"Publication"}.build(),
+                [&received](const EventImage&) { ++received; });
+  fx.overlay.run();
+
+  sub.stall();
+  fx.publish_burst(10);
+  fx.overlay.run();
+  sub.unstall();
+  fx.overlay.run();
+
+  // Conservation: published == delivered + accounted stall-inbox evictions.
+  EXPECT_EQ(received, 4u);
+  EXPECT_EQ(sub.stats().stall_inbox_dropped, 6u);
+  EXPECT_EQ(received + sub.stats().stall_inbox_dropped, 10u);
+}
+
+TEST(Overload, BrokerQuarantinesSlowChildAndDrainsPenOnRecovery) {
+  OverlayConfig config = overload_config();
+  config.link.credit_window = 4;  // tiny: a stalled child's queue builds fast
+  config.broker.quarantine = true;
+  config.broker.child_queue = {.low = 2, .high = 4, .capacity = 8};
+  config.broker.quarantine_after = 50'000;
+  config.broker.quarantine_drain_interval = 10'000;
+  config.broker.quarantine_pen_limit = 64;
+  Fixture fx{config};
+
+  std::uint64_t slow_received = 0, healthy_received = 0;
+  auto& slow = fx.overlay.add_subscriber();
+  slow.subscribe(FilterBuilder{"Publication"}.build(),
+                 [&slow_received](const EventImage&) { ++slow_received; });
+  auto& healthy = fx.overlay.add_subscriber();
+  healthy.subscribe(FilterBuilder{"Publication"}.build(),
+                    [&healthy_received](const EventImage&) {
+                      ++healthy_received;
+                    });
+  fx.overlay.run();
+
+  // A sustained rate the healthy sibling absorbs in stride while the
+  // stalled child's exhausted credit backs its queue up into quarantine.
+  slow.stall();
+  fx.publish_paced(40, 5'000);
+  fx.overlay.run();
+
+  routing::Broker& root = fx.overlay.root();
+  EXPECT_EQ(healthy_received, 40u);
+  EXPECT_FALSE(root.quarantined(healthy.id()));
+  EXPECT_TRUE(root.quarantined(slow.id()));
+  EXPECT_EQ(root.stats().children_quarantined, 1u);
+  EXPECT_GT(root.stats().events_quarantined, 0u);
+  EXPECT_GT(root.quarantine_pen_size(), 0u);
+  EXPECT_EQ(root.stats().events_quarantine_dropped, 0u);
+
+  // Recovery: credit resumes, the paced background drain empties the pen,
+  // the quarantine lifts, and the child ends whole — nothing was lost.
+  slow.unstall();
+  fx.overlay.scheduler().run_until(fx.overlay.scheduler().now() + 20'000'000);
+  EXPECT_FALSE(root.quarantined(slow.id()));
+  EXPECT_EQ(root.quarantine_pen_size(), 0u);
+  EXPECT_EQ(slow_received, 40u);
+
+  // The quarantine never touched the control plane: the lease survived, so
+  // a post-recovery probe reaches both children.
+  fx.publisher->publish(EventImage{
+      "Publication",
+      {{"year", value::Value{1995}},
+       {"conference", value::Value{"conf-0"}},
+       {"author", value::Value{"author-0"}},
+       {"title", value::Value{"title-0-0-0-0"}}}});
+  fx.overlay.run();
+  EXPECT_EQ(slow_received, 41u);
+  EXPECT_EQ(healthy_received, 41u);
+}
+
+TEST(Overload, QuarantinePenBoundEvictsOldestAndChargesTheChild) {
+  OverlayConfig config = overload_config();
+  config.link.credit_window = 4;
+  config.broker.quarantine = true;
+  config.broker.child_queue = {.low = 2, .high = 4, .capacity = 8};
+  config.broker.quarantine_drain_interval = 10'000;
+  config.broker.quarantine_pen_limit = 8;
+  Fixture fx{config};
+
+  std::uint64_t received = 0;
+  auto& sub = fx.overlay.add_subscriber();
+  sub.subscribe(FilterBuilder{"Publication"}.build(),
+                [&received](const EventImage&) { ++received; });
+  fx.overlay.run();
+
+  // An instantaneous 40-event wall against one stalled child: the queue
+  // hits capacity mid-burst, the pen opens undersized, and the overflow
+  // must surface as accounted evictions — never as silent loss.
+  sub.stall();
+  fx.publish_burst(40);
+  fx.overlay.run();
+  routing::Broker& root = fx.overlay.root();
+  ASSERT_TRUE(root.quarantined(sub.id()));
+  EXPECT_GT(root.stats().events_quarantine_dropped, 0u);
+  EXPECT_LE(root.quarantine_pen_size(), 8u);
+
+  sub.unstall();
+  fx.overlay.scheduler().run_until(fx.overlay.scheduler().now() + 20'000'000);
+
+  // Conservation with an undersized pen: every missing event is an
+  // accounted eviction charged to exactly this child.
+  EXPECT_EQ(root.quarantine_dropped(sub.id()),
+            root.stats().events_quarantine_dropped);
+  EXPECT_EQ(received + root.quarantine_dropped(sub.id()), 40u);
+}
+
+}  // namespace
+}  // namespace cake

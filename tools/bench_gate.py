@@ -17,6 +17,9 @@ Reads the three benchmark artifacts the CI smoke lane produces —
   BENCH_scaling.json    (A18: aggregated vs plain filter-table arms —
                          entries/subscription, match throughput, churn
                          throughput, and the superset-soundness counter)
+  BENCH_overload.json   (A20: 1x/2x/10x publish storms with one stalled
+                         consumer — healthy-subscriber deliveries, shed
+                         accounting, lease expiries, goodput, peak RSS)
 
 — and fails (exit 1) when any gated metric regresses past its per-metric
 threshold relative to the baseline copy of the same file.
@@ -104,6 +107,27 @@ RULES = {
              direction="exact", rel=0.0, abs_slack=0.0),
         dict(key="arms", match=("name",), metric="superset_violations",
              direction="exact", rel=0.0, abs_slack=0.0),
+    ],
+    "BENCH_overload.json": [
+        # A20 runs in virtual time, so everything but goodput and RSS is
+        # deterministic per storm multiplier: healthy subscribers must
+        # match the exact-filter oracle, the shed ledger's total may never
+        # move, and lease expiries stay pinned at zero.
+        dict(key="arms", match=("multiplier",), metric="healthy_delivered",
+             direction="exact", rel=0.0, abs_slack=0.0),
+        dict(key="arms", match=("multiplier",), metric="total_shed",
+             direction="exact", rel=0.0, abs_slack=0.0),
+        dict(key="arms", match=("multiplier",), metric="expired_notices",
+             direction="exact", rel=0.0, abs_slack=0.0),
+        # Goodput is wall-clock execution of the virtual-time storm:
+        # standard relative band.
+        dict(key="arms", match=("multiplier",), metric="events_per_sec",
+             direction="lower", rel=0.10, abs_slack=0.0),
+        # Peak RSS guards "memory stays bounded" — a loose band (allocator
+        # and runner variance) with a 10 MB additive floor. A 10x storm
+        # leaking its backlog blows well past this.
+        dict(key="arms", match=("multiplier",), metric="peak_rss_kb",
+             direction="higher", rel=0.25, abs_slack=10240.0),
     ],
     "BENCH_durability.json": [
         # Append throughput is wall-clock (FileStorage touches the real
@@ -314,6 +338,39 @@ def selftest():
          all(overlay_verdicts(allocs_per_event=9.14))),
         ("overlay alloc regression fails",
          not all(overlay_verdicts(allocs_per_event=9.6))),
+    ]
+    overload = {
+        "arms": [
+            {"multiplier": 10, "published": 3000, "healthy_expected": 8700,
+             "healthy_delivered": 8700, "victim_delivered": 250,
+             "total_shed": 50, "expired_notices": 0, "rejoins": 0,
+             "quarantines": 1, "events_per_sec": 40000.0,
+             "peak_rss_kb": 51200},
+        ],
+    }
+
+    def overload_verdicts(**overrides):
+        cur = json.loads(json.dumps(overload))
+        cur["arms"][0].update(overrides)
+        return [ok for ok, _ in compare_file("BENCH_overload.json",
+                                             overload, cur)]
+
+    checks += [
+        ("overload identical run passes", all(overload_verdicts())),
+        ("overload healthy delivery drift fails",
+         not all(overload_verdicts(healthy_delivered=8699))),
+        ("overload shed-ledger drift fails",
+         not all(overload_verdicts(total_shed=51))),
+        ("overload lease expiry fails",
+         not all(overload_verdicts(expired_notices=1))),
+        ("overload goodput jitter passes",
+         all(overload_verdicts(events_per_sec=36500.0))),
+        ("overload goodput regression fails",
+         not all(overload_verdicts(events_per_sec=35000.0))),
+        ("overload rss within band passes",
+         all(overload_verdicts(peak_rss_kb=60000))),
+        ("overload rss blowup fails",
+         not all(overload_verdicts(peak_rss_kb=90000))),
     ]
     failed = [label for label, ok in checks if not ok]
     for label, ok in checks:
